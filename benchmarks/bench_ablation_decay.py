@@ -1,0 +1,81 @@
+"""Ablation: exponential-decay rate of P(Markov) (paper §4.3, Figure 5).
+
+The decay rate models user familiarity: experts decay fast (quick goal
+focus), novices slowly (long open-ended phase). Expectations:
+
+- slower decay -> larger share of Markov-chosen interactions;
+- the expert profile completes goals in fewer interactions than the
+  novice profile;
+- session length shrinks as decay accelerates.
+"""
+
+import random
+
+from _common import write_result
+
+from repro.dashboard.library import load_dashboard
+from repro.engine.registry import create_engine
+from repro.metrics import format_table
+from repro.simulation import SessionConfig, SessionSimulator, get_workflow
+from repro.workload import generate_dataset
+
+PROFILES = [
+    ("novice", SessionConfig.novice(seed=5)),
+    ("default", SessionConfig(seed=5)),
+    ("expert", SessionConfig.expert(seed=5)),
+]
+
+
+def run_profile(config):
+    spec = load_dashboard("customer_service")
+    table = generate_dataset("customer_service", 2_000, seed=5)
+    measured = create_engine("vectorstore")
+    measured.load_table(table)
+    reference = create_engine("vectorstore")
+    reference.load_table(table)
+    goals = get_workflow("shneiderman").instantiate_for_dashboard(
+        spec, random.Random(5)
+    )
+    log = SessionSimulator(
+        spec,
+        table,
+        [g.query for g in goals],
+        measured_engine=measured,
+        reference_engine=reference,
+        config=config,
+    ).run()
+    mix = log.model_mix()
+    markov = mix.get("markov", 0)
+    total = max(log.interaction_count, 1)
+    return {
+        "interactions": log.interaction_count,
+        "markov_fraction": round(markov / total, 3),
+        "goals_completed": log.goals_completed,
+        "queries": log.query_count,
+    }
+
+
+def run_ablation():
+    return {name: run_profile(config) for name, config in PROFILES}
+
+
+def test_ablation_decay(benchmark):
+    outcomes = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    rows = [
+        {"profile": name, **stats} for name, stats in outcomes.items()
+    ]
+    write_result("ablation_decay", format_table(rows))
+
+    # Novices wander more than experts.
+    assert (
+        outcomes["novice"]["markov_fraction"]
+        > outcomes["expert"]["markov_fraction"]
+    )
+    # Experts finish in fewer interactions.
+    assert (
+        outcomes["expert"]["interactions"]
+        <= outcomes["novice"]["interactions"]
+    )
+    # All profiles make goal progress.
+    for stats in outcomes.values():
+        assert stats["goals_completed"] >= 1

@@ -1,0 +1,103 @@
+"""Ablation: denormalized vs. star-schema storage (paper §6.2.2).
+
+The paper loads every dataset denormalized. This ablation quantifies
+that choice: the same dashboard-style aggregation workload runs against
+(a) the single wide table and (b) the equivalent star schema with joins
+reassembled per query, on every engine. Expected shape: denormalized
+wins on every engine (joins add per-query work and none of these
+engines pre-materializes them), which is exactly why the paper — and
+production dashboard backends — denormalize first.
+"""
+
+import time
+
+from _common import BENCH_ROWS, write_result
+
+from repro.engine.registry import available_engines, create_engine
+from repro.metrics import format_table
+from repro.sql.parser import parse_query
+from repro.workload.datasets import (
+    RETAIL_STAR_DIMENSIONS,
+    generate_retail_orders,
+)
+from repro.workload.normalize import (
+    DimensionSpec,
+    load_star,
+    normalize_star,
+    reassembly_query,
+)
+
+#: Dashboard-shaped workload over the retail dataset: grouped aggregates
+#: filtered by widget-style predicates, touching 0-2 dimensions each.
+WORKLOAD = [
+    "SELECT category, SUM(revenue) AS rev FROM retail_orders "
+    "GROUP BY category",
+    "SELECT region, category, COUNT(*) AS n FROM retail_orders "
+    "WHERE quantity > 5 GROUP BY region, category",
+    "SELECT region, AVG(revenue) AS avg_rev FROM retail_orders "
+    "WHERE category IN ('Technology', 'Furniture') GROUP BY region",
+    "SELECT city, SUM(quantity) AS q FROM retail_orders "
+    "WHERE discount > 0 GROUP BY city",
+    "SELECT store_id, COUNT(*) AS n FROM retail_orders GROUP BY store_id",
+]
+
+REPEATS = 3
+
+
+def run_ablation():
+    table = generate_retail_orders(BENCH_ROWS, seed=13)
+    star = normalize_star(
+        table, [DimensionSpec(*d) for d in RETAIL_STAR_DIMENSIONS]
+    )
+    queries = [parse_query(sql) for sql in WORKLOAD]
+    star_queries = [reassembly_query(star, q) for q in queries]
+
+    rows = []
+    for engine_name in available_engines():
+        denormalized = create_engine(engine_name)
+        denormalized.load_table(table)
+        normalized = create_engine(engine_name)
+        load_star(normalized, star)
+
+        # Verify once per engine that both layouts agree, then time.
+        for query, star_query in zip(queries, star_queries):
+            flat = denormalized.execute(query)
+            joined = normalized.execute(star_query)
+            assert flat.sorted_rows() == joined.sorted_rows(), engine_name
+
+        flat_ms = _time_workload(denormalized, queries)
+        star_ms = _time_workload(normalized, star_queries)
+        rows.append(
+            {
+                "engine": engine_name,
+                "denormalized_ms": round(flat_ms, 2),
+                "star_schema_ms": round(star_ms, 2),
+                "join_overhead": f"{star_ms / flat_ms:.2f}x",
+            }
+        )
+        denormalized.close()
+        normalized.close()
+    return rows
+
+
+def _time_workload(engine, queries) -> float:
+    start = time.perf_counter()
+    for _ in range(REPEATS):
+        for query in queries:
+            engine.execute(query)
+    return (time.perf_counter() - start) * 1000 / REPEATS
+
+
+def test_ablation_denormalization(benchmark):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    write_result("ablation_denormalization", format_table(rows))
+
+    overheads = {
+        row["engine"]: float(row["join_overhead"].rstrip("x")) for row in rows
+    }
+    # Shape claim: star-schema reassembly costs extra on every engine —
+    # the reason the paper's setup (and real dashboard backends)
+    # denormalizes. Tolerance below 1.0 guards against timer noise on
+    # engines where the joined tables are small.
+    assert sum(overheads.values()) / len(overheads) > 1.0
+    assert all(value > 0.8 for value in overheads.values())

@@ -1,0 +1,113 @@
+"""Ablation: equivalence-testing tiers (paper §4.1.2).
+
+The suite tries syntactic, then semantic, then result equivalence. This
+ablation measures what each tier contributes:
+
+- syntactic-only misses reordered-but-identical queries;
+- adding the semantic tier recovers them without executing anything;
+- the result tier is the only one that proves *differently shaped*
+  queries equivalent, at execution cost.
+"""
+
+import time
+
+from _common import write_result
+
+from repro.engine.registry import create_engine
+from repro.equivalence import EquivalenceSuite
+from repro.metrics import format_table
+from repro.sql.parser import parse_query
+from repro.workload import generate_dataset
+
+#: (goal, candidate, truly_equivalent) triples exercising each tier.
+PAIRS = [
+    # Textually identical.
+    (
+        "SELECT queue, COUNT(calls) FROM customer_service GROUP BY queue",
+        "SELECT queue, COUNT(calls) FROM customer_service GROUP BY queue",
+        True,
+    ),
+    # Reordered conjuncts + IN members (semantic tier).
+    (
+        "SELECT repID, SUM(duration) FROM customer_service "
+        "WHERE queue IN ('A','B') AND hour >= 9 GROUP BY repID",
+        "SELECT SUM(duration), repID FROM customer_service "
+        "WHERE hour >= 9 AND queue IN ('B','A') GROUP BY repID",
+        True,
+    ),
+    # BETWEEN vs comparisons (semantic tier).
+    (
+        "SELECT COUNT(*) FROM customer_service WHERE hour BETWEEN 9 AND 17",
+        "SELECT COUNT(*) FROM customer_service WHERE hour >= 9 AND hour <= 17",
+        True,
+    ),
+    # Same results, different shape: no-op filter (result tier only).
+    (
+        "SELECT COUNT(*) AS c FROM customer_service",
+        "SELECT COUNT(*) AS c FROM customer_service WHERE hour < 24",
+        True,
+    ),
+    # Genuinely different.
+    (
+        "SELECT COUNT(*) FROM customer_service",
+        "SELECT COUNT(*) FROM customer_service WHERE queue = 'A'",
+        False,
+    ),
+    (
+        "SELECT queue, SUM(calls) FROM customer_service GROUP BY queue",
+        "SELECT queue, AVG(calls) FROM customer_service GROUP BY queue",
+        False,
+    ),
+]
+
+TIER_SETTINGS = {
+    "syntactic_only": dict(enable_semantic=False, enable_result=False),
+    "syntactic+semantic": dict(enable_result=False),
+    "all_tiers": {},
+}
+
+
+def evaluate_tiers():
+    table = generate_dataset("customer_service", 2_000, seed=2)
+    outcomes = {}
+    for name, settings in TIER_SETTINGS.items():
+        engine = create_engine("vectorstore")
+        engine.load_table(table)
+        suite = EquivalenceSuite(engine, **settings)
+        correct = 0
+        false_negatives = 0
+        start = time.perf_counter()
+        for goal_sql, candidate_sql, truth in PAIRS:
+            verdict = suite.equivalent(
+                parse_query(goal_sql), parse_query(candidate_sql)
+            )
+            if verdict.equivalent == truth:
+                correct += 1
+            elif truth and not verdict.equivalent:
+                false_negatives += 1
+        elapsed_ms = (time.perf_counter() - start) * 1000
+        outcomes[name] = {
+            "tiers": name,
+            "correct": f"{correct}/{len(PAIRS)}",
+            "false_negatives": false_negatives,
+            "time_ms": round(elapsed_ms, 2),
+        }
+    return outcomes
+
+
+def test_ablation_equivalence_tiers(benchmark):
+    outcomes = benchmark.pedantic(evaluate_tiers, rounds=1, iterations=1)
+    write_result(
+        "ablation_equivalence", format_table(list(outcomes.values()))
+    )
+
+    # Each added tier is at least as accurate as the previous one.
+    def correct(name):
+        return int(outcomes[name]["correct"].split("/")[0])
+
+    assert correct("syntactic_only") <= correct("syntactic+semantic")
+    assert correct("syntactic+semantic") <= correct("all_tiers")
+    # The full suite decides every pair correctly.
+    assert correct("all_tiers") == len(PAIRS)
+    # Syntactic-only must miss at least one true equivalence.
+    assert outcomes["syntactic_only"]["false_negatives"] >= 1

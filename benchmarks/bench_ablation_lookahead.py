@@ -1,0 +1,71 @@
+"""Ablation: Oracle lookahead depth (plan quality vs planning cost).
+
+DESIGN.md calls out the LookAhead depth as a design choice worth
+ablating: depth 1 is the paper's greedy default; depth 2 expands a beam
+of candidates one extra step. Expectation: depth 2 never needs *more*
+interactions to reach the goal, but evaluates far more candidate plans.
+"""
+
+import random
+
+from _common import write_result
+
+from repro.dashboard.library import load_dashboard
+from repro.engine.registry import create_engine
+from repro.equivalence.results import ResultCache
+from repro.dashboard.state import DashboardState
+from repro.metrics import format_table
+from repro.simulation.goals import GoalTracker
+from repro.simulation.oracle import OracleModel
+from repro.algebra import get_template
+from repro.workload import generate_dataset
+
+
+def run_oracle(lookahead):
+    spec = load_dashboard("customer_service")
+    table = generate_dataset("customer_service", 2_000, seed=21)
+    engine = create_engine("vectorstore")
+    engine.load_table(table)
+    goal = get_template("analyzing_spread").instantiate(
+        "customer_service",
+        categorical="queue",
+        quantitative="lostCalls",
+        agg="count",
+        threshold=1,
+    )
+    state = DashboardState(spec, table)
+    cache = ResultCache(engine)
+    tracker = GoalTracker([goal.query], cache)
+    tracker.observe(state.initial_queries())
+    oracle = OracleModel(
+        tracker, lookahead=lookahead, rng=random.Random(0)
+    )
+    steps = 0
+    while not tracker.complete and steps < 25:
+        interaction = oracle.next_interaction(state)
+        if interaction is None:
+            break
+        tracker.observe(state.apply(interaction))
+        steps += 1
+    return {
+        "lookahead": lookahead,
+        "interactions": steps,
+        "completed": tracker.complete,
+        "plans_evaluated": oracle.plans_evaluated,
+    }
+
+
+def run_ablation():
+    return [run_oracle(1), run_oracle(2)]
+
+
+def test_ablation_lookahead(benchmark):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    write_result("ablation_lookahead", format_table(rows))
+
+    depth1, depth2 = rows
+    assert depth1["completed"] and depth2["completed"]
+    # Deeper planning must not need more interactions...
+    assert depth2["interactions"] <= depth1["interactions"] + 1
+    # ...but pays a much larger planning bill.
+    assert depth2["plans_evaluated"] > depth1["plans_evaluated"] * 2

@@ -1,0 +1,117 @@
+"""Extension: approximate visualization support (paper §5).
+
+The paper places SIMBA alongside Crossfilter and IDEBench as benchmarks
+that "provide support for approximate visualization". This bench
+characterizes that support: for a dashboard-shaped grouped aggregation,
+it sweeps sampling fractions and reports the latency/error frontier,
+then runs the progressive (online-aggregation) executor and reports how
+the estimate converges step by step.
+
+Expected shape: error falls monotonically (in trend) with fraction while
+latency rises; the progressive run reaches a few-percent error long
+before it has read the full table.
+"""
+
+from _common import BENCH_ROWS, write_result
+
+from repro.approx import (
+    approximate_execute,
+    progressive_execute,
+    relative_error,
+)
+from repro.engine.registry import create_engine
+from repro.metrics import format_table
+from repro.sql.parser import parse_query
+from repro.workload import generate_dataset
+
+QUERY = (
+    "SELECT queue, COUNT(*) AS calls, SUM(abandoned) AS ab "
+    "FROM customer_service GROUP BY queue"
+)
+
+FRACTIONS = (0.01, 0.05, 0.1, 0.25, 0.5)
+SEEDS = (3, 11, 29)
+
+
+def run_bench():
+    table = generate_dataset("customer_service", BENCH_ROWS, seed=23)
+    query = parse_query(QUERY)
+
+    exact_engine = create_engine("vectorstore")
+    exact_engine.load_table(table)
+    exact_timed = exact_engine.execute_timed(query)
+    exact = exact_timed.result
+
+    frontier = []
+    for fraction in FRACTIONS:
+        errors = []
+        latencies = []
+        for seed in SEEDS:
+            engine = create_engine("vectorstore")
+            import time
+
+            start = time.perf_counter()
+            result = approximate_execute(
+                engine, table, query, fraction, seed=seed
+            )
+            latencies.append((time.perf_counter() - start) * 1000)
+            errors.append(relative_error(exact, result.estimate))
+        frontier.append(
+            {
+                "fraction": fraction,
+                "mean_rel_error": round(sum(errors) / len(errors), 4),
+                "mean_latency_ms": round(
+                    sum(latencies) / len(latencies), 2
+                ),
+            }
+        )
+    frontier.append(
+        {
+            "fraction": 1.0,
+            "mean_rel_error": 0.0,
+            "mean_latency_ms": round(exact_timed.duration_ms, 2),
+        }
+    )
+
+    progressive = []
+    engine = create_engine("vectorstore")
+    for update in progressive_execute(
+        engine, table, query, seed=7, epsilon=0.01
+    ):
+        progressive.append(
+            {
+                "step": update.step,
+                "fraction": update.fraction,
+                "rows_read": update.rows_read,
+                "rel_error_vs_exact": round(
+                    relative_error(exact, update.estimate), 4
+                ),
+                "change": (
+                    "" if update.change is None else round(update.change, 4)
+                ),
+                "converged": update.converged,
+            }
+        )
+    return frontier, progressive
+
+
+def test_approx_progressive(benchmark):
+    frontier, progressive = benchmark.pedantic(
+        run_bench, rounds=1, iterations=1
+    )
+    text = (
+        "Latency/error frontier (sample-and-scale):\n"
+        + format_table(frontier)
+        + "\n\nProgressive refinement (online aggregation):\n"
+        + format_table(progressive)
+    )
+    write_result("approx_progressive", text)
+
+    # Shape claims:
+    # 1. Error at the smallest fraction exceeds error at the largest.
+    assert frontier[0]["mean_rel_error"] > frontier[-2]["mean_rel_error"]
+    # 2. Even 1% sampling keeps mean error within 35% (about 20 sample
+    #    rows land in the smallest group at bench scale).
+    assert all(row["mean_rel_error"] < 0.35 for row in frontier)
+    # 3. Progressive error at the last step is under 5%.
+    assert progressive[-1]["rel_error_vs_exact"] < 0.05

@@ -1,0 +1,53 @@
+"""Figure 8: query durations grouped by workflow and dashboard.
+
+Shape claims under test (paper §6.3):
+
+- the Shneiderman workflow achieves the lowest (or tied-lowest) query
+  durations overall;
+- for dashboards with few attributes and near-identical visualizations
+  (Circulation Activity) the workflow barely matters, while Customer
+  Service shows clear per-workflow differences.
+"""
+
+from _common import BENCH_ROWS, BENCH_RUNS, write_result
+
+from repro.harness import BenchmarkConfig, BenchmarkRunner
+from repro.metrics import format_table
+
+
+def run_grid():
+    config = BenchmarkConfig(
+        engines=("vectorstore",),
+        workflows=("shneiderman", "battle_heer", "crossfilter"),
+        sizes={"bench": BENCH_ROWS},
+        runs=BENCH_RUNS,
+        reference_rows=1_500,
+    )
+    return BenchmarkRunner(config).run()
+
+
+def test_figure8_workflow_distributions(benchmark):
+    result = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    summaries = result.summaries_by("workflow", "dashboard")
+    text = format_table([s.as_row() for s in summaries])
+    write_result("figure8_workflows", text)
+
+    by_workflow = {s.label: s for s in result.summaries_by("workflow")}
+    text2 = format_table([s.as_row() for s in by_workflow.values()])
+    write_result("figure8_by_workflow_only", text2)
+
+    # Shneiderman is the cheapest (or within 15% of the cheapest).
+    cheapest = min(s.mean for s in by_workflow.values())
+    assert by_workflow["shneiderman"].mean <= cheapest * 1.15
+
+    # Circulation varies little across workflows relative to Customer
+    # Service (ratio of max/min mean duration across workflows).
+    def spread(dashboard):
+        means = [
+            s.mean
+            for s in summaries
+            if s.label.endswith(dashboard) and s.count > 0
+        ]
+        return max(means) / max(min(means), 1e-9) if means else 1.0
+
+    assert spread("circulation") <= spread("customer_service") * 1.5

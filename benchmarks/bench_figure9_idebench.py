@@ -1,0 +1,93 @@
+"""Figure 9 + §6.3: IDEBench's unconstrained dashboards vs SIMBA.
+
+The paper generates 50 IDEBench workflows over the IT Monitor dataset
+and reverse engineers the implied dashboards:
+
+- ~13 visualizations on average (min 7, max 20) vs the real dashboard's 3;
+- ~9 visualization updates per interaction (min 1, max 15);
+- 2.1 ± attributes and 13.2 filters per visualization vs SIMBA's
+  3.8 / 5.8.
+"""
+
+import random
+
+from _common import write_result
+
+from repro.dashboard.library import load_dashboard
+from repro.engine.registry import create_engine
+from repro.idebench import IDEBenchConfig, IDEBenchSimulator, analyze_workflows
+from repro.metrics import format_table
+from repro.metrics.workload_stats import (
+    session_workload_statistics,
+    workload_statistics,
+)
+from repro.simulation import SessionConfig, SessionSimulator, get_workflow
+from repro.workload import generate_dataset
+
+NUM_WORKFLOWS = 50
+
+
+def run_figure9():
+    table = generate_dataset("it_monitor", 2_000, seed=7)
+    workflows = [
+        IDEBenchSimulator(table, IDEBenchConfig(seed=i)).run()
+        for i in range(NUM_WORKFLOWS)
+    ]
+    stats = analyze_workflows(workflows)
+
+    idebench_queries = [q for flow in workflows[:10] for q in flow.queries]
+    idebench_shape = workload_statistics(idebench_queries, "IDEBench")
+
+    spec = load_dashboard("it_monitor")
+    logs = []
+    for seed in range(4):
+        measured = create_engine("vectorstore")
+        measured.load_table(table)
+        reference = create_engine("vectorstore")
+        reference.load_table(table)
+        goals = get_workflow("shneiderman").instantiate_for_dashboard(
+            spec, random.Random(seed)
+        )
+        logs.append(
+            SessionSimulator(
+                spec,
+                table,
+                [g.query for g in goals],
+                measured_engine=measured,
+                reference_engine=reference,
+                config=SessionConfig(
+                    seed=seed, run_to_max=True, max_steps_per_goal=12
+                ),
+            ).run()
+        )
+    simba_shape = session_workload_statistics(logs, "SIMBA")
+    return stats, idebench_shape, simba_shape
+
+
+def test_figure9_idebench_reverse_engineering(benchmark):
+    stats, idebench_shape, simba_shape = benchmark.pedantic(
+        run_figure9, rounds=1, iterations=1
+    )
+    text = (
+        format_table([stats.as_row()])
+        + "\n\nworkload shape comparison (Table 4 axis):\n"
+        + format_table([idebench_shape.as_row(), simba_shape.as_row()])
+    )
+    write_result("figure9_idebench", text)
+
+    # Paper: avg 13 visualizations (min 7, max 20); real dashboard has 3.
+    assert 9 <= stats.avg_visualizations <= 17
+    assert stats.min_visualizations >= 4
+    assert stats.max_visualizations <= 20
+    assert stats.avg_visualizations > 3 * 2  # far above the real board
+
+    # Paper: ~2.1 attributes per visualization.
+    assert 1.5 <= stats.attributes_per_viz.mean <= 3.0
+
+    # Paper: 13.2 filters per visualization, an order more than SIMBA.
+    assert stats.filters_per_viz.mean > 8
+    assert idebench_shape.filters.mean > simba_shape.filters.mean * 2
+
+    # Paper: dense linking — many visualization updates per interaction
+    # (IT Monitor's real widgets update at most 3 visualizations).
+    assert stats.updates_per_interaction.mean > 3

@@ -1,0 +1,48 @@
+"""Alternative metric: response rate (paper §6.2.5).
+
+The paper measures query duration and notes SIMBA "also supports
+alternative metrics such as response rate", omitting it only because
+thresholds must be tuned per dashboard. This bench computes the full
+threshold curve per engine — the artifact a dashboard developer would
+use to pick an interactivity budget.
+
+Shape claims: response rates are monotone in the threshold, and the
+vectorized engine answers a larger fraction of queries within 50 ms
+than the tuple-at-a-time row store.
+"""
+
+from _common import BENCH_ROWS, write_result
+
+from repro.harness import BenchmarkConfig, BenchmarkRunner
+from repro.metrics import format_table, response_rate
+
+
+def run_grid():
+    config = BenchmarkConfig(
+        dashboards=("customer_service", "it_monitor"),
+        workflows=("shneiderman",),
+        engines=("rowstore", "vectorstore", "matstore", "sqlite"),
+        sizes={"bench": BENCH_ROWS},
+        runs=1,
+        reference_rows=1_500,
+    )
+    return BenchmarkRunner(config).run()
+
+
+def test_response_rate_curves(benchmark):
+    result = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    rates = {
+        engine: response_rate(engine, result.durations(engine=engine))
+        for engine in ("rowstore", "vectorstore", "matstore", "sqlite")
+    }
+    text = format_table([r.as_row() for r in rates.values()])
+    write_result("response_rate", text)
+
+    for rate in rates.values():
+        curve = [rate.rates[t] for t in sorted(rate.rates)]
+        assert curve == sorted(curve)  # monotone in the threshold
+    assert rates["vectorstore"].rate(50.0) > rates["rowstore"].rate(50.0)
+    # Every engine eventually answers nearly everything within 1 s at
+    # this scale.
+    for rate in rates.values():
+        assert rate.rate(1000.0) > 0.9

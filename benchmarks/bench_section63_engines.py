@@ -1,0 +1,50 @@
+"""§6.3 cross-DBMS comparison: four engines over the six dashboards.
+
+The paper's four systems map to our engines (see DESIGN.md):
+PostgreSQL -> rowstore (tuple-at-a-time), DuckDB -> vectorstore,
+MonetDB -> matstore, SQLite -> sqlite. Shape claims:
+
+- the tuple-at-a-time row store is the slowest engine on these
+  aggregation-heavy dashboard workloads;
+- the columnar engines (vectorstore/matstore) and SQLite are markedly
+  faster;
+- relative engine ordering is consistent across dashboards.
+"""
+
+from _common import BENCH_ROWS, write_result
+
+from repro.harness import BenchmarkConfig, BenchmarkRunner
+from repro.metrics import format_table
+
+
+def run_grid():
+    config = BenchmarkConfig(
+        engines=("rowstore", "vectorstore", "matstore", "sqlite"),
+        workflows=("shneiderman",),
+        sizes={"bench": BENCH_ROWS},
+        runs=1,
+        reference_rows=1_500,
+    )
+    return BenchmarkRunner(config).run()
+
+
+def test_section63_engine_comparison(benchmark):
+    result = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    by_engine = {s.label: s for s in result.summaries_by("engine")}
+    detailed = result.summaries_by("dashboard", "engine")
+    text = (
+        format_table([s.as_row() for s in by_engine.values()])
+        + "\n\nper dashboard:\n"
+        + format_table([s.as_row() for s in detailed])
+    )
+    write_result("section63_engines", text)
+
+    assert set(by_engine) == {"rowstore", "vectorstore", "matstore", "sqlite"}
+    # Row store pays per-tuple interpretation overhead: slowest engine.
+    slowest = max(by_engine.values(), key=lambda s: s.mean).label
+    assert slowest == "rowstore"
+    # Columnar engines are at least 3x faster than the row store here.
+    assert by_engine["rowstore"].mean > by_engine["vectorstore"].mean * 3
+    # Engines are separated: the spread is real, not noise.
+    means = sorted(s.mean for s in by_engine.values())
+    assert means[-1] > means[0] * 2

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Cross-engine comparison (the §6.3 experiment, scaled down).
+
+Runs the same simulated workloads against all four engines and prints
+per-engine duration distributions for each dashboard — the data behind
+the paper's claim that differences in dashboards lead to differences in
+DBMS performance.
+
+Usage::
+
+    python examples/compare_engines.py [rows] [runs]
+"""
+
+import sys
+
+from repro import BenchmarkConfig, BenchmarkRunner
+from repro.engine.registry import PAPER_ANALOGUE
+from repro.metrics import format_table
+
+
+def main() -> None:
+    rows = int(sys.argv[1]) if len(sys.argv) > 1 else 10_000
+    runs = int(sys.argv[2]) if len(sys.argv) > 2 else 2
+
+    config = BenchmarkConfig(
+        dashboards=("customer_service", "it_monitor", "circulation"),
+        workflows=("shneiderman", "battle_heer"),
+        engines=("rowstore", "vectorstore", "matstore", "sqlite"),
+        sizes={"bench": rows},
+        runs=runs,
+    )
+    print("Engines under test:")
+    for engine in config.engines:
+        print(f"  {engine:12s} -> {PAPER_ANALOGUE[engine]}")
+    print(f"\nRunning {len(config.dashboards)} dashboards x "
+          f"{len(config.workflows)} workflows x {runs} runs at {rows:,} rows...")
+
+    result = BenchmarkRunner(config).run(progress=False)
+
+    print("\nQuery durations by dashboard and engine:")
+    rows_out = [s.as_row() for s in result.summaries_by("dashboard", "engine")]
+    print(format_table(rows_out))
+
+    print("\nOverall by engine:")
+    print(format_table([s.as_row() for s in result.summaries_by("engine")]))
+    if result.skipped:
+        print(f"\nSkipped (workflow not applicable): {result.skipped}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Session logs: export, EVA metrics, and cross-engine replay.
+
+Simulates one exploration session (the paper's user study handed exactly
+these logs to experts, §6.4), writes it to JSONL and CSV, computes the
+log-derived exploration metrics from the paper's §7 survey, and finally
+replays the query stream on a different engine to compare latencies.
+
+Usage::
+
+    python examples/session_logs_replay.py [rows] [seed]
+"""
+
+import random
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import (
+    SessionConfig,
+    SessionSimulator,
+    create_engine,
+    eva_metrics,
+    export_session,
+    generate_dataset,
+    get_workflow,
+    load_dashboard,
+    replay_log,
+)
+from repro.logs import read_jsonl, write_csv, write_jsonl
+
+
+def main() -> None:
+    rows = int(sys.argv[1]) if len(sys.argv) > 1 else 20_000
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 7
+
+    print(f"Simulating a session on customer_service ({rows:,} rows)...")
+    spec = load_dashboard("customer_service")
+    table = generate_dataset("customer_service", rows, seed=seed)
+    measured = create_engine("vectorstore")
+    measured.load_table(table)
+    reference_table = generate_dataset("customer_service", 2_000, seed=seed)
+    reference = create_engine("vectorstore")
+    reference.load_table(reference_table)
+
+    workflow = get_workflow("battle_heer")
+    goals = workflow.instantiate_for_dashboard(spec, random.Random(seed))
+    session = SessionSimulator(
+        spec,
+        reference_table,
+        [g.query for g in goals],
+        measured_engine=measured,
+        reference_engine=reference,
+        config=SessionConfig(seed=seed),
+        workflow_name="battle_heer",
+    ).run()
+
+    log = export_session(session)
+    print(f"Session: {log.interaction_count} interactions, "
+          f"{log.query_count} queries, "
+          f"{log.goals_completed}/{log.goals_total} goals")
+
+    directory = Path(tempfile.mkdtemp(prefix="simba_logs_"))
+    jsonl_path = directory / "session.jsonl"
+    csv_path = directory / "session.csv"
+    write_jsonl(log, jsonl_path)
+    write_csv(log, csv_path)
+    print(f"Wrote {jsonl_path} and {csv_path}")
+
+    restored = read_jsonl(jsonl_path)
+    metrics = eva_metrics(restored)
+    print("\nEVA metrics (paper §7) computed from the log:")
+    print(f"  total exploration time : {metrics.total_exploration_ms:.0f} ms")
+    print(f"  interactions performed : {metrics.total_interactions}")
+    print(f"  interaction rate       : "
+          f"{metrics.interaction_rate_per_minute:.0f} / minute")
+    print(f"  mean / p95 / max resp. : {metrics.mean_response_ms:.2f} / "
+          f"{metrics.p95_response_ms:.2f} / {metrics.max_response_ms:.2f} ms")
+    print(f"  attributes explored    : "
+          f"{sorted(metrics.attributes_explored)}")
+    print(f"  empty-result fraction  : {metrics.empty_result_fraction:.1%}")
+    print(f"  model mix              : {metrics.model_mix}")
+
+    print("\nReplaying the same query stream on sqlite...")
+    replay_engine = create_engine("sqlite")
+    replay_engine.load_table(table)
+    report = replay_log(restored, replay_engine)
+    print(f"  {report.query_count} queries, "
+          f"cardinalities matched: {report.matched}")
+    print(f"  original engine mean : "
+          f"{metrics.mean_response_ms:.2f} ms (vectorstore)")
+    print(f"  replay engine mean   : "
+          f"{report.average_duration_ms():.2f} ms (sqlite)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Star-schema normalization vs. the paper's denormalized layout.
+
+The paper's setup denormalizes every dataset before loading (§6.2.2).
+This example shows what that choice buys: it splits the retail-orders
+dataset into a fact table plus product/store dimensions, rewrites a
+dashboard-style workload into the equivalent join queries, and compares
+latencies on two engines.
+
+Usage::
+
+    python examples/star_schema_ablation.py [rows] [seed]
+"""
+
+import sys
+import time
+
+from repro import DimensionSpec, create_engine, normalize_star, parse_query
+from repro.workload.datasets import (
+    RETAIL_STAR_DIMENSIONS,
+    generate_retail_orders,
+)
+from repro.workload.normalize import load_star, reassembly_query
+
+WORKLOAD = [
+    "SELECT category, SUM(revenue) AS rev FROM retail_orders "
+    "GROUP BY category",
+    "SELECT region, category, COUNT(*) AS n FROM retail_orders "
+    "WHERE quantity > 5 GROUP BY region, category",
+    "SELECT city, SUM(quantity) AS q FROM retail_orders "
+    "WHERE discount > 0 GROUP BY city",
+]
+
+
+def time_workload(engine, queries, repeats=3):
+    start = time.perf_counter()
+    for _ in range(repeats):
+        for query in queries:
+            engine.execute(query)
+    return (time.perf_counter() - start) * 1000 / repeats
+
+
+def main() -> None:
+    rows = int(sys.argv[1]) if len(sys.argv) > 1 else 30_000
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 13
+
+    print(f"Generating retail_orders ({rows:,} rows, seed {seed})...")
+    table = generate_retail_orders(rows, seed=seed)
+    star = normalize_star(
+        table, [DimensionSpec(*d) for d in RETAIL_STAR_DIMENSIONS]
+    )
+    print(f"Fact table: {star.fact.num_rows:,} rows, "
+          f"{len(star.fact.schema)} columns")
+    for dimension in star.dimensions:
+        print(f"Dimension {dimension.name}: {dimension.num_rows} rows")
+
+    queries = [parse_query(sql) for sql in WORKLOAD]
+    star_queries = [reassembly_query(star, q) for q in queries]
+    print("\nReassembled join queries:")
+    for query in star_queries:
+        print(f"  {query}")
+
+    print(f"\n{'engine':<12} {'denormalized':>14} {'star schema':>13} "
+          f"{'overhead':>9}")
+    for engine_name in ("vectorstore", "sqlite"):
+        flat_engine = create_engine(engine_name)
+        flat_engine.load_table(table)
+        star_engine = create_engine(engine_name)
+        load_star(star_engine, star)
+
+        # Both layouts must agree before we time anything.
+        for query, star_query in zip(queries, star_queries):
+            assert (
+                flat_engine.execute(query).sorted_rows()
+                == star_engine.execute(star_query).sorted_rows()
+            )
+
+        flat_ms = time_workload(flat_engine, queries)
+        star_ms = time_workload(star_engine, star_queries)
+        print(
+            f"{engine_name:<12} {flat_ms:>12.2f}ms {star_ms:>11.2f}ms "
+            f"{star_ms / flat_ms:>8.2f}x"
+        )
+
+    print(
+        "\nDenormalized wins on both engines — the join work is pure "
+        "overhead\nfor this query class, which is why the paper (and "
+        "dashboard backends)\ndenormalize before benchmarking."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+"""SIMBA: a SImulation-BAsed benchmark for interactive data exploration.
+
+Reproduction of "An Adaptive Benchmark for Modeling User Exploration of
+Large Datasets" (SIGMOD 2025). The package simulates how analysts
+explore dashboards toward analysis goals and measures DBMS performance
+under the resulting query workloads.
+
+Quickstart::
+
+    from repro import (
+        SessionConfig, SessionSimulator, create_engine,
+        generate_dataset, get_workflow, load_dashboard,
+    )
+
+    spec = load_dashboard("customer_service")
+    table = generate_dataset("customer_service", 10_000, seed=0)
+    engine = create_engine("sqlite")
+    engine.load_table(table)
+    reference = create_engine("vectorstore")
+    reference.load_table(table)
+    goals = get_workflow("shneiderman").instantiate_for_dashboard(spec)
+    log = SessionSimulator(
+        spec, table, [g.query for g in goals],
+        measured_engine=engine, reference_engine=reference,
+        config=SessionConfig(seed=0),
+    ).run()
+    print(log.average_duration(), "ms over", log.query_count, "queries")
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.algebra import GOAL_TEMPLATES, get_template, translate
+from repro.approx import approximate_execute, progressive_execute
+from repro.dashboard import DashboardSpec, DashboardState, Interaction
+from repro.dashboard.library import DASHBOARD_NAMES, all_dashboards, load_dashboard
+from repro.engine import (
+    CachedEngine,
+    Engine,
+    ResultSet,
+    Table,
+    available_engines,
+    create_engine,
+)
+from repro.logs import eva_metrics, export_session, replay_log
+from repro.equivalence import EquivalenceSuite
+from repro.harness import BenchmarkConfig, BenchmarkRunner, table3_matrix
+from repro.idebench import IDEBenchConfig, IDEBenchSimulator
+from repro.simulation import (
+    MarkovModel,
+    OracleModel,
+    SessionConfig,
+    SessionLog,
+    SessionSimulator,
+    get_workflow,
+)
+from repro.sql import parse_query
+from repro.study import run_user_study
+from repro.workload import DATASET_NAMES, generate_dataset
+from repro.workload.normalize import DimensionSpec, normalize_star
+
+__version__ = "1.1.0"
+
+__all__ = [
+    "BenchmarkConfig",
+    "BenchmarkRunner",
+    "CachedEngine",
+    "DASHBOARD_NAMES",
+    "DATASET_NAMES",
+    "DashboardSpec",
+    "DashboardState",
+    "DimensionSpec",
+    "Engine",
+    "EquivalenceSuite",
+    "GOAL_TEMPLATES",
+    "IDEBenchConfig",
+    "IDEBenchSimulator",
+    "Interaction",
+    "MarkovModel",
+    "OracleModel",
+    "ResultSet",
+    "SessionConfig",
+    "SessionLog",
+    "SessionSimulator",
+    "Table",
+    "all_dashboards",
+    "approximate_execute",
+    "available_engines",
+    "create_engine",
+    "eva_metrics",
+    "export_session",
+    "generate_dataset",
+    "get_template",
+    "get_workflow",
+    "load_dashboard",
+    "normalize_star",
+    "parse_query",
+    "progressive_execute",
+    "replay_log",
+    "run_user_study",
+    "table3_matrix",
+    "translate",
+]

@@ -1,0 +1,53 @@
+"""Goal algebra: expressing user exploration goals (paper §2).
+
+The algebra extends VizQL's cross/nest/concatenate operators with
+dedicated filter, map, and aggregate operators (Table 1). Goal
+expressions translate into SQL goal queries (§2.3), and six reusable
+templates cover the exploration-goal taxonomy of Battle & Heer
+(Table 2).
+"""
+
+from repro.algebra.expressions import (
+    Agg,
+    Attribute,
+    AttributeRole,
+    Compare,
+    Concat,
+    Const,
+    FilterCondition,
+    FilterOp,
+    GoalExpression,
+    MapOp,
+    Nest,
+    Ratio,
+)
+from repro.algebra.templates import (
+    GOAL_TEMPLATES,
+    GoalTemplate,
+    TemplateParameterError,
+    get_template,
+    instantiate_for_schema,
+)
+from repro.algebra.translate import GoalQuery, translate
+
+__all__ = [
+    "Agg",
+    "Attribute",
+    "AttributeRole",
+    "Compare",
+    "Concat",
+    "Const",
+    "FilterCondition",
+    "FilterOp",
+    "GOAL_TEMPLATES",
+    "GoalExpression",
+    "GoalQuery",
+    "GoalTemplate",
+    "MapOp",
+    "Nest",
+    "Ratio",
+    "TemplateParameterError",
+    "get_template",
+    "instantiate_for_schema",
+    "translate",
+]

@@ -1,0 +1,257 @@
+"""AST for the goal algebra (paper Table 1).
+
+Operators:
+
+========== =================== ==============================================
+Operator   Notation            Meaning
+========== =================== ==============================================
+concatenate ``A + B``          Place attributes A and B on the same axis.
+filter      ``A - c``          Remove instances of A matching constant c or
+                               members of set B (or violating a condition).
+map         ``MAP(A, f)``      Apply function f to each instance of A.
+aggregate   ``AGG(A, f)``      Aggregate attribute A with function f.
+compare     ``B × A``          Opposing axes; group by B when comparing
+                               aggregates.
+nest        ``B / A``          Hierarchical nesting (inherited from VizQL).
+========== =================== ==============================================
+
+Expressions are immutable and overload ``+`` (concatenate), ``-``
+(filter), ``*`` (compare), and ``/`` (nest) so goals read like the
+paper's notation::
+
+    queue = Attribute("queue", AttributeRole.CATEGORICAL)
+    lost = Attribute("lostCalls", AttributeRole.QUANTITATIVE)
+    goal = queue * Agg(lost, "count") - FilterCondition(
+        Agg(lost, "count"), "<", 2
+    )
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import GoalError
+
+#: Aggregate function names the algebra's AGG operator accepts.
+AGG_FUNCTIONS = frozenset({"count", "sum", "avg", "min", "max"})
+
+#: Map function names supported by the MAP operator.
+MAP_FUNCTIONS = frozenset(
+    {"avg", "abs", "round", "year", "month", "day", "hour", "bin"}
+)
+
+
+class AttributeRole(Enum):
+    """Data-column role, matching Table 2's Cat./Quant./Temporal labels."""
+
+    CATEGORICAL = "categorical"
+    QUANTITATIVE = "quantitative"
+    TEMPORAL = "temporal"
+
+
+class GoalExpression:
+    """Base class for algebra nodes, providing the operator sugar."""
+
+    def __add__(self, other: "GoalExpression") -> "Concat":
+        return Concat(self, _as_expression(other))
+
+    def __sub__(self, other: object) -> "FilterOp":
+        return FilterOp(self, _as_filter_target(other))
+
+    def __mul__(self, other: object) -> "Compare":
+        return Compare(self, _as_expression(other))
+
+    def __truediv__(self, other: object) -> "Nest":
+        return Nest(self, _as_expression(other))
+
+    def attributes(self) -> list["Attribute"]:
+        """All attribute leaves in this expression, left to right."""
+        return []
+
+
+@dataclass(frozen=True)
+class Attribute(GoalExpression):
+    """A data column with its role."""
+
+    name: str
+    role: AttributeRole = AttributeRole.CATEGORICAL
+
+    def attributes(self) -> list["Attribute"]:
+        return [self]
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const(GoalExpression):
+    """A constant appearing in a filter."""
+
+    value: object
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Agg(GoalExpression):
+    """``AGG(A, f)`` — aggregate attribute A by function f."""
+
+    operand: GoalExpression
+    func: str
+
+    def __post_init__(self) -> None:
+        func = self.func.lower()
+        if func not in AGG_FUNCTIONS:
+            raise GoalError(
+                f"unknown aggregate {self.func!r}; allowed: {sorted(AGG_FUNCTIONS)}"
+            )
+        object.__setattr__(self, "func", func)
+
+    def attributes(self) -> list[Attribute]:
+        return self.operand.attributes()
+
+    def __str__(self) -> str:
+        return f"{self.func}({self.operand})"
+
+
+@dataclass(frozen=True)
+class MapOp(GoalExpression):
+    """``MAP(A, f)`` — apply a (named) function to each instance of A."""
+
+    operand: GoalExpression
+    func: str
+    arg: object | None = None  # e.g. bin width for f = "bin"
+
+    def __post_init__(self) -> None:
+        func = self.func.lower()
+        if func not in MAP_FUNCTIONS:
+            raise GoalError(
+                f"unknown map function {self.func!r}; allowed: {sorted(MAP_FUNCTIONS)}"
+            )
+        object.__setattr__(self, "func", func)
+
+    def attributes(self) -> list[Attribute]:
+        return self.operand.attributes()
+
+    def __str__(self) -> str:
+        if self.arg is not None:
+            return f"MAP({self.operand}, {self.func}[{self.arg}])"
+        return f"MAP({self.operand}, {self.func})"
+
+
+@dataclass(frozen=True)
+class Ratio(GoalExpression):
+    """A quotient of two aggregate expressions (Example 2.2's AGG/AGG)."""
+
+    numerator: GoalExpression
+    denominator: GoalExpression
+
+    def attributes(self) -> list[Attribute]:
+        return self.numerator.attributes() + self.denominator.attributes()
+
+    def __str__(self) -> str:
+        return f"({self.numerator} / {self.denominator})"
+
+
+@dataclass(frozen=True)
+class Concat(GoalExpression):
+    """``A + B`` — same axis."""
+
+    left: GoalExpression
+    right: GoalExpression
+
+    def attributes(self) -> list[Attribute]:
+        return self.left.attributes() + self.right.attributes()
+
+    def __str__(self) -> str:
+        return f"({self.left} + {self.right})"
+
+
+@dataclass(frozen=True)
+class Compare(GoalExpression):
+    """``B × A`` — opposing axes; group by B when A aggregates."""
+
+    left: GoalExpression
+    right: GoalExpression
+
+    def attributes(self) -> list[Attribute]:
+        return self.left.attributes() + self.right.attributes()
+
+    def __str__(self) -> str:
+        return f"({self.left} x {self.right})"
+
+
+@dataclass(frozen=True)
+class Nest(GoalExpression):
+    """``B / A`` — hierarchical nesting (VizQL's nest operator)."""
+
+    outer: GoalExpression
+    inner: GoalExpression
+
+    def attributes(self) -> list[Attribute]:
+        return self.outer.attributes() + self.inner.attributes()
+
+    def __str__(self) -> str:
+        return f"({self.outer} / {self.inner})"
+
+
+@dataclass(frozen=True)
+class FilterCondition(GoalExpression):
+    """A predicate used as the right side of the filter operator.
+
+    ``FilterCondition(Agg(lost, "count"), "<", 2)`` denotes removing
+    groups whose COUNT is below 2 — the paper's Figure 3 example
+    ``- {!countlostCalls < 2}``.
+    """
+
+    subject: GoalExpression
+    op: str
+    value: object
+
+    def __post_init__(self) -> None:
+        if self.op not in {"=", "!=", "<", "<=", ">", ">="}:
+            raise GoalError(f"unknown comparison operator {self.op!r}")
+
+    def attributes(self) -> list[Attribute]:
+        return self.subject.attributes()
+
+    def __str__(self) -> str:
+        return f"{{{self.subject} {self.op} {self.value!r}}}"
+
+
+@dataclass(frozen=True)
+class FilterOp(GoalExpression):
+    """``A - c`` / ``A - B`` / ``A - {condition}`` — element removal."""
+
+    operand: GoalExpression
+    removed: GoalExpression
+
+    def attributes(self) -> list[Attribute]:
+        return self.operand.attributes() + self.removed.attributes()
+
+    def __str__(self) -> str:
+        return f"({self.operand} - {self.removed})"
+
+
+def _as_expression(value: object) -> GoalExpression:
+    if isinstance(value, GoalExpression):
+        return value
+    return Const(value)
+
+
+def _as_filter_target(value: object) -> GoalExpression:
+    if isinstance(value, GoalExpression):
+        return value
+    if isinstance(value, (set, frozenset, list, tuple)):
+        # A set of removed members becomes a disjunction of constants;
+        # we model it as a Concat chain of Consts for display purposes.
+        items = sorted(value, key=repr)
+        if not items:
+            raise GoalError("cannot filter by an empty set")
+        expr: GoalExpression = Const(items[0])
+        for item in items[1:]:
+            expr = Concat(expr, Const(item))
+        return expr
+    return Const(value)

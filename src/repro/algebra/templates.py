@@ -1,0 +1,378 @@
+"""The six reusable goal templates of paper Table 2.
+
+Each template binds a goal type from the visualization/HCI literature
+(Battle & Heer's taxonomy) to an algebra expression shape and the data
+column roles it requires. Templates can be instantiated explicitly with
+named attributes, or automatically against a table schema (the harness
+does this when running workflows across dashboards with different
+datasets).
+
+=============================== ========================== ====================
+Template                        Algebra shape              Requirements
+=============================== ========================== ====================
+Analyzing Spread                ``C × agg(Q)``             1 Cat, 1 Quant
+Filtering                       ``- ()``                   1+ Cat, 1 Quant
+Finding Correlations            ``C + C``                  2 Quant
+Identification                  ``C × (max(Q) + min(Q))``  1 Cat, 1+ Quant
+Measuring Differences           ``C × agg(Q)``             1 Cat, 1 Quant
+Observing Temporal Patterns     ``DAY(T) × agg(Q)``        1 Temporal, 1 Quant
+=============================== ========================== ====================
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.algebra.expressions import (
+    Agg,
+    Attribute,
+    AttributeRole,
+    Compare,
+    Concat,
+    FilterCondition,
+    FilterOp,
+    GoalExpression,
+    MapOp,
+)
+from repro.algebra.translate import GoalQuery, translate
+from repro.engine.table import Schema
+from repro.errors import GoalError
+
+
+class TemplateParameterError(GoalError):
+    """Raised when a template cannot be instantiated with the given data."""
+
+
+@dataclass(frozen=True)
+class AttributeRequirement:
+    """How many columns of each role a template needs."""
+
+    categorical: int = 0
+    quantitative: int = 0
+    temporal: int = 0
+
+    def satisfiable(self, schema: Schema) -> bool:
+        return (
+            len(schema.categorical_columns()) >= self.categorical
+            and len(schema.numeric_columns()) >= self.quantitative
+            and len(schema.temporal_columns()) >= self.temporal
+        )
+
+
+@dataclass(frozen=True)
+class GoalTemplate:
+    """One reusable goal template (a row of Table 2)."""
+
+    name: str
+    goal_type: str
+    generalization: str
+    algebra_shape: str
+    requires: AttributeRequirement
+    builder: Callable[..., GoalExpression]
+
+    def build(self, **params: object) -> GoalExpression:
+        """Build the algebra expression from named attributes."""
+        return self.builder(**params)
+
+    def instantiate(
+        self, table: str, **params: object
+    ) -> GoalQuery:
+        """Build and translate to a SQL goal query in one step."""
+        expression = self.build(**params)
+        return translate(
+            expression,
+            table,
+            template=self.name,
+            description=self.generalization,
+        )
+
+    def instantiate_for_schema(
+        self,
+        table: str,
+        schema: Schema,
+        rng: random.Random | None = None,
+        usable_columns: set[str] | None = None,
+    ) -> GoalQuery:
+        """Automatically pick suitable columns from ``schema``.
+
+        Parameters
+        ----------
+        usable_columns:
+            When given, restrict the choice to these columns (the harness
+            passes the set of columns the dashboard actually exposes, so
+            generated goals are achievable).
+        """
+        rng = rng or random.Random(0)
+        categorical = _usable(schema.categorical_columns(), usable_columns)
+        quantitative = _usable(schema.numeric_columns(), usable_columns)
+        temporal = _usable(schema.temporal_columns(), usable_columns)
+        need = self.requires
+        if (
+            len(categorical) < need.categorical
+            or len(quantitative) < need.quantitative
+            or len(temporal) < need.temporal
+        ):
+            raise TemplateParameterError(
+                f"template {self.name!r} needs {need} but schema offers "
+                f"{len(categorical)} categorical / {len(quantitative)} "
+                f"quantitative / {len(temporal)} temporal usable columns"
+            )
+        cats = rng.sample(
+            categorical, max(need.categorical, 1 if categorical else 0)
+        )
+        quants = rng.sample(quantitative, max(need.quantitative, 1))
+        temps = rng.sample(temporal, need.temporal) if need.temporal else []
+        params = _parameters_for(self.name, cats, quants, temps, rng)
+        return self.instantiate(table, **params)
+
+
+def _usable(columns: list[str], usable: set[str] | None) -> list[str]:
+    if usable is None:
+        return columns
+    return [c for c in columns if c in usable]
+
+
+# ---------------------------------------------------------------------------
+# Template builders
+# ---------------------------------------------------------------------------
+
+
+def _analyzing_spread(
+    categorical: str, quantitative: str, agg: str = "count", threshold: object = None
+) -> GoalExpression:
+    """``C × agg(Q)``, optionally filtered by an aggregate condition.
+
+    With a threshold this reproduces the paper's Figure 3 goal:
+    "Which queues have experienced more than 1 lost call?" ->
+    ``Q × count(lostCalls) - {count(lostCalls) < 2}``.
+    """
+    cat = Attribute(categorical, AttributeRole.CATEGORICAL)
+    quant = Attribute(quantitative, AttributeRole.QUANTITATIVE)
+    expression: GoalExpression = Compare(cat, Agg(quant, agg))
+    if threshold is not None:
+        expression = FilterOp(
+            expression,
+            FilterCondition(Agg(quant, agg), "<", threshold),
+        )
+    return expression
+
+
+def _filtering(
+    categorical: str,
+    quantitative: str,
+    agg: str = "sum",
+    comparison: str = ">",
+    constant: object = 0,
+) -> GoalExpression:
+    """Which categories have an aggregate that is [comparison] [constant]?"""
+    cat = Attribute(categorical, AttributeRole.CATEGORICAL)
+    quant = Attribute(quantitative, AttributeRole.QUANTITATIVE)
+    # Keep groups satisfying agg(Q) [comparison] constant: remove the rest.
+    keep_op = comparison
+    negations = {"=": "!=", "!=": "=", "<": ">=", "<=": ">", ">": "<=", ">=": "<"}
+    remove_op = negations[keep_op]
+    return FilterOp(
+        Compare(cat, Agg(quant, agg)),
+        FilterCondition(Agg(quant, agg), remove_op, constant),
+    )
+
+
+def _finding_correlations(
+    quantitative1: str,
+    quantitative2: str,
+    modulator: str | None = None,
+    agg1: str = "sum",
+    agg2: str = "sum",
+) -> GoalExpression:
+    """``C + C`` — pair two numeric attributes, optionally per-modulator.
+
+    With a modulator this is the paper's Example 2.3 shape::
+
+        SELECT hour, COUNT(*) AS call_volume, SUM(abandoned) ...
+        GROUP BY hour
+    """
+    left = Attribute(quantitative1, AttributeRole.QUANTITATIVE)
+    right = Attribute(quantitative2, AttributeRole.QUANTITATIVE)
+    if modulator is None:
+        return Concat(left, right)
+    mod = Attribute(modulator, AttributeRole.CATEGORICAL)
+    return Compare(mod, Concat(Agg(left, agg1), Agg(right, agg2)))
+
+
+def _identification(
+    categorical: str, quantitative: str
+) -> GoalExpression:
+    """``C × (max(Q) + min(Q))`` — which member takes the max/min."""
+    cat = Attribute(categorical, AttributeRole.CATEGORICAL)
+    quant = Attribute(quantitative, AttributeRole.QUANTITATIVE)
+    return Compare(
+        cat, Concat(Agg(quant, "max"), Agg(quant, "min"))
+    )
+
+
+def _measuring_differences(
+    categorical: str, quantitative: str, agg: str = "avg"
+) -> GoalExpression:
+    """``C × agg(Q)`` — differences of Q across members of C."""
+    cat = Attribute(categorical, AttributeRole.CATEGORICAL)
+    quant = Attribute(quantitative, AttributeRole.QUANTITATIVE)
+    return Compare(cat, Agg(quant, agg))
+
+
+def _temporal_patterns(
+    temporal: str, quantitative: str, agg: str = "sum", unit: str = "day"
+) -> GoalExpression:
+    """``DAY(T) × agg(Q)`` — effect of time on Q."""
+    time_attr = Attribute(temporal, AttributeRole.TEMPORAL)
+    quant = Attribute(quantitative, AttributeRole.QUANTITATIVE)
+    return Compare(MapOp(time_attr, unit), Agg(quant, agg))
+
+
+def _parameters_for(
+    name: str,
+    cats: list[str],
+    quants: list[str],
+    temps: list[str],
+    rng: random.Random,
+) -> dict[str, object]:
+    """Template-specific parameter assembly for auto-instantiation."""
+    if name == "analyzing_spread":
+        return {
+            "categorical": cats[0],
+            "quantitative": quants[0],
+            "agg": "count",
+            "threshold": 2,
+        }
+    if name == "filtering":
+        return {
+            "categorical": cats[0],
+            "quantitative": quants[0],
+            "agg": rng.choice(["sum", "count"]),
+            "comparison": ">",
+            "constant": 0,
+        }
+    if name == "finding_correlations":
+        params: dict[str, object] = {
+            "quantitative1": quants[0],
+            "quantitative2": quants[1],
+        }
+        if cats:
+            # Prefer the paper's modulated form (Example 2.3): grouped
+            # aggregates of the two attributes, which dashboards can emit.
+            params["modulator"] = cats[0]
+            params["agg1"] = "sum"
+            params["agg2"] = "sum"
+        return params
+    if name == "identification":
+        return {"categorical": cats[0], "quantitative": quants[0]}
+    if name == "measuring_differences":
+        return {
+            "categorical": cats[0],
+            "quantitative": quants[0],
+            "agg": rng.choice(["avg", "sum"]),
+        }
+    if name == "temporal_patterns":
+        return {
+            "temporal": temps[0],
+            "quantitative": quants[0],
+            "agg": "sum",
+            "unit": rng.choice(["day", "hour"]),
+        }
+    raise TemplateParameterError(f"unknown template {name!r}")
+
+
+#: Registry of the six Table 2 templates, keyed by snake_case name.
+GOAL_TEMPLATES: dict[str, GoalTemplate] = {
+    "analyzing_spread": GoalTemplate(
+        name="analyzing_spread",
+        goal_type="Characterizing Data Distributions and Relationships",
+        generalization=(
+            "Which member of [categorical attribute] has the largest "
+            "range/spread of [quantitative attribute]?"
+        ),
+        algebra_shape="C x agg(Q)",
+        requires=AttributeRequirement(categorical=1, quantitative=1),
+        builder=_analyzing_spread,
+    ),
+    "filtering": GoalTemplate(
+        name="filtering",
+        goal_type="Understanding Data Correctness and Semantics",
+        generalization=(
+            "Which [categorical attributes] have an [aggregation] of "
+            "[quantitative attribute] that is [comparison operator] "
+            "[constant] at any point in time?"
+        ),
+        algebra_shape="- ()",
+        requires=AttributeRequirement(categorical=1, quantitative=1),
+        builder=_filtering,
+    ),
+    "finding_correlations": GoalTemplate(
+        name="finding_correlations",
+        goal_type="Characterizing Data Distributions and Relationships",
+        generalization=(
+            "Is there a strong correlation between [numerical attribute] "
+            "and [numerical attribute]?"
+        ),
+        algebra_shape="C + C",
+        requires=AttributeRequirement(quantitative=2),
+        builder=_finding_correlations,
+    ),
+    "identification": GoalTemplate(
+        name="identification",
+        goal_type="Analyzing Causal Relationships",
+        generalization=(
+            "Which [categorical attribute] consumes the [max OR min] of "
+            "[ordered list of quantitative attributes OR aggregate attributes]?"
+        ),
+        algebra_shape="C x (max(Q) + min(Q))",
+        requires=AttributeRequirement(categorical=1, quantitative=1),
+        builder=_identification,
+    ),
+    "measuring_differences": GoalTemplate(
+        name="measuring_differences",
+        goal_type="Hypothesis Formulation and Verification",
+        generalization=(
+            "Are there differences in the value of [quantitative attribute] "
+            "between the members of [categorical attribute]?"
+        ),
+        algebra_shape="C x agg(Q)",
+        requires=AttributeRequirement(categorical=1, quantitative=1),
+        builder=_measuring_differences,
+    ),
+    "temporal_patterns": GoalTemplate(
+        name="temporal_patterns",
+        goal_type="Characterizing Data Distributions and Relationships",
+        generalization=(
+            "How does change in [temporal attribute] affect patterns in "
+            "[quantitative attribute OR aggregate attribute], if at all?"
+        ),
+        algebra_shape="DAY(T) x agg(Q)",
+        requires=AttributeRequirement(temporal=1, quantitative=1),
+        builder=_temporal_patterns,
+    ),
+}
+
+
+def get_template(name: str) -> GoalTemplate:
+    """Look up a template by name."""
+    try:
+        return GOAL_TEMPLATES[name]
+    except KeyError:
+        raise TemplateParameterError(
+            f"unknown template {name!r}; available: {sorted(GOAL_TEMPLATES)}"
+        ) from None
+
+
+def instantiate_for_schema(
+    template_name: str,
+    table: str,
+    schema: Schema,
+    rng: random.Random | None = None,
+    usable_columns: set[str] | None = None,
+) -> GoalQuery:
+    """Convenience wrapper: look up + auto-instantiate a template."""
+    return get_template(template_name).instantiate_for_schema(
+        table, schema, rng, usable_columns
+    )

@@ -1,0 +1,348 @@
+"""Translation from goal-algebra expressions to SQL goal queries (§2.3).
+
+The translator recognizes the expression shapes produced by the six
+templates (and reasonable compositions of them) and emits one
+:class:`~repro.sql.ast.Query` per goal:
+
+- ``Compare(C, Agg(Q, f))``        -> ``SELECT C, f(Q) ... GROUP BY C``
+- ``Compare(MapOp(T, day), ...)``  -> grouped by ``DAY(T)``
+- ``Concat(Q1, Q2)``               -> ``SELECT Q1, Q2`` (correlation)
+- ``... - FilterCondition(...)``   -> ``HAVING``/``WHERE`` clause
+- ``... - Const(c)``               -> ``WHERE attr != c``
+- ``Ratio``/``MapOp(avg)``         -> arithmetic select expression
+- ``Nest(A, B)``                   -> both on the group-by axis
+
+Translation is deliberately *restrictive*: the formative study found
+that only certain query shapes represent valid goals, so unrecognized
+compositions raise :class:`~repro.errors.GoalError` rather than
+guessing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.algebra.expressions import (
+    Agg,
+    Attribute,
+    AttributeRole,
+    Compare,
+    Concat,
+    Const,
+    FilterCondition,
+    FilterOp,
+    GoalExpression,
+    MapOp,
+    Nest,
+    Ratio,
+)
+from repro.errors import GoalError
+from repro.sql.ast import (
+    BinaryOp,
+    Column,
+    Expression,
+    FuncCall,
+    Literal,
+    Query,
+    SelectItem,
+    Star,
+    TableRef,
+)
+
+#: Algebra aggregate names -> SQL function names.
+_AGG_SQL = {
+    "count": "COUNT",
+    "sum": "SUM",
+    "avg": "AVG",
+    "min": "MIN",
+    "max": "MAX",
+}
+
+#: Temporal map functions usable as grouping keys.
+_TEMPORAL_MAPS = {"year", "month", "day", "hour"}
+
+
+@dataclass(frozen=True)
+class GoalQuery:
+    """A translated goal: SQL query plus provenance."""
+
+    query: Query
+    expression: GoalExpression
+    template: str | None = None
+    description: str = ""
+
+    def __str__(self) -> str:
+        from repro.sql.formatter import format_query
+
+        return format_query(self.query)
+
+
+def translate(
+    expression: GoalExpression,
+    table: str,
+    template: str | None = None,
+    description: str = "",
+) -> GoalQuery:
+    """Translate a goal expression into its SQL goal query."""
+    state = _TranslationState()
+    _translate_node(expression, state)
+    query = state.build(table)
+    return GoalQuery(
+        query=query,
+        expression=expression,
+        template=template,
+        description=description,
+    )
+
+
+@dataclass
+class _TranslationState:
+    """Accumulates SELECT/GROUP BY/WHERE/HAVING pieces during traversal."""
+
+    group_keys: list[Expression] = field(default_factory=list)
+    measures: list[SelectItem] = field(default_factory=list)
+    where: Expression | None = None
+    having: Expression | None = None
+
+    def add_group_key(self, expr: Expression) -> None:
+        if expr not in self.group_keys:
+            self.group_keys.append(expr)
+
+    def add_measure(self, item: SelectItem) -> None:
+        if item not in self.measures:
+            self.measures.append(item)
+
+    def add_where(self, predicate: Expression) -> None:
+        if self.where is None:
+            self.where = predicate
+        else:
+            self.where = BinaryOp("AND", self.where, predicate)
+
+    def add_having(self, predicate: Expression) -> None:
+        if self.having is None:
+            self.having = predicate
+        else:
+            self.having = BinaryOp("AND", self.having, predicate)
+
+    def build(self, table: str) -> Query:
+        select: list[SelectItem] = [
+            SelectItem(key) for key in self.group_keys
+        ]
+        select.extend(self.measures)
+        if not select:
+            raise GoalError("goal expression produced an empty SELECT list")
+        group_by = tuple(self.group_keys) if self.measures else ()
+        # A goal with keys but no measures is a plain projection
+        # (e.g. correlation goals pairing two quantitative columns).
+        return Query(
+            select=tuple(select),
+            from_table=TableRef(table),
+            where=self.where,
+            group_by=group_by,
+            having=self.having,
+        )
+
+
+def _translate_node(node: GoalExpression, state: _TranslationState) -> None:
+    if isinstance(node, Compare):
+        _translate_axis(node.left, state, axis="key")
+        _translate_axis(node.right, state, axis="measure")
+        return
+    if isinstance(node, Nest):
+        _translate_axis(node.outer, state, axis="key")
+        _translate_node(node.inner, state)
+        return
+    if isinstance(node, FilterOp):
+        _translate_node(node.operand, state)
+        _apply_filter(node, state)
+        return
+    if isinstance(node, Concat):
+        for part in _concat_parts(node):
+            _translate_axis(part, state, axis="auto")
+        return
+    _translate_axis(node, state, axis="auto")
+
+
+def _translate_axis(
+    node: GoalExpression, state: _TranslationState, axis: str
+) -> None:
+    if isinstance(node, Concat):
+        for part in _concat_parts(node):
+            _translate_axis(part, state, axis)
+        return
+    if isinstance(node, Compare) or isinstance(node, Nest):
+        _translate_node(node, state)
+        return
+    if isinstance(node, FilterOp):
+        _translate_axis(node.operand, state, axis)
+        _apply_filter(node, state)
+        return
+    if isinstance(node, Attribute):
+        expr = Column(node.name)
+        if axis == "key" or (
+            axis == "auto"
+            and node.role in (AttributeRole.CATEGORICAL, AttributeRole.TEMPORAL)
+        ):
+            state.add_group_key(expr)
+        else:
+            state.add_measure(SelectItem(expr))
+        return
+    if isinstance(node, (Agg, MapOp, Ratio)):
+        expr = _value_expression(node)
+        if (
+            isinstance(node, MapOp)
+            and node.func in _TEMPORAL_MAPS
+            and axis in ("key", "auto")
+        ):
+            state.add_group_key(expr)
+        elif axis == "key":
+            state.add_group_key(expr)
+        else:
+            state.add_measure(SelectItem(expr, _suggest_alias(node)))
+        return
+    if isinstance(node, Const):
+        raise GoalError(
+            f"constant {node} cannot stand alone on an axis; use a filter"
+        )
+    raise GoalError(f"cannot translate algebra node {type(node).__name__}")
+
+
+def _value_expression(node: GoalExpression) -> Expression:
+    """Translate a value-producing algebra node to a SQL expression."""
+    if isinstance(node, Attribute):
+        return Column(node.name)
+    if isinstance(node, Const):
+        return Literal(node.value)  # type: ignore[arg-type]
+    if isinstance(node, Agg):
+        inner = node.operand
+        if node.func == "count" and isinstance(inner, Attribute):
+            return FuncCall("COUNT", (Column(inner.name),))
+        if node.func == "count" and isinstance(inner, Const):
+            return FuncCall("COUNT", (Star(),))
+        return FuncCall(_AGG_SQL[node.func], (_value_expression(inner),))
+    if isinstance(node, Ratio):
+        return BinaryOp(
+            "/",
+            _value_expression(node.numerator),
+            _value_expression(node.denominator),
+        )
+    if isinstance(node, MapOp):
+        if node.func == "avg":
+            # MAP(x, f_avg) used over a ratio of aggregates is already an
+            # average; the map is a no-op at the SQL level (Example 2.2).
+            return _value_expression(node.operand)
+        if node.func == "bin":
+            width = node.arg if node.arg is not None else 10
+            return FuncCall(
+                "BIN",
+                (_value_expression(node.operand), Literal(width)),
+            )
+        if node.func in _TEMPORAL_MAPS:
+            return FuncCall(
+                node.func.upper(), (_value_expression(node.operand),)
+            )
+        return FuncCall(node.func.upper(), (_value_expression(node.operand),))
+    raise GoalError(
+        f"node {type(node).__name__} is not a value expression"
+    )
+
+
+def _apply_filter(node: FilterOp, state: _TranslationState) -> None:
+    removed = node.removed
+    if isinstance(removed, FilterCondition):
+        predicate = BinaryOp(
+            removed.op,
+            _value_expression(removed.subject),
+            Literal(removed.value),  # type: ignore[arg-type]
+        )
+        # The filter semantics are *removal*: "- {agg < 2}" keeps groups
+        # where NOT(agg < 2). Negate by flipping the comparison.
+        predicate = _negate_comparison(predicate)
+        if _mentions_aggregate(removed.subject):
+            state.add_having(predicate)
+        else:
+            state.add_where(predicate)
+        return
+    constants = _filter_constants(removed)
+    if constants:
+        subject = _filter_subject(node.operand)
+        from repro.sql.ast import InList
+
+        state.add_where(
+            InList(
+                subject,
+                tuple(Literal(c) for c in constants),  # type: ignore[arg-type]
+                negated=True,
+            )
+        )
+        return
+    raise GoalError(f"unsupported filter target {removed}")
+
+
+def _negate_comparison(predicate: BinaryOp) -> BinaryOp:
+    flips = {"=": "!=", "!=": "=", "<": ">=", "<=": ">", ">": "<=", ">=": "<"}
+    return BinaryOp(flips[predicate.op], predicate.left, predicate.right)
+
+
+def _mentions_aggregate(node: GoalExpression) -> bool:
+    if isinstance(node, Agg):
+        return True
+    if isinstance(node, (MapOp,)):
+        return _mentions_aggregate(node.operand)
+    if isinstance(node, Ratio):
+        return _mentions_aggregate(node.numerator) or _mentions_aggregate(
+            node.denominator
+        )
+    if isinstance(node, (Concat, Compare)):
+        return _mentions_aggregate(node.left) or _mentions_aggregate(
+            node.right
+        )
+    return False
+
+
+def _filter_constants(node: GoalExpression) -> list[object]:
+    if isinstance(node, Const):
+        return [node.value]
+    if isinstance(node, Concat):
+        return _filter_constants(node.left) + _filter_constants(node.right)
+    return []
+
+
+def _filter_subject(node: GoalExpression) -> Expression:
+    """The column a constant-removal filter applies to.
+
+    ``A - c`` removes instances of A matching c, so the subject is the
+    first attribute of the operand.
+    """
+    attributes = node.attributes()
+    if not attributes:
+        raise GoalError("filter operand has no attribute to filter on")
+    return Column(attributes[0].name)
+
+
+def _concat_parts(node: Concat) -> list[GoalExpression]:
+    parts: list[GoalExpression] = []
+    for side in (node.left, node.right):
+        if isinstance(side, Concat):
+            parts.extend(_concat_parts(side))
+        else:
+            parts.append(side)
+    return parts
+
+
+def _suggest_alias(node: GoalExpression) -> str | None:
+    """Readable alias for a measure (e.g. ``count_lostCalls``)."""
+    if isinstance(node, Agg):
+        attrs = node.attributes()
+        if attrs:
+            return f"{node.func}_{attrs[0].name}"
+        return node.func
+    if isinstance(node, Ratio):
+        return "ratio"
+    if isinstance(node, MapOp):
+        inner = _suggest_alias(node.operand)
+        if node.func == "avg":
+            return inner
+        if inner:
+            return f"{node.func}_{inner}"
+    return None

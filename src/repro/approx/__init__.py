@@ -1,0 +1,39 @@
+"""Approximate query processing for approximate visualization.
+
+The paper notes that SIMBA, Crossfilter, and IDEBench all "provide
+support for approximate visualization" (§5): a dashboard that accepts
+approximate answers can keep its interaction latency under the
+responsiveness thresholds the response-rate metric measures, at the cost
+of estimation error. This package supplies that capability for the
+bundled engines:
+
+- :mod:`repro.approx.sampler` — seeded uniform row sampling;
+- :mod:`repro.approx.estimate` — one-shot sample-and-scale execution
+  with optional bootstrap standard errors;
+- :mod:`repro.approx.progressive` — online-aggregation-style refinement
+  that streams increasingly accurate estimates until they stabilize.
+
+Estimator contract: ``COUNT``/``SUM`` aggregates are scaled by the
+inverse sampling fraction (Horvitz–Thompson), ``AVG`` is used as-is
+(ratio estimator), and ``MIN``/``MAX`` are reported unscaled but flagged
+— extremes are not recoverable from a uniform sample.
+"""
+
+from repro.approx.estimate import (
+    ApproximateResult,
+    approximate_execute,
+    relative_error,
+)
+from repro.approx.progressive import ProgressiveUpdate, progressive_execute
+from repro.approx.sampler import bernoulli_sample, sample_prefix, uniform_sample
+
+__all__ = [
+    "ApproximateResult",
+    "ProgressiveUpdate",
+    "approximate_execute",
+    "bernoulli_sample",
+    "progressive_execute",
+    "relative_error",
+    "sample_prefix",
+    "uniform_sample",
+]

@@ -1,0 +1,292 @@
+"""Sample-and-scale approximate execution with error estimates.
+
+Executes a query against a uniform sample and scales extensive
+aggregates (``COUNT``, ``SUM``) by the inverse sampling fraction — the
+Horvitz–Thompson estimator. ``AVG`` passes through unscaled (it is a
+ratio of two scaled quantities, so the factors cancel); ``MIN``/``MAX``
+pass through but are flagged as unreliable, since a uniform sample has
+no information about unseen extremes.
+
+Optional bootstrap standard errors: the sample is resampled with
+replacement B times and each replicate re-executed; the per-cell
+standard deviation across replicates estimates the sampling error. This
+costs B extra query executions over the (small) sample, which is the
+classic accuracy/latency trade approximate visualization makes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.approx.sampler import bernoulli_sample, resample_with_replacement
+from repro.engine.interface import Engine, ResultSet
+from repro.engine.table import Table
+from repro.errors import ConfigError
+from repro.sql.ast import Expression, FuncCall, Query, contains_aggregate
+
+#: Aggregates scaled by 1/fraction.
+_EXTENSIVE = frozenset({"COUNT", "SUM"})
+
+#: Aggregates reported as-is but flagged unreliable under sampling.
+_UNRELIABLE = frozenset({"MIN", "MAX"})
+
+
+@dataclass
+class ApproximateResult:
+    """An estimated result set plus sampling metadata.
+
+    ``estimate`` has the same columns as the exact answer would;
+    extensive aggregate cells are scaled. ``stderr`` (when bootstrap was
+    requested) is parallel to ``estimate.rows`` with a standard error per
+    scaled numeric cell and ``None`` elsewhere.
+    """
+
+    estimate: ResultSet
+    sampling_fraction: float
+    sample_rows: int
+    scaled_columns: list[str]
+    unreliable_columns: list[str]
+    stderr: list[tuple[float | None, ...]] = field(default_factory=list)
+
+    def cell_interval(
+        self, row: int, column: str, z: float = 1.96
+    ) -> tuple[float, float] | None:
+        """Normal-approximation confidence interval for one cell."""
+        if not self.stderr:
+            return None
+        column_index = self.estimate.columns.index(column)
+        error = self.stderr[row][column_index]
+        if error is None:
+            return None
+        value = self.estimate.rows[row][column_index]
+        if not isinstance(value, (int, float)):
+            return None
+        return (value - z * error, value + z * error)
+
+
+def approximate_execute(
+    engine: Engine,
+    table: Table,
+    query: Query,
+    fraction: float,
+    seed: int = 0,
+    bootstrap: int = 0,
+) -> ApproximateResult:
+    """Estimate a query's answer from a Bernoulli sample of ``table``.
+
+    The engine is loaded with the sample (replacing any same-named
+    table), the query runs as-is, and extensive aggregates are scaled.
+    With ``bootstrap > 0``, that many resample replicates are executed
+    to attach per-cell standard errors.
+    """
+    if query.joins:
+        raise ConfigError(
+            "approximate execution samples the denormalized table; "
+            "reassemble joins first"
+        )
+    if query.from_table.name != table.name:
+        raise ConfigError(
+            f"query reads {query.from_table.name!r}, sample is over "
+            f"{table.name!r}"
+        )
+    sample = bernoulli_sample(table, fraction, seed)
+    scale = 1.0 / fraction
+    estimate = _scaled_execution(engine, sample, query, scale)
+    scaled, unreliable = _classify_columns(query)
+
+    stderr: list[tuple[float | None, ...]] = []
+    if bootstrap > 0:
+        stderr = _bootstrap_errors(
+            engine, sample, query, scale, estimate, bootstrap, seed
+        )
+    return ApproximateResult(
+        estimate=estimate,
+        sampling_fraction=fraction,
+        sample_rows=sample.num_rows,
+        scaled_columns=scaled,
+        unreliable_columns=unreliable,
+        stderr=stderr,
+    )
+
+
+def relative_error(exact: ResultSet, estimate: ResultSet) -> float:
+    """Mean relative error of numeric cells, matching rows by group key.
+
+    Rows are aligned on their non-numeric (key) cells; unmatched groups
+    count as 100% error on each numeric cell, penalizing estimates that
+    miss or invent groups.
+    """
+    exact_map = _keyed_numeric_cells(exact)
+    estimate_map = _keyed_numeric_cells(estimate)
+    errors: list[float] = []
+    for key, exact_cells in exact_map.items():
+        estimated_cells = estimate_map.get(key)
+        if estimated_cells is None:
+            errors.extend(1.0 for _ in exact_cells)
+            continue
+        for truth, guess in zip(exact_cells, estimated_cells):
+            if truth == 0:
+                errors.append(0.0 if guess == 0 else 1.0)
+            else:
+                errors.append(abs(guess - truth) / abs(truth))
+    for key in estimate_map:
+        if key not in exact_map:
+            errors.extend(1.0 for _ in estimate_map[key])
+    if not errors:
+        return 0.0
+    return sum(errors) / len(errors)
+
+
+# ---------------------------------------------------------------------------
+# Internals
+# ---------------------------------------------------------------------------
+
+
+def _scaled_execution(
+    engine: Engine, sample: Table, query: Query, scale: float
+) -> ResultSet:
+    engine.load_table(sample)
+    raw = engine.execute(query)
+    scale_flags = _scale_flags(query, raw.columns)
+    rows = [
+        tuple(
+            _scale_cell(value, scale) if flag else value
+            for value, flag in zip(row, scale_flags)
+        )
+        for row in raw.rows
+    ]
+    return ResultSet(raw.columns, rows)
+
+
+def _scale_flags(query: Query, columns: list[str]) -> list[bool]:
+    """Which output columns hold extensive aggregates to scale."""
+    flags = []
+    for item in query.select:
+        flags.append(_is_extensive(item.expr))
+    # Defensive: engines may append columns we did not anticipate.
+    while len(flags) < len(columns):
+        flags.append(False)
+    return flags
+
+
+def _is_extensive(expr: Expression) -> bool:
+    """True for a bare COUNT/SUM aggregate (optionally distinct=False).
+
+    Compound expressions over aggregates (e.g. ``SUM(a) / COUNT(*)``)
+    are intentionally not scaled: ratios of extensive quantities are
+    already unbiased, and anything more exotic needs user judgement.
+    """
+    return (
+        isinstance(expr, FuncCall)
+        and expr.name in _EXTENSIVE
+        and not expr.distinct
+    )
+
+
+def _classify_columns(query: Query) -> tuple[list[str], list[str]]:
+    scaled: list[str] = []
+    unreliable: list[str] = []
+    for position, item in enumerate(query.select):
+        name = item.output_name(position)
+        if _is_extensive(item.expr):
+            scaled.append(name)
+        elif isinstance(item.expr, FuncCall) and item.expr.name in _UNRELIABLE:
+            unreliable.append(name)
+        elif isinstance(item.expr, FuncCall) and item.expr.distinct:
+            unreliable.append(name)  # COUNT(DISTINCT) under-counts in samples
+        elif not isinstance(item.expr, FuncCall) and contains_aggregate(
+            item.expr
+        ):
+            unreliable.append(name)  # compound aggregate expression
+    return scaled, unreliable
+
+
+def _scale_cell(value: object, scale: float) -> object:
+    if value is None or not isinstance(value, (int, float)):
+        return value
+    scaled = value * scale
+    if isinstance(value, int) and float(scaled).is_integer():
+        return int(scaled)
+    return scaled
+
+
+def _bootstrap_errors(
+    engine: Engine,
+    sample: Table,
+    query: Query,
+    scale: float,
+    estimate: ResultSet,
+    replicates: int,
+    seed: int,
+) -> list[tuple[float | None, ...]]:
+    """Per-cell standard errors from bootstrap replicates of the sample."""
+    key_positions, numeric_positions = _split_positions(estimate)
+    accumulator: dict[tuple[object, ...], list[list[float]]] = {}
+    for replicate in range(replicates):
+        resampled = resample_with_replacement(sample, seed + replicate + 1)
+        replicate_result = _scaled_execution(engine, resampled, query, scale)
+        for row in replicate_result.rows:
+            key = tuple(row[i] for i in key_positions)
+            cells = accumulator.setdefault(
+                key, [[] for _ in numeric_positions]
+            )
+            for slot, position in enumerate(numeric_positions):
+                value = row[position]
+                if isinstance(value, (int, float)):
+                    cells[slot].append(float(value))
+    # Restore the engine to the un-resampled sample for callers that
+    # keep using it.
+    engine.load_table(sample)
+
+    errors: list[tuple[float | None, ...]] = []
+    for row in estimate.rows:
+        key = tuple(row[i] for i in key_positions)
+        samples = accumulator.get(key)
+        row_errors: list[float | None] = [None] * len(estimate.columns)
+        if samples is not None:
+            for slot, position in enumerate(numeric_positions):
+                observed = samples[slot]
+                if len(observed) >= 2:
+                    row_errors[position] = _stddev(observed)
+        errors.append(tuple(row_errors))
+    return errors
+
+
+def _split_positions(result: ResultSet) -> tuple[list[int], list[int]]:
+    """Column positions split into (group keys, numeric measures)."""
+    numeric: list[int] = []
+    keys: list[int] = []
+    for position in range(len(result.columns)):
+        values = [row[position] for row in result.rows]
+        if values and all(
+            isinstance(v, (int, float)) or v is None for v in values
+        ):
+            numeric.append(position)
+        else:
+            keys.append(position)
+    if not keys and len(result.columns) > 1:
+        # All-numeric outputs: treat the first column as the key (the
+        # common "group by a numeric column" shape).
+        keys = [numeric.pop(0)]
+    return keys, numeric
+
+
+def _keyed_numeric_cells(
+    result: ResultSet,
+) -> dict[tuple[object, ...], list[float]]:
+    keys, numeric = _split_positions(result)
+    mapping: dict[tuple[object, ...], list[float]] = {}
+    for row in result.rows:
+        key = tuple(row[i] for i in keys)
+        mapping[key] = [
+            float(row[i]) if isinstance(row[i], (int, float)) else 0.0
+            for i in numeric
+        ]
+    return mapping
+
+
+def _stddev(values: list[float]) -> float:
+    mean = sum(values) / len(values)
+    variance = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+    return math.sqrt(variance)

@@ -1,0 +1,117 @@
+"""Online-aggregation-style progressive query refinement.
+
+Streams a sequence of increasingly accurate estimates for one query:
+step *k* executes over the first ``fractions[k]`` of a seeded random
+permutation of the table (nested prefixes, so evidence only grows) and
+scales extensive aggregates. Refinement stops early once consecutive
+estimates agree to within ``epsilon`` relative change — the "I've seen
+enough" stopping rule progressive visualization systems apply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.approx.estimate import relative_error
+from repro.approx.sampler import sample_prefix
+from repro.engine.interface import Engine, ResultSet
+from repro.engine.table import Table
+from repro.errors import ConfigError
+from repro.sql.ast import FuncCall, Query
+
+#: Default refinement schedule (fractions of the full table).
+DEFAULT_FRACTIONS = (0.01, 0.05, 0.1, 0.25, 0.5, 1.0)
+
+_EXTENSIVE = frozenset({"COUNT", "SUM"})
+
+
+@dataclass
+class ProgressiveUpdate:
+    """One refinement step of a progressive execution."""
+
+    step: int
+    fraction: float
+    rows_read: int
+    estimate: ResultSet
+    duration_ms: float
+    #: Mean relative change vs. the previous step's estimate
+    #: (``None`` on the first step).
+    change: float | None
+    converged: bool
+
+
+def progressive_execute(
+    engine: Engine,
+    table: Table,
+    query: Query,
+    fractions: tuple[float, ...] = DEFAULT_FRACTIONS,
+    seed: int = 0,
+    epsilon: float = 0.02,
+) -> Iterator[ProgressiveUpdate]:
+    """Yield successively refined estimates of ``query`` over ``table``.
+
+    Stops after the first update whose estimate changed less than
+    ``epsilon`` (mean relative change) from the previous one, or after
+    the final fraction. The last yielded update has ``converged=True``
+    unless the schedule was exhausted while still moving.
+    """
+    if query.joins:
+        raise ConfigError(
+            "progressive execution samples the denormalized table; "
+            "reassemble joins first"
+        )
+    if not fractions:
+        raise ConfigError("progressive execution needs at least one fraction")
+    ordered = sorted(set(fractions))
+    if ordered[0] <= 0.0 or ordered[-1] > 1.0:
+        raise ConfigError("fractions must lie in (0, 1]")
+
+    previous: ResultSet | None = None
+    for step, fraction in enumerate(ordered):
+        prefix = sample_prefix(table, fraction, seed)
+        engine.load_table(prefix)
+        timed = engine.execute_timed(query)
+        estimate = _scale(timed.result, query, fraction)
+        change = (
+            relative_error(estimate, previous)
+            if previous is not None
+            else None
+        )
+        converged = change is not None and change <= epsilon
+        yield ProgressiveUpdate(
+            step=step,
+            fraction=fraction,
+            rows_read=prefix.num_rows,
+            estimate=estimate,
+            duration_ms=timed.duration_ms,
+            change=change,
+            converged=converged,
+        )
+        if converged:
+            return
+        previous = estimate
+
+
+def _scale(result: ResultSet, query: Query, fraction: float) -> ResultSet:
+    if fraction >= 1.0:
+        return result
+    scale = 1.0 / fraction
+    flags = [
+        isinstance(item.expr, FuncCall)
+        and item.expr.name in _EXTENSIVE
+        and not item.expr.distinct
+        for item in query.select
+    ]
+    while len(flags) < len(result.columns):
+        flags.append(False)
+    rows = [
+        tuple(
+            value * scale
+            if flag and isinstance(value, (int, float)) and value is not None
+            else value
+            for value, flag in zip(row, flags)
+        )
+        for row in result.rows
+    ]
+    return ResultSet(result.columns, rows)

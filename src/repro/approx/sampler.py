@@ -1,0 +1,77 @@
+"""Seeded uniform sampling over in-memory tables.
+
+All samplers return new :class:`~repro.engine.table.Table` instances
+sharing the source's schema, so a sample loads into any engine exactly
+like the full table. Sampling is deterministic per seed — a requirement
+for reproducible benchmark runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.table import Table
+from repro.errors import ConfigError
+
+
+def bernoulli_sample(table: Table, fraction: float, seed: int = 0) -> Table:
+    """Keep each row independently with probability ``fraction``.
+
+    The realized sample size is binomial, which is what a streaming
+    Bernoulli sampler over a scan would produce. Use
+    :func:`uniform_sample` when an exact size is needed.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ConfigError("sampling fraction must be in (0, 1]")
+    if fraction == 1.0:
+        return _take(table, np.arange(table.num_rows))
+    rng = np.random.default_rng(seed)
+    mask = rng.random(table.num_rows) < fraction
+    return _take(table, np.flatnonzero(mask))
+
+
+def uniform_sample(table: Table, size: int, seed: int = 0) -> Table:
+    """Exactly ``size`` rows drawn uniformly without replacement."""
+    if size <= 0:
+        raise ConfigError("sample size must be positive")
+    if size >= table.num_rows:
+        return _take(table, np.arange(table.num_rows))
+    rng = np.random.default_rng(seed)
+    indices = rng.choice(table.num_rows, size=size, replace=False)
+    return _take(table, np.sort(indices))
+
+
+def sample_prefix(table: Table, fraction: float, seed: int = 0) -> Table:
+    """The first ``fraction`` of a seeded random permutation of the rows.
+
+    Prefixes are *nested*: the 10% prefix is contained in the 20% prefix
+    for the same seed. Progressive execution relies on this so each
+    refinement step strictly extends the evidence of the previous one,
+    the defining property of online aggregation.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ConfigError("sampling fraction must be in (0, 1]")
+    permutation = shuffled_indices(table, seed)
+    size = max(1, int(round(table.num_rows * fraction)))
+    return _take(table, np.sort(permutation[:size]))
+
+
+def shuffled_indices(table: Table, seed: int = 0) -> np.ndarray:
+    """A seeded random permutation of the table's row positions."""
+    rng = np.random.default_rng(seed)
+    return rng.permutation(table.num_rows)
+
+
+def resample_with_replacement(table: Table, seed: int = 0) -> Table:
+    """A bootstrap replicate: ``n`` rows drawn with replacement."""
+    rng = np.random.default_rng(seed)
+    indices = rng.integers(0, table.num_rows, size=table.num_rows)
+    return _take(table, indices)
+
+
+def _take(table: Table, indices: np.ndarray) -> Table:
+    columns = {
+        name: [table.column(name)[i] for i in indices]
+        for name in table.schema.names
+    }
+    return Table(table.name, table.schema, columns)

@@ -1,0 +1,201 @@
+"""Runtime semantics of widgets and visualizations.
+
+A :class:`WidgetRuntime` binds a widget spec to the dataset it filters,
+deriving its *parameter domain* — the concrete values a simulated user
+can pick (checkbox members, slider extents). A
+:class:`VisualizationRuntime` does the same for embedded mark selection
+(clicking a bar cross-filters linked visualizations).
+
+The paper's observation that interaction types share SQL semantics
+(checkboxes ≡ radio buttons -> categorical filters; sliders ≡ brushes ->
+range filters, §2.1) is encoded here: all categorical widgets produce
+membership filters and all range widgets produce BETWEEN filters.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+
+from repro.dashboard.datalayer import membership_filter, range_filter
+from repro.dashboard.spec import VisualizationSpec, WidgetSpec
+from repro.engine.table import Table
+from repro.errors import InteractionError
+from repro.sql.ast import Expression
+
+#: Cap on enumerated categorical options, mirroring real dashboards
+#: which page or search beyond this.
+MAX_OPTIONS = 24
+
+#: Number of quantile cut points used to discretize range widgets.
+RANGE_STEPS = 8
+
+
+@dataclass(frozen=True)
+class RangeStep:
+    """One discretized candidate range for a slider/brush widget."""
+
+    low: object
+    high: object
+
+
+class WidgetRuntime:
+    """A widget spec bound to its dataset-derived parameter domain."""
+
+    def __init__(self, spec: WidgetSpec, table: Table) -> None:
+        self.spec = spec
+        self._table = table
+        if spec.is_categorical:
+            if spec.options is not None:
+                self.options: list[object] = list(spec.options)
+            else:
+                self.options = table.distinct_values(spec.column)[:MAX_OPTIONS]
+            self.ranges: list[RangeStep] = []
+        else:
+            if spec.domain is not None:
+                low, high = spec.domain
+            else:
+                low, high = table.column_extent(spec.column)
+            self.options = []
+            self.ranges = _discretize_range(low, high)
+
+    @property
+    def id(self) -> str:
+        return self.spec.id
+
+    @property
+    def is_exclusive(self) -> bool:
+        """Radio buttons and dropdowns hold at most one selection."""
+        return self.spec.type in ("radio", "dropdown")
+
+    def filter_for(self, state: object) -> Expression | None:
+        """Translate widget state into a SQL filter (None = inactive)."""
+        if state is None:
+            return None
+        if self.spec.is_categorical:
+            members = sorted(state, key=repr) if isinstance(state, frozenset) else [state]
+            if not members:
+                return None
+            if set(members) >= set(self.options) and self.options:
+                # Selecting everything is the same as no filter.
+                return None
+            return membership_filter(self.spec.column, members)
+        low, high = state  # type: ignore[misc]
+        return range_filter(self.spec.column, low, high)
+
+    def validate_member(self, member: object) -> None:
+        if member not in self.options:
+            raise InteractionError(
+                f"{member!r} is not an option of widget {self.id!r}; "
+                f"options: {self.options[:8]}..."
+            )
+
+    def validate_range(self, low: object, high: object) -> None:
+        try:
+            inverted = low > high  # type: ignore[operator]
+        except TypeError as exc:
+            raise InteractionError(
+                f"range endpoints {low!r}..{high!r} are not comparable"
+            ) from exc
+        if inverted:
+            raise InteractionError(
+                f"inverted range {low!r}..{high!r} on widget {self.id!r}"
+            )
+
+
+class VisualizationRuntime:
+    """A visualization spec bound to its selectable mark values."""
+
+    def __init__(self, spec: VisualizationSpec, table: Table) -> None:
+        self.spec = spec
+        self._table = table
+
+    @property
+    def id(self) -> str:
+        return self.spec.id
+
+    def selectable_values(
+        self, max_options: int = MAX_OPTIONS
+    ) -> list[tuple[str, object]]:
+        """(column, value) pairs a user could click on this visualization.
+
+        Only unbinned categorical dimensions are selectable — clicking a
+        bar or pie slice selects one member of the dimension.
+        """
+        if not self.spec.selectable:
+            return []
+        pairs: list[tuple[str, object]] = []
+        for dim in self.spec.dimensions:
+            if dim.bin is not None:
+                continue
+            dtype = self._table.schema.dtype(dim.column)
+            if not dtype.is_categorical:
+                continue
+            for value in self._table.distinct_values(dim.column)[:max_options]:
+                pairs.append((dim.column, value))
+        return pairs
+
+    def filter_for_selection(
+        self, selections: frozenset[tuple[str, object]]
+    ) -> list[Expression]:
+        """Translate mark selections into SQL filters, one per column."""
+        by_column: dict[str, list[object]] = {}
+        for column, value in selections:
+            by_column.setdefault(column, []).append(value)
+        return [
+            membership_filter(column, values)
+            for column, values in sorted(by_column.items())
+        ]
+
+
+def _discretize_range(low: object, high: object) -> list[RangeStep]:
+    """Candidate sub-ranges between ``low`` and ``high``.
+
+    Users drag sliders to coarse positions, not arbitrary reals; we
+    discretize the domain into RANGE_STEPS cut points and enumerate the
+    contiguous sub-ranges between them (like IDEBench's quantized brush
+    positions).
+    """
+    if low is None or high is None:
+        return []
+    cuts = _cut_points(low, high)
+    steps: list[RangeStep] = []
+    for i in range(len(cuts) - 1):
+        for j in range(i + 1, len(cuts)):
+            steps.append(RangeStep(cuts[i], cuts[j]))
+    return steps
+
+
+def _cut_points(low: object, high: object) -> list[object]:
+    if isinstance(low, bool) or isinstance(high, bool):
+        return [low, high]
+    if isinstance(low, (int, float)) and isinstance(high, (int, float)):
+        if low == high:
+            return [low, high]
+        span = float(high) - float(low)
+        points = [
+            float(low) + span * i / RANGE_STEPS for i in range(RANGE_STEPS + 1)
+        ]
+        if isinstance(low, int) and isinstance(high, int) and span >= RANGE_STEPS:
+            return [int(round(p)) for p in points]
+        return [round(p, 6) for p in points]
+    if isinstance(low, _dt.datetime) and isinstance(high, _dt.datetime):
+        span = (high - low) / RANGE_STEPS
+        return [low + span * i for i in range(RANGE_STEPS + 1)]
+    if isinstance(low, _dt.date) and isinstance(high, _dt.date):
+        total_days = (high - low).days
+        if total_days <= 0:
+            return [low, high]
+        step = max(1, total_days // RANGE_STEPS)
+        points: list[object] = [
+            low + _dt.timedelta(days=i * step)
+            for i in range(RANGE_STEPS)
+        ]
+        points.append(high)
+        # Deduplicate while preserving order (small domains collapse).
+        unique: list[object] = []
+        for point in points:
+            if not unique or point != unique[-1]:
+                unique.append(point)
+        return unique
+    return [low, high]

@@ -1,0 +1,152 @@
+"""The data layer: dashboard nodes -> SQL queries (paper §3.0.3).
+
+Each visualization node corresponds to one SQL query. The base query is
+derived from the visualization's dimensions and measures; active filters
+(from widgets and cross-filtering selections, delivered by the state's
+propagation pass) are AND-ed into the WHERE clause.
+"""
+
+from __future__ import annotations
+
+from repro.dashboard.spec import (
+    DashboardSpec,
+    DimensionSpec,
+    MeasureSpec,
+    VisualizationSpec,
+)
+from repro.engine.types import DataType
+from repro.errors import SpecificationError
+from repro.sql.ast import (
+    Between,
+    BinaryOp,
+    Column,
+    Expression,
+    FuncCall,
+    InList,
+    Literal,
+    Query,
+    SelectItem,
+    Star,
+    TableRef,
+)
+
+_AGG_SQL = {"count": "COUNT", "sum": "SUM", "avg": "AVG", "min": "MIN", "max": "MAX"}
+_TEMPORAL_UNITS = {"year": "YEAR", "month": "MONTH", "day": "DAY", "hour": "HOUR"}
+
+
+def dimension_expression(
+    dim: DimensionSpec, spec: DashboardSpec
+) -> Expression:
+    """SQL grouping expression for a dimension (column, bin, or unit)."""
+    column = Column(dim.column)
+    if dim.bin is None:
+        return column
+    dtype = spec.database.column(dim.column).dtype
+    if isinstance(dim.bin, str):
+        unit = dim.bin.lower()
+        if unit not in _TEMPORAL_UNITS:
+            raise SpecificationError(
+                f"unknown temporal bin unit {dim.bin!r} on {dim.column!r}"
+            )
+        if not dtype.is_temporal:
+            raise SpecificationError(
+                f"temporal bin on non-temporal column {dim.column!r}"
+            )
+        return FuncCall(_TEMPORAL_UNITS[unit], (column,))
+    if not isinstance(dim.bin, (int, float)) or dim.bin <= 0:
+        raise SpecificationError(
+            f"bin width on {dim.column!r} must be a positive number"
+        )
+    if not dtype.is_numeric:
+        raise SpecificationError(
+            f"numeric bin on non-numeric column {dim.column!r}"
+        )
+    return FuncCall("BIN", (column, Literal(dim.bin)))
+
+
+def measure_expression(measure: MeasureSpec) -> Expression:
+    """SQL aggregate expression for a measure."""
+    if measure.column is None:
+        if measure.agg != "count":
+            raise SpecificationError(
+                f"measure {measure.agg!r} requires a column"
+            )
+        return FuncCall("COUNT", (Star(),))
+    return FuncCall(_AGG_SQL[measure.agg], (Column(measure.column),))
+
+
+def measure_alias(measure: MeasureSpec) -> str:
+    if measure.column is None:
+        return "count_all"
+    return f"{measure.agg}_{measure.column}"
+
+
+def dimension_alias(dim: DimensionSpec) -> str | None:
+    if dim.bin is None:
+        return None
+    if isinstance(dim.bin, str):
+        return f"{dim.bin}_{dim.column}"
+    return f"bin_{dim.column}"
+
+
+def base_query(viz: VisualizationSpec, spec: DashboardSpec) -> Query:
+    """The visualization's query with no active filters."""
+    select: list[SelectItem] = []
+    group_by: list[Expression] = []
+    for dim in viz.dimensions:
+        expr = dimension_expression(dim, spec)
+        select.append(SelectItem(expr, dimension_alias(dim)))
+        group_by.append(expr)
+    has_measures = bool(viz.measures)
+    for measure in viz.measures:
+        select.append(
+            SelectItem(measure_expression(measure), measure_alias(measure))
+        )
+    if not select:
+        raise SpecificationError(
+            f"visualization {viz.id!r} produces an empty query"
+        )
+    return Query(
+        select=tuple(select),
+        from_table=TableRef(spec.database.table),
+        group_by=tuple(group_by) if has_measures else (),
+    )
+
+
+def filtered_query(
+    viz: VisualizationSpec,
+    spec: DashboardSpec,
+    filters: list[Expression],
+) -> Query:
+    """The visualization's query with active filters AND-ed in.
+
+    Filters are sorted by canonical text so the emitted SQL is stable
+    regardless of the order widgets were touched — this keeps query
+    logs deterministic and cache-friendly.
+    """
+    query = base_query(viz, spec)
+    if not filters:
+        return query
+    from repro.sql.formatter import format_expression
+
+    ordered = sorted(filters, key=format_expression)
+    predicate = ordered[0]
+    for expr in ordered[1:]:
+        predicate = BinaryOp("AND", predicate, expr)
+    return query.with_where(predicate)
+
+
+def membership_filter(column: str, members: list[object]) -> Expression:
+    """Categorical widget filter: ``column IN (members)``."""
+    if not members:
+        raise SpecificationError("membership filter needs at least one member")
+    ordered = sorted(members, key=repr)
+    return InList(
+        Column(column),
+        tuple(Literal(m) for m in ordered),  # type: ignore[arg-type]
+    )
+
+
+def range_filter(column: str, low: object, high: object) -> Expression:
+    """Range widget filter: ``column BETWEEN low AND high``."""
+    return Between(Column(column), Literal(low), Literal(high))  # type: ignore[arg-type]

@@ -1,0 +1,36 @@
+"""Query-execution substrate: four engines behind one interface.
+
+The paper benchmarks PostgreSQL, DuckDB, SQLite, and MonetDB. Offline we
+substitute engines that reproduce those systems' *execution models*:
+
+- :class:`~repro.engine.rowstore.RowStoreEngine` — tuple-at-a-time Volcano
+  iterators (PostgreSQL stand-in);
+- :class:`~repro.engine.columnstore.VectorStoreEngine` — numpy-vectorized
+  batch execution (DuckDB stand-in);
+- :class:`~repro.engine.matstore.MatStoreEngine` — operator-at-a-time full
+  materialization (MonetDB stand-in);
+- :class:`~repro.engine.sqlite_engine.SQLiteEngine` — the real ``sqlite3``.
+
+All engines accept the same :class:`~repro.sql.ast.Query` AST and return
+the same :class:`~repro.engine.interface.ResultSet`, so the benchmark
+harness can swap them freely.
+"""
+
+from repro.engine.cache import CachedEngine
+from repro.engine.interface import Engine, QueryResult, ResultSet
+from repro.engine.registry import available_engines, create_engine
+from repro.engine.table import ColumnDef, Schema, Table
+from repro.engine.types import DataType
+
+__all__ = [
+    "CachedEngine",
+    "ColumnDef",
+    "DataType",
+    "Engine",
+    "QueryResult",
+    "ResultSet",
+    "Schema",
+    "Table",
+    "available_engines",
+    "create_engine",
+]

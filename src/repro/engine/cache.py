@@ -1,0 +1,91 @@
+"""LRU query-result cache, as an engine wrapper.
+
+The paper's environment applies "no indexing or caching" (§6.2.2), yet
+dashboard workloads are highly repetitive: toggling a checkbox off and
+on re-emits a query the DBMS just answered. :class:`CachedEngine` wraps
+any engine with an exact-match result cache keyed on the canonical SQL
+text, making that design choice ablatable
+(``benchmarks/bench_ablation_indexes_cache.py``).
+
+The cache is transparent: results are returned as fresh
+:class:`~repro.engine.interface.ResultSet` instances (rows are immutable
+tuples, so sharing them is safe), and any ``load_table`` call empties
+the cache because the data it summarized is gone.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.engine.interface import Engine, ResultSet
+from repro.engine.table import Table
+from repro.errors import ConfigError
+from repro.sql.ast import Query
+from repro.sql.formatter import format_query
+
+
+class CachedEngine(Engine):
+    """Exact-match LRU result cache in front of another engine."""
+
+    def __init__(self, inner: Engine, capacity: int = 256) -> None:
+        if capacity <= 0:
+            raise ConfigError("cache capacity must be positive")
+        self._inner = inner
+        self._capacity = capacity
+        self._entries: OrderedDict[str, ResultSet] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.name = f"cached({inner.name})"
+
+    @property
+    def inner(self) -> Engine:
+        """The wrapped engine."""
+        return self._inner
+
+    @property
+    def supports_indexes(self) -> bool:  # type: ignore[override]
+        return self._inner.supports_indexes
+
+    @property
+    def size(self) -> int:
+        """Number of cached result sets."""
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of executed queries answered from the cache."""
+        total = self.hits + self.misses
+        if total == 0:
+            return 0.0
+        return self.hits / total
+
+    def load_table(self, table: Table) -> None:
+        # New data invalidates every cached answer, not just this
+        # table's: joins may have combined it into other results.
+        self._entries.clear()
+        self._inner.load_table(table)
+
+    def create_index(self, table: str, column: str) -> None:
+        self._inner.create_index(table, column)
+
+    def execute(self, query: Query) -> ResultSet:
+        key = format_query(query)
+        cached = self._entries.get(key)
+        if cached is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return ResultSet(cached.columns, cached.rows)
+        result = self._inner.execute(query)
+        self.misses += 1
+        self._entries[key] = ResultSet(result.columns, result.rows)
+        if len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)  # evict least recently used
+        return result
+
+    def invalidate(self) -> None:
+        """Drop every cached result (keeps hit/miss counters)."""
+        self._entries.clear()
+
+    def close(self) -> None:
+        self._entries.clear()
+        self._inner.close()

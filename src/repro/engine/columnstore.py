@@ -1,0 +1,318 @@
+"""Vectorized column store (DuckDB execution-model stand-in).
+
+Executes queries as whole-column numpy operations: the WHERE clause
+becomes one boolean mask, grouping assigns dense group ids, and
+aggregates are computed with ``np.bincount`` / ``np.minimum.at`` style
+scatter operations. Per-row Python interpretation is avoided on the hot
+path, which is what gives this engine the DuckDB-like profile on
+aggregation-heavy dashboard queries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.expressions import (
+    VectorContext,
+    evaluate_mask,
+    evaluate_row,
+    evaluate_values,
+    make_accumulator,
+)
+from repro.engine.interface import Engine, ResultSet
+from repro.engine.planner import (
+    AggregatePlan,
+    ProjectionPlan,
+    placeholder_row,
+    plan_query,
+)
+from repro.engine.table import Database, Table
+from repro.engine.types import sort_key
+from repro.sql.ast import FuncCall, Query, Star
+
+
+class VectorStoreEngine(Engine):
+    """Pure-Python vectorized (batch-at-a-time) engine."""
+
+    name = "vectorstore"
+
+    def __init__(self) -> None:
+        self._db = Database()
+
+    def load_table(self, table: Table) -> None:
+        self._db.add(table)
+
+    def execute(self, query: Query) -> ResultSet:
+        from repro.engine.derived import rewrite_query
+
+        if query.joins:
+            from repro.engine.join import resolve_joins
+
+            table, query = resolve_joins(self._db, query)
+        else:
+            table = self._db.table(query.from_table.name)
+        arrays = {name: table.array(name) for name in table.schema.names}
+        query = rewrite_query(query, table, arrays)
+        ctx = VectorContext(arrays, table.num_rows)
+        if query.where is not None:
+            mask = evaluate_mask(query.where, ctx)
+            ctx = _filtered_context(ctx, mask)
+        plan = plan_query(query)
+        if isinstance(plan, AggregatePlan):
+            return self._aggregate(ctx, plan, table)
+        return self._project(ctx, plan, table)
+
+    # -- projection ------------------------------------------------------------
+
+    def _project(
+        self, ctx: VectorContext, plan: ProjectionPlan, table: Table
+    ) -> ResultSet:
+        if plan.select_star:
+            plan.output_names = list(table.schema.names)
+            columns = [ctx.column(n) for n in plan.output_names]
+        else:
+            columns = [evaluate_values(e, ctx) for e in plan.item_exprs]
+        order_columns = [
+            evaluate_values(e, ctx) for e, _ in plan.order_exprs
+        ]
+        rows = _columns_to_rows(columns, ctx.num_rows)
+        return _finish_vector(rows, order_columns, plan)
+
+    # -- aggregation -------------------------------------------------------------
+
+    def _aggregate(
+        self, ctx: VectorContext, plan: AggregatePlan, table: Table
+    ) -> ResultSet:
+        num_rows = ctx.num_rows
+        if plan.is_global:
+            group_count = 1
+            gids = np.zeros(num_rows, dtype=np.int64)
+            group_keys: list[tuple[object, ...]] = [()]
+        else:
+            key_arrays = [
+                evaluate_values(e, ctx) for e in plan.key_exprs
+            ]
+            gids, group_keys = _assign_group_ids(key_arrays, num_rows)
+            group_count = len(group_keys)
+
+        agg_columns = [
+            self._compute_aggregate(call, ctx, gids, group_count)
+            for call in plan.agg_calls
+        ]
+
+        output: list[tuple[tuple[object, ...], tuple[object, ...]]] = []
+        for gid in range(group_count):
+            aggs = [col[gid] for col in agg_columns]
+            context = placeholder_row(group_keys[gid], aggs)
+            if plan.having_expr is not None:
+                if evaluate_row(plan.having_expr, context) is not True:
+                    continue
+            values = tuple(
+                evaluate_row(e, context) for e in plan.item_exprs
+            )
+            order_keys = tuple(
+                evaluate_row(e, context) for e, _ in plan.order_exprs
+            )
+            output.append((values, order_keys))
+        return _finish_tagged(output, plan)
+
+    def _compute_aggregate(
+        self,
+        call: FuncCall,
+        ctx: VectorContext,
+        gids: np.ndarray,
+        group_count: int,
+    ) -> list[object]:
+        """One aggregate over all groups at once."""
+        if call.name == "COUNT" and isinstance(call.args[0], Star):
+            counts = np.bincount(gids, minlength=group_count)
+            return [int(c) for c in counts]
+        values = evaluate_values(call.args[0], ctx)
+        if call.distinct:
+            return _distinct_aggregate(call, values, gids, group_count)
+        if values.dtype == np.float64:
+            notnull = ~np.isnan(values)
+            if call.name == "COUNT":
+                counts = np.bincount(gids[notnull], minlength=group_count)
+                return [int(c) for c in counts]
+            if call.name in ("SUM", "AVG"):
+                sums = np.bincount(
+                    gids[notnull],
+                    weights=values[notnull],
+                    minlength=group_count,
+                )
+                counts = np.bincount(gids[notnull], minlength=group_count)
+                if call.name == "SUM":
+                    return [
+                        _maybe_int(s) if c else None
+                        for s, c in zip(sums, counts)
+                    ]
+                return [
+                    (s / c) if c else None for s, c in zip(sums, counts)
+                ]
+            if call.name in ("MIN", "MAX"):
+                init = np.inf if call.name == "MIN" else -np.inf
+                out = np.full(group_count, init, dtype=np.float64)
+                if call.name == "MIN":
+                    np.minimum.at(out, gids[notnull], values[notnull])
+                else:
+                    np.maximum.at(out, gids[notnull], values[notnull])
+                return [
+                    _maybe_int(v) if np.isfinite(v) else None for v in out
+                ]
+        # Object-typed values (strings, dates): per-group accumulation.
+        return _object_aggregate(call, values, gids, group_count)
+
+
+def _filtered_context(ctx: VectorContext, mask: np.ndarray) -> VectorContext:
+    arrays = {name: arr[mask] for name, arr in ctx.arrays.items()}
+    return VectorContext(arrays, int(mask.sum()))
+
+
+def _assign_group_ids(
+    key_arrays: list[np.ndarray], num_rows: int
+) -> tuple[np.ndarray, list[tuple[object, ...]]]:
+    """Dense group ids + the distinct key tuple for each id.
+
+    Single float keys (the common case: one grouping column, or a
+    binned/derived temporal dimension) are grouped entirely in numpy via
+    ``np.unique``; everything else falls back to a hash loop.
+    """
+    if len(key_arrays) == 1 and key_arrays[0].dtype == np.float64:
+        values = key_arrays[0]
+        # NaN keys group together (SQL groups NULLs): substitute a
+        # sentinel below the data range, which np.unique sorts first.
+        nan_mask = np.isnan(values)
+        if nan_mask.any():
+            finite = values[~nan_mask]
+            sentinel = (float(finite.min()) - 1.0) if finite.size else 0.0
+            values = np.where(nan_mask, sentinel, values)
+        unique, gids = np.unique(values, return_inverse=True)
+        key_list = [
+            (None,)
+            if nan_mask.any() and _was_nan_group(key_arrays[0], gids, gid)
+            else (_canonical_key(float(unique[gid])),)
+            for gid in range(len(unique))
+        ]
+        return gids.astype(np.int64), key_list
+    gids = np.empty(num_rows, dtype=np.int64)
+    keys: dict[tuple[object, ...], int] = {}
+    key_list2: list[tuple[object, ...]] = []
+    columns = [list(a) for a in key_arrays]
+    for i in range(num_rows):
+        key = tuple(_canonical_key(col[i]) for col in columns)
+        gid = keys.get(key)
+        if gid is None:
+            gid = len(key_list2)
+            keys[key] = gid
+            key_list2.append(key)
+        gids[i] = gid
+    return gids, key_list2
+
+
+def _was_nan_group(
+    original: np.ndarray, gids: np.ndarray, gid: int
+) -> bool:
+    """Whether group ``gid``'s members were NaN before substitution."""
+    members = np.flatnonzero(gids == gid)
+    return members.size > 0 and bool(np.isnan(original[members[0]]))
+
+
+def _canonical_key(value: object) -> object:
+    """NaN group keys behave as NULL; integral floats become ints."""
+    if isinstance(value, float):
+        if np.isnan(value):
+            return None
+        if value == int(value):
+            return int(value)
+    return value
+
+
+def _distinct_aggregate(
+    call: FuncCall, values: np.ndarray, gids: np.ndarray, group_count: int
+) -> list[object]:
+    sets: list[set[object]] = [set() for _ in range(group_count)]
+    for gid, value in zip(gids, values):
+        if value is None or (isinstance(value, float) and np.isnan(value)):
+            continue
+        sets[gid].add(_canonical_key(value))
+    results: list[object] = []
+    for members in sets:
+        accumulator = make_accumulator(call)
+        for member in members:
+            accumulator.add(member)
+        results.append(accumulator.result())
+    return results
+
+
+def _object_aggregate(
+    call: FuncCall, values: np.ndarray, gids: np.ndarray, group_count: int
+) -> list[object]:
+    accumulators = [make_accumulator(call) for _ in range(group_count)]
+    for gid, value in zip(gids, values):
+        if isinstance(value, float) and np.isnan(value):
+            value = None
+        accumulators[gid].add(value)
+    return [acc.result() for acc in accumulators]
+
+
+def _columns_to_rows(
+    columns: list[np.ndarray], num_rows: int
+) -> list[tuple[object, ...]]:
+    pythonized = [_pythonize(col) for col in columns]
+    return [
+        tuple(col[i] for col in pythonized) for i in range(num_rows)
+    ]
+
+
+def _pythonize(column: np.ndarray) -> list[object]:
+    """numpy column -> Python values (NaN -> None, integral floats -> int)."""
+    if column.dtype == np.float64:
+        return [
+            None if np.isnan(v) else _maybe_int(v) for v in column.tolist()
+        ]
+    return list(column)
+
+
+def _maybe_int(value: float) -> object:
+    if float(value).is_integer() and abs(value) < 1e15:
+        return int(value)
+    return float(value)
+
+
+def _finish_vector(
+    rows: list[tuple[object, ...]],
+    order_columns: list[np.ndarray],
+    plan: ProjectionPlan,
+) -> ResultSet:
+    order_values = [_pythonize(c) for c in order_columns]
+    tagged = [
+        (row, tuple(col[i] for col in order_values))
+        for i, row in enumerate(rows)
+    ]
+    return _finish_tagged(tagged, plan)
+
+
+def _finish_tagged(
+    tagged: list[tuple[tuple[object, ...], tuple[object, ...]]],
+    plan: AggregatePlan | ProjectionPlan,
+) -> ResultSet:
+    if plan.distinct:
+        seen: set[tuple[object, ...]] = set()
+        unique = []
+        for values, keys in tagged:
+            if values not in seen:
+                seen.add(values)
+                unique.append((values, keys))
+        tagged = unique
+    if plan.order_exprs:
+        for index in range(len(plan.order_exprs) - 1, -1, -1):
+            descending = plan.order_exprs[index][1]
+            tagged.sort(
+                key=lambda pair: sort_key(pair[1][index]),
+                reverse=descending,
+            )
+    rows = [values for values, _ in tagged]
+    if plan.limit is not None:
+        rows = rows[: plan.limit]
+    return ResultSet(plan.output_names, rows)

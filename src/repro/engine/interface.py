@@ -1,0 +1,174 @@
+"""Engine interface and result representation.
+
+Every engine implements :class:`Engine`: load tables, execute a
+:class:`~repro.sql.ast.Query`, return a :class:`ResultSet`. Timing is
+captured by :meth:`Engine.execute_timed`, which is what the benchmark
+harness calls — query duration is the paper's primary metric (§6.2.5).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+import time
+from dataclasses import dataclass, field
+
+from repro.engine.table import Table
+from repro.sql.ast import Query
+
+
+class ResultSet:
+    """An ordered relation: column names plus rows of Python values."""
+
+    def __init__(self, columns: list[str], rows: list[tuple[object, ...]]) -> None:
+        self.columns = list(columns)
+        self.rows = [tuple(r) for r in rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ResultSet):
+            return NotImplemented
+        return self.columns == other.columns and self.rows == other.rows
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.rows
+
+    def column(self, name: str) -> list[object]:
+        """Values of one column, in row order."""
+        try:
+            index = self.columns.index(name)
+        except ValueError:
+            raise KeyError(
+                f"no column {name!r}; available: {self.columns}"
+            ) from None
+        return [row[index] for row in self.rows]
+
+    def to_dicts(self) -> list[dict[str, object]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def cell_set(self, precision: int = 9) -> frozenset[tuple[str, object]]:
+        """Set of (column, normalized value) cells.
+
+        The result-equivalence checker uses this to test whether one
+        result is *covered* by another regardless of row/column order
+        (§4.1.2 "Result Equivalence").
+        """
+        cells: set[tuple[str, object]] = set()
+        for row in self.rows:
+            for name, value in zip(self.columns, row):
+                cells.add((name, normalize_value(value, precision)))
+        return frozenset(cells)
+
+    def row_set(self, precision: int = 9) -> frozenset[tuple[object, ...]]:
+        """Order-insensitive multiset-free view of rows (set semantics)."""
+        return frozenset(
+            tuple(normalize_value(v, precision) for v in row)
+            for row in self.rows
+        )
+
+    def sorted_rows(self, precision: int = 9) -> list[tuple[object, ...]]:
+        """Rows normalized and deterministically sorted (for comparisons)."""
+        from repro.engine.types import sort_key
+
+        normalized = [
+            tuple(normalize_value(v, precision) for v in row)
+            for row in self.rows
+        ]
+        return sorted(normalized, key=lambda r: tuple(sort_key(v) for v in r))
+
+    def __repr__(self) -> str:
+        return f"ResultSet({self.columns}, {len(self.rows)} rows)"
+
+
+def normalize_value(value: object, precision: int = 9) -> object:
+    """Normalize a cell value for cross-engine comparison.
+
+    Floats are rounded (and integral floats become ints) so that e.g.
+    SQLite's ``2.0`` equals the row store's ``2``. NaN becomes ``None``.
+    """
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, float):
+        if math.isnan(value):
+            return None
+        rounded = round(value, precision)
+        if rounded == int(rounded) and abs(rounded) < 1e15:
+            return int(rounded)
+        return rounded
+    return value
+
+
+@dataclass
+class QueryResult:
+    """A result set plus execution metadata, the harness's unit of record."""
+
+    result: ResultSet
+    duration_ms: float
+    engine: str
+    sql: str
+    rows_returned: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.rows_returned = len(self.result)
+
+
+class Engine(abc.ABC):
+    """Abstract DBMS wrapper."""
+
+    #: Short identifier used in configs, logs, and reports.
+    name: str = "abstract"
+
+    #: Whether :meth:`create_index` is implemented. The paper's setup
+    #: applies no indexing (§6.2.2); engines that support it make that
+    #: choice ablatable.
+    supports_indexes: bool = False
+
+    @abc.abstractmethod
+    def load_table(self, table: Table) -> None:
+        """Register (or replace) a table in the engine."""
+
+    def create_index(self, table: str, column: str) -> None:
+        """Build a secondary index on ``table.column``.
+
+        Engines advertise support via :attr:`supports_indexes`; the
+        default implementation refuses rather than silently ignoring
+        the request.
+        """
+        from repro.errors import ExecutionError
+
+        raise ExecutionError(
+            f"engine {self.name!r} does not support secondary indexes"
+        )
+
+    @abc.abstractmethod
+    def execute(self, query: Query) -> ResultSet:
+        """Execute a query and return its result."""
+
+    def execute_timed(self, query: Query) -> QueryResult:
+        """Execute a query, measuring wall-clock duration in milliseconds."""
+        from repro.sql.formatter import format_query
+
+        start = time.perf_counter()
+        result = self.execute(query)
+        duration_ms = (time.perf_counter() - start) * 1000.0
+        return QueryResult(
+            result=result,
+            duration_ms=duration_ms,
+            engine=self.name,
+            sql=format_query(query),
+        )
+
+    def close(self) -> None:
+        """Release engine resources (default: nothing to do)."""
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,407 @@
+"""Equi-join resolution shared by the pure-Python engines.
+
+The paper's data layer joins each visualization's parent tables
+"according to the Database Specification" (§3.0.3). This module gives the
+three pure-Python engines that capability: :func:`resolve_joins` folds a
+query's join clauses into one combined in-memory relation (hash join, one
+build/probe pass per clause) and rewrites the query into the single-table
+form the engines already execute. The SQLite wrapper does not use this
+module — it formats native ``JOIN`` SQL instead.
+
+Join semantics
+--------------
+
+- Single-column equi-joins only (``ON a.k = b.k``), the foreign-key shape
+  a star-schema Database Specification produces.
+- ``INNER`` drops unmatched left rows; ``LEFT`` keeps them with NULLs in
+  the right table's columns.
+- A right row participates once per matching left row (standard SQL
+  multiplicity).
+- Column-name collisions between the two sides are rejected, *except*
+  that when both join keys share one name the right-side copy is dropped
+  (they are equal by definition on inner joins, and redundant on left
+  joins) — the natural-key convenience star schemas rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.engine.table import ColumnDef, Database, Schema, Table
+from repro.errors import ExecutionError, SchemaError
+from repro.sql.ast import (
+    Between,
+    BinaryOp,
+    Column,
+    Expression,
+    FuncCall,
+    InList,
+    IsNull,
+    Join,
+    Like,
+    OrderItem,
+    Query,
+    SelectItem,
+    UnaryOp,
+    replace_query,
+)
+
+
+@dataclass
+class _Relation:
+    """The accumulating left side of a join chain (column-major)."""
+
+    defs: list[ColumnDef]
+    columns: dict[str, list[object]]
+    num_rows: int
+    #: Maps every table name/alias merged so far to its column names.
+    scopes: dict[str, set[str]]
+
+
+def resolve_joins(db: Database, query: Query) -> tuple[Table, Query]:
+    """Fold ``query.joins`` into one combined table.
+
+    Returns the combined relation as a :class:`Table` plus the query
+    rewritten to single-table form (no joins, no column qualifiers) so
+    the existing engine pipelines can execute it unchanged.
+
+    Raises
+    ------
+    SchemaError
+        For unknown tables/columns, ambiguous qualifiers, or column-name
+        collisions between the joined tables.
+    """
+    if not query.joins:
+        raise ExecutionError("resolve_joins called on a join-free query")
+    base = db.table(query.from_table.name)
+    relation = _relation_from_table(base, query.from_table.alias)
+    for join in query.joins:
+        relation = _apply_join(relation, db, join)
+    schema = Schema(relation.defs)
+    combined = Table(query.from_table.name, schema, relation.columns)
+    rewritten = strip_join_clauses(query, relation.scopes)
+    return combined, rewritten
+
+
+def iter_joined_rows(
+    db: Database, query: Query
+) -> Iterator[dict[str, object]]:
+    """Tuple-at-a-time variant used by the row store.
+
+    Streams the joined rows as dicts without materializing the combined
+    relation, preserving the row store's Volcano-style character.
+    """
+    base = db.table(query.from_table.name)
+    joins = list(query.joins)
+    probes = []
+    names = list(base.schema.names)
+    scopes = {query.from_table.name: set(names)}
+    if query.from_table.alias:
+        scopes[query.from_table.alias] = set(names)
+    for join in joins:
+        right = db.table(join.table.name)
+        left_name = _resolve_key(join.left_key, scopes, "left")
+        right_name = _resolve_right_key(join.right_key, right, join.table)
+        kept = _kept_right_columns(
+            set(names), right, left_name, right_name, join
+        )
+        table_map: dict[object, list[int]] = {}
+        key_column = right.column(right_name)
+        for index, value in enumerate(key_column):
+            if value is None:
+                continue  # NULL keys never match (SQL join semantics).
+            table_map.setdefault(value, []).append(index)
+        probes.append((join, right, left_name, kept, table_map))
+        names.extend(kept)
+        scope_names = set(right.schema.names)
+        scopes[join.table.name] = scope_names
+        if join.table.alias:
+            scopes[join.table.alias] = scope_names
+
+    def _expand(
+        row: dict[str, object], depth: int
+    ) -> Iterator[dict[str, object]]:
+        if depth == len(probes):
+            yield row
+            return
+        join, right, left_name, kept, table_map = probes[depth]
+        key = row.get(left_name)
+        matches = table_map.get(key, []) if key is not None else []
+        if not matches:
+            if join.kind == "LEFT":
+                padded = dict(row)
+                for name in kept:
+                    padded[name] = None
+                yield from _expand(padded, depth + 1)
+            return
+        for index in matches:
+            merged = dict(row)
+            for name in kept:
+                merged[name] = right.column(name)[index]
+            yield from _expand(merged, depth + 1)
+
+    for base_row in base.iter_rows():
+        yield from _expand(base_row, 0)
+
+
+def join_scopes(db: Database, query: Query) -> dict[str, set[str]]:
+    """Map every table name/alias the query mentions to its column names."""
+    base = db.table(query.from_table.name)
+    scopes = {query.from_table.name: set(base.schema.names)}
+    if query.from_table.alias:
+        scopes[query.from_table.alias] = set(base.schema.names)
+    for join in query.joins:
+        right = db.table(join.table.name)
+        scopes[join.table.name] = set(right.schema.names)
+        if join.table.alias:
+            scopes[join.table.alias] = set(right.schema.names)
+    return scopes
+
+
+def joined_output_names(db: Database, query: Query) -> list[str]:
+    """Column names of the combined relation, in join order."""
+    return [name for name, _ in _joined_columns(db, query)]
+
+
+def expand_star_items(db: Database, query: Query) -> tuple[SelectItem, ...]:
+    """Expand ``SELECT *`` over a join into explicit qualified columns.
+
+    The SQLite wrapper uses this so that ``*`` carries the same
+    USING-style semantics as the pure engines (one copy of a shared join
+    key) instead of SQLite's both-copies expansion.
+    """
+    return tuple(
+        SelectItem(Column(name, table=qualifier), alias=name)
+        for name, qualifier in _joined_columns(db, query)
+    )
+
+
+def _joined_columns(
+    db: Database, query: Query
+) -> list[tuple[str, str]]:
+    """(column name, owning table qualifier) pairs of the joined relation."""
+    base = db.table(query.from_table.name)
+    base_qualifier = query.from_table.alias or query.from_table.name
+    pairs = [(name, base_qualifier) for name in base.schema.names]
+    names = {name for name, _ in pairs}
+    for join in query.joins:
+        right = db.table(join.table.name)
+        left_name = join.left_key.name
+        right_name = _resolve_right_key(join.right_key, right, join.table)
+        qualifier = join.table.alias or join.table.name
+        kept = _kept_right_columns(names, right, left_name, right_name, join)
+        pairs.extend((name, qualifier) for name in kept)
+        names.update(kept)
+    return pairs
+
+
+# ---------------------------------------------------------------------------
+# Join application (column-major, used by the vectorized engines)
+# ---------------------------------------------------------------------------
+
+
+def _relation_from_table(table: Table, alias: str | None) -> _Relation:
+    scopes = {table.name: set(table.schema.names)}
+    if alias:
+        scopes[alias] = set(table.schema.names)
+    return _Relation(
+        defs=list(table.schema.columns),
+        columns={n: list(table.column(n)) for n in table.schema.names},
+        num_rows=table.num_rows,
+        scopes=scopes,
+    )
+
+
+def _apply_join(relation: _Relation, db: Database, join: Join) -> _Relation:
+    right = db.table(join.table.name)
+    left_name = _resolve_key(join.left_key, relation.scopes, "left")
+    if left_name not in relation.columns:
+        raise SchemaError(
+            f"join key {left_name!r} not present in the accumulated relation"
+        )
+    right_name = _resolve_right_key(join.right_key, right, join.table)
+    kept = _kept_right_columns(
+        set(relation.columns), right, left_name, right_name, join
+    )
+
+    # Build: hash the right key once.
+    table_map: dict[object, list[int]] = {}
+    for index, value in enumerate(right.column(right_name)):
+        if value is None:
+            continue
+        table_map.setdefault(value, []).append(index)
+
+    # Probe: one pass over the left relation, collecting row pairs.
+    left_indices: list[int] = []
+    right_indices: list[int] = []  # -1 marks a LEFT-join null extension
+    left_key_column = relation.columns[left_name]
+    for row_index in range(relation.num_rows):
+        key = left_key_column[row_index]
+        matches = table_map.get(key, []) if key is not None else []
+        if matches:
+            for right_index in matches:
+                left_indices.append(row_index)
+                right_indices.append(right_index)
+        elif join.kind == "LEFT":
+            left_indices.append(row_index)
+            right_indices.append(-1)
+
+    columns = {
+        name: [values[i] for i in left_indices]
+        for name, values in relation.columns.items()
+    }
+    defs = list(relation.defs)
+    for name in kept:
+        values = right.column(name)
+        columns[name] = [
+            None if i < 0 else values[i] for i in right_indices
+        ]
+        defs.append(right.schema.column(name))
+
+    scopes = dict(relation.scopes)
+    scope_names = set(right.schema.names)
+    scopes[join.table.name] = scope_names
+    if join.table.alias:
+        scopes[join.table.alias] = scope_names
+    return _Relation(
+        defs=defs,
+        columns=columns,
+        num_rows=len(left_indices),
+        scopes=scopes,
+    )
+
+
+def _kept_right_columns(
+    existing: set[str],
+    right: Table,
+    left_name: str,
+    right_name: str,
+    join: Join,
+) -> list[str]:
+    """Right-side columns merged into the output, collisions rejected."""
+    kept: list[str] = []
+    for name in right.schema.names:
+        if name == right_name and name == left_name:
+            continue  # shared natural key: keep the left copy only
+        if name in existing:
+            raise SchemaError(
+                f"join with {join.table.name!r} would duplicate column "
+                f"{name!r}; rename it in the Database Specification"
+            )
+        kept.append(name)
+    return kept
+
+
+def _resolve_key(
+    key: Column, scopes: dict[str, set[str]], side: str
+) -> str:
+    """Resolve a (possibly qualified) join key against known scopes."""
+    if key.table is not None:
+        if key.table not in scopes:
+            raise SchemaError(
+                f"{side} join key {key} references unknown table/alias "
+                f"{key.table!r}; known: {sorted(scopes)}"
+            )
+        if key.name not in scopes[key.table]:
+            raise SchemaError(
+                f"{side} join key {key}: no column {key.name!r} in "
+                f"{key.table!r}"
+            )
+    return key.name
+
+
+def _resolve_right_key(key: Column, right: Table, ref) -> str:
+    if key.table is not None and key.table not in (ref.name, ref.alias):
+        raise SchemaError(
+            f"right join key {key} must reference the joined table "
+            f"{ref.name!r}"
+        )
+    if key.name not in right.schema:
+        raise SchemaError(
+            f"right join key {key.name!r} not in table {right.name!r}"
+        )
+    return key.name
+
+
+# ---------------------------------------------------------------------------
+# Query rewriting
+# ---------------------------------------------------------------------------
+
+
+def strip_join_clauses(
+    query: Query, scopes: dict[str, set[str]]
+) -> Query:
+    """Rewrite a join query into single-table form over the combined relation.
+
+    Removes the join clauses and drops table qualifiers from every column
+    reference (after validating each qualifier against the join scopes).
+    """
+    select = tuple(
+        SelectItem(_strip(item.expr, scopes), item.alias)
+        for item in query.select
+    )
+    where = _strip(query.where, scopes) if query.where is not None else None
+    group_by = tuple(_strip(e, scopes) for e in query.group_by)
+    having = _strip(query.having, scopes) if query.having is not None else None
+    order_by = tuple(
+        OrderItem(_strip(o.expr, scopes), o.descending)
+        for o in query.order_by
+    )
+    return replace_query(
+        query,
+        select=select,
+        where=where,
+        group_by=group_by,
+        having=having,
+        order_by=order_by,
+        joins=(),
+    )
+
+
+def _strip(expr: Expression, scopes: dict[str, set[str]]) -> Expression:
+    """Recursively drop table qualifiers from column references."""
+    if isinstance(expr, Column):
+        if expr.table is not None:
+            if expr.table not in scopes:
+                raise SchemaError(
+                    f"column {expr} references unknown table/alias "
+                    f"{expr.table!r}; known: {sorted(scopes)}"
+                )
+            if expr.name not in scopes[expr.table]:
+                raise SchemaError(
+                    f"column {expr}: no column {expr.name!r} in "
+                    f"{expr.table!r}"
+                )
+            return Column(expr.name)
+        return expr
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(
+            expr.op, _strip(expr.left, scopes), _strip(expr.right, scopes)
+        )
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, _strip(expr.operand, scopes))
+    if isinstance(expr, FuncCall):
+        return FuncCall(
+            expr.name,
+            tuple(_strip(a, scopes) for a in expr.args),
+            expr.distinct,
+        )
+    if isinstance(expr, InList):
+        return InList(
+            _strip(expr.expr, scopes),
+            tuple(_strip(v, scopes) for v in expr.values),
+            expr.negated,
+        )
+    if isinstance(expr, Between):
+        return Between(
+            _strip(expr.expr, scopes),
+            _strip(expr.low, scopes),
+            _strip(expr.high, scopes),
+            expr.negated,
+        )
+    if isinstance(expr, Like):
+        return Like(_strip(expr.expr, scopes), expr.pattern, expr.negated)
+    if isinstance(expr, IsNull):
+        return IsNull(_strip(expr.expr, scopes), expr.negated)
+    return expr  # Literal, Star

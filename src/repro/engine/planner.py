@@ -1,0 +1,218 @@
+"""Shared logical planning for the pure-Python engines.
+
+All three engines (row store, vector store, materializing store) execute
+the same logical plan; only the physical evaluation differs. This module
+splits a query into:
+
+- *key expressions* (the GROUP BY list),
+- *aggregate calls* (deduplicated across SELECT/HAVING/ORDER BY),
+- *post-aggregation expressions* — each SELECT item, HAVING clause, and
+  ORDER BY key rewritten over placeholder columns ``__key<i>`` and
+  ``__agg<i>`` so it can be evaluated once per group.
+
+For non-aggregate queries the plan degenerates to a projection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ExecutionError
+from repro.sql.ast import (
+    Between,
+    BinaryOp,
+    Column,
+    Expression,
+    FuncCall,
+    InList,
+    IsNull,
+    Like,
+    OrderItem,
+    Query,
+    Star,
+    UnaryOp,
+    contains_aggregate,
+)
+
+KEY_PREFIX = "__key"
+AGG_PREFIX = "__agg"
+
+
+@dataclass
+class AggregatePlan:
+    """Execution recipe for a grouped/aggregated query."""
+
+    key_exprs: list[Expression]
+    agg_calls: list[FuncCall]
+    item_exprs: list[Expression]  # post-agg, one per SELECT item
+    output_names: list[str]
+    having_expr: Expression | None
+    order_exprs: list[tuple[Expression, bool]]  # (post-agg expr, descending)
+    limit: int | None
+    distinct: bool
+
+    @property
+    def is_global(self) -> bool:
+        """True for aggregates without GROUP BY (one output row)."""
+        return not self.key_exprs
+
+
+@dataclass
+class ProjectionPlan:
+    """Execution recipe for a plain (non-aggregate) query."""
+
+    item_exprs: list[Expression]
+    output_names: list[str]
+    order_exprs: list[tuple[Expression, bool]]
+    limit: int | None
+    distinct: bool
+    select_star: bool = False
+
+
+def plan_query(query: Query) -> AggregatePlan | ProjectionPlan:
+    """Build the logical plan for a query.
+
+    Raises
+    ------
+    ExecutionError
+        For malformed queries (HAVING without aggregation, bare ``*``
+        mixed with aggregates, aggregates of aggregates).
+    """
+    if query.is_aggregate:
+        return _plan_aggregate(query)
+    if query.having is not None:
+        raise ExecutionError("HAVING requires GROUP BY or aggregates")
+    return _plan_projection(query)
+
+
+def _plan_projection(query: Query) -> ProjectionPlan:
+    select_star = len(query.select) == 1 and isinstance(
+        query.select[0].expr, Star
+    )
+    item_exprs = [item.expr for item in query.select]
+    order_exprs = [
+        (_resolve_order_expr(o, query), o.descending) for o in query.order_by
+    ]
+    return ProjectionPlan(
+        item_exprs=item_exprs,
+        output_names=query.output_names(),
+        order_exprs=order_exprs,
+        limit=query.limit,
+        distinct=query.distinct,
+        select_star=select_star,
+    )
+
+
+def _plan_aggregate(query: Query) -> AggregatePlan:
+    collector = _AggregateCollector(list(query.group_by))
+    item_exprs = []
+    for item in query.select:
+        if isinstance(item.expr, Star):
+            raise ExecutionError("SELECT * cannot be combined with GROUP BY")
+        item_exprs.append(collector.rewrite(item.expr))
+    having_expr = (
+        collector.rewrite(query.having) if query.having is not None else None
+    )
+    order_exprs: list[tuple[Expression, bool]] = []
+    for order in query.order_by:
+        expr = _resolve_order_alias(order.expr, query)
+        order_exprs.append((collector.rewrite(expr), order.descending))
+    return AggregatePlan(
+        key_exprs=list(query.group_by),
+        agg_calls=collector.agg_calls,
+        item_exprs=item_exprs,
+        output_names=query.output_names(),
+        having_expr=having_expr,
+        order_exprs=order_exprs,
+        limit=query.limit,
+        distinct=query.distinct,
+    )
+
+
+def _resolve_order_alias(expr: Expression, query: Query) -> Expression:
+    """Replace a bare ORDER BY column that names an alias with its target."""
+    if isinstance(expr, Column) and expr.table is None:
+        for item in query.select:
+            if item.alias == expr.name:
+                return item.expr
+    return expr
+
+
+def _resolve_order_expr(order: OrderItem, query: Query) -> Expression:
+    expr = _resolve_order_alias(order.expr, query)
+    if contains_aggregate(expr):
+        raise ExecutionError("aggregate in ORDER BY of a non-aggregate query")
+    return expr
+
+
+class _AggregateCollector:
+    """Rewrites expressions over ``__key``/``__agg`` placeholder columns."""
+
+    def __init__(self, key_exprs: list[Expression]) -> None:
+        self._key_exprs = key_exprs
+        self.agg_calls: list[FuncCall] = []
+        self._agg_index: dict[FuncCall, int] = {}
+
+    def rewrite(self, expr: Expression) -> Expression:
+        # Group-key subexpressions are replaced first so that e.g.
+        # ``GROUP BY hour`` lets ``SELECT hour`` pass through.
+        for i, key in enumerate(self._key_exprs):
+            if expr == key:
+                return Column(f"{KEY_PREFIX}{i}")
+        if isinstance(expr, FuncCall) and expr.is_aggregate:
+            for arg in expr.args:
+                if contains_aggregate(arg):
+                    raise ExecutionError("nested aggregates are not allowed")
+            if expr not in self._agg_index:
+                self._agg_index[expr] = len(self.agg_calls)
+                self.agg_calls.append(expr)
+            return Column(f"{AGG_PREFIX}{self._agg_index[expr]}")
+        if isinstance(expr, Column):
+            # A bare column in an aggregate query must be a group key
+            # (checked above). Anything else is invalid SQL; we follow
+            # strict semantics rather than SQLite's "any value" rule.
+            raise ExecutionError(
+                f"column {expr} must appear in GROUP BY or inside an aggregate"
+            )
+        if isinstance(expr, BinaryOp):
+            return BinaryOp(
+                expr.op, self.rewrite(expr.left), self.rewrite(expr.right)
+            )
+        if isinstance(expr, UnaryOp):
+            return UnaryOp(expr.op, self.rewrite(expr.operand))
+        if isinstance(expr, FuncCall):
+            return FuncCall(
+                expr.name,
+                tuple(self.rewrite(a) for a in expr.args),
+                expr.distinct,
+            )
+        if isinstance(expr, InList):
+            return InList(
+                self.rewrite(expr.expr),
+                tuple(self.rewrite(v) for v in expr.values),
+                expr.negated,
+            )
+        if isinstance(expr, Between):
+            return Between(
+                self.rewrite(expr.expr),
+                self.rewrite(expr.low),
+                self.rewrite(expr.high),
+                expr.negated,
+            )
+        if isinstance(expr, Like):
+            return Like(self.rewrite(expr.expr), expr.pattern, expr.negated)
+        if isinstance(expr, IsNull):
+            return IsNull(self.rewrite(expr.expr), expr.negated)
+        return expr  # Literals and Star pass through.
+
+
+def placeholder_row(
+    keys: tuple[object, ...], aggs: list[object]
+) -> dict[str, object]:
+    """Build the evaluation context for post-aggregation expressions."""
+    row: dict[str, object] = {}
+    for i, value in enumerate(keys):
+        row[f"{KEY_PREFIX}{i}"] = value
+    for i, value in enumerate(aggs):
+        row[f"{AGG_PREFIX}{i}"] = value
+    return row

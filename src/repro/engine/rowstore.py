@@ -1,0 +1,216 @@
+"""Tuple-at-a-time row store (PostgreSQL execution-model stand-in).
+
+Executes queries as a Volcano-style pipeline of Python generators:
+``scan -> filter -> aggregate/project -> having -> sort -> distinct ->
+limit``. Every row is materialized as a dict, which is exactly the
+per-tuple interpretation overhead that row-oriented engines pay and the
+reason the paper's column stores win on wide aggregation scans.
+
+ORDER BY keys are evaluated while the source context (input row for
+projections, group context for aggregates) is still available, then
+carried alongside each output row until the sort stage.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.engine.expressions import evaluate_row, make_accumulator
+from repro.engine.indexes import TableIndexes, candidate_indices
+from repro.engine.interface import Engine, ResultSet
+from repro.engine.planner import (
+    AggregatePlan,
+    ProjectionPlan,
+    placeholder_row,
+    plan_query,
+)
+from repro.engine.table import Database, Table
+from repro.engine.types import sort_key
+from repro.sql.ast import Query, Star, conjuncts
+
+#: An output row paired with its pre-computed ORDER BY key values.
+_Tagged = tuple[tuple[object, ...], tuple[object, ...]]
+
+
+class RowStoreEngine(Engine):
+    """Pure-Python iterator-model engine."""
+
+    name = "rowstore"
+    supports_indexes = True
+
+    def __init__(self) -> None:
+        self._db = Database()
+        self._indexes: dict[str, TableIndexes] = {}
+
+    def load_table(self, table: Table) -> None:
+        self._db.add(table)
+        self._indexes.pop(table.name, None)  # stale indexes die with the data
+
+    def create_index(self, table: str, column: str) -> None:
+        indexes = self._indexes.get(table)
+        if indexes is None:
+            indexes = TableIndexes(self._db.table(table))
+            self._indexes[table] = indexes
+        indexes.create(column)
+
+    def execute(self, query: Query) -> ResultSet:
+        if query.joins:
+            from repro.engine.join import (
+                iter_joined_rows,
+                join_scopes,
+                joined_output_names,
+                strip_join_clauses,
+            )
+
+            source_names = joined_output_names(self._db, query)
+            source = iter_joined_rows(self._db, query)
+            query = strip_join_clauses(query, join_scopes(self._db, query))
+            rows = self._filter(source, query)
+        else:
+            table = self._db.table(query.from_table.name)
+            source_names = list(table.schema.names)
+            rows = self._scan_filter(table, query)
+        plan = plan_query(query)
+        if isinstance(plan, AggregatePlan):
+            tagged = self._aggregate(rows, plan)
+        else:
+            tagged = self._project(rows, plan, source_names)
+        return _finish(tagged, plan)
+
+    # -- pipeline stages -----------------------------------------------------
+
+    def _scan_filter(
+        self, table: Table, query: Query
+    ) -> Iterator[dict[str, object]]:
+        candidates = self._index_candidates(table, query.where)
+        if candidates is None:
+            return self._filter(table.iter_rows(), query)
+        # Index pre-filter: visit only candidate rows, then re-check the
+        # full predicate (indexes may cover only some conjuncts).
+        rows = (table.row(int(i)) for i in candidates)
+        return self._filter(rows, query)
+
+    def _index_candidates(self, table: Table, predicate):
+        """Sorted row positions satisfying every indexable conjunct."""
+        if predicate is None:
+            return None
+        indexes = self._indexes.get(table.name)
+        if indexes is None:
+            return None
+        candidates = None
+        for conjunct in conjuncts(predicate):
+            vector = candidate_indices(indexes, conjunct)
+            if vector is None:
+                continue
+            if candidates is None:
+                candidates = vector
+            else:
+                candidates = np.intersect1d(
+                    candidates, vector, assume_unique=True
+                )
+        return candidates
+
+    def _filter(
+        self, rows: Iterator[dict[str, object]], query: Query
+    ) -> Iterator[dict[str, object]]:
+        predicate = query.where
+        if predicate is None:
+            yield from rows
+            return
+        for row in rows:
+            if evaluate_row(predicate, row) is True:
+                yield row
+
+    def _project(
+        self,
+        rows: Iterator[dict[str, object]],
+        plan: ProjectionPlan,
+        source_names: list[str],
+    ) -> list[_Tagged]:
+        output: list[_Tagged] = []
+        if plan.select_star:
+            plan.output_names = list(source_names)
+        for row in rows:
+            if plan.select_star:
+                values = tuple(row[n] for n in plan.output_names)
+            else:
+                values = tuple(
+                    evaluate_row(e, row) for e in plan.item_exprs
+                )
+            order_keys = tuple(
+                evaluate_row(e, row) for e, _ in plan.order_exprs
+            )
+            output.append((values, order_keys))
+        return output
+
+    def _aggregate(
+        self, rows: Iterator[dict[str, object]], plan: AggregatePlan
+    ) -> list[_Tagged]:
+        groups: dict[tuple[object, ...], list] = {}
+        for row in rows:
+            key = tuple(evaluate_row(e, row) for e in plan.key_exprs)
+            state = groups.get(key)
+            if state is None:
+                state = [make_accumulator(call) for call in plan.agg_calls]
+                groups[key] = state
+            for accumulator, call in zip(state, plan.agg_calls):
+                if _is_count_star(call):
+                    accumulator.add(None)  # COUNT(*) counts rows
+                else:
+                    accumulator.add(evaluate_row(call.args[0], row))
+        if not groups and plan.is_global:
+            # Aggregates over an empty input still yield one row.
+            groups[()] = [make_accumulator(call) for call in plan.agg_calls]
+
+        output: list[_Tagged] = []
+        for key, state in groups.items():
+            agg_values = [acc.result() for acc in state]
+            context = placeholder_row(key, agg_values)
+            if plan.having_expr is not None:
+                if evaluate_row(plan.having_expr, context) is not True:
+                    continue
+            values = tuple(
+                evaluate_row(e, context) for e in plan.item_exprs
+            )
+            order_keys = tuple(
+                evaluate_row(e, context) for e, _ in plan.order_exprs
+            )
+            output.append((values, order_keys))
+        return output
+
+
+def _is_count_star(call) -> bool:
+    return (
+        call.name == "COUNT"
+        and len(call.args) == 1
+        and isinstance(call.args[0], Star)
+    )
+
+
+def _finish(
+    tagged: list[_Tagged],
+    plan: AggregatePlan | ProjectionPlan,
+) -> ResultSet:
+    """Apply DISTINCT, ORDER BY, LIMIT to tagged output rows."""
+    if plan.distinct:
+        seen: set[tuple[object, ...]] = set()
+        unique: list[_Tagged] = []
+        for values, keys in tagged:
+            if values not in seen:
+                seen.add(values)
+                unique.append((values, keys))
+        tagged = unique
+    if plan.order_exprs:
+        # Stable sort by each key, rightmost first, to honor multi-key order.
+        for index in range(len(plan.order_exprs) - 1, -1, -1):
+            descending = plan.order_exprs[index][1]
+            tagged.sort(
+                key=lambda pair: sort_key(pair[1][index]),
+                reverse=descending,
+            )
+    rows = [values for values, _ in tagged]
+    if plan.limit is not None:
+        rows = rows[: plan.limit]
+    return ResultSet(plan.output_names, rows)

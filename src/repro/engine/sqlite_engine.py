@@ -1,0 +1,193 @@
+"""Real-DBMS wrapper around the standard library ``sqlite3``.
+
+SQLite is one of the four systems the paper benchmarks directly; it also
+serves as the reference implementation in our cross-engine consistency
+tests (any semantic disagreement between the pure-Python engines and
+SQLite on the supported subset is treated as a bug).
+
+Dialect adaptations:
+
+- temporal values are stored as ISO-8601 strings and converted back to
+  ``date`` / ``datetime`` on output using the loaded table schemas;
+- the benchmark's scalar functions (``YEAR``, ``HOUR``, ``BIN``, ...)
+  are registered as SQLite user functions;
+- booleans are stored as integers (SQLite has no boolean storage class).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import math
+import sqlite3
+
+from repro.engine.expressions import apply_scalar_function
+from repro.engine.interface import Engine, ResultSet
+from repro.engine.table import Table
+from repro.engine.types import DataType
+from repro.errors import ExecutionError
+from repro.sql.ast import Query, Star
+from repro.sql.formatter import format_query
+
+_SQLITE_TYPES = {
+    DataType.INTEGER: "INTEGER",
+    DataType.FLOAT: "REAL",
+    DataType.STRING: "TEXT",
+    DataType.BOOLEAN: "INTEGER",
+    DataType.DATE: "TEXT",
+    DataType.TIMESTAMP: "TEXT",
+}
+
+#: Functions we register with SQLite; names must match the AST vocabulary.
+_REGISTERED_FUNCTIONS = (
+    ("YEAR", 1),
+    ("MONTH", 1),
+    ("DAY", 1),
+    ("HOUR", 1),
+    ("MINUTE", 1),
+    ("DOW", 1),
+    ("BIN", 2),
+)
+
+
+class SQLiteEngine(Engine):
+    """In-memory SQLite wrapper implementing the common engine interface."""
+
+    name = "sqlite"
+    supports_indexes = True
+
+    def __init__(self) -> None:
+        self._conn = sqlite3.connect(":memory:")
+        self._schemas: dict[str, Table] = {}
+        for func_name, arity in _REGISTERED_FUNCTIONS:
+            self._conn.create_function(
+                func_name, arity, _make_udf(func_name), deterministic=True
+            )
+
+    def load_table(self, table: Table) -> None:
+        cursor = self._conn.cursor()
+        cursor.execute(f'DROP TABLE IF EXISTS "{table.name}"')
+        columns_sql = ", ".join(
+            f'"{c.name}" {_SQLITE_TYPES[c.dtype]}' for c in table.schema
+        )
+        cursor.execute(f'CREATE TABLE "{table.name}" ({columns_sql})')
+        placeholders = ", ".join("?" for _ in table.schema)
+        names = table.schema.names
+        rows = (
+            tuple(_to_sqlite(table.column(n)[i]) for n in names)
+            for i in range(table.num_rows)
+        )
+        cursor.executemany(
+            f'INSERT INTO "{table.name}" VALUES ({placeholders})', rows
+        )
+        self._conn.commit()
+        self._schemas[table.name] = table
+
+    def create_index(self, table: str, column: str) -> None:
+        if table not in self._schemas:
+            raise ExecutionError(f"unknown table {table!r}")
+        name = f"idx_{table}_{column}"
+        self._conn.execute(
+            f'CREATE INDEX IF NOT EXISTS "{name}" ON "{table}" ("{column}")'
+        )
+        self._conn.commit()
+
+    def execute(self, query: Query) -> ResultSet:
+        if query.joins and any(
+            isinstance(item.expr, Star) for item in query.select
+        ):
+            from repro.engine.join import expand_star_items
+            from repro.engine.table import Database
+            from repro.sql.ast import replace_query
+
+            db = Database(list(self._schemas.values()))
+            query = replace_query(
+                query, select=expand_star_items(db, query)
+            )
+        sql = format_query(query)
+        try:
+            cursor = self._conn.execute(sql)
+        except sqlite3.Error as exc:
+            raise ExecutionError(f"sqlite error for {sql!r}: {exc}") from exc
+        columns = [d[0] for d in cursor.description]
+        tables = [
+            self._schemas[name]
+            for name in query.table_names()
+            if name in self._schemas
+        ]
+        converters = [
+            _output_converter(name, tables) for name in columns
+        ]
+        rows = [
+            tuple(conv(v) for conv, v in zip(converters, row))
+            for row in cursor.fetchall()
+        ]
+        return ResultSet(columns, rows)
+
+    def close(self) -> None:
+        self._conn.close()
+
+
+def _make_udf(name: str):
+    """Adapt a shared scalar function to a SQLite UDF."""
+
+    def udf(*args: object) -> object:
+        result = apply_scalar_function(name, list(args))
+        if isinstance(result, float) and math.isnan(result):
+            return None
+        return result
+
+    return udf
+
+
+def _to_sqlite(value: object) -> object:
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, _dt.datetime):
+        return value.isoformat(sep=" ")
+    if isinstance(value, _dt.date):
+        return value.isoformat()
+    return value
+
+
+def _output_converter(column_name: str, tables: list[Table]):
+    """Build a converter restoring temporal/boolean types on output.
+
+    With joins, an output column may originate from any of the query's
+    tables; the first table defining the name wins (the join layer
+    rejects cross-table name collisions, so this is unambiguous).
+    """
+    for table in tables:
+        if column_name in table.schema:
+            dtype = table.schema.dtype(column_name)
+            if dtype is DataType.DATE:
+                return _parse_date
+            if dtype is DataType.TIMESTAMP:
+                return _parse_timestamp
+            if dtype is DataType.BOOLEAN:
+                return _parse_boolean
+            return _identity
+    return _identity
+
+
+def _identity(value: object) -> object:
+    return value
+
+
+def _parse_date(value: object) -> object:
+    if isinstance(value, str):
+        return _dt.date.fromisoformat(value)
+    return value
+
+
+def _parse_timestamp(value: object) -> object:
+    if isinstance(value, str):
+        return _dt.datetime.fromisoformat(value)
+    return value
+
+
+def _parse_boolean(value: object) -> object:
+    if isinstance(value, int):
+        return bool(value)
+    return value

@@ -1,0 +1,38 @@
+"""Query equivalence and result-coverage testing (paper §4.1.2).
+
+The paper decides goal completion with three methods, tried in order:
+
+1. **Syntactic equivalence** — normalized query text matches (or string
+   similarity exceeds 95%);
+2. **Semantic equivalence** — a SPES-style solver proves the queries
+   return the same results on any input relation (we implement a
+   canonicalizer covering the analytic subset: see
+   :mod:`repro.equivalence.semantic`);
+3. **Result equivalence** — executing the queries and testing whether
+   the goal's result set is covered by the observed result sets.
+
+Progress toward a goal is measured as result-set *overlap* — the Oracle
+planner's heuristic θ (Algorithm 1).
+"""
+
+from repro.equivalence.results import ResultCache, coverage_fraction, covers
+from repro.equivalence.semantic import canonical_form, semantically_equivalent
+from repro.equivalence.suite import (
+    EquivalenceMethod,
+    EquivalenceSuite,
+    EquivalenceVerdict,
+)
+from repro.equivalence.syntactic import similarity, syntactically_equivalent
+
+__all__ = [
+    "EquivalenceMethod",
+    "EquivalenceSuite",
+    "EquivalenceVerdict",
+    "ResultCache",
+    "canonical_form",
+    "coverage_fraction",
+    "covers",
+    "semantically_equivalent",
+    "similarity",
+    "syntactically_equivalent",
+]

@@ -1,0 +1,191 @@
+"""Predicate and query normalization used by the semantic checker.
+
+The canonicalizer rewrites queries into a normal form such that two
+queries with the same denotation (over the supported analytic subset)
+compare equal structurally:
+
+- ``NOT`` is pushed down to atoms (De Morgan), double negation removed;
+- ``BETWEEN`` becomes a conjunction of ``>=`` and ``<=``;
+- single-member ``IN`` becomes ``=``; ``IN`` member lists are sorted
+  and deduplicated;
+- comparisons are oriented with the column on the left
+  (``5 < x`` -> ``x > 5``);
+- ``AND``/``OR`` trees are flattened, deduplicated, and sorted by
+  canonical text;
+- trivially-true conjuncts (``TRUE``) and false disjuncts are dropped.
+
+These rules mirror what the SPES verifier achieves through denotational
+semantics for the query shapes dashboards emit.
+"""
+
+from __future__ import annotations
+
+from repro.sql.ast import (
+    Between,
+    BinaryOp,
+    Column,
+    Expression,
+    FuncCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Star,
+    UnaryOp,
+)
+from repro.sql.formatter import format_expression
+
+#: Comparison flips for orienting literals to the right side.
+_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "!=": "!="}
+
+#: Negations of comparisons, for NOT push-down.
+_NEGATE = {"=": "!=", "!=": "=", "<": ">=", "<=": ">", ">": "<=", ">=": "<"}
+
+
+def normalize_predicate(expr: Expression | None) -> Expression | None:
+    """Full normalization pipeline for a WHERE/HAVING predicate."""
+    if expr is None:
+        return None
+    expr = push_not(expr)
+    expr = expand_sugar(expr)
+    expr = orient_comparisons(expr)
+    expr = flatten_and_sort(expr)
+    return expr
+
+
+def push_not(expr: Expression, negate: bool = False) -> Expression:
+    """Push NOT down to atomic predicates (De Morgan's laws)."""
+    if isinstance(expr, UnaryOp) and expr.op == "NOT":
+        return push_not(expr.operand, not negate)
+    if isinstance(expr, BinaryOp) and expr.is_boolean:
+        op = expr.op
+        if negate:
+            op = "OR" if op == "AND" else "AND"
+        return BinaryOp(
+            op, push_not(expr.left, negate), push_not(expr.right, negate)
+        )
+    if not negate:
+        return expr
+    if isinstance(expr, BinaryOp) and expr.is_comparison:
+        return BinaryOp(_NEGATE[expr.op], expr.left, expr.right)
+    if isinstance(expr, InList):
+        return InList(expr.expr, expr.values, not expr.negated)
+    if isinstance(expr, Between):
+        return Between(expr.expr, expr.low, expr.high, not expr.negated)
+    if isinstance(expr, Like):
+        return Like(expr.expr, expr.pattern, not expr.negated)
+    if isinstance(expr, IsNull):
+        return IsNull(expr.expr, not expr.negated)
+    return UnaryOp("NOT", expr)
+
+
+def expand_sugar(expr: Expression) -> Expression:
+    """Rewrite BETWEEN and singleton IN into comparisons."""
+    if isinstance(expr, Between) and not expr.negated:
+        return BinaryOp(
+            "AND",
+            expand_sugar(BinaryOp(">=", expr.expr, expr.low)),
+            expand_sugar(BinaryOp("<=", expr.expr, expr.high)),
+        )
+    if isinstance(expr, Between) and expr.negated:
+        return BinaryOp(
+            "OR",
+            expand_sugar(BinaryOp("<", expr.expr, expr.low)),
+            expand_sugar(BinaryOp(">", expr.expr, expr.high)),
+        )
+    if isinstance(expr, InList):
+        values = _sorted_unique_literals(expr.values)
+        if len(values) == 1 and not expr.negated:
+            return BinaryOp("=", expand_sugar(expr.expr), values[0])
+        if len(values) == 1 and expr.negated:
+            return BinaryOp("!=", expand_sugar(expr.expr), values[0])
+        return InList(expand_sugar(expr.expr), tuple(values), expr.negated)
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(
+            expr.op, expand_sugar(expr.left), expand_sugar(expr.right)
+        )
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, expand_sugar(expr.operand))
+    if isinstance(expr, FuncCall):
+        return FuncCall(
+            expr.name,
+            tuple(expand_sugar(a) for a in expr.args),
+            expr.distinct,
+        )
+    if isinstance(expr, Like):
+        return Like(expand_sugar(expr.expr), expr.pattern, expr.negated)
+    if isinstance(expr, IsNull):
+        return IsNull(expand_sugar(expr.expr), expr.negated)
+    return expr
+
+
+def orient_comparisons(expr: Expression) -> Expression:
+    """Put the non-literal side on the left of every comparison."""
+    if isinstance(expr, BinaryOp) and expr.is_comparison:
+        if isinstance(expr.left, Literal) and not isinstance(
+            expr.right, Literal
+        ):
+            return BinaryOp(_FLIP[expr.op], expr.right, expr.left)
+        return expr
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(
+            expr.op,
+            orient_comparisons(expr.left),
+            orient_comparisons(expr.right),
+        )
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, orient_comparisons(expr.operand))
+    return expr
+
+
+def flatten_and_sort(expr: Expression) -> Expression:
+    """Flatten AND/OR trees, deduplicate branches, sort canonically."""
+    if isinstance(expr, BinaryOp) and expr.is_boolean:
+        branches = _collect(expr, expr.op)
+        normalized = [flatten_and_sort(b) for b in branches]
+        # Deduplicate then sort by canonical text for a stable order.
+        unique: dict[str, Expression] = {}
+        for branch in normalized:
+            unique.setdefault(format_expression(branch), branch)
+        ordered = [unique[k] for k in sorted(unique)]
+        if len(ordered) == 1:
+            return ordered[0]
+        result = ordered[0]
+        for branch in ordered[1:]:
+            result = BinaryOp(expr.op, result, branch)
+        return result
+    return expr
+
+
+def _collect(expr: Expression, op: str) -> list[Expression]:
+    if isinstance(expr, BinaryOp) and expr.op == op:
+        return _collect(expr.left, op) + _collect(expr.right, op)
+    return [expr]
+
+
+def _sorted_unique_literals(
+    values: tuple[Expression, ...],
+) -> list[Expression]:
+    """Sort and deduplicate IN-list members (literals sort by repr)."""
+    seen: dict[str, Expression] = {}
+    for value in values:
+        seen.setdefault(format_expression(value), value)
+    return [seen[k] for k in sorted(seen)]
+
+
+def normalize_select_expression(expr: Expression) -> Expression:
+    """Normalize a SELECT-list expression.
+
+    ``COUNT(col)`` over a non-nullable grouping context is *not* folded
+    to ``COUNT(*)`` — nullability is data-dependent, so the semantic
+    checker stays conservative. Only argument normalization and sugar
+    expansion apply.
+    """
+    return expand_sugar(expr)
+
+
+def canonical_text(expr: Expression | None) -> str:
+    """Stable text form of a (normalized) expression; '' for None."""
+    if expr is None:
+        return ""
+    return format_expression(expr)

@@ -1,0 +1,221 @@
+"""Semantic equivalence: a SPES-style canonicalizing solver.
+
+SPES (Zhou et al. 2020) proves query equivalence by compiling SQL into
+denotational semantics. We reproduce its effect on the analytic subset
+the dashboards emit by reducing each query to a *canonical form*; two
+queries are semantically equivalent when their canonical forms are
+identical. The reduction is sound (equal forms imply equal results for
+every input relation) but, like SPES, incomplete — a ``False`` answer
+means "not proven", and the caller falls through to string matching and
+result equivalence, exactly as the paper describes.
+
+Canonical form components:
+
+- table name (alias-insensitive),
+- the set of canonicalized SELECT expressions (aliases ignored,
+  qualifiers stripped since all queries are single-table),
+- the normalized predicate (see :mod:`repro.equivalence.normalize`),
+- the set of canonicalized GROUP BY expressions,
+- the normalized HAVING predicate,
+- DISTINCT flag and LIMIT (ORDER BY is ignored under set semantics,
+  except that a LIMIT makes order significant, in which case ORDER BY
+  keys are included).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.equivalence.normalize import (
+    canonical_text,
+    normalize_predicate,
+    normalize_select_expression,
+)
+from repro.sql.ast import (
+    Between,
+    BinaryOp,
+    Column,
+    Expression,
+    FuncCall,
+    InList,
+    IsNull,
+    Like,
+    Query,
+    Star,
+    UnaryOp,
+)
+
+
+@dataclass(frozen=True)
+class CanonicalForm:
+    """Hashable canonical representation of a query's denotation."""
+
+    table: str
+    joins: tuple[str, ...]
+    select: frozenset[str]
+    predicate: str
+    group_by: frozenset[str]
+    having: str
+    distinct: bool
+    limit: int | None
+    order: tuple[str, ...]
+
+
+def canonical_form(query: Query) -> CanonicalForm:
+    """Reduce a query to its canonical form."""
+    stripped = _strip_qualifiers_query(query)
+    select = frozenset(
+        canonical_text(normalize_select_expression(item.expr))
+        for item in stripped.select
+    )
+    predicate = canonical_text(normalize_predicate(stripped.where))
+    group_by = frozenset(
+        canonical_text(normalize_select_expression(e))
+        for e in stripped.group_by
+    )
+    having = canonical_text(normalize_predicate(stripped.having))
+    if stripped.limit is not None:
+        order = tuple(
+            ("-" if o.descending else "+")
+            + canonical_text(normalize_select_expression(o.expr))
+            for o in stripped.order_by
+        )
+    else:
+        order = ()
+    joins = tuple(
+        f"{j.kind} {j.table.name.lower()} "
+        f"{j.left_key.name.lower()}={j.right_key.name.lower()}"
+        for j in query.joins
+    )
+    return CanonicalForm(
+        table=stripped.from_table.name.lower(),
+        joins=joins,
+        select=select,
+        predicate=predicate,
+        group_by=group_by,
+        having=having,
+        distinct=stripped.distinct,
+        limit=stripped.limit,
+        order=order,
+    )
+
+
+def semantically_equivalent(a: Query, b: Query) -> bool:
+    """True when both queries provably return identical results.
+
+    Incomplete by design: ``False`` means "not proven equivalent".
+    """
+    return canonical_form(a) == canonical_form(b)
+
+
+def semantically_subsumes(goal: Query, candidate: Query) -> bool:
+    """True when ``candidate`` provably returns a superset of ``goal``.
+
+    The check is deliberately conservative; it recognizes the common
+    dashboard pattern where a query gains extra SELECT columns and/or a
+    *weaker* predicate:
+
+    - same table and grouping,
+    - candidate SELECT ⊇ goal SELECT,
+    - candidate predicate's conjunct set ⊆ goal predicate's conjunct set
+      (fewer conjuncts filter less, so the candidate keeps more rows),
+    - same HAVING, no DISTINCT/LIMIT complications.
+    """
+    form_goal = canonical_form(goal)
+    form_candidate = canonical_form(candidate)
+    if form_goal.table != form_candidate.table:
+        return False
+    if form_goal.joins != form_candidate.joins:
+        return False  # join shape differences are never proven subsumed
+    if form_goal.group_by != form_candidate.group_by:
+        return False
+    if form_goal.having != form_candidate.having:
+        return False
+    if form_goal.limit is not None or form_candidate.limit is not None:
+        return False
+    if not form_goal.select <= form_candidate.select:
+        return False
+    goal_conjuncts = set(_conjunct_texts(goal))
+    candidate_conjuncts = set(_conjunct_texts(candidate))
+    return candidate_conjuncts <= goal_conjuncts
+
+
+def _conjunct_texts(query: Query) -> list[str]:
+    from repro.sql.ast import conjuncts
+
+    normalized = normalize_predicate(
+        _strip_qualifiers(query.where) if query.where is not None else None
+    )
+    return [canonical_text(c) for c in conjuncts(normalized)]
+
+
+# ---------------------------------------------------------------------------
+# Qualifier stripping (single-table queries: "t.col" == "col")
+# ---------------------------------------------------------------------------
+
+
+def _strip_qualifiers_query(query: Query) -> Query:
+    from dataclasses import replace
+    from repro.sql.ast import OrderItem, SelectItem
+
+    return replace(
+        query,
+        select=tuple(
+            SelectItem(_strip_qualifiers(i.expr), i.alias)
+            for i in query.select
+        ),
+        where=(
+            _strip_qualifiers(query.where)
+            if query.where is not None
+            else None
+        ),
+        group_by=tuple(_strip_qualifiers(e) for e in query.group_by),
+        having=(
+            _strip_qualifiers(query.having)
+            if query.having is not None
+            else None
+        ),
+        order_by=tuple(
+            OrderItem(_strip_qualifiers(o.expr), o.descending)
+            for o in query.order_by
+        ),
+    )
+
+
+def _strip_qualifiers(expr: Expression) -> Expression:
+    if isinstance(expr, Column):
+        if expr.table is not None:
+            return Column(expr.name)
+        return expr
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(
+            expr.op,
+            _strip_qualifiers(expr.left),
+            _strip_qualifiers(expr.right),
+        )
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, _strip_qualifiers(expr.operand))
+    if isinstance(expr, FuncCall):
+        return FuncCall(
+            expr.name,
+            tuple(_strip_qualifiers(a) for a in expr.args),
+            expr.distinct,
+        )
+    if isinstance(expr, InList):
+        return InList(
+            _strip_qualifiers(expr.expr),
+            tuple(_strip_qualifiers(v) for v in expr.values),
+            expr.negated,
+        )
+    if isinstance(expr, Between):
+        return Between(
+            _strip_qualifiers(expr.expr),
+            _strip_qualifiers(expr.low),
+            _strip_qualifiers(expr.high),
+            expr.negated,
+        )
+    if isinstance(expr, Like):
+        return Like(_strip_qualifiers(expr.expr), expr.pattern, expr.negated)
+    if isinstance(expr, IsNull):
+        return IsNull(_strip_qualifiers(expr.expr), expr.negated)
+    return expr

@@ -1,0 +1,101 @@
+"""Syntactic equivalence: normalized-text match and string similarity.
+
+The paper's first, cheapest tier: "a query is syntactically equivalent
+to the goal query if the query's text covers at least the same columns
+and rows as the goal query's text", with a >95% string-similarity rule
+(after whitespace normalization) used as a fallback extension to SPES.
+"""
+
+from __future__ import annotations
+
+import difflib
+
+from repro.sql.ast import Query
+from repro.sql.formatter import format_query, normalize_sql
+
+#: The paper's similarity threshold for inferring equivalence.
+SIMILARITY_THRESHOLD = 0.95
+
+
+def normalized_text(query: Query | str) -> str:
+    """Canonical normalized text of a query or raw SQL string."""
+    if isinstance(query, Query):
+        query = format_query(query)
+    return normalize_sql(query)
+
+
+def similarity(a: Query | str, b: Query | str) -> float:
+    """Similarity ratio in [0, 1] between two normalized query texts."""
+    return difflib.SequenceMatcher(
+        None, normalized_text(a), normalized_text(b)
+    ).ratio()
+
+
+def syntactically_equivalent(
+    a: Query | str,
+    b: Query | str,
+    threshold: float = SIMILARITY_THRESHOLD,
+) -> bool:
+    """True when normalized texts match exactly or are >= ``threshold`` similar.
+
+    The similarity rule is guarded by a cheap structural check: two
+    queries whose aggregate functions or join shapes differ are never
+    "similar enough". Without the guard, long shared clauses (joins
+    especially) push e.g. ``SUM(x)`` vs ``COUNT(*)`` variants of one
+    query past the 95% threshold — a false positive that would complete
+    goals early.
+    """
+    text_a = normalized_text(a)
+    text_b = normalized_text(b)
+    if text_a == text_b:
+        return True
+    signature_a = _structure_signature(a)
+    signature_b = _structure_signature(b)
+    if (
+        signature_a is not None
+        and signature_b is not None
+        and signature_a != signature_b
+    ):
+        return False
+    return (
+        difflib.SequenceMatcher(None, text_a, text_b).ratio() >= threshold
+    )
+
+
+def _structure_signature(query: Query | str) -> tuple[object, ...] | None:
+    """Coarse structure used to gate the similarity rule.
+
+    Returns ``None`` for unparseable raw SQL (the gate then always
+    passes, preserving the paper's plain string-match behaviour there).
+    """
+    if isinstance(query, str):
+        from repro.errors import SqlError
+        from repro.sql.parser import parse_query
+
+        try:
+            query = parse_query(query)
+        except SqlError:
+            return None
+    aggregates = sorted(
+        node.name
+        for item in query.select
+        for node in _function_calls(item.expr)
+        if node.is_aggregate
+    )
+    joins = tuple(j.kind for j in query.joins)
+    return (tuple(aggregates), joins)
+
+
+def _function_calls(expr):
+    from repro.sql.ast import FuncCall, walk
+
+    return [node for node in walk(expr) if isinstance(node, FuncCall)]
+
+
+def is_textual_prefix(a: Query | str, b: Query | str) -> bool:
+    """True when ``a``'s normalized text is a prefix of ``b``'s.
+
+    The paper uses textual prefixing as one of its subsumption signals
+    (e.g. the same query with an extra WHERE conjunct appended).
+    """
+    return normalized_text(b).startswith(normalized_text(a))

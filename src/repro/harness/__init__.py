@@ -1,0 +1,18 @@
+"""Benchmark harness: the Table 3 parameter matrix, executed end-to-end.
+
+:class:`~repro.harness.config.BenchmarkConfig` declares the experiment
+(dashboards × workflows × engines × dataset sizes × runs);
+:class:`~repro.harness.runner.BenchmarkRunner` executes it and exposes
+aggregations matching the paper's figures.
+"""
+
+from repro.harness.config import BenchmarkConfig, table3_matrix
+from repro.harness.runner import BenchmarkResult, BenchmarkRunner, RunResult
+
+__all__ = [
+    "BenchmarkConfig",
+    "BenchmarkResult",
+    "BenchmarkRunner",
+    "RunResult",
+    "table3_matrix",
+]

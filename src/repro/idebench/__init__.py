@@ -1,0 +1,31 @@
+"""IDEBench baseline: the fully stochastic comparator (paper §5, §6.3).
+
+IDEBench (Eichmann et al., SIGMOD 2020) simulates interactive data
+exploration as a purely stochastic process: visualizations are created,
+linked, and filtered at random, *unconstrained by any dashboard
+specification*. The paper uses this contrast to show that unconstrained
+variance yields unrealistic workloads (Figure 9: reverse-engineered
+IDEBench "dashboards" average 13 visualizations where the real IT
+Monitor has 3, with ~9 visualization updates per interaction and 13.2
+filters per visualization).
+"""
+
+from repro.idebench.analysis import (
+    ReverseEngineeredStats,
+    analyze_workflows,
+    reverse_engineer,
+)
+from repro.idebench.simulator import (
+    IDEBenchConfig,
+    IDEBenchSimulator,
+    IDEBenchWorkflow,
+)
+
+__all__ = [
+    "IDEBenchConfig",
+    "IDEBenchSimulator",
+    "IDEBenchWorkflow",
+    "ReverseEngineeredStats",
+    "analyze_workflows",
+    "reverse_engineer",
+]

@@ -1,0 +1,96 @@
+"""Reverse-engineering IDEBench workflows into dashboard statistics.
+
+The paper (§6.3, Figure 9) generates 50 IDEBench workflows for the IT
+Monitor dataset and reverse engineers the dashboard each implies,
+reporting visualization counts, link density, and per-visualization
+attribute/filter statistics. This module computes the same aggregates
+from :class:`~repro.idebench.simulator.IDEBenchWorkflow` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.idebench.simulator import IDEBenchWorkflow
+from repro.metrics.workload_stats import MeanStd, _mean_std
+
+
+@dataclass(frozen=True)
+class ReverseEngineeredStats:
+    """Aggregate dashboard statistics across a set of workflows."""
+
+    workflows: int
+    avg_visualizations: float
+    min_visualizations: int
+    max_visualizations: int
+    updates_per_interaction: MeanStd
+    attributes_per_viz: MeanStd
+    filters_per_viz: MeanStd
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "workflows": self.workflows,
+            "avg_visualizations": round(self.avg_visualizations, 1),
+            "min_visualizations": self.min_visualizations,
+            "max_visualizations": self.max_visualizations,
+            "updates_per_interaction": str(self.updates_per_interaction),
+            "attributes_per_viz": str(self.attributes_per_viz),
+            "filters_per_viz": str(self.filters_per_viz),
+        }
+
+
+def reverse_engineer(workflow: IDEBenchWorkflow) -> dict[str, float]:
+    """Per-workflow dashboard statistics (one Figure 9 panel)."""
+    viz_count = workflow.num_visualizations
+    attributes = [
+        float(len(v.dimensions) + (0 if v.measure_column is None else 1))
+        for v in workflow.visualizations
+    ]
+    filters = [float(len(v.filters)) for v in workflow.visualizations]
+    updates = [float(u) for u in workflow.updates_per_interaction]
+    return {
+        "visualizations": float(viz_count),
+        "links": float(len(workflow.links)),
+        "avg_attributes_per_viz": (
+            sum(attributes) / len(attributes) if attributes else 0.0
+        ),
+        "avg_filters_per_viz": (
+            sum(filters) / len(filters) if filters else 0.0
+        ),
+        "avg_updates_per_interaction": (
+            sum(updates) / len(updates) if updates else 0.0
+        ),
+    }
+
+
+def analyze_workflows(
+    workflows: list[IDEBenchWorkflow],
+) -> ReverseEngineeredStats:
+    """Aggregate statistics across many workflows (the paper uses 50)."""
+    per_workflow = [reverse_engineer(w) for w in workflows]
+    viz_counts = [int(p["visualizations"]) for p in per_workflow]
+    updates: list[float] = []
+    for workflow in workflows:
+        updates.extend(float(u) for u in workflow.updates_per_interaction)
+    attributes: list[float] = []
+    filters: list[float] = []
+    for workflow in workflows:
+        for viz in workflow.visualizations:
+            attributes.append(
+                float(
+                    len(viz.dimensions)
+                    + (0 if viz.measure_column is None else 1)
+                )
+            )
+            filters.append(float(len(viz.filters)))
+    return ReverseEngineeredStats(
+        workflows=len(workflows),
+        avg_visualizations=(
+            sum(viz_counts) / len(viz_counts) if viz_counts else 0.0
+        ),
+        min_visualizations=min(viz_counts) if viz_counts else 0,
+        max_visualizations=max(viz_counts) if viz_counts else 0,
+        updates_per_interaction=_mean_std(updates),
+        attributes_per_viz=_mean_std(attributes),
+        filters_per_viz=_mean_std(filters),
+    )

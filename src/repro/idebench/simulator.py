@@ -1,0 +1,296 @@
+"""Reimplementation of IDEBench's stochastic workload generator.
+
+The original benchmark draws a sequence of operations from fixed
+probabilities: create a visualization over random columns, link two
+visualizations, add/modify a filter, or remove one. Filters propagate
+along links, and every affected visualization re-issues its aggregate
+query. Nothing constrains the growing "dashboard" to resemble an
+interface a designer would build — which is precisely the behaviour the
+SIMBA paper critiques.
+
+The defaults below reproduce the workload shape the paper reports for
+50 IDEBench workflows over the IT Monitor dataset: ~13 visualizations
+per workflow (min 7, max 20), ~9 visualization updates per interaction,
+~2.1 data attributes and ~13.2 filters per visualization.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.engine.interface import Engine, QueryResult
+from repro.engine.table import Schema, Table
+from repro.errors import SimulationError
+from repro.sql.ast import (
+    Between,
+    BinaryOp,
+    Column,
+    Expression,
+    FuncCall,
+    InList,
+    Literal,
+    Query,
+    SelectItem,
+    Star,
+    TableRef,
+)
+
+_AGGS = ("COUNT", "SUM", "AVG", "MIN", "MAX")
+
+
+@dataclass(frozen=True)
+class IDEBenchConfig:
+    """Operation probabilities of the stochastic process.
+
+    The remaining probability mass (1 - create - link - remove) goes to
+    the filter operation, IDEBench's dominant action.
+    """
+
+    p_create_viz: float = 0.24
+    p_link: float = 0.12
+    p_remove_filter: float = 0.10
+    #: Links drawn from/to a newly created visualization (IDEBench wires
+    #: new views into the existing crossfilter network immediately,
+    #: which is what makes its dashboards densely linked).
+    links_per_new_viz: int = 1
+    max_visualizations: int = 20
+    min_operations: int = 40
+    max_operations: int = 60
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        total = self.p_create_viz + self.p_link + self.p_remove_filter
+        if total >= 1.0:
+            raise SimulationError(
+                "operation probabilities must leave mass for filters"
+            )
+
+
+@dataclass
+class SimulatedViz:
+    """One dynamically created visualization."""
+
+    id: str
+    dimensions: list[str]
+    measure_agg: str
+    measure_column: str | None
+    filters: list[Expression] = field(default_factory=list)
+
+    def query(self, table: str) -> Query:
+        select: list[SelectItem] = [
+            SelectItem(Column(d)) for d in self.dimensions
+        ]
+        if self.measure_column is None:
+            measure: Expression = FuncCall("COUNT", (Star(),))
+        else:
+            measure = FuncCall(
+                self.measure_agg, (Column(self.measure_column),)
+            )
+        select.append(SelectItem(measure, "measure"))
+        where: Expression | None = None
+        for predicate in self.filters:
+            where = (
+                predicate
+                if where is None
+                else BinaryOp("AND", where, predicate)
+            )
+        return Query(
+            select=tuple(select),
+            from_table=TableRef(table),
+            where=where,
+            group_by=tuple(Column(d) for d in self.dimensions),
+        )
+
+
+@dataclass
+class IDEBenchWorkflow:
+    """Result of one stochastic run: the grown 'dashboard' plus its log."""
+
+    visualizations: list[SimulatedViz]
+    links: list[tuple[str, str]]
+    operations: int
+    updates_per_interaction: list[int]
+    queries: list[Query]
+    timed: list[QueryResult] = field(default_factory=list)
+
+    @property
+    def num_visualizations(self) -> int:
+        return len(self.visualizations)
+
+
+class IDEBenchSimulator:
+    """Grows a random linked-visualization workload over one dataset."""
+
+    name = "idebench"
+
+    def __init__(
+        self,
+        table: Table,
+        config: IDEBenchConfig | None = None,
+        engine: Engine | None = None,
+    ) -> None:
+        self.table = table
+        self.config = config or IDEBenchConfig()
+        self.engine = engine
+        self.rng = random.Random(self.config.seed)
+        self._viz_counter = 0
+
+    def run(self) -> IDEBenchWorkflow:
+        """Run one full stochastic workflow."""
+        rng = self.rng
+        config = self.config
+        vizzes: list[SimulatedViz] = [self._create_viz()]
+        links: list[tuple[str, str]] = []
+        updates: list[int] = []
+        queries: list[Query] = [vizzes[0].query(self.table.name)]
+        operations = rng.randint(
+            config.min_operations, config.max_operations
+        )
+        for _ in range(operations):
+            draw = rng.random()
+            if (
+                draw < config.p_create_viz
+                and len(vizzes) < config.max_visualizations
+            ):
+                viz = self._create_viz()
+                # Wire the new visualization into the crossfilter network
+                # in both directions, like IDEBench's linked views.
+                existing = list(vizzes)
+                vizzes.append(viz)
+                for neighbor in rng.sample(
+                    existing,
+                    min(config.links_per_new_viz, len(existing)),
+                ):
+                    for link in ((neighbor.id, viz.id), (viz.id, neighbor.id)):
+                        if link not in links:
+                            links.append(link)
+                # Creating a view renders it once; it is not an
+                # "interaction" for the updates-per-interaction metric.
+                queries.append(viz.query(self.table.name))
+            elif draw < config.p_create_viz + config.p_link:
+                if len(vizzes) >= 2:
+                    source, target = rng.sample(vizzes, 2)
+                    link = (source.id, target.id)
+                    if link not in links:
+                        links.append(link)
+            elif (
+                draw
+                < config.p_create_viz
+                + config.p_link
+                + config.p_remove_filter
+            ):
+                candidates = [v for v in vizzes if v.filters]
+                if candidates:
+                    viz = rng.choice(candidates)
+                    viz.filters.pop(
+                        rng.randrange(len(viz.filters))
+                    )
+                    affected = self._propagate(viz, vizzes, links, None)
+                    updates.append(len(affected))
+                    queries.extend(
+                        v.query(self.table.name) for v in affected
+                    )
+            else:
+                viz = rng.choice(vizzes)
+                predicate = self._random_filter()
+                affected = self._propagate(viz, vizzes, links, predicate)
+                updates.append(len(affected))
+                queries.extend(
+                    v.query(self.table.name) for v in affected
+                )
+        workflow = IDEBenchWorkflow(
+            visualizations=vizzes,
+            links=links,
+            operations=operations,
+            updates_per_interaction=updates,
+            queries=queries,
+        )
+        if self.engine is not None:
+            workflow.timed = [
+                self.engine.execute_timed(q) for q in queries
+            ]
+        return workflow
+
+    # -- operations -----------------------------------------------------------
+
+    def _create_viz(self) -> SimulatedViz:
+        rng = self.rng
+        schema = self.table.schema
+        groupable = schema.categorical_columns()
+        numeric = schema.numeric_columns()
+        dimension_count = rng.choice((1, 1, 2))  # mostly simple vizzes
+        dimensions = rng.sample(
+            groupable, min(dimension_count, len(groupable))
+        )
+        if numeric and rng.random() < 0.8:
+            agg = rng.choice(_AGGS)
+            column: str | None = rng.choice(numeric)
+        else:
+            agg = "COUNT"
+            column = None
+        self._viz_counter += 1
+        return SimulatedViz(
+            id=f"viz_{self._viz_counter}",
+            dimensions=dimensions,
+            measure_agg=agg,
+            measure_column=column,
+        )
+
+    def _random_filter(self) -> Expression:
+        """A random predicate over a random column (IDEBench-style)."""
+        rng = self.rng
+        schema = self.table.schema
+        categorical = schema.categorical_columns()
+        numeric = schema.numeric_columns()
+        use_categorical = categorical and (
+            not numeric or rng.random() < 0.6
+        )
+        if use_categorical:
+            column = rng.choice(categorical)
+            values = self.table.distinct_values(column)
+            if not values:
+                return BinaryOp("=", Column(column), Literal(None))
+            count = rng.randint(1, min(3, len(values)))
+            members = rng.sample(values, count)
+            return InList(
+                Column(column),
+                tuple(Literal(m) for m in sorted(members, key=repr)),
+            )
+        column = rng.choice(numeric)
+        low, high = self.table.column_extent(column)
+        if low is None:
+            return BinaryOp("=", Column(column), Literal(None))
+        span = float(high) - float(low)  # type: ignore[arg-type]
+        a = float(low) + rng.random() * span
+        b = float(low) + rng.random() * span
+        lo, hi = (a, b) if a <= b else (b, a)
+        return Between(
+            Column(column), Literal(round(lo, 4)), Literal(round(hi, 4))
+        )
+
+    def _propagate(
+        self,
+        source: SimulatedViz,
+        vizzes: list[SimulatedViz],
+        links: list[tuple[str, str]],
+        predicate: Expression | None,
+    ) -> list[SimulatedViz]:
+        """Apply a filter to ``source`` and everything reachable from it."""
+        by_id = {v.id: v for v in vizzes}
+        reached: set[str] = set()
+        frontier = [source.id]
+        while frontier:
+            current = frontier.pop()
+            if current in reached:
+                continue
+            reached.add(current)
+            # Crossfilter networks update in both directions: a brush in
+            # either linked view refreshes the other.
+            frontier.extend(t for s, t in links if s == current)
+            frontier.extend(s for s, t in links if t == current)
+        affected = [by_id[viz_id] for viz_id in sorted(reached)]
+        if predicate is not None:
+            for viz in affected:
+                viz.filters.append(predicate)
+        return affected

@@ -1,0 +1,39 @@
+"""Session-log persistence, replay, and log-derived EVA metrics.
+
+The paper's user study (§6.4) hands experts *logs* — flat records of
+interactions and the SQL they emitted — in a spreadsheet. This package
+turns :class:`~repro.simulation.session.SessionLog` objects into exactly
+that artifact and back:
+
+- :mod:`repro.logs.records` — the flat, serialization-friendly log model;
+- :mod:`repro.logs.io` — JSONL and CSV round-tripping;
+- :mod:`repro.logs.replay` — re-execute a log's queries on any engine,
+  checking result cardinalities against what the log recorded;
+- :mod:`repro.logs.eva` — the log-computable exploration metrics the
+  paper's related work catalogs (§7): interaction rate, response time,
+  total exploration time, interactions performed, attributes explored.
+"""
+
+from repro.logs.eva import EvaMetrics, eva_metrics
+from repro.logs.io import (
+    read_csv,
+    read_jsonl,
+    write_csv,
+    write_jsonl,
+)
+from repro.logs.records import ExportedLog, LogEntry, export_session
+from repro.logs.replay import ReplayReport, replay_log
+
+__all__ = [
+    "EvaMetrics",
+    "ExportedLog",
+    "LogEntry",
+    "ReplayReport",
+    "eva_metrics",
+    "export_session",
+    "read_csv",
+    "read_jsonl",
+    "replay_log",
+    "write_csv",
+    "write_jsonl",
+]

@@ -1,0 +1,96 @@
+"""Exploration metrics computable from interaction logs.
+
+The paper's related-work survey (§7) catalogs the measures the EVA
+community derives from logs: interaction rates, system response time,
+per-interaction latency, total exploration time, total interactions
+performed, and attributes explored. All of them are functions of an
+:class:`~repro.logs.records.ExportedLog`, computed here in one pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.logs.records import ExportedLog
+from repro.sql.ast import referenced_columns
+from repro.sql.parser import parse_query
+
+
+@dataclass(frozen=True)
+class EvaMetrics:
+    """Log-derived exploration measures (§7 of the paper)."""
+
+    total_interactions: int
+    total_queries: int
+    #: Session wall-clock spent waiting on the DBMS, in milliseconds.
+    total_exploration_ms: float
+    #: Interactions per minute of exploration time.
+    interaction_rate_per_minute: float
+    mean_response_ms: float
+    max_response_ms: float
+    p95_response_ms: float
+    #: Distinct data attributes referenced by any emitted query.
+    attributes_explored: frozenset[str]
+    empty_result_fraction: float
+    #: Interactions contributed by each model ("oracle"/"markov").
+    model_mix: dict[str, int]
+
+    @property
+    def attributes_explored_count(self) -> int:
+        return len(self.attributes_explored)
+
+
+def eva_metrics(log: ExportedLog, think_time_ms: float = 0.0) -> EvaMetrics:
+    """Compute every §7 measure from one exported log.
+
+    ``think_time_ms`` adds a fixed human pause per interaction to the
+    exploration time (the log records only DBMS wall-clock). The paper's
+    study sessions ran 12 minutes for a few dozen interactions, i.e.
+    ~20–40 s of think time per interaction; pass a value in that range
+    to compare interaction rates against the human-study literature.
+    """
+    durations = [entry.duration_ms for entry in log.entries]
+    total_ms = log.entries[-1].elapsed_ms if log.entries else 0.0
+    interactions = log.interaction_count
+    total_ms += think_time_ms * interactions
+    minutes = total_ms / 60_000.0
+    rate = interactions / minutes if minutes > 0 else 0.0
+
+    attributes: set[str] = set()
+    for entry in log.entries:
+        attributes |= referenced_columns(parse_query(entry.sql))
+
+    empty = sum(1 for entry in log.entries if entry.rows_returned == 0)
+    mix: dict[str, int] = {}
+    for step in {e.step: e.model for e in log.entries if e.interaction != "initial render"}.values():
+        mix[step] = mix.get(step, 0) + 1
+
+    return EvaMetrics(
+        total_interactions=interactions,
+        total_queries=len(log.entries),
+        total_exploration_ms=total_ms,
+        interaction_rate_per_minute=rate,
+        mean_response_ms=_mean(durations),
+        max_response_ms=max(durations) if durations else 0.0,
+        p95_response_ms=_percentile(durations, 0.95),
+        attributes_explored=frozenset(attributes),
+        empty_result_fraction=(
+            empty / len(log.entries) if log.entries else 0.0
+        ),
+        model_mix=mix,
+    )
+
+
+def _mean(values: list[float]) -> float:
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def _percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile (no interpolation)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, round(q * (len(ordered) - 1))))
+    return ordered[rank]

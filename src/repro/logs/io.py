@@ -1,0 +1,97 @@
+"""JSONL and CSV round-tripping for exported session logs.
+
+JSONL is the machine format (header line, then one line per entry); CSV
+is the analyst-facing format — the shape the paper's user-study experts
+received in a spreadsheet (§6.4) — with the header carried in a
+``# key=value`` comment line.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.errors import SimbaError
+from repro.logs.records import ENTRY_FIELDS, ExportedLog, LogEntry
+
+
+def write_jsonl(log: ExportedLog, path: str | Path) -> None:
+    """Write a log as JSON Lines: one header object, then one per entry."""
+    target = Path(path)
+    with target.open("w", encoding="utf-8") as handle:
+        handle.write(json.dumps({"type": "header", **log.header()}) + "\n")
+        for entry in log.entries:
+            handle.write(
+                json.dumps({"type": "entry", **entry.to_dict()}) + "\n"
+            )
+
+
+def read_jsonl(path: str | Path) -> ExportedLog:
+    """Read a log written by :func:`write_jsonl`."""
+    source = Path(path)
+    log: ExportedLog | None = None
+    with source.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SimbaError(
+                    f"{source}:{line_number}: invalid JSON"
+                ) from exc
+            kind = payload.pop("type", None)
+            if kind == "header":
+                if log is not None:
+                    raise SimbaError(
+                        f"{source}:{line_number}: duplicate header"
+                    )
+                log = ExportedLog.from_header(payload)
+            elif kind == "entry":
+                if log is None:
+                    raise SimbaError(
+                        f"{source}:{line_number}: entry before header"
+                    )
+                log.entries.append(LogEntry.from_dict(payload))
+            else:
+                raise SimbaError(
+                    f"{source}:{line_number}: unknown record type {kind!r}"
+                )
+    if log is None:
+        raise SimbaError(f"{source}: empty log file")
+    return log
+
+
+def write_csv(log: ExportedLog, path: str | Path) -> None:
+    """Write a log as CSV with a ``#`` header comment line."""
+    target = Path(path)
+    with target.open("w", encoding="utf-8", newline="") as handle:
+        header = " ".join(
+            f"{key}={value}" for key, value in log.header().items()
+        )
+        handle.write(f"# {header}\n")
+        writer = csv.writer(handle)
+        writer.writerow(ENTRY_FIELDS)
+        for entry in log.entries:
+            record = entry.to_dict()
+            writer.writerow([record[field] for field in ENTRY_FIELDS])
+
+
+def read_csv(path: str | Path) -> ExportedLog:
+    """Read a log written by :func:`write_csv`."""
+    source = Path(path)
+    with source.open("r", encoding="utf-8", newline="") as handle:
+        first = handle.readline().strip()
+        if not first.startswith("#"):
+            raise SimbaError(f"{source}: missing '#' header comment line")
+        header: dict[str, object] = {}
+        for token in first.lstrip("# ").split():
+            key, _, value = token.partition("=")
+            header[key] = None if value == "None" else value
+        log = ExportedLog.from_header(header)
+        reader = csv.DictReader(handle)
+        for row in reader:
+            log.entries.append(LogEntry.from_dict(dict(row)))
+    return log

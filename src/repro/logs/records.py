@@ -1,0 +1,142 @@
+"""Flat log records, the exchange format between simulation and analysis.
+
+A :class:`LogEntry` is one (interaction, query) pair — the same row shape
+the paper's user-study spreadsheet used — and an :class:`ExportedLog` is
+a complete session: header metadata plus entries in execution order.
+Everything is plain strings/numbers so the records survive JSONL/CSV
+round trips losslessly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+from repro.errors import SimbaError
+from repro.simulation.session import SessionLog
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One executed query and the interaction that triggered it.
+
+    ``elapsed_ms`` is the session clock at the moment the query
+    completed (cumulative over all prior queries), which lets metrics
+    reconstruct pacing without absolute timestamps.
+    """
+
+    step: int
+    model: str
+    interaction: str
+    sql: str
+    rows_returned: int
+    duration_ms: float
+    elapsed_ms: float
+    goal_index: int
+    progress_after: float
+
+    def to_dict(self) -> dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "LogEntry":
+        try:
+            return cls(
+                step=int(payload["step"]),  # type: ignore[arg-type]
+                model=str(payload["model"]),
+                interaction=str(payload["interaction"]),
+                sql=str(payload["sql"]),
+                rows_returned=int(payload["rows_returned"]),  # type: ignore[arg-type]
+                duration_ms=float(payload["duration_ms"]),  # type: ignore[arg-type]
+                elapsed_ms=float(payload["elapsed_ms"]),  # type: ignore[arg-type]
+                goal_index=int(payload["goal_index"]),  # type: ignore[arg-type]
+                progress_after=float(payload["progress_after"]),  # type: ignore[arg-type]
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SimbaError(f"malformed log entry: {payload!r}") from exc
+
+
+#: Column order used by the CSV writer and expected by the reader.
+ENTRY_FIELDS = (
+    "step",
+    "model",
+    "interaction",
+    "sql",
+    "rows_returned",
+    "duration_ms",
+    "elapsed_ms",
+    "goal_index",
+    "progress_after",
+)
+
+
+@dataclass
+class ExportedLog:
+    """A complete session log: header metadata plus ordered entries."""
+
+    dashboard: str
+    engine: str
+    workflow: str | None
+    goals_completed: int
+    goals_total: int
+    entries: list[LogEntry] = field(default_factory=list)
+
+    @property
+    def query_count(self) -> int:
+        return len(self.entries)
+
+    @property
+    def interaction_count(self) -> int:
+        """Distinct interactions (several queries can share one step)."""
+        return len({e.step for e in self.entries if e.interaction != "initial render"})
+
+    def header(self) -> dict[str, object]:
+        return {
+            "dashboard": self.dashboard,
+            "engine": self.engine,
+            "workflow": self.workflow,
+            "goals_completed": self.goals_completed,
+            "goals_total": self.goals_total,
+        }
+
+    @classmethod
+    def from_header(cls, payload: dict[str, object]) -> "ExportedLog":
+        try:
+            workflow = payload.get("workflow")
+            return cls(
+                dashboard=str(payload["dashboard"]),
+                engine=str(payload["engine"]),
+                workflow=None if workflow is None else str(workflow),
+                goals_completed=int(payload["goals_completed"]),  # type: ignore[arg-type]
+                goals_total=int(payload["goals_total"]),  # type: ignore[arg-type]
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SimbaError(f"malformed log header: {payload!r}") from exc
+
+
+def export_session(log: SessionLog) -> ExportedLog:
+    """Flatten a simulator :class:`SessionLog` into an exportable log."""
+    exported = ExportedLog(
+        dashboard=log.dashboard,
+        engine=log.engine,
+        workflow=log.workflow,
+        goals_completed=log.goals_completed,
+        goals_total=log.goals_total,
+    )
+    elapsed = 0.0
+    for record in log.records:
+        for query in record.queries:
+            elapsed += query.duration_ms
+            exported.entries.append(
+                LogEntry(
+                    step=record.step,
+                    model=record.model,
+                    interaction=record.describe(),
+                    sql=query.sql,
+                    rows_returned=query.rows_returned,
+                    duration_ms=query.duration_ms,
+                    elapsed_ms=elapsed,
+                    goal_index=record.goal_index,
+                    progress_after=record.progress_after,
+                )
+            )
+    return exported

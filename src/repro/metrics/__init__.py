@@ -1,0 +1,40 @@
+"""Evaluation metrics (paper §6.2.5).
+
+Query duration is the primary metric; workload-shape statistics
+(Table 4) and duration distributions (Figures 7/8) are derived here
+from session logs.
+"""
+
+from repro.metrics.report import (
+    DurationSummary,
+    duration_summary,
+    format_table,
+)
+from repro.metrics.response_rate import (
+    ResponseRate,
+    response_rate,
+    session_response_rate,
+)
+from repro.metrics.variance import (
+    VarianceMeasures,
+    cross_session_agreement,
+    variance_measures,
+)
+from repro.metrics.workload_stats import (
+    WorkloadStatistics,
+    workload_statistics,
+)
+
+__all__ = [
+    "DurationSummary",
+    "ResponseRate",
+    "VarianceMeasures",
+    "WorkloadStatistics",
+    "cross_session_agreement",
+    "duration_summary",
+    "format_table",
+    "response_rate",
+    "session_response_rate",
+    "variance_measures",
+    "workload_statistics",
+]

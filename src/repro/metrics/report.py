@@ -1,0 +1,79 @@
+"""Duration distributions and plain-text report tables.
+
+Figures 7 and 8 in the paper are box plots of query durations; their
+underlying rows (median, quartiles, whiskers, mean) are produced here so
+the benchmark harness can print the same series the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DurationSummary:
+    """Box-plot statistics of one duration distribution (milliseconds)."""
+
+    label: str
+    count: int
+    mean: float
+    p25: float
+    median: float
+    p75: float
+    p95: float
+    maximum: float
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "label": self.label,
+            "queries": self.count,
+            "mean_ms": round(self.mean, 3),
+            "p25_ms": round(self.p25, 3),
+            "median_ms": round(self.median, 3),
+            "p75_ms": round(self.p75, 3),
+            "p95_ms": round(self.p95, 3),
+            "max_ms": round(self.maximum, 3),
+        }
+
+    @property
+    def iqr(self) -> float:
+        """Inter-quartile range — the paper reads variability off this."""
+        return self.p75 - self.p25
+
+
+def duration_summary(label: str, durations: list[float]) -> DurationSummary:
+    """Summarize a duration sample into box-plot statistics."""
+    if not durations:
+        return DurationSummary(label, 0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    array = np.asarray(durations, dtype=np.float64)
+    return DurationSummary(
+        label=label,
+        count=int(array.size),
+        mean=float(array.mean()),
+        p25=float(np.percentile(array, 25)),
+        median=float(np.percentile(array, 50)),
+        p75=float(np.percentile(array, 75)),
+        p95=float(np.percentile(array, 95)),
+        maximum=float(array.max()),
+    )
+
+
+def format_table(rows: list[dict[str, object]]) -> str:
+    """Render dict rows as an aligned plain-text table."""
+    if not rows:
+        return "(no rows)"
+    columns = list(rows[0].keys())
+    widths = {
+        c: max(len(str(c)), *(len(str(r.get(c, ""))) for r in rows))
+        for c in columns
+    }
+    header = "  ".join(str(c).ljust(widths[c]) for c in columns)
+    separator = "  ".join("-" * widths[c] for c in columns)
+    lines = [header, separator]
+    for row in rows:
+        lines.append(
+            "  ".join(str(row.get(c, "")).ljust(widths[c]) for c in columns)
+        )
+    return "\n".join(lines)

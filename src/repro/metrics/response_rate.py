@@ -1,0 +1,76 @@
+"""Response-rate metric (paper §6.2.5, inherited from Crossfilter [8]).
+
+Response rate is the fraction of queries answered within a latency
+threshold. The paper notes thresholds must be tailored per dashboard,
+so this module exposes both a single-threshold rate and the full
+threshold curve a dashboard developer would use to pick one.
+
+Typical interactivity thresholds from the literature: 100 ms for
+brushing-class interactions, 500 ms for click-class updates, 1 s as
+the upper bound before exploration behaviour degrades (Liu & Heer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.simulation.session import SessionLog
+
+#: Interactivity thresholds (ms) commonly cited in the EVA literature.
+STANDARD_THRESHOLDS_MS = (50.0, 100.0, 500.0, 1000.0)
+
+
+@dataclass(frozen=True)
+class ResponseRate:
+    """Fraction of queries under each latency threshold."""
+
+    label: str
+    total_queries: int
+    rates: dict[float, float]
+
+    def rate(self, threshold_ms: float) -> float:
+        """Response rate at one threshold (must be a computed one)."""
+        try:
+            return self.rates[threshold_ms]
+        except KeyError:
+            raise KeyError(
+                f"threshold {threshold_ms} not computed; available: "
+                f"{sorted(self.rates)}"
+            ) from None
+
+    def as_row(self) -> dict[str, object]:
+        row: dict[str, object] = {
+            "label": self.label,
+            "queries": self.total_queries,
+        }
+        for threshold in sorted(self.rates):
+            row[f"<{int(threshold)}ms"] = f"{self.rates[threshold]:.1%}"
+        return row
+
+
+def response_rate(
+    label: str,
+    durations_ms: list[float],
+    thresholds_ms: tuple[float, ...] = STANDARD_THRESHOLDS_MS,
+) -> ResponseRate:
+    """Compute response rates over a duration sample."""
+    if not durations_ms:
+        return ResponseRate(label, 0, {t: 1.0 for t in thresholds_ms})
+    array = np.asarray(durations_ms, dtype=np.float64)
+    rates = {
+        threshold: float((array <= threshold).mean())
+        for threshold in thresholds_ms
+    }
+    return ResponseRate(label, int(array.size), rates)
+
+
+def session_response_rate(
+    log: SessionLog,
+    thresholds_ms: tuple[float, ...] = STANDARD_THRESHOLDS_MS,
+) -> ResponseRate:
+    """Response rates of every query in one session."""
+    return response_rate(
+        f"{log.dashboard}/{log.engine}", log.query_durations(), thresholds_ms
+    )

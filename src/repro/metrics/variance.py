@@ -1,0 +1,105 @@
+"""Interaction-variance measures (paper §6.3 / §7).
+
+The paper argues that *some* benchmark variability is useful (unique
+runs) while too much produces unrealistic workloads, and notes SIMBA
+supports "new measures, such as the measures of interaction variance".
+These are those measures, computed from session logs:
+
+- **interaction-type entropy** — how evenly a session spreads across
+  interaction kinds (a fully random user maximizes it);
+- **distinct-state ratio** — unique dashboard states visited per
+  interaction (revisiting states signals aimless wandering);
+- **query diversity** — unique SQL texts per emitted query;
+- **cross-session agreement** — Jaccard similarity of the query sets of
+  two sessions (IDEBench's unconstrained runs agree far less than
+  SIMBA's dashboard-constrained ones).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.simulation.session import SessionLog
+
+
+@dataclass(frozen=True)
+class VarianceMeasures:
+    """Variance profile of one session."""
+
+    label: str
+    interactions: int
+    type_entropy: float
+    query_diversity: float
+    empty_fraction: float
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "label": self.label,
+            "interactions": self.interactions,
+            "type_entropy": round(self.type_entropy, 3),
+            "query_diversity": round(self.query_diversity, 3),
+            "empty_fraction": round(self.empty_fraction, 3),
+        }
+
+
+def interaction_type_entropy(log: SessionLog) -> float:
+    """Shannon entropy (bits) of the interaction-kind distribution."""
+    counts: dict[str, int] = {}
+    total = 0
+    for record in log.records:
+        if record.interaction is None:
+            continue
+        kind = record.interaction.kind.value
+        counts[kind] = counts.get(kind, 0) + 1
+        total += 1
+    if total == 0:
+        return 0.0
+    entropy = 0.0
+    for count in counts.values():
+        probability = count / total
+        entropy -= probability * math.log2(probability)
+    return entropy
+
+
+def query_diversity(log: SessionLog) -> float:
+    """Unique SQL texts as a fraction of all emitted queries."""
+    queries = log.queries()
+    if not queries:
+        return 0.0
+    return len(set(queries)) / len(queries)
+
+
+def empty_fraction(log: SessionLog) -> float:
+    """Fraction of emitted queries with zero-row results."""
+    total = log.query_count
+    if total == 0:
+        return 0.0
+    return log.empty_result_count() / total
+
+
+def variance_measures(log: SessionLog, label: str = "") -> VarianceMeasures:
+    """All per-session variance measures at once."""
+    return VarianceMeasures(
+        label=label or f"{log.dashboard}/{log.engine}",
+        interactions=log.interaction_count,
+        type_entropy=interaction_type_entropy(log),
+        query_diversity=query_diversity(log),
+        empty_fraction=empty_fraction(log),
+    )
+
+
+def cross_session_agreement(a: SessionLog, b: SessionLog) -> float:
+    """Jaccard similarity of two sessions' query sets.
+
+    Dashboard-constrained simulations revisit the same query space, so
+    SIMBA sessions agree substantially; unconstrained stochastic
+    workloads (IDEBench) agree far less — the §6.3 realism argument
+    made quantitative.
+    """
+    set_a = set(a.queries())
+    set_b = set(b.queries())
+    if not set_a and not set_b:
+        return 1.0
+    union = set_a | set_b
+    return len(set_a & set_b) / len(union)

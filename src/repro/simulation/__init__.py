@@ -1,0 +1,48 @@
+"""Exploration-session simulation (paper §4).
+
+- :mod:`repro.simulation.goals` — incremental goal-coverage tracking;
+- :mod:`repro.simulation.oracle` — the Oracle model: LookAhead forward
+  planning toward the goal set (Algorithm 1);
+- :mod:`repro.simulation.markov` — the open-ended Markov model extending
+  IDEBench's stochastic simulation;
+- :mod:`repro.simulation.session` — interleaving both models with
+  exponential decay (§4.3), producing interaction logs;
+- :mod:`repro.simulation.workflows` — the three goal-ordering workflows
+  (Shneiderman, Battle & Heer, Crossfilter).
+"""
+
+from repro.simulation.goals import GoalTracker
+from repro.simulation.markov import (
+    MARKOV_PRESETS,
+    InteractionCategory,
+    MarkovModel,
+)
+from repro.simulation.oracle import OracleModel
+from repro.simulation.session import (
+    InteractionRecord,
+    SessionConfig,
+    SessionLog,
+    SessionSimulator,
+)
+from repro.simulation.workflows import (
+    WORKFLOWS,
+    Workflow,
+    WorkflowNotApplicable,
+    get_workflow,
+)
+
+__all__ = [
+    "GoalTracker",
+    "InteractionCategory",
+    "InteractionRecord",
+    "MARKOV_PRESETS",
+    "MarkovModel",
+    "OracleModel",
+    "SessionConfig",
+    "SessionLog",
+    "SessionSimulator",
+    "WORKFLOWS",
+    "Workflow",
+    "WorkflowNotApplicable",
+    "get_workflow",
+]

@@ -1,0 +1,489 @@
+"""Capability-aware goal generation.
+
+The paper observes that "a dashboard emits certain query structures
+which constrain the range of exploration goals it can support" (§2.1).
+This module makes that reciprocal idea operational: goals are
+instantiated from the *capabilities* of the target dashboard — the
+aggregates its visualizations actually compute and the columns its
+widgets/marks can filter — so a goal is reachable through a valid
+sequence of interactions (possibly many, as in Figure 3's union of four
+filtered queries).
+
+Selection rules:
+
+- goal *group keys* come from columns that are both displayed (appear as
+  a visualization dimension, so their values show up in result sets) and
+  filterable (a widget or mark selection can restrict to one member, so
+  per-member aggregates are reachable);
+- goal *measures* come from (aggregate, column) pairs some visualization
+  actually computes;
+- combinations a single visualization answers outright are deprioritized
+  so goals need a sequence of interactions, like the paper's Figure 3
+  goal that is "not syntactically achievable but semantically achievable
+  as the union of four queries".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.algebra.expressions import (
+    Agg,
+    Attribute,
+    AttributeRole,
+    Compare,
+)
+from repro.algebra.templates import TemplateParameterError, get_template
+from repro.algebra.translate import GoalQuery, translate
+from repro.dashboard.spec import DashboardSpec
+
+
+@dataclass
+class DashboardCapabilities:
+    """What a dashboard can express, extracted from its specification."""
+
+    #: Categorical columns a user can filter on (widgets + selectable dims).
+    filterable_categorical: list[str] = field(default_factory=list)
+    #: Quantitative columns covered by range widgets.
+    filterable_quantitative: list[str] = field(default_factory=list)
+    #: (agg, column) pairs some visualization computes; column None = COUNT(*).
+    measured_pairs: list[tuple[str, str | None]] = field(default_factory=list)
+    #: Categorical columns appearing as visualization dimensions.
+    dimension_categorical: list[str] = field(default_factory=list)
+    #: Quantitative columns appearing as *unbinned* visualization dimensions
+    #: (ordinal axes such as hour-of-day).
+    dimension_quantitative: list[str] = field(default_factory=list)
+    #: Temporal (column, unit) pairs appearing as binned dimensions.
+    temporal_dimensions: list[tuple[str, str]] = field(default_factory=list)
+    #: Temporal columns referenced anywhere in the interface.
+    temporal_columns: list[str] = field(default_factory=list)
+
+    @classmethod
+    def from_spec(cls, spec: DashboardSpec) -> "DashboardCapabilities":
+        caps = cls()
+        schema = spec.database.schema()
+        seen: dict[str, set] = {key: set() for key in (
+            "cat", "quant", "pairs", "dim_cat", "dim_quant", "temporal",
+            "t_cols",
+        )}
+
+        def _add(kind: str, bucket: list, value: object) -> None:
+            if value not in seen[kind]:
+                seen[kind].add(value)
+                bucket.append(value)
+
+        for widget in spec.interface.widgets:
+            dtype = schema.dtype(widget.column)
+            if widget.is_categorical:
+                _add("cat", caps.filterable_categorical, widget.column)
+            elif widget.is_range and dtype.is_numeric:
+                _add("quant", caps.filterable_quantitative, widget.column)
+            if dtype.is_temporal:
+                _add("t_cols", caps.temporal_columns, widget.column)
+
+        for viz in spec.interface.visualizations:
+            for dim in viz.dimensions:
+                dtype = schema.dtype(dim.column)
+                if dtype.is_temporal:
+                    _add("t_cols", caps.temporal_columns, dim.column)
+                if dim.bin is None:
+                    if dtype.is_categorical:
+                        _add("dim_cat", caps.dimension_categorical, dim.column)
+                        if viz.selectable:
+                            _add(
+                                "cat",
+                                caps.filterable_categorical,
+                                dim.column,
+                            )
+                    elif dtype.is_numeric:
+                        _add(
+                            "dim_quant",
+                            caps.dimension_quantitative,
+                            dim.column,
+                        )
+                elif isinstance(dim.bin, str) and dtype.is_temporal:
+                    _add(
+                        "temporal",
+                        caps.temporal_dimensions,
+                        (dim.column, dim.bin),
+                    )
+            for measure in viz.measures:
+                _add(
+                    "pairs",
+                    caps.measured_pairs,
+                    (measure.agg, measure.column),
+                )
+        return caps
+
+    # -- selection helpers -------------------------------------------------------
+
+    def goal_key_pool(self) -> list[str]:
+        """Categorical columns usable as goal group keys.
+
+        Displayed-and-filterable columns first (fully achievable goals);
+        falls back to merely-filterable ones.
+        """
+        displayed = [
+            c
+            for c in self.dimension_categorical
+            if c in self.filterable_categorical
+        ]
+        return displayed or list(self.filterable_categorical)
+
+    def column_pairs(self) -> list[tuple[str, str]]:
+        """Measured (agg, column) pairs excluding COUNT(*)."""
+        return [
+            (agg, column)
+            for agg, column in self.measured_pairs
+            if column is not None
+        ]
+
+    def measured_columns(self) -> list[str]:
+        return sorted({c for _, c in self.column_pairs()})
+
+
+def _dashboard_graph(spec: DashboardSpec):
+    """Interaction graph for reachability checks (cached per spec)."""
+    from repro.dashboard.graph import DashboardGraph
+
+    key = id(spec)
+    cached = _GRAPH_CACHE.get(key)
+    if cached is None:
+        cached = DashboardGraph(spec)
+        _GRAPH_CACHE[key] = cached
+    return cached
+
+
+_GRAPH_CACHE: dict[int, object] = {}
+
+
+def _filter_sources(spec: DashboardSpec, column: str) -> list[str]:
+    """Components that can filter ``column`` (widgets + selectable dims)."""
+    sources = [
+        w.id for w in spec.interface.widgets if w.column == column
+    ]
+    for viz in spec.interface.visualizations:
+        if viz.selectable and any(
+            d.column == column and d.bin is None for d in viz.dimensions
+        ):
+            sources.append(viz.id)
+    return sources
+
+
+def _combo_class(
+    spec: DashboardSpec, categorical: str, agg: str, column: str
+) -> str:
+    """Classify a ``C x agg(Q)`` goal against the dashboard.
+
+    - ``"iterative"`` — some visualization computes ``agg(Q)`` with *no*
+      grouping (a stat panel) *and* is reachable from a component that
+      filters C, so iterating the filter over C's members produces the
+      per-member aggregates one query at a time — the Figure 3 pattern.
+      These are the interesting goals.
+    - ``"trivial"`` — a visualization grouped exactly by C already shows
+      ``agg(Q)``; the initial render covers the goal.
+    - ``"hard"`` — no visualization produces the needed cells; the goal
+      is formulable but completion is unlikely within the step budget.
+    """
+    graph = _dashboard_graph(spec)
+    sources = _filter_sources(spec, categorical)
+    trivial = False
+    iterative = False
+    for viz in spec.interface.visualizations:
+        has_measure = any(
+            m.agg == agg and m.column == column for m in viz.measures
+        )
+        if not has_measure:
+            continue
+        if not viz.dimensions:
+            reachable = any(
+                viz.id in graph.reachable_visualizations(source)
+                for source in sources
+            )
+            if reachable:
+                iterative = True
+        elif (
+            len(viz.dimensions) == 1
+            and viz.dimensions[0].column == categorical
+            and viz.dimensions[0].bin is None
+        ):
+            trivial = True
+    if iterative:
+        return "iterative"
+    if trivial:
+        return "trivial"
+    return "hard"
+
+
+def _choose_combo(
+    spec: DashboardSpec,
+    caps: DashboardCapabilities,
+    rng: random.Random,
+    allowed_aggs: set[str] | None = None,
+) -> tuple[str, str, str]:
+    """Pick (categorical, agg, column), preferring goals that require a
+    sequence of interactions, then trivially-covered goals, then merely
+    formulable ones."""
+    keys = caps.goal_key_pool()
+    pairs = caps.column_pairs()
+    if allowed_aggs is not None:
+        restricted = [(a, c) for a, c in pairs if a in allowed_aggs]
+        pairs = restricted or pairs
+    if not keys or not pairs:
+        raise TemplateParameterError(
+            f"dashboard {spec.name!r} lacks filterable categorical columns "
+            f"or column aggregates"
+        )
+    combos = [(k, a, c) for k in keys for a, c in pairs]
+    rng.shuffle(combos)
+    by_class: dict[str, tuple[str, str, str]] = {}
+    for categorical, agg, column in combos:
+        combo_class = _combo_class(spec, categorical, agg, column)
+        by_class.setdefault(combo_class, (categorical, agg, column))
+        if combo_class == "iterative":
+            break
+    for preference in ("iterative", "trivial", "hard"):
+        if preference in by_class:
+            return by_class[preference]
+    return combos[0]  # pragma: no cover - by_class is never empty
+
+
+def generate_goal(
+    template_name: str,
+    spec: DashboardSpec,
+    rng: random.Random,
+) -> GoalQuery:
+    """Instantiate one template against a dashboard's capabilities.
+
+    Raises
+    ------
+    TemplateParameterError
+        When the dashboard cannot support the template (the paper's
+        MyRide-vs-correlations incompatibility surfaces here).
+    """
+    caps = DashboardCapabilities.from_spec(spec)
+    template = get_template(template_name)
+    table = spec.database.table
+
+    if template_name in ("analyzing_spread", "measuring_differences"):
+        categorical, agg, column = _choose_combo(spec, caps, rng)
+        params: dict[str, object] = {
+            "categorical": categorical,
+            "quantitative": column,
+            "agg": agg,
+        }
+        if template_name == "analyzing_spread":
+            params["threshold"] = 1
+        return template.instantiate(table, **params)
+
+    if template_name == "filtering":
+        categorical, agg, column = _choose_combo(
+            spec, caps, rng, allowed_aggs={"sum", "count"}
+        )
+        return template.instantiate(
+            table,
+            categorical=categorical,
+            quantitative=column,
+            agg=agg,
+            comparison=">",
+            constant=0,
+        )
+
+    if template_name == "finding_correlations":
+        columns = caps.measured_columns()
+        if len(columns) < 2:
+            raise TemplateParameterError(
+                f"dashboard {spec.name!r} exposes fewer than two measured "
+                f"quantitative columns; correlation goals are inapplicable"
+            )
+        keys = caps.goal_key_pool()
+        pairs = caps.column_pairs()
+        # Prefer a (modulator, pair, pair) combination in which both
+        # aggregates are reachable via per-member filtering (Example 2.2:
+        # call volume vs. abandonment over the same modulator).
+        candidates: list[tuple[str, tuple[str, str], tuple[str, str]]] = []
+        for modulator in keys:
+            for i, first in enumerate(pairs):
+                for second in pairs[i + 1 :]:
+                    if first[1] == second[1]:
+                        continue
+                    classes = {
+                        _combo_class(spec, modulator, *first),
+                        _combo_class(spec, modulator, *second),
+                    }
+                    if "hard" not in classes:
+                        candidates.append((modulator, first, second))
+        if candidates:
+            modulator, (agg1, q1), (agg2, q2) = rng.choice(candidates)
+            return template.instantiate(
+                table,
+                quantitative1=q1,
+                quantitative2=q2,
+                modulator=modulator,
+                agg1=agg1,
+                agg2=agg2,
+            )
+        q1, q2 = rng.sample(columns, 2)
+        params = {
+            "quantitative1": q1,
+            "quantitative2": q2,
+            "agg1": _agg_for(caps, q1, rng),
+            "agg2": _agg_for(caps, q2, rng),
+        }
+        if keys:
+            params["modulator"] = rng.choice(keys)
+        return template.instantiate(table, **params)
+
+    if template_name == "identification":
+        return _identification_goal(template, spec, caps, rng)
+
+    if template_name == "temporal_patterns":
+        return _temporal_goal(template, spec, caps, rng)
+
+    raise TemplateParameterError(f"unknown template {template_name!r}")
+
+
+def _identification_goal(
+    template,
+    spec: DashboardSpec,
+    caps: DashboardCapabilities,
+    rng: random.Random,
+) -> GoalQuery:
+    """Identification goal: ``C × (agg1(Q) + agg2(Q))``.
+
+    Table 2 allows "ordered list of quantitative attributes OR aggregate
+    attributes"; we use the aggregates the dashboard actually computes
+    for the chosen column (true max/min when available, otherwise e.g.
+    count + sum), keeping the goal achievable.
+    """
+    from repro.algebra.expressions import Concat
+
+    pairs = caps.column_pairs()
+    keys = caps.goal_key_pool()
+    if not pairs or not keys:
+        raise TemplateParameterError(
+            f"dashboard {spec.name!r} lacks aggregates or group keys "
+            f"for identification goals"
+        )
+    max_cols = {c for a, c in pairs if a == "max"}
+    min_cols = {c for a, c in pairs if a == "min"}
+    both = sorted(max_cols & min_cols)
+    categorical = rng.choice(keys)
+    if both:
+        return template.instantiate(
+            spec.database.table,
+            categorical=categorical,
+            quantitative=rng.choice(both),
+        )
+    # Fall back to the aggregate attributes the dashboard computes.
+    column = rng.choice(pairs)[1]
+    aggs = sorted({a for a, c in pairs if c == column})[:2]
+    quant = Attribute(column, AttributeRole.QUANTITATIVE)
+    measure = (
+        Concat(Agg(quant, aggs[0]), Agg(quant, aggs[1]))
+        if len(aggs) > 1
+        else Agg(quant, aggs[0])
+    )
+    expression = Compare(
+        Attribute(categorical, AttributeRole.CATEGORICAL), measure
+    )
+    return translate(
+        expression,
+        spec.database.table,
+        template=template.name,
+        description=template.generalization,
+    )
+
+
+def _temporal_goal(
+    template,
+    spec: DashboardSpec,
+    caps: DashboardCapabilities,
+    rng: random.Random,
+) -> GoalQuery:
+    """Temporal-pattern goal with graceful fallbacks.
+
+    Preference order (the paper notes the template "can easily be
+    extended ... swapping temporal for quantitative or categorical
+    attributes", §2.3):
+
+    1. a binned temporal dimension some visualization displays;
+    2. an ordinal quantitative dimension (e.g. hour-of-day);
+    3. any temporal column the interface references (formulable, though
+       completion may require capping the session).
+    """
+    pairs = caps.column_pairs()
+    if not pairs:
+        raise TemplateParameterError(
+            f"dashboard {spec.name!r} computes no column aggregates"
+        )
+    agg, column = rng.choice(pairs)
+    if caps.temporal_dimensions:
+        # Prefer a (temporal dim, measure) pairing some visualization
+        # displays outright; the goal is then reached by viewing (and
+        # possibly un-filtering) that visualization.
+        displayed: list[tuple[str, str, str, str]] = []
+        for viz in spec.interface.visualizations:
+            if len(viz.dimensions) != 1:
+                continue
+            dim = viz.dimensions[0]
+            if not isinstance(dim.bin, str):
+                continue
+            for measure in viz.measures:
+                if measure.column is not None:
+                    displayed.append(
+                        (dim.column, dim.bin, measure.agg, measure.column)
+                    )
+        if displayed:
+            t_column, unit, agg, column = rng.choice(displayed)
+        else:
+            t_column, unit = rng.choice(caps.temporal_dimensions)
+        return template.instantiate(
+            spec.database.table,
+            temporal=t_column,
+            quantitative=column,
+            agg=agg,
+            unit=unit,
+        )
+    if caps.dimension_quantitative:
+        ordinal = rng.choice(caps.dimension_quantitative)
+        expression = Compare(
+            Attribute(ordinal, AttributeRole.TEMPORAL),
+            Agg(Attribute(column, AttributeRole.QUANTITATIVE), agg),
+        )
+        return translate(
+            expression,
+            spec.database.table,
+            template=template.name,
+            description=template.generalization,
+        )
+    if caps.temporal_columns:
+        t_column = rng.choice(caps.temporal_columns)
+        return template.instantiate(
+            spec.database.table,
+            temporal=t_column,
+            quantitative=column,
+            agg=agg,
+            unit="day",
+        )
+    raise TemplateParameterError(
+        f"dashboard {spec.name!r} exposes no temporal or ordinal axis"
+    )
+
+
+def _agg_for(
+    caps: DashboardCapabilities, column: str, rng: random.Random
+) -> str:
+    aggs = [a for a, c in caps.measured_pairs if c == column]
+    return rng.choice(aggs) if aggs else "sum"
+
+
+def generate_goal_set(
+    template_names: list[str] | tuple[str, ...],
+    spec: DashboardSpec,
+    rng: random.Random | None = None,
+) -> list[GoalQuery]:
+    """Instantiate an ordered goal set against one dashboard."""
+    rng = rng or random.Random(0)
+    return [generate_goal(name, spec, rng) for name in template_names]

@@ -1,0 +1,123 @@
+"""Incremental goal-coverage tracking.
+
+:class:`GoalTracker` maintains, for each goal query, the set of result
+cells still uncovered. The Oracle planner asks "how many new goal cells
+would this candidate interaction cover?" hundreds of times per step, so
+the tracker computes *gains* without re-unioning all observed results
+(the naive ``∪R_g ⊆ ∪R_i`` test of §4.1.2, which it implements
+incrementally).
+"""
+
+from __future__ import annotations
+
+from repro.engine.interface import Engine, ResultSet, normalize_value
+from repro.equivalence.results import ResultCache
+from repro.sql.ast import Query
+from repro.sql.formatter import format_query
+
+
+class _GoalCoverage:
+    """Uncovered cells of one goal query, keyed by lower-cased column."""
+
+    def __init__(self, goal: Query, result: ResultSet) -> None:
+        self.goal = goal
+        self.uncovered: dict[str, set[object]] = {}
+        self.total_cells = 0
+        for index, name in enumerate(result.columns):
+            values = {normalize_value(row[index]) for row in result.rows}
+            self.uncovered[name.lower()] = values
+            self.total_cells += len(values)
+        self.covered_cells = 0
+
+    @property
+    def complete(self) -> bool:
+        return all(not values for values in self.uncovered.values())
+
+    @property
+    def fraction(self) -> float:
+        if self.total_cells == 0:
+            return 1.0
+        return self.covered_cells / self.total_cells
+
+    def gain_from(self, observed: ResultSet) -> int:
+        """How many uncovered cells this observed result would cover."""
+        gain = 0
+        for index, name in enumerate(observed.columns):
+            pending = self.uncovered.get(name.lower())
+            if not pending:
+                continue
+            observed_values = {
+                normalize_value(row[index]) for row in observed.rows
+            }
+            gain += len(pending & observed_values)
+        return gain
+
+    def absorb(self, observed: ResultSet) -> int:
+        """Permanently cover cells present in ``observed``; return gain."""
+        gain = 0
+        for index, name in enumerate(observed.columns):
+            pending = self.uncovered.get(name.lower())
+            if not pending:
+                continue
+            observed_values = {
+                normalize_value(row[index]) for row in observed.rows
+            }
+            matched = pending & observed_values
+            gain += len(matched)
+            pending -= matched
+        self.covered_cells += gain
+        return gain
+
+
+class GoalTracker:
+    """Tracks coverage of a goal set by a stream of observed queries."""
+
+    def __init__(self, goal_queries: list[Query], cache: ResultCache) -> None:
+        self._cache = cache
+        self.goals = [
+            _GoalCoverage(goal, cache.execute(goal)) for goal in goal_queries
+        ]
+        self._seen_queries: set[str] = set()
+
+    @property
+    def complete(self) -> bool:
+        """True when every goal's result set is fully covered."""
+        return all(goal.complete for goal in self.goals)
+
+    @property
+    def progress(self) -> float:
+        """Mean coverage fraction across goals (the θ heuristic's scale)."""
+        if not self.goals:
+            return 1.0
+        return sum(goal.fraction for goal in self.goals) / len(self.goals)
+
+    def gain(self, queries: list[Query]) -> int:
+        """Total new cells the given queries would cover (no commit).
+
+        Duplicate queries (already observed) contribute nothing — the
+        same query re-emitted covers no new ground, which also steers
+        the Oracle away from repeating itself.
+        """
+        total = 0
+        for query in queries:
+            key = format_query(query)
+            if key in self._seen_queries:
+                continue
+            result = self._cache.execute(query)
+            for goal in self.goals:
+                total += goal.gain_from(result)
+        return total
+
+    def observe(self, queries: list[Query]) -> int:
+        """Commit observed queries; return total newly covered cells."""
+        total = 0
+        for query in queries:
+            key = format_query(query)
+            result = self._cache.execute(query)
+            self._seen_queries.add(key)
+            for goal in self.goals:
+                total += goal.absorb(result)
+        return total
+
+    def has_seen(self, query: Query) -> bool:
+        return format_query(query) in self._seen_queries

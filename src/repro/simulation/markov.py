@@ -1,0 +1,219 @@
+"""The open-ended Markov model (paper §4.2, extending IDEBench).
+
+IDEBench simulates users as a Markov chain over interaction *types*,
+with per-type probabilities controlling the mix of filter, select, and
+clear operations. We extend it exactly as the paper describes:
+
+- the chain runs over categories of dashboard interactions;
+- once a category is chosen, a concrete interaction of that category is
+  drawn uniformly (users "fill in parameters using uniform
+  probabilities", §4.2);
+- a library of preset transition matrices ships with the benchmark,
+  including the IDEBench defaults, and users can supply their own.
+"""
+
+from __future__ import annotations
+
+import random
+from enum import Enum
+
+from repro.dashboard.state import DashboardState, Interaction, InteractionKind
+from repro.errors import SimulationError
+
+
+class InteractionCategory(Enum):
+    """Interaction-type states of the Markov chain."""
+
+    CATEGORICAL_FILTER = "categorical_filter"  # checkbox/radio/dropdown
+    RANGE_FILTER = "range_filter"              # slider/brush/date range
+    MARK_SELECT = "mark_select"                # click a mark in a viz
+    CLEAR = "clear"                            # clear a widget/selection
+    RESET = "reset"                            # reset the dashboard
+
+
+#: Category of each concrete interaction kind (given the widget type).
+def _categorize(
+    interaction: Interaction, state: DashboardState
+) -> InteractionCategory:
+    kind = interaction.kind
+    if kind is InteractionKind.RESET:
+        return InteractionCategory.RESET
+    if kind in (InteractionKind.WIDGET_CLEAR, InteractionKind.VIZ_CLEAR):
+        return InteractionCategory.CLEAR
+    if kind is InteractionKind.VIZ_SELECT:
+        return InteractionCategory.MARK_SELECT
+    widget = state.widgets[interaction.target]
+    if widget.spec.is_categorical:
+        return InteractionCategory.CATEGORICAL_FILTER
+    return InteractionCategory.RANGE_FILTER
+
+
+TransitionMatrix = dict[InteractionCategory, dict[InteractionCategory, float]]
+
+
+def _uniform_row() -> dict[InteractionCategory, float]:
+    categories = list(InteractionCategory)
+    probability = 1.0 / len(categories)
+    return {c: probability for c in categories}
+
+
+def _row(**weights: float) -> dict[InteractionCategory, float]:
+    by_name = {c.value: c for c in InteractionCategory}
+    row = {by_name[name]: weight for name, weight in weights.items()}
+    total = sum(row.values())
+    return {c: row.get(c, 0.0) / total for c in InteractionCategory}
+
+
+#: Preset transition matrices. ``idebench_default`` reproduces the
+#: filter-heavy behaviour Eichmann et al. shipped with IDEBench (their
+#: simulations overwhelmingly add filters, cf. Table 4's 13.2 filters
+#: per visualization); ``balanced`` is SIMBA's default; the novice and
+#: expert profiles are the familiarity presets of §4.3.
+MARKOV_PRESETS: dict[str, TransitionMatrix] = {
+    "idebench_default": {
+        category: _row(
+            categorical_filter=0.45,
+            range_filter=0.30,
+            mark_select=0.15,
+            clear=0.08,
+            reset=0.02,
+        )
+        for category in InteractionCategory
+    },
+    "balanced": {
+        category: _row(
+            categorical_filter=0.30,
+            range_filter=0.20,
+            mark_select=0.30,
+            clear=0.15,
+            reset=0.05,
+        )
+        for category in InteractionCategory
+    },
+    "uniform": {
+        category: _uniform_row() for category in InteractionCategory
+    },
+    # Novices poke around: many selections, frequent clears and resets.
+    "novice": {
+        category: _row(
+            categorical_filter=0.25,
+            range_filter=0.15,
+            mark_select=0.35,
+            clear=0.15,
+            reset=0.10,
+        )
+        for category in InteractionCategory
+    },
+    # Experts filter purposefully and rarely backtrack.
+    "expert": {
+        category: _row(
+            categorical_filter=0.45,
+            range_filter=0.25,
+            mark_select=0.25,
+            clear=0.04,
+            reset=0.01,
+        )
+        for category in InteractionCategory
+    },
+}
+
+
+class MarkovModel:
+    """Stochastic interaction selection over the interaction layer."""
+
+    name = "markov"
+
+    def __init__(
+        self,
+        transitions: TransitionMatrix | str = "balanced",
+        rng: random.Random | None = None,
+    ) -> None:
+        if isinstance(transitions, str):
+            try:
+                transitions = MARKOV_PRESETS[transitions]
+            except KeyError:
+                raise SimulationError(
+                    f"unknown Markov preset {transitions!r}; available: "
+                    f"{sorted(MARKOV_PRESETS)}"
+                ) from None
+        _validate_matrix(transitions)
+        self.transitions = transitions
+        self.rng = rng or random.Random(0)
+        self.last_category: InteractionCategory | None = None
+
+    def next_interaction(
+        self, state: DashboardState
+    ) -> Interaction | None:
+        """Draw the next stochastic interaction.
+
+        Draws a category from the chain row of the previous category
+        (uniform over categories on the first step), then a concrete
+        interaction of that category uniformly. Falls back to any
+        available interaction when the drawn category has none.
+        """
+        available = state.available_interactions()
+        if not available:
+            return None
+        by_category: dict[InteractionCategory, list[Interaction]] = {}
+        for interaction in available:
+            by_category.setdefault(
+                _categorize(interaction, state), []
+            ).append(interaction)
+        # RESET is always applicable even if not enumerated.
+        by_category.setdefault(InteractionCategory.RESET, []).append(
+            Interaction(InteractionKind.RESET)
+        )
+
+        row = (
+            self.transitions[self.last_category]
+            if self.last_category is not None
+            else _uniform_row()
+        )
+        category = self._draw_category(row, set(by_category))
+        choice = self.rng.choice(by_category[category])
+        self.last_category = category
+        return choice
+
+    def _draw_category(
+        self,
+        row: dict[InteractionCategory, float],
+        available: set[InteractionCategory],
+    ) -> InteractionCategory:
+        candidates = [
+            (category, probability)
+            for category, probability in row.items()
+            if category in available and probability > 0
+        ]
+        if not candidates:
+            return self.rng.choice(sorted(available, key=lambda c: c.value))
+        total = sum(p for _, p in candidates)
+        pick = self.rng.random() * total
+        cumulative = 0.0
+        for category, probability in candidates:
+            cumulative += probability
+            if pick <= cumulative:
+                return category
+        return candidates[-1][0]
+
+    def reset(self) -> None:
+        """Forget the chain state (used between goal segments)."""
+        self.last_category = None
+
+
+def _validate_matrix(matrix: TransitionMatrix) -> None:
+    for category in InteractionCategory:
+        if category not in matrix:
+            raise SimulationError(
+                f"transition matrix missing row for {category.value!r}"
+            )
+        row = matrix[category]
+        total = sum(row.values())
+        if abs(total - 1.0) > 1e-6:
+            raise SimulationError(
+                f"transition row for {category.value!r} sums to {total}, "
+                f"expected 1.0"
+            )
+        if any(p < 0 for p in row.values()):
+            raise SimulationError(
+                f"negative probability in row {category.value!r}"
+            )

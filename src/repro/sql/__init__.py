@@ -1,0 +1,61 @@
+"""Dialect-neutral SQL substrate.
+
+This subpackage provides everything the benchmark needs to represent,
+parse, format, and manipulate the analytic SQL subset that dashboards emit:
+
+- :mod:`repro.sql.ast` — immutable AST node classes;
+- :mod:`repro.sql.lexer` — tokenizer;
+- :mod:`repro.sql.parser` — recursive-descent parser (text -> AST);
+- :mod:`repro.sql.formatter` — AST -> canonical SQL text;
+- :mod:`repro.sql.builder` — fluent programmatic query construction;
+- :mod:`repro.sql.visitors` — generic traversal and analysis helpers.
+
+The supported subset covers ``SELECT`` queries over a single (denormalized)
+table with ``WHERE``, ``GROUP BY``, ``HAVING``, ``ORDER BY``, ``LIMIT``,
+aggregate functions (``COUNT/SUM/AVG/MIN/MAX``), temporal extraction
+functions (``YEAR/MONTH/DAY/HOUR``), and ``BIN`` for binned aggregation —
+exactly the query shapes the SIMBA paper's dashboards generate.
+"""
+
+from repro.sql.ast import (
+    Between,
+    BinaryOp,
+    Column,
+    FuncCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    OrderItem,
+    Query,
+    SelectItem,
+    Star,
+    TableRef,
+    UnaryOp,
+)
+from repro.sql.builder import QueryBuilder, select
+from repro.sql.formatter import format_query, normalize_sql
+from repro.sql.parser import parse_expression, parse_query
+
+__all__ = [
+    "Between",
+    "BinaryOp",
+    "Column",
+    "FuncCall",
+    "InList",
+    "IsNull",
+    "Like",
+    "Literal",
+    "OrderItem",
+    "Query",
+    "QueryBuilder",
+    "SelectItem",
+    "Star",
+    "TableRef",
+    "UnaryOp",
+    "format_query",
+    "normalize_sql",
+    "parse_expression",
+    "parse_query",
+    "select",
+]

@@ -1,0 +1,297 @@
+"""Fluent construction of :class:`~repro.sql.ast.Query` values.
+
+The dashboard data layer and the algebra translator both build queries
+programmatically; this module gives them a compact, readable way to do it::
+
+    query = (
+        select("queue", count(Star()).label("lost_calls"))
+        .from_table("customer_service")
+        .where(col("queue").in_list(["A", "B"]))
+        .group_by("queue")
+        .build()
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.sql.ast import (
+    Between,
+    BinaryOp,
+    Column,
+    Expression,
+    FuncCall,
+    InList,
+    IsNull,
+    Join,
+    Like,
+    Literal,
+    OrderItem,
+    Query,
+    SelectItem,
+    Star,
+    TableRef,
+    UnaryOp,
+)
+
+
+class ExpressionWrapper:
+    """Wraps an :class:`Expression` with operator-overloading sugar."""
+
+    def __init__(self, expr: Expression) -> None:
+        self.expr = expr
+
+    # -- comparisons --------------------------------------------------------
+
+    def __eq__(self, other: object) -> "ExpressionWrapper":  # type: ignore[override]
+        return self._compare("=", other)
+
+    def __ne__(self, other: object) -> "ExpressionWrapper":  # type: ignore[override]
+        return self._compare("!=", other)
+
+    def __lt__(self, other: object) -> "ExpressionWrapper":
+        return self._compare("<", other)
+
+    def __le__(self, other: object) -> "ExpressionWrapper":
+        return self._compare("<=", other)
+
+    def __gt__(self, other: object) -> "ExpressionWrapper":
+        return self._compare(">", other)
+
+    def __ge__(self, other: object) -> "ExpressionWrapper":
+        return self._compare(">=", other)
+
+    def _compare(self, op: str, other: object) -> "ExpressionWrapper":
+        return ExpressionWrapper(BinaryOp(op, self.expr, unwrap(other)))
+
+    # -- arithmetic ---------------------------------------------------------
+
+    def __add__(self, other: object) -> "ExpressionWrapper":
+        return ExpressionWrapper(BinaryOp("+", self.expr, unwrap(other)))
+
+    def __sub__(self, other: object) -> "ExpressionWrapper":
+        return ExpressionWrapper(BinaryOp("-", self.expr, unwrap(other)))
+
+    def __mul__(self, other: object) -> "ExpressionWrapper":
+        return ExpressionWrapper(BinaryOp("*", self.expr, unwrap(other)))
+
+    def __truediv__(self, other: object) -> "ExpressionWrapper":
+        return ExpressionWrapper(BinaryOp("/", self.expr, unwrap(other)))
+
+    # -- boolean ------------------------------------------------------------
+
+    def and_(self, other: object) -> "ExpressionWrapper":
+        return ExpressionWrapper(BinaryOp("AND", self.expr, unwrap(other)))
+
+    def or_(self, other: object) -> "ExpressionWrapper":
+        return ExpressionWrapper(BinaryOp("OR", self.expr, unwrap(other)))
+
+    def not_(self) -> "ExpressionWrapper":
+        return ExpressionWrapper(UnaryOp("NOT", self.expr))
+
+    # -- predicates ---------------------------------------------------------
+
+    def in_list(self, values: Iterable[object], negated: bool = False) -> "ExpressionWrapper":
+        literals = tuple(unwrap(v) for v in values)
+        return ExpressionWrapper(InList(self.expr, literals, negated))
+
+    def between(self, low: object, high: object, negated: bool = False) -> "ExpressionWrapper":
+        return ExpressionWrapper(
+            Between(self.expr, unwrap(low), unwrap(high), negated)
+        )
+
+    def like(self, pattern: str, negated: bool = False) -> "ExpressionWrapper":
+        return ExpressionWrapper(Like(self.expr, pattern, negated))
+
+    def is_null(self, negated: bool = False) -> "ExpressionWrapper":
+        return ExpressionWrapper(IsNull(self.expr, negated))
+
+    # -- select-item sugar ----------------------------------------------------
+
+    def label(self, alias: str) -> SelectItem:
+        """Turn this expression into an aliased SELECT item."""
+        return SelectItem(self.expr, alias)
+
+    def __hash__(self) -> int:
+        return hash(self.expr)
+
+    def __repr__(self) -> str:
+        return f"ExpressionWrapper({self.expr!r})"
+
+
+def unwrap(value: object) -> Expression:
+    """Coerce wrappers / plain Python values into AST expressions."""
+    if isinstance(value, ExpressionWrapper):
+        return value.expr
+    if isinstance(value, Expression):
+        return value
+    return Literal(value)  # type: ignore[arg-type]
+
+
+def col(name: str, table: str | None = None) -> ExpressionWrapper:
+    """Build a column reference."""
+    return ExpressionWrapper(Column(name, table))
+
+
+def lit(value: object) -> ExpressionWrapper:
+    """Build a literal."""
+    return ExpressionWrapper(Literal(value))  # type: ignore[arg-type]
+
+
+def func(name: str, *args: object, distinct: bool = False) -> ExpressionWrapper:
+    """Build a function call from loosely-typed arguments."""
+    return ExpressionWrapper(
+        FuncCall(name.upper(), tuple(unwrap(a) for a in args), distinct)
+    )
+
+
+def count(arg: object = None, distinct: bool = False) -> ExpressionWrapper:
+    """``COUNT(*)`` by default, or ``COUNT(expr)`` when given an argument."""
+    target = Star() if arg is None else unwrap(arg)
+    return func("COUNT", target, distinct=distinct)
+
+
+def sum_(arg: object) -> ExpressionWrapper:
+    return func("SUM", arg)
+
+
+def avg(arg: object) -> ExpressionWrapper:
+    return func("AVG", arg)
+
+
+def min_(arg: object) -> ExpressionWrapper:
+    return func("MIN", arg)
+
+
+def max_(arg: object) -> ExpressionWrapper:
+    return func("MAX", arg)
+
+
+class QueryBuilder:
+    """Accumulates query clauses, then produces an immutable ``Query``."""
+
+    def __init__(self, items: Sequence[object]) -> None:
+        self._select = [self._to_select_item(i) for i in items]
+        self._from: TableRef | None = None
+        self._joins: list[Join] = []
+        self._where: Expression | None = None
+        self._group_by: list[Expression] = []
+        self._having: Expression | None = None
+        self._order_by: list[OrderItem] = []
+        self._limit: int | None = None
+        self._distinct = False
+
+    @staticmethod
+    def _to_select_item(item: object) -> SelectItem:
+        if isinstance(item, SelectItem):
+            return item
+        if isinstance(item, str):
+            if item == "*":
+                return SelectItem(Star())
+            return SelectItem(Column(item))
+        return SelectItem(unwrap(item))
+
+    def distinct(self) -> "QueryBuilder":
+        self._distinct = True
+        return self
+
+    def from_table(self, name: str, alias: str | None = None) -> "QueryBuilder":
+        self._from = TableRef(name, alias)
+        return self
+
+    def join(
+        self,
+        name: str,
+        left_key: object,
+        right_key: object,
+        kind: str = "INNER",
+        alias: str | None = None,
+    ) -> "QueryBuilder":
+        """Add an equi-join clause.
+
+        ``left_key`` / ``right_key`` accept column names (optionally
+        ``"table.column"`` qualified) or column expressions.
+        """
+        self._joins.append(
+            Join(
+                TableRef(name, alias),
+                _to_join_key(left_key),
+                _to_join_key(right_key),
+                kind,
+            )
+        )
+        return self
+
+    def where(self, predicate: object) -> "QueryBuilder":
+        """Set or AND-extend the WHERE clause."""
+        expr = unwrap(predicate)
+        if self._where is None:
+            self._where = expr
+        else:
+            self._where = BinaryOp("AND", self._where, expr)
+        return self
+
+    def group_by(self, *exprs: object) -> "QueryBuilder":
+        for expr in exprs:
+            if isinstance(expr, str):
+                self._group_by.append(Column(expr))
+            else:
+                self._group_by.append(unwrap(expr))
+        return self
+
+    def having(self, predicate: object) -> "QueryBuilder":
+        expr = unwrap(predicate)
+        if self._having is None:
+            self._having = expr
+        else:
+            self._having = BinaryOp("AND", self._having, expr)
+        return self
+
+    def order_by(self, expr: object, descending: bool = False) -> "QueryBuilder":
+        if isinstance(expr, str):
+            target: Expression = Column(expr)
+        else:
+            target = unwrap(expr)
+        self._order_by.append(OrderItem(target, descending))
+        return self
+
+    def limit(self, count_: int) -> "QueryBuilder":
+        self._limit = count_
+        return self
+
+    def build(self) -> Query:
+        """Produce the immutable query; requires ``from_table`` to be set."""
+        if self._from is None:
+            raise ValueError("QueryBuilder requires from_table() before build()")
+        return Query(
+            select=tuple(self._select),
+            from_table=self._from,
+            where=self._where,
+            group_by=tuple(self._group_by),
+            having=self._having,
+            order_by=tuple(self._order_by),
+            limit=self._limit,
+            distinct=self._distinct,
+            joins=tuple(self._joins),
+        )
+
+
+def _to_join_key(key: object) -> Column:
+    """Coerce a join-key argument to a (possibly qualified) Column."""
+    if isinstance(key, str):
+        if "." in key:
+            table, _, column = key.partition(".")
+            return Column(column, table=table)
+        return Column(key)
+    expr = unwrap(key)
+    if not isinstance(expr, Column):
+        raise ValueError(f"join keys must be columns, got {expr}")
+    return expr
+
+
+def select(*items: object) -> QueryBuilder:
+    """Entry point: ``select("a", count()).from_table(...)``."""
+    if not items:
+        raise ValueError("select() requires at least one item")
+    return QueryBuilder(items)

@@ -1,0 +1,185 @@
+"""Tokenizer for the analytic SQL subset.
+
+The lexer is intentionally strict: it recognizes exactly the token
+vocabulary emitted by :mod:`repro.sql.formatter`, which keeps the
+parse/format round-trip exact — a property the test suite checks with
+hypothesis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from repro.errors import LexError
+
+
+class TokenType(Enum):
+    """Lexical categories produced by :func:`tokenize`."""
+
+    KEYWORD = auto()
+    IDENTIFIER = auto()
+    NUMBER = auto()
+    STRING = auto()
+    OPERATOR = auto()
+    COMMA = auto()
+    DOT = auto()
+    LPAREN = auto()
+    RPAREN = auto()
+    STAR = auto()
+    EOF = auto()
+
+
+#: Reserved words. Anything else alphabetic is an identifier.
+KEYWORDS = frozenset(
+    {
+        "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "HAVING",
+        "ORDER", "LIMIT", "AS", "AND", "OR", "NOT", "IN", "BETWEEN",
+        "LIKE", "IS", "NULL", "TRUE", "FALSE", "ASC", "DESC",
+        "JOIN", "INNER", "LEFT", "OUTER", "ON",
+    }
+)
+
+_OPERATOR_STARTS = "=!<>+-*/%"
+_TWO_CHAR_OPERATORS = {"!=", "<=", ">=", "<>"}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source position."""
+
+    type: TokenType
+    value: str
+    position: int
+
+    def matches(self, token_type: TokenType, value: str | None = None) -> bool:
+        """True when type (and, if given, upper-cased value) match."""
+        if self.type is not token_type:
+            return False
+        return value is None or self.value.upper() == value.upper()
+
+
+def tokenize(text: str) -> list[Token]:
+    """Convert SQL text into a token list terminated by an EOF token.
+
+    Raises
+    ------
+    LexError
+        If an unrecognized character or an unterminated string is found.
+    """
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == ",":
+            tokens.append(Token(TokenType.COMMA, ",", i))
+            i += 1
+        elif ch == ".":
+            # A dot starting a number (e.g. ".5") is numeric; otherwise a
+            # qualifier separator.
+            if i + 1 < n and text[i + 1].isdigit():
+                i = _lex_number(text, i, tokens)
+            else:
+                tokens.append(Token(TokenType.DOT, ".", i))
+                i += 1
+        elif ch == "(":
+            tokens.append(Token(TokenType.LPAREN, "(", i))
+            i += 1
+        elif ch == ")":
+            tokens.append(Token(TokenType.RPAREN, ")", i))
+            i += 1
+        elif ch == "*":
+            tokens.append(Token(TokenType.STAR, "*", i))
+            i += 1
+        elif ch == "'":
+            i = _lex_string(text, i, tokens)
+        elif ch.isdigit():
+            i = _lex_number(text, i, tokens)
+        elif ch.isalpha() or ch == "_" or ch == '"':
+            i = _lex_word(text, i, tokens)
+        elif ch in _OPERATOR_STARTS:
+            i = _lex_operator(text, i, tokens)
+        else:
+            raise LexError(f"unexpected character {ch!r} at offset {i}", i)
+    tokens.append(Token(TokenType.EOF, "", n))
+    return tokens
+
+
+def _lex_string(text: str, start: int, tokens: list[Token]) -> int:
+    """Lex a single-quoted string; '' escapes a literal quote."""
+    i = start + 1
+    chunks: list[str] = []
+    while i < len(text):
+        ch = text[i]
+        if ch == "'":
+            if i + 1 < len(text) and text[i + 1] == "'":
+                chunks.append("'")
+                i += 2
+                continue
+            tokens.append(Token(TokenType.STRING, "".join(chunks), start))
+            return i + 1
+        chunks.append(ch)
+        i += 1
+    raise LexError("unterminated string literal", start)
+
+
+def _lex_number(text: str, start: int, tokens: list[Token]) -> int:
+    """Lex an integer or decimal number (optional exponent)."""
+    i = start
+    seen_dot = False
+    seen_exp = False
+    while i < len(text):
+        ch = text[i]
+        if ch.isdigit():
+            i += 1
+        elif ch == "." and not seen_dot and not seen_exp:
+            seen_dot = True
+            i += 1
+        elif ch in "eE" and not seen_exp and i > start:
+            # Exponent must be followed by digits or a sign.
+            j = i + 1
+            if j < len(text) and text[j] in "+-":
+                j += 1
+            if j < len(text) and text[j].isdigit():
+                seen_exp = True
+                i = j
+            else:
+                break
+        else:
+            break
+    tokens.append(Token(TokenType.NUMBER, text[start:i], start))
+    return i
+
+
+def _lex_word(text: str, start: int, tokens: list[Token]) -> int:
+    """Lex a keyword, bare identifier, or double-quoted identifier."""
+    if text[start] == '"':
+        end = text.find('"', start + 1)
+        if end == -1:
+            raise LexError("unterminated quoted identifier", start)
+        tokens.append(Token(TokenType.IDENTIFIER, text[start + 1 : end], start))
+        return end + 1
+    i = start
+    while i < len(text) and (text[i].isalnum() or text[i] == "_"):
+        i += 1
+    word = text[start:i]
+    if word.upper() in KEYWORDS:
+        tokens.append(Token(TokenType.KEYWORD, word.upper(), start))
+    else:
+        tokens.append(Token(TokenType.IDENTIFIER, word, start))
+    return i
+
+
+def _lex_operator(text: str, start: int, tokens: list[Token]) -> int:
+    """Lex a one- or two-character operator."""
+    two = text[start : start + 2]
+    if two in _TWO_CHAR_OPERATORS:
+        value = "!=" if two == "<>" else two
+        tokens.append(Token(TokenType.OPERATOR, value, start))
+        return start + 2
+    tokens.append(Token(TokenType.OPERATOR, text[start], start))
+    return start + 1

@@ -1,0 +1,392 @@
+"""Recursive-descent parser: SQL text -> :class:`repro.sql.ast.Query`.
+
+Grammar (EBNF, informal)::
+
+    query      := SELECT [DISTINCT] select_list FROM table_ref join*
+                  [WHERE expr] [GROUP BY expr_list] [HAVING expr]
+                  [ORDER BY order_list] [LIMIT number]
+    join       := [INNER | LEFT [OUTER]] JOIN table_ref ON column "=" column
+    select_list:= select_item ("," select_item)*
+    select_item:= "*" | expr [[AS] identifier]
+    expr       := or_expr
+    or_expr    := and_expr (OR and_expr)*
+    and_expr   := not_expr (AND not_expr)*
+    not_expr   := [NOT] predicate
+    predicate  := additive [comparison | IN | BETWEEN | LIKE | IS NULL]
+    additive   := term (("+"|"-") term)*
+    term       := factor (("*"|"/"|"%") factor)*
+    factor     := ["-"] primary
+    primary    := literal | func_call | column | "(" expr ")"
+
+Operator precedence follows standard SQL; the parser produces the same
+left-deep trees the formatter assumes, so ``parse(format(q)) == q`` for
+canonical queries.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.sql.ast import (
+    Between,
+    BinaryOp,
+    Column,
+    Expression,
+    FuncCall,
+    InList,
+    IsNull,
+    Join,
+    Like,
+    Literal,
+    OrderItem,
+    Query,
+    SelectItem,
+    Star,
+    TableRef,
+    UnaryOp,
+)
+from repro.sql.lexer import Token, TokenType, tokenize
+
+
+def parse_query(text: str) -> Query:
+    """Parse a full SELECT statement into a :class:`Query`."""
+    parser = _Parser(tokenize(text))
+    query = parser.parse_query()
+    parser.expect_eof()
+    return query
+
+
+def parse_expression(text: str) -> Expression:
+    """Parse a standalone expression (useful for filters and tests)."""
+    parser = _Parser(tokenize(text))
+    expr = parser.parse_expr()
+    parser.expect_eof()
+    return expr
+
+
+class _Parser:
+    """Stateful cursor over a token list."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def accept(self, token_type: TokenType, value: str | None = None) -> Token | None:
+        if self.current.matches(token_type, value):
+            return self.advance()
+        return None
+
+    def expect(self, token_type: TokenType, value: str | None = None) -> Token:
+        token = self.accept(token_type, value)
+        if token is None:
+            expected = value or token_type.name
+            raise ParseError(
+                f"expected {expected}, found {self.current.value!r} "
+                f"at offset {self.current.position}",
+                self.current.position,
+            )
+        return token
+
+    def expect_eof(self) -> None:
+        if self.current.type is not TokenType.EOF:
+            raise ParseError(
+                f"unexpected trailing input {self.current.value!r} "
+                f"at offset {self.current.position}",
+                self.current.position,
+            )
+
+    # -- grammar rules -----------------------------------------------------
+
+    def parse_query(self) -> Query:
+        self.expect(TokenType.KEYWORD, "SELECT")
+        distinct = self.accept(TokenType.KEYWORD, "DISTINCT") is not None
+        select = self._parse_select_list()
+        self.expect(TokenType.KEYWORD, "FROM")
+        from_table = self._parse_table_ref()
+        joins = tuple(self._parse_joins())
+
+        where = None
+        if self.accept(TokenType.KEYWORD, "WHERE"):
+            where = self.parse_expr()
+
+        group_by: tuple[Expression, ...] = ()
+        if self.accept(TokenType.KEYWORD, "GROUP"):
+            self.expect(TokenType.KEYWORD, "BY")
+            group_by = tuple(self._parse_expr_list())
+
+        having = None
+        if self.accept(TokenType.KEYWORD, "HAVING"):
+            having = self.parse_expr()
+
+        order_by: tuple[OrderItem, ...] = ()
+        if self.accept(TokenType.KEYWORD, "ORDER"):
+            self.expect(TokenType.KEYWORD, "BY")
+            order_by = tuple(self._parse_order_list())
+
+        limit = None
+        if self.accept(TokenType.KEYWORD, "LIMIT"):
+            token = self.expect(TokenType.NUMBER)
+            limit = int(token.value)
+
+        return Query(
+            select=select,
+            from_table=from_table,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+            distinct=distinct,
+            joins=joins,
+        )
+
+    def _parse_select_list(self) -> tuple[SelectItem, ...]:
+        items = [self._parse_select_item()]
+        while self.accept(TokenType.COMMA):
+            items.append(self._parse_select_item())
+        return tuple(items)
+
+    def _parse_select_item(self) -> SelectItem:
+        if self.current.type is TokenType.STAR:
+            self.advance()
+            return SelectItem(Star())
+        expr = self.parse_expr()
+        alias = None
+        if self.accept(TokenType.KEYWORD, "AS"):
+            alias = self.expect(TokenType.IDENTIFIER).value
+        elif self.current.type is TokenType.IDENTIFIER:
+            alias = self.advance().value
+        return SelectItem(expr, alias)
+
+    def _parse_table_ref(self) -> TableRef:
+        name = self.expect(TokenType.IDENTIFIER).value
+        alias = None
+        if self.accept(TokenType.KEYWORD, "AS"):
+            alias = self.expect(TokenType.IDENTIFIER).value
+        elif self.current.type is TokenType.IDENTIFIER:
+            alias = self.advance().value
+        return TableRef(name, alias)
+
+    def _parse_joins(self) -> list[Join]:
+        """Parse zero or more ``[INNER|LEFT [OUTER]] JOIN t ON a = b``."""
+        joins: list[Join] = []
+        while True:
+            kind = "INNER"
+            if self.accept(TokenType.KEYWORD, "LEFT"):
+                self.accept(TokenType.KEYWORD, "OUTER")
+                kind = "LEFT"
+                self.expect(TokenType.KEYWORD, "JOIN")
+            elif self.accept(TokenType.KEYWORD, "INNER"):
+                self.expect(TokenType.KEYWORD, "JOIN")
+            elif not self.accept(TokenType.KEYWORD, "JOIN"):
+                return joins
+            table = self._parse_table_ref()
+            self.expect(TokenType.KEYWORD, "ON")
+            left = self._parse_join_key()
+            self.expect(TokenType.OPERATOR, "=")
+            right = self._parse_join_key()
+            joins.append(Join(table, left, right, kind))
+
+    def _parse_join_key(self) -> Column:
+        expr = self._parse_primary()
+        if not isinstance(expr, Column):
+            raise ParseError(
+                f"join keys must be column references, found {expr}",
+                self.current.position,
+            )
+        return expr
+
+    def _parse_expr_list(self) -> list[Expression]:
+        exprs = [self.parse_expr()]
+        while self.accept(TokenType.COMMA):
+            exprs.append(self.parse_expr())
+        return exprs
+
+    def _parse_order_list(self) -> list[OrderItem]:
+        items = [self._parse_order_item()]
+        while self.accept(TokenType.COMMA):
+            items.append(self._parse_order_item())
+        return items
+
+    def _parse_order_item(self) -> OrderItem:
+        expr = self.parse_expr()
+        descending = False
+        if self.accept(TokenType.KEYWORD, "DESC"):
+            descending = True
+        else:
+            self.accept(TokenType.KEYWORD, "ASC")
+        return OrderItem(expr, descending)
+
+    # -- expressions, by precedence ------------------------------------------
+
+    def parse_expr(self) -> Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expression:
+        left = self._parse_and()
+        while self.accept(TokenType.KEYWORD, "OR"):
+            left = BinaryOp("OR", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Expression:
+        left = self._parse_not()
+        while self.accept(TokenType.KEYWORD, "AND"):
+            left = BinaryOp("AND", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> Expression:
+        if self.accept(TokenType.KEYWORD, "NOT"):
+            return UnaryOp("NOT", self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> Expression:
+        left = self._parse_additive()
+        token = self.current
+        if token.type is TokenType.OPERATOR and token.value in {
+            "=", "!=", "<", "<=", ">", ">=",
+        }:
+            self.advance()
+            return BinaryOp(token.value, left, self._parse_additive())
+
+        negated = False
+        if self.current.matches(TokenType.KEYWORD, "NOT"):
+            # Lookahead: NOT IN / NOT BETWEEN / NOT LIKE.
+            nxt = self._tokens[self._pos + 1]
+            if nxt.type is TokenType.KEYWORD and nxt.value in {
+                "IN", "BETWEEN", "LIKE",
+            }:
+                self.advance()
+                negated = True
+            else:
+                return left
+        if self.accept(TokenType.KEYWORD, "IN"):
+            return self._parse_in(left, negated)
+        if self.accept(TokenType.KEYWORD, "BETWEEN"):
+            low = self._parse_additive()
+            self.expect(TokenType.KEYWORD, "AND")
+            high = self._parse_additive()
+            return Between(left, low, high, negated)
+        if self.accept(TokenType.KEYWORD, "LIKE"):
+            pattern = self.expect(TokenType.STRING).value
+            return Like(left, pattern, negated)
+        if self.accept(TokenType.KEYWORD, "IS"):
+            is_not = self.accept(TokenType.KEYWORD, "NOT") is not None
+            self.expect(TokenType.KEYWORD, "NULL")
+            return IsNull(left, is_not)
+        return left
+
+    def _parse_in(self, left: Expression, negated: bool) -> Expression:
+        self.expect(TokenType.LPAREN)
+        values = [self._parse_additive()]
+        while self.accept(TokenType.COMMA):
+            values.append(self._parse_additive())
+        self.expect(TokenType.RPAREN)
+        return InList(left, tuple(values), negated)
+
+    def _parse_additive(self) -> Expression:
+        left = self._parse_term()
+        while True:
+            token = self.current
+            if token.type is TokenType.OPERATOR and token.value in {"+", "-"}:
+                self.advance()
+                left = BinaryOp(token.value, left, self._parse_term())
+            else:
+                return left
+
+    def _parse_term(self) -> Expression:
+        left = self._parse_factor()
+        while True:
+            token = self.current
+            if token.type is TokenType.STAR:
+                self.advance()
+                left = BinaryOp("*", left, self._parse_factor())
+            elif token.type is TokenType.OPERATOR and token.value in {"/", "%"}:
+                self.advance()
+                left = BinaryOp(token.value, left, self._parse_factor())
+            else:
+                return left
+
+    def _parse_factor(self) -> Expression:
+        if self.current.matches(TokenType.OPERATOR, "-"):
+            self.advance()
+            operand = self._parse_factor()
+            if isinstance(operand, Literal) and isinstance(
+                operand.value, (int, float)
+            ):
+                return Literal(-operand.value)
+            return UnaryOp("-", operand)
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expression:
+        token = self.current
+        if token.type is TokenType.NUMBER:
+            self.advance()
+            return Literal(_parse_number(token.value))
+        if token.type is TokenType.STRING:
+            self.advance()
+            return Literal(token.value)
+        if token.type is TokenType.KEYWORD and token.value in {
+            "NULL", "TRUE", "FALSE",
+        }:
+            self.advance()
+            return Literal(
+                {"NULL": None, "TRUE": True, "FALSE": False}[token.value]
+            )
+        if token.type is TokenType.LPAREN:
+            self.advance()
+            expr = self.parse_expr()
+            self.expect(TokenType.RPAREN)
+            return expr
+        if token.type is TokenType.IDENTIFIER:
+            return self._parse_identifier_start()
+        raise ParseError(
+            f"unexpected token {token.value!r} at offset {token.position}",
+            token.position,
+        )
+
+    def _parse_identifier_start(self) -> Expression:
+        name_token = self.expect(TokenType.IDENTIFIER)
+        if self.current.type is TokenType.LPAREN:
+            return self._parse_func_call(name_token.value)
+        if self.accept(TokenType.DOT):
+            if self.current.type is TokenType.STAR:
+                # "table.*" is not part of the subset.
+                raise ParseError(
+                    "qualified star is not supported",
+                    self.current.position,
+                )
+            column = self.expect(TokenType.IDENTIFIER)
+            return Column(column.value, table=name_token.value)
+        return Column(name_token.value)
+
+    def _parse_func_call(self, name: str) -> Expression:
+        self.expect(TokenType.LPAREN)
+        distinct = self.accept(TokenType.KEYWORD, "DISTINCT") is not None
+        args: list[Expression] = []
+        if self.current.type is TokenType.STAR:
+            self.advance()
+            args.append(Star())
+        elif self.current.type is not TokenType.RPAREN:
+            args.append(self.parse_expr())
+            while self.accept(TokenType.COMMA):
+                args.append(self.parse_expr())
+        self.expect(TokenType.RPAREN)
+        return FuncCall(name.upper(), tuple(args), distinct)
+
+
+def _parse_number(text: str) -> int | float:
+    """Parse numeric token text, preferring int when exact."""
+    if "." in text or "e" in text or "E" in text:
+        return float(text)
+    return int(text)

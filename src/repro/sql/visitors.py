@@ -1,0 +1,172 @@
+"""Generic AST traversal and analysis helpers.
+
+These helpers extract structural facts from queries — which columns are
+plain vs. aggregated, how many filters a query carries — which feed the
+workload-shape statistics of Table 4 and the equivalence canonicalizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sql.ast import (
+    Between,
+    BinaryOp,
+    Column,
+    Expression,
+    FuncCall,
+    InList,
+    IsNull,
+    Like,
+    Node,
+    Query,
+    Star,
+    UnaryOp,
+    conjuncts,
+    walk,
+)
+
+
+@dataclass
+class QueryShape:
+    """Structural summary of one query, used for workload statistics.
+
+    Attributes correspond to the three statistics the paper reports in
+    Table 4: plain (categorical/quantitative) data columns, aggregated
+    data columns, and filter predicates.
+    """
+
+    plain_columns: list[str] = field(default_factory=list)
+    aggregated_columns: list[str] = field(default_factory=list)
+    filter_count: int = 0
+    group_by_columns: list[str] = field(default_factory=list)
+    has_star: bool = False
+    aggregate_functions: list[str] = field(default_factory=list)
+
+    @property
+    def total_columns(self) -> int:
+        return len(self.plain_columns) + len(self.aggregated_columns)
+
+
+def query_shape(query: Query) -> QueryShape:
+    """Compute the :class:`QueryShape` of a query.
+
+    Plain columns are SELECT-list columns that appear outside any
+    aggregate; aggregated columns are columns appearing inside aggregate
+    calls (``COUNT(*)`` counts as one aggregated column even though it
+    names none). Filters are counted as *atomic predicates*: each
+    comparison, IN, BETWEEN, LIKE, or NULL test in WHERE or HAVING
+    counts once.
+    """
+    shape = QueryShape()
+    for item in query.select:
+        expr = item.expr
+        if isinstance(expr, Star):
+            shape.has_star = True
+            continue
+        aggs = _aggregate_calls(expr)
+        if aggs:
+            for agg in aggs:
+                shape.aggregate_functions.append(agg.name)
+                named = [
+                    node.name
+                    for arg in agg.args
+                    for node in walk(arg)
+                    if isinstance(node, Column)
+                ]
+                if named:
+                    shape.aggregated_columns.extend(named)
+                else:
+                    shape.aggregated_columns.append("*")
+            # Columns used outside the aggregate within the same item
+            # (e.g. ``hour + AVG(x)``) still count as plain.
+            shape.plain_columns.extend(
+                sorted(_columns_outside_aggregates(expr))
+            )
+        elif isinstance(expr, Column):
+            shape.plain_columns.append(expr.name)
+        else:
+            shape.plain_columns.extend(
+                sorted({n.name for n in walk(expr) if isinstance(n, Column)})
+            )
+    shape.group_by_columns = [
+        node.name
+        for expr in query.group_by
+        for node in walk(expr)
+        if isinstance(node, Column)
+    ]
+    shape.filter_count = count_filters(query)
+    return shape
+
+
+def count_filters(query: Query) -> int:
+    """Count atomic filter predicates in WHERE and HAVING."""
+    total = 0
+    for clause in (query.where, query.having):
+        if clause is not None:
+            total += _count_atomic(clause)
+    return total
+
+
+def _count_atomic(expr: Expression) -> int:
+    if isinstance(expr, BinaryOp) and expr.is_boolean:
+        return _count_atomic(expr.left) + _count_atomic(expr.right)
+    if isinstance(expr, UnaryOp) and expr.op == "NOT":
+        return _count_atomic(expr.operand)
+    if isinstance(expr, (InList, Between, Like, IsNull)):
+        return 1
+    if isinstance(expr, BinaryOp) and expr.is_comparison:
+        return 1
+    # A bare boolean column or literal still acts as one predicate.
+    return 1
+
+
+def _aggregate_calls(expr: Expression) -> list[FuncCall]:
+    """All aggregate FuncCall nodes in ``expr``, outermost first."""
+    return [
+        node
+        for node in walk(expr)
+        if isinstance(node, FuncCall) and node.is_aggregate
+    ]
+
+
+def _columns_outside_aggregates(expr: Expression) -> set[str]:
+    """Column names under ``expr`` that are not inside an aggregate call."""
+    if isinstance(expr, FuncCall) and expr.is_aggregate:
+        return set()
+    if isinstance(expr, Column):
+        return {expr.name}
+    names: set[str] = set()
+    for child in expr.children():
+        if isinstance(child, Expression):
+            names |= _columns_outside_aggregates(child)
+    return names
+
+
+def filtered_columns(query: Query) -> set[str]:
+    """Columns referenced in WHERE/HAVING predicates."""
+    names: set[str] = set()
+    for clause in (query.where, query.having):
+        if clause is not None:
+            names |= {n.name for n in walk(clause) if isinstance(n, Column)}
+    return names
+
+
+def selected_columns(query: Query) -> set[str]:
+    """Columns referenced anywhere in the SELECT list."""
+    names: set[str] = set()
+    for item in query.select:
+        names |= {n.name for n in walk(item.expr) if isinstance(n, Column)}
+    return names
+
+
+def all_columns(query: Query) -> set[str]:
+    """Columns referenced anywhere in the query."""
+    return {n.name for n in walk(query) if isinstance(n, Column)}
+
+
+def predicate_values(predicate: Expression) -> list[object]:
+    """Literal values mentioned in a predicate (for log analysis)."""
+    from repro.sql.ast import Literal
+
+    return [n.value for n in walk(predicate) if isinstance(n, Literal)]

@@ -1,0 +1,22 @@
+"""User-study reproduction (paper §6.4).
+
+The paper recruited six analysts to explore two dashboards and six
+experts to guess which logs were simulated. Offline we substitute
+scripted components that preserve the study's quantitative artifacts:
+
+- *analyst logs* are generated with human-like session settings (goal
+  focus, no repeated dead-end queries);
+- *expert judges* apply the exact discrimination strategy the paper's
+  experts reported — flagging sessions that repeatedly emit zero-result
+  queries;
+- the same binomial test is run on the guesses.
+
+Expected shape: near-chance guessing on the simpler Customer Service
+dashboard, above-chance success on the filter-heavy IT Monitoring
+dashboard (the paper observed 1/6 vs 5/6, p = .774 overall).
+"""
+
+from repro.study.discriminator import ExpertJudge, log_features
+from repro.study.experiment import StudyResult, run_user_study
+
+__all__ = ["ExpertJudge", "StudyResult", "log_features", "run_user_study"]

@@ -1,0 +1,39 @@
+"""Synthetic datasets for the six paper dashboards.
+
+The paper generates benchmark datasets synthetically (adopting the
+techniques of the Crossfilter benchmark and IDEBench, §6.2.3) at 100K,
+1M, and 10M rows. Each generator here is seeded and vectorized, with
+schemas matching the quantitative/categorical column counts reported in
+Figure 6, and injects the correlations the goal templates probe (e.g.
+call volume vs. abandonment).
+"""
+
+from repro.workload.datasets import (
+    DATASET_NAMES,
+    DATASET_SIZES,
+    RETAIL_STAR_DIMENSIONS,
+    dataset_schema,
+    generate_dataset,
+    generate_retail_orders,
+)
+from repro.workload.normalize import (
+    DimensionSpec,
+    StarSchema,
+    load_star,
+    normalize_star,
+    reassembly_query,
+)
+
+__all__ = [
+    "DATASET_NAMES",
+    "DATASET_SIZES",
+    "DimensionSpec",
+    "RETAIL_STAR_DIMENSIONS",
+    "StarSchema",
+    "dataset_schema",
+    "generate_dataset",
+    "generate_retail_orders",
+    "load_star",
+    "normalize_star",
+    "reassembly_query",
+]

@@ -1,0 +1,542 @@
+"""Seeded synthetic dataset generators (one per paper dashboard).
+
+Schemas match Figure 6's column counts:
+
+=================== ===== ===== =========================================
+Dataset             Quant Categ Temporal (extra)
+=================== ===== ===== =========================================
+circulation           2     2   checkout date
+supply_chain          5    18   order date
+ubc_energy           22     4   reading date
+myride               10     3   sample timestamp
+it_monitor            3     5   event timestamp
+customer_service     10     6   call timestamp
+=================== ===== ===== =========================================
+
+Generators are fully vectorized (numpy) and deterministic per seed, so
+the 100K/1M/10M sizes of Table 3 are all reachable. Correlations that
+the goal templates probe are injected explicitly — e.g. customer-service
+abandonment rises with hourly call volume, and IT latency rises with
+CPU — so "Finding Correlations" goals have real signal.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+import numpy as np
+
+from repro.engine.table import ColumnDef, Schema, Table
+from repro.engine.types import DataType
+from repro.errors import ConfigError
+
+#: Dataset sizes used in the paper's experiments (Table 3).
+DATASET_SIZES = {"100K": 100_000, "1M": 1_000_000, "10M": 10_000_000}
+
+_BASE_DATE = _dt.date(2024, 1, 1)
+_BASE_DATETIME = _dt.datetime(2024, 1, 1)
+
+
+def _dates(rng: np.random.Generator, n: int, days: int = 365) -> list[_dt.date]:
+    offsets = rng.integers(0, days, size=n)
+    return [_BASE_DATE + _dt.timedelta(days=int(o)) for o in offsets]
+
+
+def _timestamps(
+    rng: np.random.Generator, n: int, days: int = 30
+) -> list[_dt.datetime]:
+    seconds = rng.integers(0, days * 86_400, size=n)
+    return [_BASE_DATETIME + _dt.timedelta(seconds=int(s)) for s in seconds]
+
+
+def _choice(
+    rng: np.random.Generator,
+    values: list[str],
+    n: int,
+    p: list[float] | None = None,
+) -> list[str]:
+    # Plain Python strings, not np.str_, so values repr cleanly in logs.
+    return [str(v) for v in rng.choice(values, size=n, p=p)]
+
+
+# ---------------------------------------------------------------------------
+# Circulation Activity by Library (2Q, 2C) — strategic decision making
+# ---------------------------------------------------------------------------
+
+
+def generate_circulation(num_rows: int, seed: int = 0) -> Table:
+    """Library circulation events: per-branch checkouts and renewals."""
+    rng = np.random.default_rng(seed)
+    branches = [
+        "Central", "Northgate", "Ballard", "Fremont", "Columbia",
+        "Beacon Hill", "Green Lake", "West Seattle",
+    ]
+    item_types = ["Book", "DVD", "Audiobook", "Magazine", "Game"]
+    branch = _choice(rng, branches, num_rows)
+    # Central branch circulates roughly 3x more than the smallest.
+    weight = np.array([3.0, 2.0, 1.8, 1.5, 1.2, 1.1, 1.0, 1.0])
+    branch_index = np.array([branches.index(b) for b in branch])
+    checkouts = rng.poisson(4 * weight[branch_index]) + 1
+    renewals = rng.binomial(checkouts, 0.35)
+    schema = Schema(
+        [
+            ColumnDef("branch", DataType.STRING),
+            ColumnDef("item_type", DataType.STRING),
+            ColumnDef("checkouts", DataType.INTEGER),
+            ColumnDef("renewals", DataType.INTEGER),
+            ColumnDef("checkout_date", DataType.DATE),
+        ]
+    )
+    return Table(
+        "circulation",
+        schema,
+        {
+            "branch": branch,
+            "item_type": _choice(rng, item_types, num_rows),
+            "checkouts": [int(v) for v in checkouts],
+            "renewals": [int(v) for v in renewals],
+            "checkout_date": _dates(rng, num_rows),
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Supply Chain (5Q, 18C) — strategic decision making
+# ---------------------------------------------------------------------------
+
+
+def generate_supply_chain(num_rows: int, seed: int = 0) -> Table:
+    """Order logistics: products, shipping, costs, 18 categorical facets."""
+    rng = np.random.default_rng(seed)
+    n = num_rows
+    categorical: dict[str, list[str]] = {
+        "region": ["East", "West", "Central", "South"],
+        "country": ["USA", "Canada", "Mexico"],
+        "state": ["WA", "CA", "TX", "NY", "FL", "IL", "OH", "GA"],
+        "city": ["Seattle", "Austin", "Chicago", "Miami", "Denver", "Boston"],
+        "segment": ["Consumer", "Corporate", "Home Office"],
+        "category": ["Furniture", "Office Supplies", "Technology"],
+        "subcategory": [
+            "Chairs", "Tables", "Phones", "Binders", "Paper", "Storage",
+        ],
+        "product_line": ["Standard", "Premium", "Economy"],
+        "ship_mode": ["First Class", "Second Class", "Standard", "Same Day"],
+        "order_priority": ["Low", "Medium", "High", "Critical"],
+        "customer_tier": ["Bronze", "Silver", "Gold", "Platinum"],
+        "warehouse": ["WH-1", "WH-2", "WH-3", "WH-4", "WH-5"],
+        "carrier": ["UPS", "FedEx", "USPS", "DHL"],
+        "payment_method": ["Card", "Invoice", "Wire"],
+        "channel": ["Online", "Store", "Phone"],
+        "supplier": ["Acme", "Globex", "Initech", "Umbrella"],
+        "plant": ["P-North", "P-South", "P-East"],
+        "returned": ["Yes", "No"],
+    }
+    columns: dict[str, list[object]] = {
+        name: _choice(rng, values, n) for name, values in categorical.items()
+    }
+    quantity = rng.integers(1, 15, size=n)
+    unit_price = rng.gamma(shape=2.0, scale=40.0, size=n) + 5
+    sales = quantity * unit_price
+    discount = rng.choice([0.0, 0.05, 0.1, 0.2, 0.3], size=n)
+    profit = sales * (0.25 - discount) + rng.normal(0, 10, size=n)
+    shipping_cost = 2.0 + sales * 0.03 + rng.gamma(2.0, 2.0, size=n)
+    columns.update(
+        {
+            "sales": [round(float(v), 2) for v in sales],
+            "quantity": [int(v) for v in quantity],
+            "discount": [float(v) for v in discount],
+            "profit": [round(float(v), 2) for v in profit],
+            "shipping_cost": [round(float(v), 2) for v in shipping_cost],
+            "order_date": _dates(rng, n),
+        }
+    )
+    schema = Schema(
+        [ColumnDef(name, DataType.STRING) for name in categorical]
+        + [
+            ColumnDef("sales", DataType.FLOAT),
+            ColumnDef("quantity", DataType.INTEGER),
+            ColumnDef("discount", DataType.FLOAT),
+            ColumnDef("profit", DataType.FLOAT),
+            ColumnDef("shipping_cost", DataType.FLOAT),
+            ColumnDef("order_date", DataType.DATE),
+        ]
+    )
+    return Table("supply_chain", schema, columns)
+
+
+# ---------------------------------------------------------------------------
+# UBC Energy Map (22Q, 4C) — strategic decision making
+# ---------------------------------------------------------------------------
+
+
+def generate_ubc_energy(num_rows: int, seed: int = 0) -> Table:
+    """Campus building energy readings with 22 quantitative columns."""
+    rng = np.random.default_rng(seed)
+    n = num_rows
+    buildings = [f"Building {chr(65 + i)}" for i in range(20)]
+    energy_types = ["Electricity", "Steam", "Gas", "Chilled Water"]
+    zones = ["North", "South", "East", "West"]
+    usage_categories = ["Lab", "Office", "Residence", "Classroom"]
+    building = _choice(rng, buildings, n)
+    building_scale = {
+        b: float(s) for b, s in zip(buildings, rng.uniform(0.5, 3.0, 20))
+    }
+    scale = np.array([building_scale[b] for b in building])
+
+    columns: dict[str, list[object]] = {
+        "building": building,
+        "energy_type": _choice(rng, energy_types, n),
+        "zone": _choice(rng, zones, n),
+        "usage_category": _choice(rng, usage_categories, n),
+    }
+    quant_defs: list[ColumnDef] = []
+    # Twelve monthly usage columns with a seasonal curve.
+    months = [
+        "jan", "feb", "mar", "apr", "may", "jun",
+        "jul", "aug", "sep", "oct", "nov", "dec",
+    ]
+    for i, month in enumerate(months):
+        seasonal = 1.0 + 0.5 * np.cos(2 * np.pi * (i - 0.5) / 12)
+        usage = rng.gamma(2.0, 50.0, size=n) * scale * seasonal
+        name = f"usage_{month}"
+        columns[name] = [round(float(v), 1) for v in usage]
+        quant_defs.append(ColumnDef(name, DataType.FLOAT))
+    annual = np.sum(
+        [np.array(columns[f"usage_{m}"]) for m in months], axis=0
+    )
+    extras = {
+        "annual_usage": annual,
+        "floor_area": rng.uniform(500, 20_000, size=n) * scale,
+        "occupancy": rng.integers(10, 2_000, size=n).astype(float),
+        "baseline": annual * rng.uniform(0.7, 0.9, size=n),
+        "peak_demand": annual / 12 * rng.uniform(1.5, 3.0, size=n),
+        "energy_cost": annual * rng.uniform(0.08, 0.15, size=n),
+        "emissions": annual * rng.uniform(0.2, 0.5, size=n),
+        "efficiency_score": rng.uniform(0, 100, size=n),
+        "water_usage": rng.gamma(2.0, 100.0, size=n) * scale,
+        "gas_usage": rng.gamma(2.0, 30.0, size=n) * scale,
+    }
+    for name, values in extras.items():
+        columns[name] = [round(float(v), 1) for v in values]
+        quant_defs.append(ColumnDef(name, DataType.FLOAT))
+    columns["reading_date"] = _dates(rng, n)
+    schema = Schema(
+        [
+            ColumnDef("building", DataType.STRING),
+            ColumnDef("energy_type", DataType.STRING),
+            ColumnDef("zone", DataType.STRING),
+            ColumnDef("usage_category", DataType.STRING),
+        ]
+        + quant_defs
+        + [ColumnDef("reading_date", DataType.DATE)]
+    )
+    return Table("ubc_energy", schema, columns)
+
+
+# ---------------------------------------------------------------------------
+# MyRide (10Q, 3C) — quantified self
+# ---------------------------------------------------------------------------
+
+
+def generate_myride(num_rows: int, seed: int = 0) -> Table:
+    """Cycling telemetry: heart rate along a route in Orlando, FL."""
+    rng = np.random.default_rng(seed)
+    n = num_rows
+    # Smooth-ish ride dynamics: speed varies, heart rate follows effort.
+    gradient = rng.normal(0, 2.5, size=n)
+    speed = np.clip(rng.normal(24, 6, size=n) - gradient * 1.2, 2, 60)
+    power = np.clip(150 + gradient * 25 + rng.normal(0, 30, size=n), 0, 900)
+    heart_rate = np.clip(
+        95 + power * 0.35 + rng.normal(0, 8, size=n), 60, 205
+    )
+    cadence = np.clip(rng.normal(85, 12, size=n), 20, 130)
+    elevation = np.clip(
+        30 + np.cumsum(rng.normal(0, 0.5, size=n)) % 80, 0, 150
+    )
+    distance = np.sort(rng.uniform(0, 60, size=n))
+    columns: dict[str, list[object]] = {
+        "segment": _choice(
+            rng, ["Downtown", "Lakefront", "Park Loop", "Highway"], n
+        ),
+        "zone": _choice(rng, ["Z1", "Z2", "Z3", "Z4", "Z5"], n),
+        "surface": _choice(rng, ["Asphalt", "Gravel", "Trail"], n),
+        "heart_rate": [round(float(v), 1) for v in heart_rate],
+        "speed": [round(float(v), 2) for v in speed],
+        "elevation": [round(float(v), 1) for v in elevation],
+        "distance": [round(float(v), 3) for v in distance],
+        "cadence": [round(float(v), 1) for v in cadence],
+        "power": [round(float(v), 1) for v in power],
+        "temperature": [round(float(v), 1) for v in rng.normal(29, 3, n)],
+        "gradient": [round(float(v), 2) for v in gradient],
+        "latitude": [round(float(v), 6) for v in 28.5 + rng.uniform(0, 0.2, n)],
+        "longitude": [
+            round(float(v), 6) for v in -81.4 + rng.uniform(0, 0.2, n)
+        ],
+        "ts": _timestamps(rng, n, days=1),
+    }
+    schema = Schema(
+        [
+            ColumnDef("segment", DataType.STRING),
+            ColumnDef("zone", DataType.STRING),
+            ColumnDef("surface", DataType.STRING),
+            ColumnDef("heart_rate", DataType.FLOAT),
+            ColumnDef("speed", DataType.FLOAT),
+            ColumnDef("elevation", DataType.FLOAT),
+            ColumnDef("distance", DataType.FLOAT),
+            ColumnDef("cadence", DataType.FLOAT),
+            ColumnDef("power", DataType.FLOAT),
+            ColumnDef("temperature", DataType.FLOAT),
+            ColumnDef("gradient", DataType.FLOAT),
+            ColumnDef("latitude", DataType.FLOAT),
+            ColumnDef("longitude", DataType.FLOAT),
+            ColumnDef("ts", DataType.TIMESTAMP),
+        ]
+    )
+    return Table("myride", schema, columns)
+
+
+# ---------------------------------------------------------------------------
+# IT Monitor (3Q, 5C) — operational decision making
+# ---------------------------------------------------------------------------
+
+
+def generate_it_monitor(num_rows: int, seed: int = 0) -> Table:
+    """System telemetry with injected anomalies (latency follows CPU)."""
+    rng = np.random.default_rng(seed)
+    n = num_rows
+    hosts = [f"host-{i:02d}" for i in range(16)]
+    cpu = np.clip(rng.beta(2, 5, size=n) * 100, 0, 100)
+    anomaly = rng.random(n) < 0.03
+    cpu[anomaly] = rng.uniform(85, 100, size=int(anomaly.sum()))
+    memory = np.clip(cpu * 0.6 + rng.normal(20, 10, size=n), 0, 100)
+    # Heavy-tailed latency: the bulk sits under ~60 ms but anomalous
+    # hosts reach seconds, so the latency axis is mostly empty space —
+    # random range filters over it frequently select zero rows, the
+    # behaviour behind the paper's IT-Monitoring user-study finding.
+    latency = np.clip(
+        5 + np.exp(cpu / 12) + rng.gamma(2.0, 3.0, size=n), 1, 2_000
+    )
+    severity = np.where(
+        cpu > 90, "critical",
+        np.where(cpu > 75, "warning", "info"),
+    )
+    columns: dict[str, list[object]] = {
+        "host": _choice(rng, hosts, n),
+        "datacenter": _choice(rng, ["us-east", "us-west", "eu-central"], n),
+        "service": _choice(
+            rng, ["api", "db", "cache", "queue", "frontend"], n
+        ),
+        "severity": [str(v) for v in severity],
+        "status": _choice(rng, ["ok", "degraded", "down"], n, [0.9, 0.08, 0.02]),
+        "cpu": [round(float(v), 2) for v in cpu],
+        "memory": [round(float(v), 2) for v in memory],
+        "latency": [round(float(v), 2) for v in latency],
+        "ts": _timestamps(rng, n, days=7),
+    }
+    schema = Schema(
+        [
+            ColumnDef("host", DataType.STRING),
+            ColumnDef("datacenter", DataType.STRING),
+            ColumnDef("service", DataType.STRING),
+            ColumnDef("severity", DataType.STRING),
+            ColumnDef("status", DataType.STRING),
+            ColumnDef("cpu", DataType.FLOAT),
+            ColumnDef("memory", DataType.FLOAT),
+            ColumnDef("latency", DataType.FLOAT),
+            ColumnDef("ts", DataType.TIMESTAMP),
+        ]
+    )
+    return Table("it_monitor", schema, columns)
+
+
+# ---------------------------------------------------------------------------
+# Customer Service (10Q, 6C) — operational decision making (Figure 1)
+# ---------------------------------------------------------------------------
+
+
+def generate_customer_service(num_rows: int, seed: int = 0) -> Table:
+    """Call-center records: the paper's running example.
+
+    Injected relationship: abandonment probability grows with hourly
+    call volume, so the "call volume vs. call abandonment" correlation
+    goal (Example 2.2) has genuine signal.
+    """
+    rng = np.random.default_rng(seed)
+    n = num_rows
+    reps = [f"rep-{i:02d}" for i in range(12)]
+    # Busy-hours curve peaking mid-day.
+    hours = np.arange(24)
+    hour_weights = 1.0 + 4.0 * np.exp(-((hours - 13) ** 2) / 18.0)
+    hour_probabilities = hour_weights / hour_weights.sum()
+    hour = rng.choice(hours, size=n, p=hour_probabilities)
+    volume_factor = hour_weights[hour] / hour_weights.max()
+    abandoned = (rng.random(n) < 0.04 + 0.12 * volume_factor).astype(int)
+    lost = (rng.random(n) < 0.02 + 0.05 * volume_factor).astype(int)
+    duration = rng.gamma(2.0, 3.0, size=n) + 0.5
+    hold = rng.gamma(1.5, 1.0, size=n) * (1 + volume_factor)
+    talk = duration * rng.uniform(0.5, 0.9, size=n)
+    wrap = rng.gamma(1.2, 0.5, size=n)
+    transfers = rng.binomial(2, 0.15, size=n)
+    satisfaction = np.clip(
+        rng.normal(4.2, 0.8, size=n) - abandoned * 1.5 - hold * 0.05, 1, 5
+    )
+    columns: dict[str, list[object]] = {
+        "repID": _choice(rng, reps, n),
+        "queue": _choice(rng, ["A", "B", "C", "D"], n, [0.4, 0.3, 0.2, 0.1]),
+        "callDirection": _choice(rng, ["incoming", "outgoing"], n, [0.8, 0.2]),
+        "dayOfWeek": _choice(
+            rng, ["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"], n
+        ),
+        "shift": _choice(rng, ["morning", "afternoon", "night"], n),
+        "team": _choice(rng, ["Alpha", "Bravo", "Charlie"], n),
+        "hour": [int(v) for v in hour],
+        "calls": [1] * n,  # one row per call; COUNT(calls) tallies volume
+        "abandoned": [int(v) for v in abandoned],
+        "lostCalls": [int(v) for v in lost],
+        "duration": [round(float(v), 2) for v in duration],
+        "holdTime": [round(float(v), 2) for v in hold],
+        "talkTime": [round(float(v), 2) for v in talk],
+        "wrapTime": [round(float(v), 2) for v in wrap],
+        "transfers": [int(v) for v in transfers],
+        "satisfaction": [round(float(v), 2) for v in satisfaction],
+        "ts": _timestamps(rng, n, days=14),
+    }
+    schema = Schema(
+        [
+            ColumnDef("repID", DataType.STRING),
+            ColumnDef("queue", DataType.STRING),
+            ColumnDef("callDirection", DataType.STRING),
+            ColumnDef("dayOfWeek", DataType.STRING),
+            ColumnDef("shift", DataType.STRING),
+            ColumnDef("team", DataType.STRING),
+            ColumnDef("hour", DataType.INTEGER),
+            ColumnDef("calls", DataType.INTEGER),
+            ColumnDef("abandoned", DataType.INTEGER),
+            ColumnDef("lostCalls", DataType.INTEGER),
+            ColumnDef("duration", DataType.FLOAT),
+            ColumnDef("holdTime", DataType.FLOAT),
+            ColumnDef("talkTime", DataType.FLOAT),
+            ColumnDef("wrapTime", DataType.FLOAT),
+            ColumnDef("transfers", DataType.INTEGER),
+            ColumnDef("satisfaction", DataType.FLOAT),
+            ColumnDef("ts", DataType.TIMESTAMP),
+        ]
+    )
+    return Table("customer_service", schema, columns)
+
+
+# ---------------------------------------------------------------------------
+# Retail orders — star-schema ablation dataset (not one of the six
+# dashboards; exists so the denormalization ablation has genuine
+# functional dependencies to normalize on)
+# ---------------------------------------------------------------------------
+
+
+def generate_retail_orders(num_rows: int, seed: int = 0) -> Table:
+    """Denormalized order events with genuine FK-shaped dependencies.
+
+    Functional dependencies baked in:
+
+    - ``product_id`` → ``category``, ``unit_price``
+    - ``store_id``   → ``city``, ``region``
+
+    which is exactly the shape :func:`repro.workload.normalize.
+    normalize_star` extracts into dimension tables. The six paper
+    dashboards stay denormalized (the paper's §6.2.2 setup); this
+    dataset exists for the denormalization ablation bench.
+    """
+    rng = np.random.default_rng(seed)
+    n = num_rows
+    num_products = 60
+    num_stores = 24
+
+    categories = ["Furniture", "Office Supplies", "Technology", "Apparel"]
+    product_category = [
+        categories[i % len(categories)] for i in range(num_products)
+    ]
+    product_price = [
+        round(float(p), 2)
+        for p in rng.uniform(3, 900, size=num_products)
+    ]
+    cities = [f"City-{i:02d}" for i in range(num_stores)]
+    regions = ["east", "west", "central"]
+    store_region = [regions[i % len(regions)] for i in range(num_stores)]
+
+    product_ids = rng.integers(0, num_products, size=n)
+    store_ids = rng.integers(0, num_stores, size=n)
+    quantity = rng.integers(1, 12, size=n)
+    discount = np.round(rng.choice([0.0, 0.05, 0.1, 0.2], size=n), 2)
+    unit_price = np.array([product_price[p] for p in product_ids])
+    revenue = np.round(unit_price * quantity * (1 - discount), 2)
+
+    columns: dict[str, list[object]] = {
+        "order_id": list(range(1, n + 1)),
+        "product_id": [int(p) for p in product_ids],
+        "category": [product_category[p] for p in product_ids],
+        "unit_price": [product_price[p] for p in product_ids],
+        "store_id": [int(s) for s in store_ids],
+        "city": [cities[s] for s in store_ids],
+        "region": [store_region[s] for s in store_ids],
+        "quantity": [int(q) for q in quantity],
+        "discount": [float(d) for d in discount],
+        "revenue": [float(r) for r in revenue],
+        "order_date": _dates(rng, n, days=365),
+    }
+    schema = Schema(
+        [
+            ColumnDef("order_id", DataType.INTEGER),
+            ColumnDef("product_id", DataType.INTEGER),
+            ColumnDef("category", DataType.STRING),
+            ColumnDef("unit_price", DataType.FLOAT),
+            ColumnDef("store_id", DataType.INTEGER),
+            ColumnDef("city", DataType.STRING),
+            ColumnDef("region", DataType.STRING),
+            ColumnDef("quantity", DataType.INTEGER),
+            ColumnDef("discount", DataType.FLOAT),
+            ColumnDef("revenue", DataType.FLOAT),
+            ColumnDef("order_date", DataType.DATE),
+        ]
+    )
+    return Table("retail_orders", schema, columns)
+
+
+#: The DimensionSpec arguments that normalize retail_orders losslessly.
+RETAIL_STAR_DIMENSIONS = (
+    ("product", "product_id", ("category", "unit_price")),
+    ("store", "store_id", ("city", "region")),
+)
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+_GENERATORS = {
+    "circulation": generate_circulation,
+    "supply_chain": generate_supply_chain,
+    "ubc_energy": generate_ubc_energy,
+    "myride": generate_myride,
+    "it_monitor": generate_it_monitor,
+    "customer_service": generate_customer_service,
+}
+
+#: Names of all datasets, matching the six dashboards.
+DATASET_NAMES = sorted(_GENERATORS)
+
+
+def generate_dataset(name: str, num_rows: int, seed: int = 0) -> Table:
+    """Generate a named dataset at the given size."""
+    try:
+        generator = _GENERATORS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown dataset {name!r}; available: {DATASET_NAMES}"
+        ) from None
+    if num_rows <= 0:
+        raise ConfigError("num_rows must be positive")
+    return generator(num_rows, seed)
+
+
+def dataset_schema(name: str) -> Schema:
+    """Schema of a dataset without generating the full data."""
+    return generate_dataset(name, 8, seed=0).schema

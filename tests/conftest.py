@@ -1,0 +1,89 @@
+"""Shared fixtures: a small deterministic dataset and loaded engines."""
+
+from __future__ import annotations
+
+import datetime as dt
+
+import pytest
+
+from repro.engine import Table, create_engine
+from repro.engine.table import ColumnDef, Schema
+from repro.engine.types import DataType
+
+
+def make_calls_table(num_rows: int = 240) -> Table:
+    """A small, fully deterministic call-center table.
+
+    Cycles through queues/reps/hours so every aggregate is exactly
+    computable by hand in tests.
+    """
+    queues = ["A", "B", "C", "D"]
+    reps = ["rep-1", "rep-2", "rep-3"]
+    rows = []
+    for i in range(num_rows):
+        rows.append(
+            {
+                "queue": queues[i % 4],
+                "repID": reps[i % 3],
+                "hour": i % 24,
+                "calls": 1,
+                "abandoned": 1 if i % 10 == 0 else 0,
+                "lostCalls": 1 if i % 20 == 0 else 0,
+                "duration": round(1.0 + (i % 7) * 0.5, 2),
+                "note": None if i % 11 == 0 else f"n{i % 3}",
+                "ts": dt.datetime(2024, 1, 1) + dt.timedelta(hours=i),
+            }
+        )
+    schema = Schema(
+        [
+            ColumnDef("queue", DataType.STRING),
+            ColumnDef("repID", DataType.STRING),
+            ColumnDef("hour", DataType.INTEGER),
+            ColumnDef("calls", DataType.INTEGER),
+            ColumnDef("abandoned", DataType.INTEGER),
+            ColumnDef("lostCalls", DataType.INTEGER),
+            ColumnDef("duration", DataType.FLOAT),
+            ColumnDef("note", DataType.STRING),
+            ColumnDef("ts", DataType.TIMESTAMP),
+        ]
+    )
+    return Table.from_rows("customer_service", rows, schema)
+
+
+@pytest.fixture(scope="session")
+def calls_table() -> Table:
+    return make_calls_table()
+
+
+@pytest.fixture(scope="session")
+def all_engines(calls_table):
+    """All four engines loaded with the calls table."""
+    engines = {}
+    for name in ("rowstore", "vectorstore", "matstore", "sqlite"):
+        engine = create_engine(name)
+        engine.load_table(calls_table)
+        engines[name] = engine
+    yield engines
+    for engine in engines.values():
+        engine.close()
+
+
+@pytest.fixture()
+def vector_engine(calls_table):
+    engine = create_engine("vectorstore")
+    engine.load_table(calls_table)
+    return engine
+
+
+@pytest.fixture(scope="session")
+def cs_spec():
+    from repro.dashboard.library import load_dashboard
+
+    return load_dashboard("customer_service")
+
+
+@pytest.fixture(scope="session")
+def cs_data():
+    from repro.workload import generate_dataset
+
+    return generate_dataset("customer_service", 1_500, seed=5)

@@ -1,0 +1,251 @@
+"""Unit tests for the goal algebra, translation, and templates."""
+
+import random
+
+import pytest
+
+from repro.algebra import (
+    Agg,
+    Attribute,
+    AttributeRole,
+    Compare,
+    Concat,
+    Const,
+    FilterCondition,
+    FilterOp,
+    GOAL_TEMPLATES,
+    MapOp,
+    Nest,
+    Ratio,
+    TemplateParameterError,
+    get_template,
+    translate,
+)
+from repro.engine.table import ColumnDef, Schema
+from repro.engine.types import DataType
+from repro.errors import GoalError
+from repro.sql.formatter import format_query
+from repro.sql.parser import parse_query
+
+Q = Attribute("queue", AttributeRole.CATEGORICAL)
+L = Attribute("lostCalls", AttributeRole.QUANTITATIVE)
+T = Attribute("ts", AttributeRole.TEMPORAL)
+
+
+def sql(goal):
+    return format_query(goal.query)
+
+
+class TestOperators:
+    def test_plus_builds_concat(self):
+        assert isinstance(Q + L, Concat)
+
+    def test_mul_builds_compare(self):
+        assert isinstance(Q * Agg(L, "count"), Compare)
+
+    def test_sub_builds_filter(self):
+        assert isinstance(Q - "A", FilterOp)
+
+    def test_div_builds_nest(self):
+        assert isinstance(Q / L, Nest)
+
+    def test_filter_by_set(self):
+        node = Q - {"A", "B"}
+        assert isinstance(node, FilterOp)
+
+    def test_filter_by_empty_set_raises(self):
+        with pytest.raises(GoalError):
+            Q - set()
+
+    def test_agg_validates_function(self):
+        with pytest.raises(GoalError):
+            Agg(L, "median")
+
+    def test_map_validates_function(self):
+        with pytest.raises(GoalError):
+            MapOp(L, "frobnicate")
+
+    def test_filter_condition_validates_operator(self):
+        with pytest.raises(GoalError):
+            FilterCondition(Agg(L, "count"), "~", 2)
+
+    def test_attributes_collected_left_to_right(self):
+        expr = Compare(Q, Concat(Agg(L, "max"), Agg(L, "min")))
+        assert [a.name for a in expr.attributes()] == [
+            "queue", "lostCalls", "lostCalls",
+        ]
+
+    def test_str_is_readable(self):
+        expr = Q * Agg(L, "count")
+        assert "count(lostCalls)" in str(expr)
+
+
+class TestTranslation:
+    def test_figure3_goal(self):
+        # Q × count(lostCalls) - {count(lostCalls) < 2}
+        expr = FilterOp(
+            Compare(Q, Agg(L, "count")),
+            FilterCondition(Agg(L, "count"), "<", 2),
+        )
+        goal = translate(expr, "customer_service")
+        assert parse_query(sql(goal)) == parse_query(
+            "SELECT queue, COUNT(lostCalls) AS count_lostCalls "
+            "FROM customer_service GROUP BY queue "
+            "HAVING COUNT(lostCalls) >= 2"
+        )
+
+    def test_compare_groups_by_left(self):
+        goal = translate(Compare(Q, Agg(L, "sum")), "t")
+        query = goal.query
+        assert query.group_by
+        assert query.group_by[0].name == "queue"
+
+    def test_concat_of_two_quantitative_is_projection(self):
+        a = Attribute("x", AttributeRole.QUANTITATIVE)
+        b = Attribute("y", AttributeRole.QUANTITATIVE)
+        goal = translate(Concat(a, b), "t")
+        assert not goal.query.group_by
+        assert len(goal.query.select) == 2
+
+    def test_temporal_map_becomes_group_key(self):
+        goal = translate(
+            Compare(MapOp(T, "hour"), Agg(L, "avg")), "t"
+        )
+        assert "HOUR(ts)" in sql(goal)
+        assert "GROUP BY HOUR(ts)" in sql(goal)
+
+    def test_example_2_2_ratio(self):
+        # R × MAP(AGG(C,sum)/AGG(C,count), avg)
+        c = Attribute("calls", AttributeRole.QUANTITATIVE)
+        r = Attribute("repID", AttributeRole.CATEGORICAL)
+        expr = Compare(
+            r, MapOp(Ratio(Agg(c, "sum"), Agg(c, "count")), "avg")
+        )
+        goal = translate(expr, "customer_service")
+        text = sql(goal)
+        assert "SUM(calls) / COUNT(calls)" in text
+        assert "GROUP BY repID" in text
+
+    def test_constant_filter_becomes_not_in(self):
+        goal = translate(FilterOp(Compare(Q, Agg(L, "count")), Const("D")), "t")
+        assert "queue NOT IN ('D')" in sql(goal)
+
+    def test_where_vs_having_placement(self):
+        # Non-aggregate condition goes to WHERE.
+        h = Attribute("hour", AttributeRole.QUANTITATIVE)
+        expr = FilterOp(
+            Compare(Q, Agg(L, "count")),
+            FilterCondition(h, "<", 9),
+        )
+        goal = translate(expr, "t")
+        assert "WHERE hour >= 9" in sql(goal)
+
+    def test_nest_adds_both_keys(self):
+        goal = translate(
+            Nest(Q, Compare(Attribute("repID"), Agg(L, "count"))), "t"
+        )
+        text = sql(goal)
+        assert "GROUP BY queue, repID" in text
+
+    def test_bin_map(self):
+        d = Attribute("duration", AttributeRole.QUANTITATIVE)
+        goal = translate(
+            Compare(MapOp(d, "bin", arg=5), Agg(L, "count")), "t"
+        )
+        assert "BIN(duration, 5)" in sql(goal)
+
+    def test_lone_constant_raises(self):
+        with pytest.raises(GoalError):
+            translate(Compare(Q, Const(5)), "t")
+
+    def test_empty_expression_raises(self):
+        with pytest.raises(GoalError):
+            translate(FilterOp(Const(1), Const(2)), "t")
+
+
+class TestTemplates:
+    SCHEMA = Schema(
+        [
+            ColumnDef("queue", DataType.STRING),
+            ColumnDef("hour", DataType.INTEGER),
+            ColumnDef("duration", DataType.FLOAT),
+            ColumnDef("ts", DataType.TIMESTAMP),
+        ]
+    )
+
+    def test_registry_has_six_templates(self):
+        assert len(GOAL_TEMPLATES) == 6
+
+    def test_all_templates_auto_instantiate(self):
+        for name, template in GOAL_TEMPLATES.items():
+            goal = template.instantiate_for_schema(
+                "t", self.SCHEMA, random.Random(3)
+            )
+            assert goal.template == name
+            assert goal.query.from_table.name == "t"
+
+    def test_get_template_unknown_raises(self):
+        with pytest.raises(TemplateParameterError):
+            get_template("nope")
+
+    def test_requirements_block_unsatisfiable(self):
+        schema = Schema([ColumnDef("only_string", DataType.STRING)])
+        with pytest.raises(TemplateParameterError):
+            get_template("finding_correlations").instantiate_for_schema(
+                "t", schema
+            )
+
+    def test_usable_columns_restrict_choice(self):
+        goal = get_template("measuring_differences").instantiate_for_schema(
+            "t",
+            self.SCHEMA,
+            random.Random(0),
+            usable_columns={"queue", "duration"},
+        )
+        text = format_query(goal.query)
+        assert "queue" in text
+        assert "duration" in text
+
+    def test_correlations_modulated_form(self):
+        goal = get_template("finding_correlations").instantiate(
+            "cs",
+            quantitative1="calls",
+            quantitative2="abandoned",
+            modulator="hour",
+            agg1="count",
+            agg2="sum",
+        )
+        text = format_query(goal.query)
+        assert "GROUP BY hour" in text
+        assert "COUNT(calls)" in text
+        assert "SUM(abandoned)" in text
+
+    def test_filtering_comparison_direction(self):
+        goal = get_template("filtering").instantiate(
+            "t",
+            categorical="queue",
+            quantitative="duration",
+            agg="sum",
+            comparison=">",
+            constant=10,
+        )
+        assert "HAVING SUM(duration) > 10" in format_query(goal.query)
+
+    def test_identification_shape(self):
+        goal = get_template("identification").instantiate(
+            "t", categorical="queue", quantitative="duration"
+        )
+        text = format_query(goal.query)
+        assert "MAX(duration)" in text
+        assert "MIN(duration)" in text
+
+    def test_temporal_patterns_units(self):
+        goal = get_template("temporal_patterns").instantiate(
+            "t", temporal="ts", quantitative="duration", agg="avg",
+            unit="day",
+        )
+        assert "DAY(ts)" in format_query(goal.query)
+
+    def test_goal_types_cover_battle_heer_categories(self):
+        goal_types = {t.goal_type for t in GOAL_TEMPLATES.values()}
+        assert len(goal_types) == 4

@@ -1,0 +1,320 @@
+"""Approximate query processing: samplers, estimators, progressive runs."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.approx import (
+    approximate_execute,
+    bernoulli_sample,
+    progressive_execute,
+    relative_error,
+    sample_prefix,
+    uniform_sample,
+)
+from repro.approx.sampler import resample_with_replacement, shuffled_indices
+from repro.engine import create_engine
+from repro.engine.interface import ResultSet
+from repro.engine.table import Table
+from repro.errors import ConfigError
+from repro.sql.parser import parse_query
+from repro.workload.datasets import generate_customer_service
+
+
+@pytest.fixture(scope="module")
+def service():
+    return generate_customer_service(20_000, seed=5)
+
+
+@pytest.fixture(scope="module")
+def group_query():
+    return parse_query(
+        "SELECT queue, COUNT(*) AS calls, SUM(abandoned) AS ab "
+        "FROM customer_service GROUP BY queue ORDER BY queue"
+    )
+
+
+@pytest.fixture(scope="module")
+def exact(service, group_query):
+    engine = create_engine("vectorstore")
+    engine.load_table(service)
+    return engine.execute(group_query)
+
+
+class TestSamplers:
+    def test_bernoulli_sample_size_close_to_fraction(self, service):
+        sample = bernoulli_sample(service, 0.1, seed=1)
+        assert 0.05 * len(service) < sample.num_rows < 0.15 * len(service)
+
+    def test_bernoulli_full_fraction_is_identity(self, service):
+        sample = bernoulli_sample(service, 1.0, seed=1)
+        assert sample.num_rows == service.num_rows
+
+    def test_bernoulli_deterministic_per_seed(self, service):
+        a = bernoulli_sample(service, 0.05, seed=9)
+        b = bernoulli_sample(service, 0.05, seed=9)
+        assert a.column("hour") == b.column("hour")
+
+    def test_bernoulli_fraction_validation(self, service):
+        with pytest.raises(ConfigError):
+            bernoulli_sample(service, 0.0)
+        with pytest.raises(ConfigError):
+            bernoulli_sample(service, 1.5)
+
+    def test_uniform_sample_exact_size(self, service):
+        assert uniform_sample(service, 123, seed=2).num_rows == 123
+
+    def test_uniform_sample_oversize_clamps(self, service):
+        sample = uniform_sample(service, service.num_rows * 2)
+        assert sample.num_rows == service.num_rows
+
+    def test_uniform_sample_size_validation(self, service):
+        with pytest.raises(ConfigError):
+            uniform_sample(service, 0)
+
+    def test_prefixes_are_nested(self, service):
+        small = sample_prefix(service, 0.05, seed=4)
+        large = sample_prefix(service, 0.2, seed=4)
+        small_ids = set(zip(small.column("repID"), small.column("ts")))
+        large_ids = set(zip(large.column("repID"), large.column("ts")))
+        assert small_ids <= large_ids
+
+    def test_shuffled_indices_is_permutation(self, service):
+        permutation = shuffled_indices(service, seed=3)
+        assert sorted(permutation) == list(range(service.num_rows))
+
+    def test_resample_keeps_size(self, service):
+        replicate = resample_with_replacement(service, seed=1)
+        assert replicate.num_rows == service.num_rows
+
+    def test_samples_share_schema(self, service):
+        sample = bernoulli_sample(service, 0.1, seed=1)
+        assert sample.schema == service.schema
+        assert sample.name == service.name
+
+
+class TestApproximateExecute:
+    def test_estimate_close_to_exact(self, service, group_query, exact):
+        engine = create_engine("vectorstore")
+        result = approximate_execute(
+            engine, service, group_query, fraction=0.1, seed=7
+        )
+        assert relative_error(exact, result.estimate) < 0.1
+
+    def test_error_shrinks_with_fraction(self, service, group_query, exact):
+        errors = []
+        for fraction in (0.02, 0.5):
+            engine = create_engine("vectorstore")
+            result = approximate_execute(
+                engine, service, group_query, fraction=fraction, seed=7
+            )
+            errors.append(relative_error(exact, result.estimate))
+        assert errors[1] < errors[0]
+
+    def test_count_and_sum_are_scaled(self, service, group_query):
+        engine = create_engine("vectorstore")
+        result = approximate_execute(
+            engine, service, group_query, fraction=0.1, seed=7
+        )
+        assert result.scaled_columns == ["calls", "ab"]
+        total = sum(result.estimate.column("calls"))
+        assert total == pytest.approx(service.num_rows, rel=0.15)
+
+    def test_avg_not_scaled(self, service):
+        query = parse_query(
+            "SELECT queue, AVG(duration) AS d FROM customer_service "
+            "GROUP BY queue"
+        )
+        engine = create_engine("vectorstore")
+        result = approximate_execute(engine, service, query, 0.1, seed=7)
+        assert result.scaled_columns == []
+        exact_engine = create_engine("vectorstore")
+        exact_engine.load_table(service)
+        exact_result = exact_engine.execute(query)
+        assert relative_error(exact_result, result.estimate) < 0.1
+
+    def test_min_max_flagged_unreliable(self, service):
+        query = parse_query(
+            "SELECT MAX(duration) AS worst FROM customer_service"
+        )
+        engine = create_engine("vectorstore")
+        result = approximate_execute(engine, service, query, 0.1, seed=7)
+        assert result.unreliable_columns == ["worst"]
+
+    def test_count_distinct_flagged_unreliable(self, service):
+        query = parse_query(
+            "SELECT COUNT(DISTINCT repID) AS reps FROM customer_service"
+        )
+        engine = create_engine("vectorstore")
+        result = approximate_execute(engine, service, query, 0.2, seed=7)
+        assert result.unreliable_columns == ["reps"]
+
+    def test_bootstrap_errors_cover_truth(self, service, group_query, exact):
+        engine = create_engine("vectorstore")
+        result = approximate_execute(
+            engine, service, group_query, 0.1, seed=7, bootstrap=30
+        )
+        assert result.stderr
+        covered = 0
+        total = 0
+        exact_by_queue = {row[0]: row[1] for row in exact.rows}
+        for row_index, row in enumerate(result.estimate.rows):
+            interval = result.cell_interval(row_index, "calls", z=2.6)
+            if interval is None:
+                continue
+            total += 1
+            low, high = interval
+            if low <= exact_by_queue[row[0]] <= high:
+                covered += 1
+        assert total == 4
+        assert covered >= 3  # ~99% nominal; allow one unlucky cell
+
+    def test_join_queries_rejected(self, service):
+        query = parse_query(
+            "SELECT x FROM customer_service JOIN d ON customer_service.a = d.a"
+        )
+        with pytest.raises(ConfigError):
+            approximate_execute(
+                create_engine("vectorstore"), service, query, 0.1
+            )
+
+    def test_table_name_mismatch_rejected(self, service):
+        query = parse_query("SELECT COUNT(*) FROM other")
+        with pytest.raises(ConfigError):
+            approximate_execute(
+                create_engine("vectorstore"), service, query, 0.1
+            )
+
+    def test_works_on_every_engine(self, service, group_query, exact):
+        for name in ("rowstore", "matstore", "sqlite", "vectorstore"):
+            engine = create_engine(name)
+            result = approximate_execute(
+                engine, service, group_query, 0.2, seed=3
+            )
+            assert relative_error(exact, result.estimate) < 0.1
+            engine.close()
+
+
+class TestRelativeError:
+    def test_identical_results_have_zero_error(self):
+        result = ResultSet(["q", "n"], [("a", 10), ("b", 20)])
+        assert relative_error(result, result) == 0.0
+
+    def test_missing_group_penalized(self):
+        exact = ResultSet(["q", "n"], [("a", 10), ("b", 20)])
+        estimate = ResultSet(["q", "n"], [("a", 10)])
+        assert relative_error(exact, estimate) == pytest.approx(0.5)
+
+    def test_invented_group_penalized(self):
+        exact = ResultSet(["q", "n"], [("a", 10)])
+        estimate = ResultSet(["q", "n"], [("a", 10), ("z", 5)])
+        assert relative_error(exact, estimate) == pytest.approx(0.5)
+
+    def test_zero_truth_handled(self):
+        exact = ResultSet(["q", "n"], [("a", 0)])
+        close = ResultSet(["q", "n"], [("a", 0)])
+        off = ResultSet(["q", "n"], [("a", 3)])
+        assert relative_error(exact, close) == 0.0
+        assert relative_error(exact, off) == 1.0
+
+
+class TestProgressive:
+    def test_updates_are_monotone_in_fraction(self, service, group_query):
+        engine = create_engine("vectorstore")
+        updates = list(
+            progressive_execute(
+                engine, service, group_query, seed=1, epsilon=0.0
+            )
+        )
+        fractions = [u.fraction for u in updates]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == 1.0
+
+    def test_final_update_matches_exact(self, service, group_query, exact):
+        engine = create_engine("vectorstore")
+        updates = list(
+            progressive_execute(
+                engine, service, group_query, seed=1, epsilon=0.0
+            )
+        )
+        assert relative_error(exact, updates[-1].estimate) == 0.0
+
+    def test_convergence_stops_early(self, service, group_query):
+        engine = create_engine("vectorstore")
+        updates = list(
+            progressive_execute(
+                engine, service, group_query, seed=1, epsilon=0.5
+            )
+        )
+        assert updates[-1].converged
+        assert updates[-1].fraction < 1.0
+
+    def test_error_improves_over_steps(self, service, group_query, exact):
+        engine = create_engine("vectorstore")
+        updates = list(
+            progressive_execute(
+                engine,
+                service,
+                group_query,
+                fractions=(0.01, 1.0),
+                seed=1,
+                epsilon=0.0,
+            )
+        )
+        first = relative_error(exact, updates[0].estimate)
+        last = relative_error(exact, updates[-1].estimate)
+        assert last <= first
+
+    def test_rows_read_grow(self, service, group_query):
+        engine = create_engine("vectorstore")
+        updates = list(
+            progressive_execute(
+                engine, service, group_query, seed=1, epsilon=0.0
+            )
+        )
+        reads = [u.rows_read for u in updates]
+        assert reads == sorted(reads)
+
+    def test_empty_fraction_schedule_rejected(self, service, group_query):
+        with pytest.raises(ConfigError):
+            list(
+                progressive_execute(
+                    create_engine("vectorstore"),
+                    service,
+                    group_query,
+                    fractions=(),
+                )
+            )
+
+    def test_out_of_range_fraction_rejected(self, service, group_query):
+        with pytest.raises(ConfigError):
+            list(
+                progressive_execute(
+                    create_engine("vectorstore"),
+                    service,
+                    group_query,
+                    fractions=(0.5, 1.5),
+                )
+            )
+
+
+# ---------------------------------------------------------------------------
+# Property: Horvitz–Thompson scaling is unbiased-ish across seeds
+# ---------------------------------------------------------------------------
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=15, deadline=None)
+def test_count_estimate_within_statistical_bounds(seed):
+    table = Table.from_rows(
+        "t", [{"g": "x", "v": i} for i in range(2_000)]
+    )
+    engine = create_engine("vectorstore")
+    query = parse_query("SELECT COUNT(*) AS n FROM t")
+    result = approximate_execute(engine, table, query, 0.25, seed=seed)
+    estimate = result.estimate.rows[0][0]
+    # Binomial sd of the scaled count is sqrt(n p (1-p)) / p ≈ 77;
+    # allow 5 sigma so the test is effectively deterministic.
+    assert abs(estimate - 2_000) < 5 * 78

@@ -1,0 +1,121 @@
+"""Cross-engine consistency: all engines agree with SQLite.
+
+SQLite is the real DBMS among the four; the pure-Python engines must
+return identical (order-insensitive, float-tolerant) results on the
+supported subset. Includes a hypothesis property over randomly built
+grouped-aggregate queries.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.sql.builder import col, select
+from repro.sql.parser import parse_query
+
+FIXED_QUERIES = [
+    "SELECT COUNT(*) FROM customer_service",
+    "SELECT queue, COUNT(*) FROM customer_service GROUP BY queue",
+    "SELECT repID, hour, COUNT(calls) FROM customer_service "
+    "WHERE queue IN ('A','B') GROUP BY repID, hour",
+    "SELECT queue, SUM(duration), AVG(duration) FROM customer_service "
+    "GROUP BY queue HAVING COUNT(*) > 10",
+    "SELECT hour, COUNT(*) AS call_volume, SUM(abandoned) "
+    "FROM customer_service GROUP BY hour ORDER BY hour",
+    "SELECT DISTINCT repID, queue FROM customer_service",
+    "SELECT note, COUNT(*) FROM customer_service GROUP BY note",
+    "SELECT BIN(duration, 1), COUNT(*) FROM customer_service "
+    "GROUP BY BIN(duration, 1)",
+    "SELECT HOUR(ts), COUNT(*) FROM customer_service GROUP BY HOUR(ts)",
+    "SELECT queue, COUNT(DISTINCT repID) FROM customer_service GROUP BY queue",
+    "SELECT MIN(duration), MAX(duration), SUM(calls) FROM customer_service "
+    "WHERE note IS NOT NULL",
+    "SELECT queue FROM customer_service WHERE duration > 3.9 AND hour < 5",
+    "SELECT SUM(abandoned) * 1.0 / COUNT(*) FROM customer_service",
+    "SELECT queue, COUNT(*) FROM customer_service "
+    "WHERE NOT (queue = 'A' OR hour < 12) GROUP BY queue",
+    "SELECT repID, COUNT(*) FROM customer_service "
+    "WHERE note LIKE 'n%' GROUP BY repID",
+    "SELECT queue, hour FROM customer_service "
+    "WHERE hour BETWEEN 3 AND 4 ORDER BY queue, hour LIMIT 7",
+]
+
+
+@pytest.mark.parametrize("sql", FIXED_QUERIES)
+def test_fixed_queries_match_sqlite(all_engines, sql):
+    query = parse_query(sql)
+    expected = all_engines["sqlite"].execute(query).sorted_rows(precision=6)
+    for name in ("rowstore", "vectorstore", "matstore"):
+        actual = all_engines[name].execute(query).sorted_rows(precision=6)
+        assert actual == expected, f"{name} disagrees with sqlite on: {sql}"
+
+
+# -- property: random grouped-aggregate queries ------------------------------
+
+_group_columns = st.lists(
+    st.sampled_from(["queue", "repID", "hour", "note"]),
+    min_size=0,
+    max_size=2,
+    unique=True,
+)
+_agg_specs = st.lists(
+    st.tuples(
+        st.sampled_from(["COUNT", "SUM", "AVG", "MIN", "MAX"]),
+        st.sampled_from(["calls", "duration", "abandoned", "hour"]),
+    ),
+    min_size=1,
+    max_size=3,
+)
+_filters = st.lists(
+    st.sampled_from(
+        [
+            "queue = 'A'",
+            "queue IN ('B', 'C')",
+            "hour >= 12",
+            "duration BETWEEN 1 AND 3",
+            "note IS NOT NULL",
+            "abandoned = 1",
+            "repID != 'rep-2'",
+        ]
+    ),
+    min_size=0,
+    max_size=3,
+    unique=True,
+)
+
+
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(groups=_group_columns, aggs=_agg_specs, filters=_filters)
+def test_random_aggregates_match_sqlite(all_engines, groups, aggs, filters):
+    items = list(groups) + [
+        f"{agg}({column}) AS m{i}" for i, (agg, column) in enumerate(aggs)
+    ]
+    sql = f"SELECT {', '.join(items)} FROM customer_service"
+    if filters:
+        sql += " WHERE " + " AND ".join(filters)
+    if groups:
+        sql += " GROUP BY " + ", ".join(groups)
+    query = parse_query(sql)
+    expected = all_engines["sqlite"].execute(query).sorted_rows(precision=6)
+    for name in ("rowstore", "vectorstore", "matstore"):
+        actual = all_engines[name].execute(query).sorted_rows(precision=6)
+        assert actual == expected, f"{name} disagrees on: {sql}"
+
+
+def test_execute_timed_reports_duration(all_engines):
+    query = (
+        select("queue", col("hour"))
+        .from_table("customer_service")
+        .limit(5)
+        .build()
+    )
+    for engine in all_engines.values():
+        timed = engine.execute_timed(query)
+        assert timed.duration_ms >= 0
+        assert timed.rows_returned == 5
+        assert timed.engine == engine.name
+        assert "SELECT" in timed.sql

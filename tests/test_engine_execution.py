@@ -1,0 +1,254 @@
+"""Behavioural tests for query execution, run against every engine.
+
+Each test executes on all four engines and asserts exact results, so
+any engine-specific deviation from SQL semantics fails by name.
+"""
+
+import pytest
+
+from repro.sql.parser import parse_query
+
+ENGINES = ["rowstore", "vectorstore", "matstore", "sqlite"]
+
+
+@pytest.fixture(params=ENGINES)
+def engine(request, all_engines):
+    return all_engines[request.param]
+
+
+def run(engine, sql):
+    return engine.execute(parse_query(sql))
+
+
+class TestProjection:
+    def test_count_star(self, engine):
+        result = run(engine, "SELECT COUNT(*) FROM customer_service")
+        assert result.rows == [(240,)]
+
+    def test_select_star_schema(self, engine, calls_table):
+        result = run(
+            engine, "SELECT * FROM customer_service LIMIT 3"
+        )
+        assert result.columns == calls_table.schema.names
+        assert len(result) == 3
+
+    def test_limit_zero(self, engine):
+        result = run(engine, "SELECT queue FROM customer_service LIMIT 0")
+        assert result.rows == []
+
+    def test_distinct(self, engine):
+        result = run(
+            engine,
+            "SELECT DISTINCT queue FROM customer_service ORDER BY queue",
+        )
+        assert result.column("queue") == ["A", "B", "C", "D"]
+
+    def test_where_filters(self, engine):
+        result = run(
+            engine,
+            "SELECT COUNT(*) FROM customer_service WHERE queue = 'A'",
+        )
+        assert result.rows == [(60,)]
+
+    def test_projection_expression(self, engine):
+        result = run(
+            engine,
+            "SELECT hour + 1 FROM customer_service WHERE hour = 5 LIMIT 1",
+        )
+        assert result.sorted_rows() == [(6,)]
+
+
+class TestAggregation:
+    def test_group_by_counts(self, engine):
+        result = run(
+            engine,
+            "SELECT queue, COUNT(*) AS n FROM customer_service "
+            "GROUP BY queue ORDER BY queue",
+        )
+        assert result.rows == [("A", 60), ("B", 60), ("C", 60), ("D", 60)]
+
+    def test_sum(self, engine):
+        result = run(
+            engine, "SELECT SUM(abandoned) FROM customer_service"
+        )
+        assert result.rows[0][0] == 24  # every 10th of 240 rows
+
+    def test_global_aggregate_on_empty_filter(self, engine):
+        result = run(
+            engine,
+            "SELECT COUNT(*), SUM(calls) FROM customer_service "
+            "WHERE queue = 'NOPE'",
+        )
+        # COUNT of empty input is 0; SUM is NULL.
+        assert result.rows == [(0, None)]
+
+    def test_group_by_empty_input_has_no_groups(self, engine):
+        result = run(
+            engine,
+            "SELECT queue, COUNT(*) FROM customer_service "
+            "WHERE queue = 'NOPE' GROUP BY queue",
+        )
+        assert result.rows == []
+
+    def test_having(self, engine):
+        result = run(
+            engine,
+            "SELECT queue, SUM(lostCalls) AS lost FROM customer_service "
+            "GROUP BY queue HAVING SUM(lostCalls) > 0 ORDER BY queue",
+        )
+        # lostCalls hits rows i % 20 == 0, i.e. queue A (i%4==0) only.
+        assert result.rows == [("A", 12)]
+
+    def test_avg(self, engine):
+        result = run(
+            engine,
+            "SELECT AVG(calls) FROM customer_service",
+        )
+        assert result.sorted_rows(precision=6) == [(1,)]
+
+    def test_count_distinct(self, engine):
+        result = run(
+            engine,
+            "SELECT COUNT(DISTINCT repID) FROM customer_service",
+        )
+        assert result.rows == [(3,)]
+
+    def test_min_max(self, engine):
+        result = run(
+            engine,
+            "SELECT MIN(hour), MAX(hour) FROM customer_service",
+        )
+        assert result.rows == [(0, 23)]
+
+    def test_count_column_skips_nulls(self, engine):
+        result = run(
+            engine, "SELECT COUNT(note) FROM customer_service"
+        )
+        # note is NULL for i % 11 == 0 -> 22 of 240 rows.
+        assert result.rows == [(240 - 22,)]
+
+    def test_group_by_nullable_column(self, engine):
+        result = run(
+            engine,
+            "SELECT note, COUNT(*) FROM customer_service GROUP BY note",
+        )
+        groups = dict(result.rows)
+        assert groups[None] == 22
+        assert sum(groups.values()) == 240
+
+    def test_arithmetic_over_aggregates(self, engine):
+        result = run(
+            engine,
+            "SELECT SUM(abandoned) * 10 FROM customer_service",
+        )
+        assert result.sorted_rows(precision=6) == [(240,)]
+
+    def test_group_by_scalar_function(self, engine):
+        result = run(
+            engine,
+            "SELECT BIN(hour, 12), COUNT(*) FROM customer_service "
+            "GROUP BY BIN(hour, 12) ORDER BY BIN(hour, 12)",
+        )
+        assert result.sorted_rows(precision=6) == [(0, 120), (12, 120)]
+
+    def test_temporal_group(self, engine):
+        result = run(
+            engine,
+            "SELECT YEAR(ts), COUNT(*) FROM customer_service GROUP BY YEAR(ts)",
+        )
+        assert result.sorted_rows(precision=6) == [(2024, 240)]
+
+
+class TestOrderingAndLimit:
+    def test_order_by_aggregate_alias(self, engine):
+        result = run(
+            engine,
+            "SELECT repID, COUNT(*) AS n FROM customer_service "
+            "GROUP BY repID ORDER BY n DESC, repID LIMIT 1",
+        )
+        assert result.rows == [("rep-1", 80)]
+
+    def test_order_by_two_keys(self, engine):
+        result = run(
+            engine,
+            "SELECT queue, hour FROM customer_service "
+            "WHERE hour < 2 ORDER BY hour DESC, queue ASC LIMIT 3",
+        )
+        assert result.rows[0][1] == 1
+        queues = [r[0] for r in result.rows]
+        assert queues == sorted(queues)
+
+    def test_limit_after_order(self, engine):
+        result = run(
+            engine,
+            "SELECT duration FROM customer_service "
+            "ORDER BY duration DESC LIMIT 2",
+        )
+        values = result.column("duration")
+        assert values[0] >= values[1]
+
+
+class TestPredicates:
+    def test_in_filter(self, engine):
+        result = run(
+            engine,
+            "SELECT COUNT(*) FROM customer_service WHERE queue IN ('A', 'B')",
+        )
+        assert result.rows == [(120,)]
+
+    def test_not_in_filter(self, engine):
+        result = run(
+            engine,
+            "SELECT COUNT(*) FROM customer_service "
+            "WHERE queue NOT IN ('A', 'B')",
+        )
+        assert result.rows == [(120,)]
+
+    def test_between(self, engine):
+        result = run(
+            engine,
+            "SELECT COUNT(*) FROM customer_service WHERE hour BETWEEN 0 AND 11",
+        )
+        assert result.rows == [(120,)]
+
+    def test_like(self, engine):
+        result = run(
+            engine,
+            "SELECT COUNT(*) FROM customer_service WHERE note LIKE 'n1%'",
+        )
+        assert result.rows[0][0] > 0
+
+    def test_null_comparison_excludes(self, engine):
+        kept = run(
+            engine,
+            "SELECT COUNT(*) FROM customer_service WHERE note = 'n1'",
+        ).rows[0][0]
+        total = run(
+            engine,
+            "SELECT COUNT(*) FROM customer_service",
+        ).rows[0][0]
+        nulls = run(
+            engine,
+            "SELECT COUNT(*) FROM customer_service WHERE note IS NULL",
+        ).rows[0][0]
+        not_n1 = run(
+            engine,
+            "SELECT COUNT(*) FROM customer_service WHERE note != 'n1'",
+        ).rows[0][0]
+        # NULL rows satisfy neither = nor !=.
+        assert kept + not_n1 + nulls == total
+
+    def test_or_combination(self, engine):
+        result = run(
+            engine,
+            "SELECT COUNT(*) FROM customer_service "
+            "WHERE queue = 'A' OR queue = 'B'",
+        )
+        assert result.rows == [(120,)]
+
+    def test_not(self, engine):
+        result = run(
+            engine,
+            "SELECT COUNT(*) FROM customer_service WHERE NOT queue = 'A'",
+        )
+        assert result.rows == [(180,)]

@@ -1,0 +1,158 @@
+"""Tests for the engine interface, result sets, and registry."""
+
+import math
+
+import pytest
+
+from repro.engine.interface import ResultSet, normalize_value
+from repro.engine.registry import (
+    PAPER_ANALOGUE,
+    available_engines,
+    create_engine,
+    register_engine,
+)
+from repro.errors import ConfigError
+
+
+class TestResultSet:
+    def test_len_and_iter(self):
+        rs = ResultSet(["a"], [(1,), (2,)])
+        assert len(rs) == 2
+        assert list(rs) == [(1,), (2,)]
+
+    def test_is_empty(self):
+        assert ResultSet(["a"], []).is_empty
+        assert not ResultSet(["a"], [(1,)]).is_empty
+
+    def test_column_access(self):
+        rs = ResultSet(["a", "b"], [(1, "x"), (2, "y")])
+        assert rs.column("b") == ["x", "y"]
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(KeyError):
+            ResultSet(["a"], []).column("zz")
+
+    def test_to_dicts(self):
+        rs = ResultSet(["a", "b"], [(1, 2)])
+        assert rs.to_dicts() == [{"a": 1, "b": 2}]
+
+    def test_cell_set_order_insensitive(self):
+        a = ResultSet(["x", "y"], [(1, 2), (3, 4)])
+        b = ResultSet(["x", "y"], [(3, 4), (1, 2)])
+        assert a.cell_set() == b.cell_set()
+
+    def test_row_set_deduplicates(self):
+        rs = ResultSet(["a"], [(1,), (1,)])
+        assert len(rs.row_set()) == 1
+
+    def test_sorted_rows_handles_nulls(self):
+        rs = ResultSet(["a"], [(None,), (2,), (1,)])
+        assert rs.sorted_rows() == [(None,), (1,), (2,)]
+
+    def test_equality(self):
+        assert ResultSet(["a"], [(1,)]) == ResultSet(["a"], [(1,)])
+        assert ResultSet(["a"], [(1,)]) != ResultSet(["a"], [(2,)])
+
+
+class TestNormalizeValue:
+    def test_integral_float_to_int(self):
+        assert normalize_value(2.0) == 2
+        assert isinstance(normalize_value(2.0), int)
+
+    def test_bool_to_int(self):
+        assert normalize_value(True) == 1
+
+    def test_nan_to_none(self):
+        assert normalize_value(float("nan")) is None
+
+    def test_rounding(self):
+        assert normalize_value(1.00000000004) == 1
+
+    def test_precision_parameter(self):
+        assert normalize_value(1.234567, precision=2) == 1.23
+
+    def test_strings_untouched(self):
+        assert normalize_value("x") == "x"
+
+
+class TestRegistry:
+    def test_four_engines(self):
+        assert set(available_engines()) >= {
+            "rowstore", "vectorstore", "matstore", "sqlite",
+        }
+
+    def test_unknown_engine_raises(self):
+        with pytest.raises(ConfigError):
+            create_engine("postgres")
+
+    def test_paper_analogue_documented(self):
+        for name in ("rowstore", "vectorstore", "matstore", "sqlite"):
+            assert name in PAPER_ANALOGUE
+
+    def test_register_custom_engine(self):
+        from repro.engine.rowstore import RowStoreEngine
+
+        class Custom(RowStoreEngine):
+            name = "custom-test"
+
+        register_engine("custom-test", Custom)
+        try:
+            assert isinstance(create_engine("custom-test"), Custom)
+        finally:
+            from repro.engine import registry
+
+            registry._FACTORIES.pop("custom-test")
+
+    def test_context_manager_closes(self, calls_table):
+        with create_engine("sqlite") as engine:
+            engine.load_table(calls_table)
+        # Connection is closed; executing now must fail.
+        from repro.errors import ExecutionError
+        from repro.sql.parser import parse_query
+
+        with pytest.raises(ExecutionError):
+            engine.execute(parse_query("SELECT COUNT(*) FROM customer_service"))
+
+
+class TestPlannerErrors:
+    @pytest.mark.parametrize("engine_name", ["rowstore", "vectorstore", "matstore"])
+    def test_having_without_aggregate_rejected(
+        self, all_engines, engine_name
+    ):
+        from repro.errors import ExecutionError
+        from repro.sql.parser import parse_query
+
+        query = parse_query(
+            "SELECT queue FROM customer_service HAVING queue = 'A'"
+        )
+        with pytest.raises(ExecutionError):
+            all_engines[engine_name].execute(query)
+
+    @pytest.mark.parametrize("engine_name", ["rowstore", "vectorstore", "matstore"])
+    def test_bare_column_with_aggregate_rejected(
+        self, all_engines, engine_name
+    ):
+        """Strict SQL: non-grouped columns cannot mix with aggregates."""
+        from repro.errors import ExecutionError
+        from repro.sql.parser import parse_query
+
+        query = parse_query("SELECT queue, COUNT(*) FROM customer_service")
+        with pytest.raises(ExecutionError):
+            all_engines[engine_name].execute(query)
+
+    @pytest.mark.parametrize("engine_name", ["rowstore", "vectorstore", "matstore"])
+    def test_nested_aggregates_rejected(self, all_engines, engine_name):
+        from repro.errors import ExecutionError
+        from repro.sql.parser import parse_query
+
+        query = parse_query("SELECT SUM(COUNT(x)) FROM customer_service")
+        with pytest.raises(ExecutionError):
+            all_engines[engine_name].execute(query)
+
+    def test_unknown_table_raises(self, all_engines):
+        from repro.errors import SchemaError, ExecutionError
+        from repro.sql.parser import parse_query
+
+        for engine in all_engines.values():
+            with pytest.raises((SchemaError, ExecutionError)):
+                engine.execute(parse_query("SELECT * FROM ghosts"))

@@ -1,0 +1,398 @@
+"""Join execution: correctness on all four engines, SQLite as referee.
+
+Includes a hypothesis differential test generating random star-shaped
+data and random join queries, asserting that every pure-Python engine
+matches SQLite exactly.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.engine import available_engines, create_engine
+from repro.engine.join import (
+    expand_star_items,
+    iter_joined_rows,
+    join_scopes,
+    joined_output_names,
+    resolve_joins,
+    strip_join_clauses,
+)
+from repro.engine.table import Database, Table
+from repro.errors import SchemaError
+from repro.sql.parser import parse_query
+
+ENGINES = available_engines()
+
+
+@pytest.fixture()
+def star_tables():
+    fact = Table.from_rows(
+        "fact",
+        [
+            {"id": 1, "branch_id": 10, "day_id": 1, "amount": 5.0},
+            {"id": 2, "branch_id": 20, "day_id": 2, "amount": 7.0},
+            {"id": 3, "branch_id": 10, "day_id": 1, "amount": 2.0},
+            {"id": 4, "branch_id": 99, "day_id": 3, "amount": 1.0},
+            {"id": 5, "branch_id": None, "day_id": 1, "amount": 4.0},
+        ],
+    )
+    branch = Table.from_rows(
+        "branch",
+        [
+            {"branch_id": 10, "region": "east"},
+            {"branch_id": 20, "region": "west"},
+        ],
+    )
+    day = Table.from_rows(
+        "day",
+        [
+            {"day_id": 1, "dow": "mon"},
+            {"day_id": 2, "dow": "tue"},
+            {"day_id": 3, "dow": "wed"},
+        ],
+    )
+    return fact, branch, day
+
+
+def _loaded(name, tables):
+    engine = create_engine(name)
+    for table in tables:
+        engine.load_table(table)
+    return engine
+
+
+def _run_all(tables, sql):
+    query = parse_query(sql)
+    results = {}
+    for name in ENGINES:
+        engine = _loaded(name, tables)
+        results[name] = engine.execute(query)
+        engine.close()
+    return results
+
+
+def _assert_agree(results):
+    reference = results["sqlite"]
+    for name, result in results.items():
+        assert result.sorted_rows() == reference.sorted_rows(), name
+        assert [c.lower() for c in result.columns] == [
+            c.lower() for c in reference.columns
+        ], name
+
+
+class TestInnerJoin:
+    def test_grouped_aggregate_over_join(self, star_tables):
+        results = _run_all(
+            star_tables,
+            "SELECT region, SUM(amount) AS total FROM fact "
+            "JOIN branch ON fact.branch_id = branch.branch_id "
+            "GROUP BY region ORDER BY region",
+        )
+        _assert_agree(results)
+        assert results["sqlite"].rows == [("east", 7.0), ("west", 7.0)]
+
+    def test_unmatched_fact_rows_dropped(self, star_tables):
+        results = _run_all(
+            star_tables,
+            "SELECT id FROM fact JOIN branch "
+            "ON fact.branch_id = branch.branch_id ORDER BY id",
+        )
+        _assert_agree(results)
+        assert results["sqlite"].column("id") == [1, 2, 3]
+
+    def test_null_keys_never_match(self, star_tables):
+        results = _run_all(
+            star_tables,
+            "SELECT COUNT(*) AS n FROM fact JOIN branch "
+            "ON fact.branch_id = branch.branch_id",
+        )
+        _assert_agree(results)
+        assert results["sqlite"].rows == [(3,)]
+
+    def test_two_joins(self, star_tables):
+        results = _run_all(
+            star_tables,
+            "SELECT dow, region, SUM(amount) AS t FROM fact "
+            "JOIN branch ON fact.branch_id = branch.branch_id "
+            "JOIN day ON fact.day_id = day.day_id "
+            "GROUP BY dow, region ORDER BY dow, region",
+        )
+        _assert_agree(results)
+
+    def test_duplicate_right_keys_multiply_rows(self):
+        fact = Table.from_rows("fact", [{"k": 1, "v": 10}])
+        dup = Table.from_rows(
+            "dup", [{"k": 1, "tag": "a"}, {"k": 1, "tag": "b"}]
+        )
+        results = _run_all(
+            (fact, dup),
+            "SELECT v, tag FROM fact JOIN dup ON fact.k = dup.k ORDER BY tag",
+        )
+        _assert_agree(results)
+        assert len(results["sqlite"]) == 2
+
+    def test_where_on_dimension_column(self, star_tables):
+        results = _run_all(
+            star_tables,
+            "SELECT id FROM fact JOIN branch "
+            "ON fact.branch_id = branch.branch_id "
+            "WHERE region = 'east' ORDER BY id",
+        )
+        _assert_agree(results)
+        assert results["sqlite"].column("id") == [1, 3]
+
+
+class TestLeftJoin:
+    def test_unmatched_rows_padded_with_null(self, star_tables):
+        results = _run_all(
+            star_tables,
+            "SELECT id, region FROM fact LEFT JOIN branch "
+            "ON fact.branch_id = branch.branch_id ORDER BY id",
+        )
+        _assert_agree(results)
+        by_id = dict(results["sqlite"].rows)
+        assert by_id[4] is None and by_id[5] is None
+        assert by_id[1] == "east"
+
+    def test_left_join_count_keeps_all_rows(self, star_tables):
+        results = _run_all(
+            star_tables,
+            "SELECT COUNT(*) AS n FROM fact LEFT JOIN branch "
+            "ON fact.branch_id = branch.branch_id",
+        )
+        _assert_agree(results)
+        assert results["sqlite"].rows == [(5,)]
+
+    def test_is_null_filter_finds_unmatched(self, star_tables):
+        results = _run_all(
+            star_tables,
+            "SELECT id FROM fact LEFT JOIN branch "
+            "ON fact.branch_id = branch.branch_id "
+            "WHERE region IS NULL ORDER BY id",
+        )
+        _assert_agree(results)
+        assert results["sqlite"].column("id") == [4, 5]
+
+
+class TestSelectStarOverJoin:
+    def test_star_deduplicates_shared_key(self, star_tables):
+        results = _run_all(
+            star_tables,
+            "SELECT * FROM fact JOIN branch "
+            "ON fact.branch_id = branch.branch_id ORDER BY id",
+        )
+        _assert_agree(results)
+        assert results["sqlite"].columns.count("branch_id") == 1
+
+    def test_star_keeps_differently_named_key(self):
+        fact = Table.from_rows("fact", [{"fk": 1, "v": 5}])
+        dim = Table.from_rows("dim", [{"pk": 1, "w": 9}])
+        results = _run_all(
+            (fact, dim), "SELECT * FROM fact JOIN dim ON fact.fk = dim.pk"
+        )
+        _assert_agree(results)
+        assert set(results["sqlite"].columns) == {"fk", "v", "pk", "w"}
+
+
+class TestJoinValidation:
+    def test_column_collision_rejected(self):
+        fact = Table.from_rows("fact", [{"k": 1, "v": 5}])
+        dim = Table.from_rows("dim", [{"k": 1, "v": 9}])  # v collides
+        engine = create_engine("vectorstore")
+        engine.load_table(fact)
+        engine.load_table(dim)
+        with pytest.raises(SchemaError, match="duplicate column"):
+            engine.execute(
+                parse_query("SELECT v FROM fact JOIN dim ON fact.k = dim.k")
+            )
+
+    def test_unknown_qualifier_rejected(self, star_tables):
+        engine = _loaded("rowstore", star_tables)
+        with pytest.raises(SchemaError, match="unknown table"):
+            engine.execute(
+                parse_query(
+                    "SELECT nosuch.x FROM fact JOIN branch "
+                    "ON fact.branch_id = branch.branch_id"
+                )
+            )
+
+    def test_right_key_must_belong_to_joined_table(self, star_tables):
+        engine = _loaded("matstore", star_tables)
+        with pytest.raises(SchemaError):
+            engine.execute(
+                parse_query(
+                    "SELECT id FROM fact JOIN branch "
+                    "ON fact.branch_id = day.day_id"
+                )
+            )
+
+    def test_missing_right_key_column(self, star_tables):
+        engine = _loaded("vectorstore", star_tables)
+        with pytest.raises(SchemaError):
+            engine.execute(
+                parse_query(
+                    "SELECT id FROM fact JOIN branch ON fact.branch_id = "
+                    "branch.nosuch"
+                )
+            )
+
+
+class TestJoinHelpers:
+    def test_joined_output_names_order(self, star_tables):
+        fact, branch, day = star_tables
+        db = Database([fact, branch, day])
+        query = parse_query(
+            "SELECT id FROM fact JOIN branch "
+            "ON fact.branch_id = branch.branch_id"
+        )
+        names = joined_output_names(db, query)
+        assert names == ["id", "branch_id", "day_id", "amount", "region"]
+
+    def test_iter_joined_rows_matches_resolve_joins(self, star_tables):
+        fact, branch, day = star_tables
+        db = Database([fact, branch, day])
+        query = parse_query(
+            "SELECT id FROM fact LEFT JOIN branch "
+            "ON fact.branch_id = branch.branch_id"
+        )
+        streamed = list(iter_joined_rows(db, query))
+        combined, _ = resolve_joins(db, query)
+        materialized = list(combined.iter_rows())
+        assert sorted(streamed, key=lambda r: r["id"]) == sorted(
+            materialized, key=lambda r: r["id"]
+        )
+
+    def test_strip_join_clauses_removes_qualifiers(self, star_tables):
+        fact, branch, day = star_tables
+        db = Database([fact, branch, day])
+        query = parse_query(
+            "SELECT fact.id FROM fact JOIN branch "
+            "ON fact.branch_id = branch.branch_id WHERE branch.region = 'east'"
+        )
+        stripped = strip_join_clauses(query, join_scopes(db, query))
+        assert stripped.joins == ()
+        assert "fact." not in str(stripped)
+        assert "branch." not in str(stripped)
+
+    def test_expand_star_items_aliases_every_column(self, star_tables):
+        fact, branch, day = star_tables
+        db = Database([fact, branch, day])
+        query = parse_query(
+            "SELECT * FROM fact JOIN branch "
+            "ON fact.branch_id = branch.branch_id"
+        )
+        items = expand_star_items(db, query)
+        assert [i.alias for i in items] == joined_output_names(db, query)
+
+    def test_resolve_joins_requires_joins(self, star_tables):
+        fact, branch, day = star_tables
+        db = Database([fact, branch, day])
+        from repro.errors import ExecutionError
+
+        with pytest.raises(ExecutionError):
+            resolve_joins(db, parse_query("SELECT id FROM fact"))
+
+
+# ---------------------------------------------------------------------------
+# Differential property test: random star data, every engine vs SQLite
+# ---------------------------------------------------------------------------
+
+_REGIONS = ["east", "west", "north", None]
+
+
+@st.composite
+def _star_case(draw):
+    num_dim = draw(st.integers(min_value=1, max_value=4))
+    dim_rows = [
+        {"k": i, "label": draw(st.sampled_from(_REGIONS))}
+        for i in range(num_dim)
+    ]
+    num_fact = draw(st.integers(min_value=0, max_value=12))
+    fact_rows = [
+        {
+            "id": i,
+            "k": draw(
+                st.one_of(
+                    st.integers(min_value=0, max_value=num_dim + 1),
+                    st.none(),
+                )
+            ),
+            "v": draw(st.integers(min_value=-5, max_value=5)),
+        }
+        for i in range(num_fact)
+    ]
+    kind = draw(st.sampled_from(["JOIN", "LEFT JOIN"]))
+    shape = draw(st.sampled_from(["group", "project", "filter"]))
+    return dim_rows, fact_rows, kind, shape
+
+
+@given(_star_case())
+@settings(max_examples=60, deadline=None)
+def test_engines_agree_with_sqlite_on_random_joins(case):
+    dim_rows, fact_rows, kind, shape = case
+    if not fact_rows:
+        fact_rows = [{"id": 0, "k": None, "v": 0}]
+    fact = Table.from_rows("fact", fact_rows)
+    dim = Table.from_rows("dim", dim_rows)
+    if shape == "group":
+        sql = (
+            f"SELECT label, COUNT(*) AS n, SUM(v) AS s FROM fact "
+            f"{kind} dim ON fact.k = dim.k GROUP BY label"
+        )
+    elif shape == "project":
+        sql = (
+            f"SELECT id, label, v FROM fact {kind} dim ON fact.k = dim.k "
+            f"ORDER BY id"
+        )
+    else:
+        sql = (
+            f"SELECT id FROM fact {kind} dim ON fact.k = dim.k "
+            f"WHERE v >= 0 ORDER BY id"
+        )
+    results = _run_all((fact, dim), sql)
+    _assert_agree(results)
+
+
+class TestEquivalenceOverJoins:
+    """The goal-completion suite must handle join queries gracefully."""
+
+    @pytest.fixture()
+    def suite(self, star_tables):
+        from repro.equivalence import EquivalenceSuite
+
+        engine = _loaded("vectorstore", star_tables)
+        return EquivalenceSuite(engine)
+
+    def test_identical_join_queries_equivalent(self, suite):
+        sql = (
+            "SELECT region, COUNT(*) FROM fact JOIN branch "
+            "ON fact.branch_id = branch.branch_id GROUP BY region"
+        )
+        verdict = suite.equivalent(parse_query(sql), parse_query(sql))
+        assert verdict.equivalent
+
+    def test_different_aggregates_not_equivalent(self, suite):
+        left = parse_query(
+            "SELECT region, SUM(amount) FROM fact JOIN branch "
+            "ON fact.branch_id = branch.branch_id GROUP BY region"
+        )
+        right = parse_query(
+            "SELECT region, COUNT(*) FROM fact JOIN branch "
+            "ON fact.branch_id = branch.branch_id GROUP BY region"
+        )
+        assert not suite.equivalent(left, right).equivalent
+
+    def test_inner_vs_left_join_not_equivalent(self, suite):
+        inner = parse_query(
+            "SELECT id, region FROM fact JOIN branch "
+            "ON fact.branch_id = branch.branch_id"
+        )
+        left = parse_query(
+            "SELECT id, region FROM fact LEFT JOIN branch "
+            "ON fact.branch_id = branch.branch_id"
+        )
+        # The LEFT join returns strictly more rows here (unmatched facts).
+        assert not suite.equivalent(left, inner).equivalent

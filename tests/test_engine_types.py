@@ -1,0 +1,131 @@
+"""Unit tests for data types and coercion."""
+
+import datetime as dt
+
+import pytest
+
+from repro.engine.types import DataType, coerce, infer_type, sort_key
+
+
+class TestDataType:
+    def test_numeric_flags(self):
+        assert DataType.INTEGER.is_numeric
+        assert DataType.FLOAT.is_numeric
+        assert not DataType.STRING.is_numeric
+
+    def test_temporal_flags(self):
+        assert DataType.DATE.is_temporal
+        assert DataType.TIMESTAMP.is_temporal
+        assert not DataType.INTEGER.is_temporal
+
+    def test_categorical_flags(self):
+        assert DataType.STRING.is_categorical
+        assert DataType.BOOLEAN.is_categorical
+        assert not DataType.FLOAT.is_categorical
+
+
+class TestCoerce:
+    def test_none_passes_through(self):
+        for dtype in DataType:
+            assert coerce(None, dtype) is None
+
+    def test_integer_from_string(self):
+        assert coerce("42", DataType.INTEGER) == 42
+
+    def test_integer_from_integral_float(self):
+        assert coerce(3.0, DataType.INTEGER) == 3
+
+    def test_integer_rejects_fractional_float(self):
+        with pytest.raises(ValueError):
+            coerce(3.5, DataType.INTEGER)
+
+    def test_float_from_int(self):
+        value = coerce(3, DataType.FLOAT)
+        assert value == 3.0
+        assert isinstance(value, float)
+
+    def test_string_from_anything(self):
+        assert coerce(12, DataType.STRING) == "12"
+
+    def test_boolean_from_int(self):
+        assert coerce(1, DataType.BOOLEAN) is True
+        assert coerce(0, DataType.BOOLEAN) is False
+
+    def test_boolean_from_string(self):
+        assert coerce("true", DataType.BOOLEAN) is True
+
+    def test_boolean_rejects_other_ints(self):
+        with pytest.raises(ValueError):
+            coerce(2, DataType.BOOLEAN)
+
+    def test_date_from_iso_string(self):
+        assert coerce("2024-03-01", DataType.DATE) == dt.date(2024, 3, 1)
+
+    def test_date_from_datetime_truncates(self):
+        assert coerce(
+            dt.datetime(2024, 3, 1, 10), DataType.DATE
+        ) == dt.date(2024, 3, 1)
+
+    def test_timestamp_from_date(self):
+        assert coerce(dt.date(2024, 3, 1), DataType.TIMESTAMP) == dt.datetime(
+            2024, 3, 1
+        )
+
+    def test_timestamp_from_iso(self):
+        assert coerce(
+            "2024-03-01T10:30:00", DataType.TIMESTAMP
+        ) == dt.datetime(2024, 3, 1, 10, 30)
+
+
+class TestInferType:
+    def test_all_ints(self):
+        assert infer_type([1, 2, 3]) is DataType.INTEGER
+
+    def test_ints_and_floats_widen(self):
+        assert infer_type([1, 2.5]) is DataType.FLOAT
+
+    def test_bools(self):
+        assert infer_type([True, False]) is DataType.BOOLEAN
+
+    def test_strings(self):
+        assert infer_type(["a", "b"]) is DataType.STRING
+
+    def test_dates(self):
+        assert infer_type([dt.date(2024, 1, 1)]) is DataType.DATE
+
+    def test_dates_and_datetimes_widen(self):
+        assert (
+            infer_type([dt.date(2024, 1, 1), dt.datetime(2024, 1, 1)])
+            is DataType.TIMESTAMP
+        )
+
+    def test_nones_ignored(self):
+        assert infer_type([None, 5, None]) is DataType.INTEGER
+
+    def test_all_none_defaults_to_string(self):
+        assert infer_type([None]) is DataType.STRING
+
+    def test_mixed_defaults_to_string(self):
+        assert infer_type([1, "a"]) is DataType.STRING
+
+
+class TestSortKey:
+    def test_none_sorts_first(self):
+        values = [3, None, 1]
+        assert sorted(values, key=sort_key) == [None, 1, 3]
+
+    def test_mixed_numeric(self):
+        values = [2.5, 1, 3]
+        assert sorted(values, key=sort_key) == [1, 2.5, 3]
+
+    def test_strings_after_numbers(self):
+        values = ["a", 1]
+        assert sorted(values, key=sort_key) == [1, "a"]
+
+    def test_dates_sort_chronologically(self):
+        a, b = dt.date(2024, 1, 2), dt.date(2024, 1, 10)
+        assert sorted([b, a], key=sort_key) == [a, b]
+
+    def test_total_order_never_raises(self):
+        values = [None, True, 2, "x", dt.date(2024, 1, 1), 3.5]
+        sorted(values, key=sort_key)  # must not raise

@@ -1,0 +1,127 @@
+"""Unit tests for predicate normalization (the mini-SPES front end)."""
+
+from repro.equivalence.normalize import (
+    canonical_text,
+    expand_sugar,
+    flatten_and_sort,
+    normalize_predicate,
+    orient_comparisons,
+    push_not,
+)
+from repro.sql.parser import parse_expression
+
+
+def norm(text):
+    return canonical_text(normalize_predicate(parse_expression(text)))
+
+
+class TestPushNot:
+    def test_not_comparison_flips(self):
+        assert push_not(parse_expression("NOT a = 1")) == parse_expression(
+            "a != 1"
+        )
+
+    def test_not_less_becomes_geq(self):
+        assert push_not(parse_expression("NOT a < 1")) == parse_expression(
+            "a >= 1"
+        )
+
+    def test_de_morgan_and(self):
+        result = push_not(parse_expression("NOT (a = 1 AND b = 2)"))
+        assert result == parse_expression("a != 1 OR b != 2")
+
+    def test_de_morgan_or(self):
+        result = push_not(parse_expression("NOT (a = 1 OR b = 2)"))
+        assert result == parse_expression("a != 1 AND b != 2")
+
+    def test_double_negation(self):
+        assert push_not(
+            parse_expression("NOT NOT a = 1")
+        ) == parse_expression("a = 1")
+
+    def test_not_in_toggles(self):
+        result = push_not(parse_expression("NOT q IN ('A')"))
+        assert result.negated
+
+    def test_not_between_toggles(self):
+        assert push_not(parse_expression("NOT h BETWEEN 1 AND 2")).negated
+
+    def test_not_is_null_toggles(self):
+        assert push_not(parse_expression("NOT n IS NULL")).negated
+
+
+class TestExpandSugar:
+    def test_between_becomes_conjunction(self):
+        result = expand_sugar(parse_expression("h BETWEEN 1 AND 5"))
+        assert result == parse_expression("h >= 1 AND h <= 5")
+
+    def test_not_between_becomes_disjunction(self):
+        result = expand_sugar(parse_expression("h NOT BETWEEN 1 AND 5"))
+        assert result == parse_expression("h < 1 OR h > 5")
+
+    def test_singleton_in_becomes_equality(self):
+        result = expand_sugar(parse_expression("q IN ('A')"))
+        assert result == parse_expression("q = 'A'")
+
+    def test_singleton_not_in_becomes_inequality(self):
+        result = expand_sugar(parse_expression("q NOT IN ('A')"))
+        assert result == parse_expression("q != 'A'")
+
+    def test_in_members_sorted_and_deduped(self):
+        result = expand_sugar(parse_expression("q IN ('B', 'A', 'B')"))
+        assert result == expand_sugar(parse_expression("q IN ('A', 'B')"))
+
+
+class TestOrientComparisons:
+    def test_literal_moves_right(self):
+        assert orient_comparisons(
+            parse_expression("5 < x")
+        ) == parse_expression("x > 5")
+
+    def test_equality_orientation(self):
+        assert orient_comparisons(
+            parse_expression("1 = a")
+        ) == parse_expression("a = 1")
+
+    def test_already_oriented_untouched(self):
+        expr = parse_expression("x > 5")
+        assert orient_comparisons(expr) == expr
+
+
+class TestFlattenAndSort:
+    def test_and_order_insensitive(self):
+        a = flatten_and_sort(parse_expression("a = 1 AND b = 2"))
+        b = flatten_and_sort(parse_expression("b = 2 AND a = 1"))
+        assert a == b
+
+    def test_or_order_insensitive(self):
+        a = flatten_and_sort(parse_expression("a = 1 OR b = 2"))
+        b = flatten_and_sort(parse_expression("b = 2 OR a = 1"))
+        assert a == b
+
+    def test_duplicates_removed(self):
+        result = flatten_and_sort(parse_expression("a = 1 AND a = 1"))
+        assert result == parse_expression("a = 1")
+
+    def test_nested_flattening(self):
+        a = flatten_and_sort(parse_expression("(a = 1 AND b = 2) AND c = 3"))
+        b = flatten_and_sort(parse_expression("a = 1 AND (b = 2 AND c = 3)"))
+        assert a == b
+
+
+class TestFullPipeline:
+    def test_paper_style_equivalences(self):
+        assert norm("hour BETWEEN 9 AND 17") == norm(
+            "hour >= 9 AND hour <= 17"
+        )
+        assert norm("NOT (q != 'A')") == norm("q = 'A'")
+        assert norm("q IN ('B','A') AND h > 1") == norm(
+            "h > 1 AND q IN ('A','B')"
+        )
+
+    def test_different_predicates_stay_different(self):
+        assert norm("a > 1") != norm("a >= 1")
+        assert norm("q IN ('A')") != norm("q IN ('B')")
+
+    def test_none_normalizes_to_empty(self):
+        assert canonical_text(normalize_predicate(None)) == ""

@@ -1,0 +1,166 @@
+"""Unit tests for the SPES-style semantic equivalence checker."""
+
+from repro.equivalence.semantic import (
+    canonical_form,
+    semantically_equivalent,
+    semantically_subsumes,
+)
+from repro.sql.parser import parse_query
+
+
+def equivalent(a, b):
+    return semantically_equivalent(parse_query(a), parse_query(b))
+
+
+def subsumes(goal, candidate):
+    return semantically_subsumes(parse_query(goal), parse_query(candidate))
+
+
+class TestEquivalent:
+    def test_identical(self):
+        assert equivalent("SELECT a FROM t", "SELECT a FROM t")
+
+    def test_select_order_irrelevant(self):
+        assert equivalent(
+            "SELECT a, b FROM t", "SELECT b, a FROM t"
+        )
+
+    def test_aliases_ignored(self):
+        assert equivalent(
+            "SELECT COUNT(x) AS n FROM t", "SELECT COUNT(x) AS total FROM t"
+        )
+
+    def test_conjunct_order_irrelevant(self):
+        assert equivalent(
+            "SELECT a FROM t WHERE x = 1 AND y = 2",
+            "SELECT a FROM t WHERE y = 2 AND x = 1",
+        )
+
+    def test_in_list_order_irrelevant(self):
+        assert equivalent(
+            "SELECT a FROM t WHERE q IN ('A','B')",
+            "SELECT a FROM t WHERE q IN ('B','A')",
+        )
+
+    def test_between_equals_comparisons(self):
+        assert equivalent(
+            "SELECT a FROM t WHERE h BETWEEN 1 AND 5",
+            "SELECT a FROM t WHERE h >= 1 AND h <= 5",
+        )
+
+    def test_de_morgan(self):
+        assert equivalent(
+            "SELECT a FROM t WHERE NOT (x = 1 OR y = 2)",
+            "SELECT a FROM t WHERE x != 1 AND y != 2",
+        )
+
+    def test_table_qualifiers_stripped(self):
+        assert equivalent("SELECT t.a FROM t", "SELECT a FROM t")
+
+    def test_table_name_case_insensitive(self):
+        assert equivalent("SELECT a FROM T", "SELECT a FROM t")
+
+    def test_group_by_order_irrelevant(self):
+        assert equivalent(
+            "SELECT a, b, COUNT(*) FROM t GROUP BY a, b",
+            "SELECT b, a, COUNT(*) FROM t GROUP BY b, a",
+        )
+
+    def test_order_by_ignored_without_limit(self):
+        assert equivalent(
+            "SELECT a FROM t ORDER BY a", "SELECT a FROM t"
+        )
+
+
+class TestNotEquivalent:
+    def test_different_tables(self):
+        assert not equivalent("SELECT a FROM t1", "SELECT a FROM t2")
+
+    def test_different_predicates(self):
+        assert not equivalent(
+            "SELECT a FROM t WHERE x > 1", "SELECT a FROM t WHERE x >= 1"
+        )
+
+    def test_different_aggregates(self):
+        assert not equivalent(
+            "SELECT SUM(x) FROM t", "SELECT AVG(x) FROM t"
+        )
+
+    def test_extra_select_column(self):
+        assert not equivalent("SELECT a FROM t", "SELECT a, b FROM t")
+
+    def test_distinct_matters(self):
+        assert not equivalent(
+            "SELECT a FROM t", "SELECT DISTINCT a FROM t"
+        )
+
+    def test_limit_matters(self):
+        assert not equivalent(
+            "SELECT a FROM t", "SELECT a FROM t LIMIT 5"
+        )
+
+    def test_order_matters_with_limit(self):
+        assert not equivalent(
+            "SELECT a FROM t ORDER BY a LIMIT 5",
+            "SELECT a FROM t ORDER BY a DESC LIMIT 5",
+        )
+
+    def test_having_matters(self):
+        assert not equivalent(
+            "SELECT a, COUNT(*) FROM t GROUP BY a",
+            "SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 1",
+        )
+
+
+class TestSubsumption:
+    def test_fewer_conjuncts_subsume(self):
+        assert subsumes(
+            "SELECT a FROM t WHERE x = 1 AND y = 2",
+            "SELECT a FROM t WHERE x = 1",
+        )
+
+    def test_more_conjuncts_do_not(self):
+        assert not subsumes(
+            "SELECT a FROM t WHERE x = 1",
+            "SELECT a FROM t WHERE x = 1 AND y = 2",
+        )
+
+    def test_superset_select_subsumes(self):
+        assert subsumes("SELECT a FROM t", "SELECT a, b FROM t")
+
+    def test_subset_select_does_not(self):
+        assert not subsumes("SELECT a, b FROM t", "SELECT a FROM t")
+
+    def test_equal_queries_subsume(self):
+        assert subsumes("SELECT a FROM t", "SELECT a FROM t")
+
+    def test_unfiltered_subsumes_filtered(self):
+        assert subsumes(
+            "SELECT a FROM t WHERE q = 'A'", "SELECT a FROM t"
+        )
+
+    def test_different_grouping_blocks(self):
+        assert not subsumes(
+            "SELECT a, COUNT(*) FROM t GROUP BY a",
+            "SELECT b, COUNT(*) FROM t GROUP BY b",
+        )
+
+    def test_limit_blocks_subsumption(self):
+        assert not subsumes(
+            "SELECT a FROM t", "SELECT a FROM t LIMIT 5"
+        )
+
+
+class TestCanonicalForm:
+    def test_is_hashable(self):
+        form = canonical_form(parse_query("SELECT a FROM t"))
+        assert hash(form) == hash(
+            canonical_form(parse_query("SELECT a FROM t"))
+        )
+
+    def test_captures_limit_and_order(self):
+        form = canonical_form(
+            parse_query("SELECT a FROM t ORDER BY a DESC LIMIT 3")
+        )
+        assert form.limit == 3
+        assert form.order == ("-a",)

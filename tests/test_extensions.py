@@ -1,0 +1,239 @@
+"""Tests for the extension features: response rate, interface
+manipulations, dynamic goal ordering, and the CLI."""
+
+import random
+
+import pytest
+
+from repro.dashboard.spec import (
+    DimensionSpec,
+    MeasureSpec,
+    VisualizationSpec,
+)
+from repro.dashboard.state import DashboardState, Interaction, InteractionKind
+from repro.engine.registry import create_engine
+from repro.errors import InteractionError
+from repro.metrics.response_rate import (
+    STANDARD_THRESHOLDS_MS,
+    response_rate,
+    session_response_rate,
+)
+from repro.simulation import SessionConfig, SessionSimulator, get_workflow
+from repro.sql.formatter import format_query
+
+
+class TestResponseRate:
+    def test_all_fast(self):
+        rate = response_rate("x", [1.0, 2.0, 3.0])
+        assert rate.rate(100.0) == 1.0
+
+    def test_partial(self):
+        rate = response_rate("x", [10.0, 200.0, 800.0, 2000.0])
+        assert rate.rate(100.0) == 0.25
+        assert rate.rate(500.0) == 0.5
+        assert rate.rate(1000.0) == 0.75
+
+    def test_empty_sample(self):
+        rate = response_rate("x", [])
+        assert rate.total_queries == 0
+        assert rate.rate(100.0) == 1.0
+
+    def test_unknown_threshold_raises(self):
+        rate = response_rate("x", [1.0])
+        with pytest.raises(KeyError):
+            rate.rate(123.0)
+
+    def test_as_row_percent_format(self):
+        row = response_rate("x", [10.0, 600.0]).as_row()
+        assert row["<500ms"] == "50.0%"
+
+    def test_session_response_rate(self, cs_spec, cs_data):
+        measured = create_engine("vectorstore")
+        measured.load_table(cs_data)
+        reference = create_engine("vectorstore")
+        reference.load_table(cs_data)
+        goals = get_workflow("shneiderman").instantiate_for_dashboard(
+            cs_spec, random.Random(0)
+        )
+        log = SessionSimulator(
+            cs_spec, cs_data, [g.query for g in goals],
+            measured_engine=measured, reference_engine=reference,
+            config=SessionConfig(seed=0),
+        ).run()
+        rate = session_response_rate(log)
+        assert rate.total_queries == log.query_count
+        assert set(rate.rates) == set(STANDARD_THRESHOLDS_MS)
+        # Monotone in the threshold.
+        values = [rate.rates[t] for t in sorted(rate.rates)]
+        assert values == sorted(values)
+
+
+class TestInterfaceManipulations:
+    @pytest.fixture()
+    def state(self, cs_spec, cs_data):
+        return DashboardState(cs_spec, cs_data)
+
+    def test_add_visualization_emits_query(self, state):
+        viz = VisualizationSpec(
+            id="lost_by_team",
+            type="bar",
+            dimensions=(DimensionSpec("team"),),
+            measures=(MeasureSpec("count", "lostCalls"),),
+        )
+        emitted = state.add_visualization(
+            viz, link_from=("calls_by_queue",)
+        )
+        assert len(emitted) == 1
+        assert "GROUP BY team" in format_query(emitted[0])
+        assert "lost_by_team" in state.visualizations
+
+    def test_added_viz_receives_crossfilter(self, state):
+        viz = VisualizationSpec(
+            id="lost_by_team",
+            type="bar",
+            dimensions=(DimensionSpec("team"),),
+            measures=(MeasureSpec("count", "lostCalls"),),
+        )
+        state.add_visualization(viz, link_from=("calls_by_queue",))
+        state.apply(
+            Interaction(
+                InteractionKind.VIZ_SELECT, "calls_by_queue",
+                ("repID", state.table.distinct_values("repID")[0]),
+            )
+        )
+        text = format_query(state.query_for("lost_by_team"))
+        assert "repID IN" in text
+
+    def test_add_validates_columns(self, state):
+        viz = VisualizationSpec(
+            id="bogus",
+            type="bar",
+            dimensions=(DimensionSpec("no_such_column"),),
+            measures=(MeasureSpec("count", None),),
+        )
+        from repro.errors import SpecificationError
+
+        with pytest.raises(SpecificationError):
+            state.add_visualization(viz)
+
+    def test_remove_visualization(self, state):
+        state.remove_visualization("abandon_rate")
+        assert "abandon_rate" not in state.visualizations
+        assert len(state.initial_queries()) == 4
+        # Widgets no longer target it.
+        for widget in state.spec.interface.widgets:
+            assert "abandon_rate" not in widget.targets
+
+    def test_remove_unknown_raises(self, state):
+        with pytest.raises(InteractionError):
+            state.remove_visualization("ghost")
+
+    def test_remove_sole_target_refused(self, cs_spec, cs_data):
+        # Build a state where one widget targets a single viz.
+        from dataclasses import replace
+        from repro.dashboard.spec import WidgetSpec
+
+        interface = cs_spec.interface
+        widget = WidgetSpec(
+            id="solo_widget", type="checkbox", column="team",
+            targets=("lost_calls",),
+        )
+        spec = replace(
+            cs_spec,
+            interface=replace(
+                interface, widgets=interface.widgets + (widget,)
+            ),
+        )
+        state = DashboardState(spec, cs_data)
+        with pytest.raises(InteractionError):
+            state.remove_visualization("lost_calls")
+
+    def test_add_then_interact_normally(self, state):
+        viz = VisualizationSpec(
+            id="extra",
+            type="stat",
+            measures=(MeasureSpec("avg", "satisfaction"),),
+            selectable=False,
+        )
+        state.add_visualization(viz)
+        emitted = state.apply(
+            Interaction(InteractionKind.WIDGET_TOGGLE, "queue_checkbox", "A")
+        )
+        # The new stat is not targeted by the widget (no link), so only
+        # the original five re-render.
+        assert len(emitted) == 5
+
+
+class TestDynamicGoalOrder:
+    def test_dynamic_order_completes_goals(self, cs_spec, cs_data):
+        measured = create_engine("vectorstore")
+        measured.load_table(cs_data)
+        reference = create_engine("vectorstore")
+        reference.load_table(cs_data)
+        goals = get_workflow("battle_heer").instantiate_for_dashboard(
+            cs_spec, random.Random(6)
+        )
+        log = SessionSimulator(
+            cs_spec, cs_data, [g.query for g in goals],
+            measured_engine=measured, reference_engine=reference,
+            config=SessionConfig(
+                seed=6, p_markov_initial=0.0, dynamic_goal_order=True
+            ),
+        ).run()
+        assert log.goals_total == 3
+        assert log.goals_completed >= 2
+
+    def test_dynamic_order_never_worse_than_static(self, cs_spec, cs_data):
+        measured = create_engine("vectorstore")
+        measured.load_table(cs_data)
+        reference = create_engine("vectorstore")
+        reference.load_table(cs_data)
+        goals = get_workflow("shneiderman").instantiate_for_dashboard(
+            cs_spec, random.Random(4)
+        )
+
+        def run(dynamic):
+            return SessionSimulator(
+                cs_spec, cs_data, [g.query for g in goals],
+                measured_engine=measured, reference_engine=reference,
+                config=SessionConfig(
+                    seed=4, p_markov_initial=0.0,
+                    dynamic_goal_order=dynamic,
+                ),
+            ).run()
+
+        static = run(False)
+        dynamic = run(True)
+        assert dynamic.goals_completed >= static.goals_completed - 1
+
+
+class TestCli:
+    def test_parser_defaults(self):
+        from repro.harness.cli import build_parser
+
+        args = build_parser().parse_args([])
+        assert args.rows == 20_000
+        assert "vectorstore" in args.engines
+
+    def test_main_runs_small_grid(self, capsys):
+        from repro.harness.cli import main
+
+        code = main(
+            [
+                "--dashboards", "circulation",
+                "--workflows", "shneiderman",
+                "--engines", "vectorstore",
+                "--rows", "500",
+                "--runs", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Query-duration summary" in out
+        assert "circulation" in out
+
+    def test_invalid_engine_rejected(self):
+        from repro.harness.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--engines", "oracle-12c"])

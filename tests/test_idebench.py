@@ -1,0 +1,100 @@
+"""Tests for the IDEBench baseline simulator and its analysis."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.idebench import (
+    IDEBenchConfig,
+    IDEBenchSimulator,
+    analyze_workflows,
+    reverse_engineer,
+)
+from repro.workload import generate_dataset
+
+
+@pytest.fixture(scope="module")
+def it_table():
+    return generate_dataset("it_monitor", 500, seed=1)
+
+
+@pytest.fixture(scope="module")
+def workflows(it_table):
+    return [
+        IDEBenchSimulator(it_table, IDEBenchConfig(seed=i)).run()
+        for i in range(12)
+    ]
+
+
+class TestConfig:
+    def test_probabilities_must_leave_filter_mass(self):
+        with pytest.raises(SimulationError):
+            IDEBenchConfig(p_create_viz=0.5, p_link=0.4, p_remove_filter=0.2)
+
+    def test_defaults_valid(self):
+        IDEBenchConfig()
+
+
+class TestSimulator:
+    def test_deterministic_per_seed(self, it_table):
+        a = IDEBenchSimulator(it_table, IDEBenchConfig(seed=3)).run()
+        b = IDEBenchSimulator(it_table, IDEBenchConfig(seed=3)).run()
+        assert [str(q) for q in a.queries] == [str(q) for q in b.queries]
+
+    def test_visualization_cap_respected(self, workflows):
+        for flow in workflows:
+            assert flow.num_visualizations <= 20
+
+    def test_queries_parse_and_execute(self, it_table, workflows):
+        from repro.engine.registry import create_engine
+
+        engine = create_engine("vectorstore")
+        engine.load_table(it_table)
+        for query in workflows[0].queries[:30]:
+            result = engine.execute(query)
+            assert result.columns  # executes without error
+
+    def test_filters_accumulate(self, workflows):
+        assert any(
+            len(viz.filters) > 3
+            for flow in workflows
+            for viz in flow.visualizations
+        )
+
+    def test_links_grow(self, workflows):
+        assert all(flow.links for flow in workflows)
+
+    def test_engine_timing_optional(self, it_table):
+        from repro.engine.registry import create_engine
+
+        engine = create_engine("vectorstore")
+        engine.load_table(it_table)
+        flow = IDEBenchSimulator(
+            it_table, IDEBenchConfig(seed=0), engine=engine
+        ).run()
+        assert len(flow.timed) == len(flow.queries)
+        assert all(t.duration_ms >= 0 for t in flow.timed)
+
+
+class TestAnalysis:
+    def test_reverse_engineer_single(self, workflows):
+        stats = reverse_engineer(workflows[0])
+        assert stats["visualizations"] >= 1
+        assert stats["avg_attributes_per_viz"] > 0
+
+    def test_aggregate_stats(self, workflows):
+        stats = analyze_workflows(workflows)
+        assert stats.workflows == 12
+        assert stats.min_visualizations <= stats.avg_visualizations
+        assert stats.avg_visualizations <= stats.max_visualizations
+
+    def test_paper_shape_idebench_grows_dense_dashboards(self, workflows):
+        """§6.3: IDEBench dashboards are far larger than the real
+        3-visualization IT Monitor, with many filters per visualization."""
+        stats = analyze_workflows(workflows)
+        assert stats.avg_visualizations > 6  # real dashboard has 3
+        assert stats.filters_per_viz.mean > 5
+
+    def test_idebench_attrs_per_viz_lower_than_simba(self, workflows):
+        """§6.3/Table 4: IDEBench ~2.1 attributes per visualization."""
+        stats = analyze_workflows(workflows)
+        assert 1.0 <= stats.attributes_per_viz.mean <= 3.5

@@ -1,0 +1,182 @@
+"""Integration tests: full pipelines across module boundaries."""
+
+import random
+
+import pytest
+
+from repro import (
+    SessionConfig,
+    SessionSimulator,
+    create_engine,
+    generate_dataset,
+    get_template,
+    get_workflow,
+    load_dashboard,
+)
+from repro.dashboard.state import DashboardState
+from repro.equivalence import EquivalenceSuite
+from repro.equivalence.results import ResultCache
+from repro.simulation.goals import GoalTracker
+from repro.simulation.oracle import OracleModel
+from repro.metrics.workload_stats import session_workload_statistics
+
+
+class TestFigure3Figure4Scenario:
+    """The paper's worked example, end to end."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        spec = load_dashboard("customer_service")
+        table = generate_dataset("customer_service", 3_000, seed=42)
+        engine = create_engine("vectorstore")
+        engine.load_table(table)
+        goal = get_template("analyzing_spread").instantiate(
+            "customer_service",
+            categorical="queue",
+            quantitative="lostCalls",
+            agg="count",
+            threshold=2,
+        )
+        return spec, table, engine, goal
+
+    def test_goal_not_answered_by_any_single_base_query(self, setup):
+        spec, table, engine, goal = setup
+        state = DashboardState(spec, table)
+        suite = EquivalenceSuite(engine)
+        for query in state.all_queries().values():
+            assert not suite.equivalent(goal.query, query)
+
+    def test_goal_achieved_as_union_of_filtered_queries(self, setup):
+        spec, table, engine, goal = setup
+        state = DashboardState(spec, table)
+        cache = ResultCache(engine)
+        tracker = GoalTracker([goal.query], cache)
+        tracker.observe(state.initial_queries())
+        oracle = OracleModel(tracker, rng=random.Random(0))
+        interactions = []
+        while not tracker.complete and len(interactions) < 12:
+            interaction = oracle.next_interaction(state)
+            assert interaction is not None
+            interactions.append(interaction)
+            tracker.observe(state.apply(interaction))
+        assert tracker.complete
+        # Figure 4: the goal is covered via per-queue selections; with
+        # replace-semantics selections, four clicks suffice (plus slack
+        # for HAVING-excluded queues).
+        assert len(interactions) <= 8
+
+
+class TestGoalOrderingAcrossSession:
+    def test_goals_pursued_in_order(self):
+        spec = load_dashboard("customer_service")
+        table = generate_dataset("customer_service", 1_500, seed=3)
+        measured = create_engine("vectorstore")
+        measured.load_table(table)
+        reference = create_engine("vectorstore")
+        reference.load_table(table)
+        goals = get_workflow("battle_heer").instantiate_for_dashboard(
+            spec, random.Random(6)
+        )
+        log = SessionSimulator(
+            spec,
+            table,
+            [g.query for g in goals],
+            measured_engine=measured,
+            reference_engine=reference,
+            config=SessionConfig(seed=6, p_markov_initial=0.0),
+        ).run()
+        goal_indexes = [
+            r.goal_index for r in log.records if r.interaction is not None
+        ]
+        assert goal_indexes == sorted(goal_indexes)
+
+
+class TestCrossEngineWorkloadConsistency:
+    def test_same_session_same_results_on_all_engines(self):
+        """Engines may differ in speed but never in answers."""
+        spec = load_dashboard("it_monitor")
+        table = generate_dataset("it_monitor", 800, seed=9)
+        reference = create_engine("vectorstore")
+        reference.load_table(table)
+        goals = get_workflow("shneiderman").instantiate_for_dashboard(
+            spec, random.Random(9)
+        )
+        logs = {}
+        for name in ("rowstore", "vectorstore", "matstore", "sqlite"):
+            measured = create_engine(name)
+            measured.load_table(table)
+            logs[name] = SessionSimulator(
+                spec,
+                table,
+                [g.query for g in goals],
+                measured_engine=measured,
+                reference_engine=reference,
+                config=SessionConfig(seed=9),
+            ).run()
+        baseline = logs["sqlite"]
+        for name, log in logs.items():
+            assert log.queries() == baseline.queries(), name
+            for mine, theirs in zip(log.records, baseline.records):
+                for a, b in zip(mine.queries, theirs.queries):
+                    assert a.rows_returned == b.rows_returned, (
+                        f"{name}: {a.sql}"
+                    )
+
+
+class TestWorkloadShapeMatchesTable4Scale:
+    def test_simba_filters_bounded(self):
+        """SIMBA queries carry few filters (Table 4: ~1.9-5.8), far
+        below IDEBench's 13.2."""
+        spec = load_dashboard("customer_service")
+        table = generate_dataset("customer_service", 1_000, seed=1)
+        measured = create_engine("vectorstore")
+        measured.load_table(table)
+        reference = create_engine("vectorstore")
+        reference.load_table(table)
+        goals = get_workflow("shneiderman").instantiate_for_dashboard(
+            spec, random.Random(1)
+        )
+        log = SessionSimulator(
+            spec,
+            table,
+            [g.query for g in goals],
+            measured_engine=measured,
+            reference_engine=reference,
+            config=SessionConfig(seed=1),
+        ).run()
+        stats = session_workload_statistics([log], "cs")
+        assert stats.filters.mean < 6
+        assert stats.query_count > 10
+
+
+class TestSpecDrivenPortability:
+    def test_json_spec_runs_identically(self, tmp_path):
+        """A dashboard serialized to JSON and reloaded produces the
+        same simulation — the spec file is the full interface contract."""
+        from repro.dashboard.spec import DashboardSpec
+
+        spec = load_dashboard("circulation")
+        path = tmp_path / "circulation.json"
+        path.write_text(spec.to_json())
+        reloaded = DashboardSpec.from_json(path.read_text())
+
+        table = generate_dataset("circulation", 600, seed=2)
+
+        def run(dashboard_spec):
+            measured = create_engine("vectorstore")
+            measured.load_table(table)
+            reference = create_engine("vectorstore")
+            reference.load_table(table)
+            goals = get_workflow("shneiderman").instantiate_for_dashboard(
+                dashboard_spec, random.Random(2)
+            )
+            return SessionSimulator(
+                dashboard_spec,
+                table,
+                [g.query for g in goals],
+                measured_engine=measured,
+                reference_engine=reference,
+                config=SessionConfig(seed=2),
+            ).run()
+
+        assert run(spec).queries() == run(reloaded).queries()

@@ -1,0 +1,357 @@
+"""Session logs: export, JSONL/CSV round trips, replay, EVA metrics."""
+
+from __future__ import annotations
+
+import random
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro import (
+    SessionConfig,
+    SessionSimulator,
+    create_engine,
+    generate_dataset,
+    get_workflow,
+    load_dashboard,
+)
+from repro.errors import SimbaError
+from repro.logs import (
+    ExportedLog,
+    LogEntry,
+    eva_metrics,
+    export_session,
+    read_csv,
+    read_jsonl,
+    replay_log,
+    write_csv,
+    write_jsonl,
+)
+
+
+def _simulate(seed=7, rows=4_000):
+    spec = load_dashboard("customer_service")
+    table = generate_dataset("customer_service", rows, seed=seed)
+    measured = create_engine("vectorstore")
+    measured.load_table(table)
+    reference_table = generate_dataset("customer_service", 800, seed=seed)
+    reference = create_engine("vectorstore")
+    reference.load_table(reference_table)
+    workflow = get_workflow("shneiderman")
+    goals = workflow.instantiate_for_dashboard(spec, random.Random(seed))
+    simulator = SessionSimulator(
+        spec,
+        reference_table,
+        [g.query for g in goals],
+        measured_engine=measured,
+        reference_engine=reference,
+        config=SessionConfig(seed=seed),
+        workflow_name="shneiderman",
+    )
+    return simulator.run(), measured, table
+
+
+@pytest.fixture(scope="module")
+def session():
+    return _simulate()
+
+
+@pytest.fixture(scope="module")
+def exported(session):
+    log, _, _ = session
+    return export_session(log)
+
+
+def _entry(**overrides):
+    base = dict(
+        step=1,
+        model="oracle",
+        interaction="checkbox queue=A",
+        sql="SELECT COUNT(*) FROM customer_service",
+        rows_returned=1,
+        duration_ms=2.5,
+        elapsed_ms=2.5,
+        goal_index=0,
+        progress_after=0.5,
+    )
+    base.update(overrides)
+    return LogEntry(**base)
+
+
+class TestExportSession:
+    def test_one_entry_per_query(self, session, exported):
+        log, _, _ = session
+        assert exported.query_count == log.query_count
+
+    def test_header_copies_session_metadata(self, session, exported):
+        log, _, _ = session
+        assert exported.dashboard == log.dashboard
+        assert exported.engine == log.engine
+        assert exported.workflow == "shneiderman"
+        assert exported.goals_total == log.goals_total
+
+    def test_elapsed_is_cumulative(self, exported):
+        elapsed = [e.elapsed_ms for e in exported.entries]
+        assert elapsed == sorted(elapsed)
+        assert elapsed[0] == pytest.approx(exported.entries[0].duration_ms)
+
+    def test_interaction_count_excludes_initial_render(self, exported):
+        assert exported.interaction_count < exported.query_count
+        assert exported.interaction_count > 0
+
+    def test_sql_is_parseable(self, exported):
+        from repro.sql.parser import parse_query
+
+        for entry in exported.entries:
+            parse_query(entry.sql)  # must not raise
+
+
+class TestRoundTrips:
+    def test_jsonl_round_trip(self, exported, tmp_path):
+        path = tmp_path / "log.jsonl"
+        write_jsonl(exported, path)
+        restored = read_jsonl(path)
+        assert restored.header() == exported.header()
+        assert restored.entries == exported.entries
+
+    def test_csv_round_trip(self, exported, tmp_path):
+        path = tmp_path / "log.csv"
+        write_csv(exported, path)
+        restored = read_csv(path)
+        assert restored.header() == exported.header()
+        assert restored.entries == exported.entries
+
+    def test_jsonl_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "entry", "step": 1}\n')
+        with pytest.raises(SimbaError, match="entry before header"):
+            read_jsonl(path)
+
+    def test_jsonl_duplicate_header_rejected(self, exported, tmp_path):
+        path = tmp_path / "dup.jsonl"
+        write_jsonl(exported, path)
+        content = path.read_text()
+        header_line = content.splitlines()[0]
+        path.write_text(header_line + "\n" + content)
+        with pytest.raises(SimbaError, match="duplicate header"):
+            read_jsonl(path)
+
+    def test_jsonl_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(SimbaError, match="invalid JSON"):
+            read_jsonl(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(SimbaError, match="empty log"):
+            read_jsonl(path)
+
+    def test_csv_without_header_comment_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("step,model\n1,oracle\n")
+        with pytest.raises(SimbaError, match="header comment"):
+            read_csv(path)
+
+    def test_none_workflow_round_trips(self, tmp_path):
+        log = ExportedLog(
+            dashboard="d",
+            engine="e",
+            workflow=None,
+            goals_completed=0,
+            goals_total=1,
+            entries=[_entry()],
+        )
+        for writer, reader, name in (
+            (write_jsonl, read_jsonl, "a.jsonl"),
+            (write_csv, read_csv, "a.csv"),
+        ):
+            path = tmp_path / name
+            writer(log, path)
+            assert reader(path).workflow is None
+
+    def test_malformed_entry_rejected(self):
+        with pytest.raises(SimbaError, match="malformed log entry"):
+            LogEntry.from_dict({"step": "one"})
+
+
+class TestReplay:
+    def test_replay_on_recording_engine_matches(self, session, exported):
+        _, measured, _ = session
+        report = replay_log(exported, measured)
+        assert report.matched
+        assert report.query_count == exported.query_count
+
+    def test_replay_on_other_engine_matches(self, session, exported):
+        _, _, table = session
+        other = create_engine("sqlite")
+        other.load_table(table)
+        report = replay_log(exported, other)
+        assert report.matched
+        other.close()
+
+    def test_replay_detects_changed_dataset(self, exported):
+        shrunk = generate_dataset("customer_service", 100, seed=99)
+        engine = create_engine("vectorstore")
+        engine.load_table(shrunk)
+        report = replay_log(exported, engine)
+        assert not report.matched
+
+    def test_strict_replay_raises_on_mismatch(self, exported):
+        shrunk = generate_dataset("customer_service", 100, seed=99)
+        engine = create_engine("vectorstore")
+        engine.load_table(shrunk)
+        with pytest.raises(SimbaError, match="replay mismatch"):
+            replay_log(exported, engine, strict=True)
+
+    def test_cardinality_check_can_be_disabled(self, exported):
+        shrunk = generate_dataset("customer_service", 100, seed=99)
+        engine = create_engine("vectorstore")
+        engine.load_table(shrunk)
+        report = replay_log(exported, engine, check_cardinality=False)
+        assert report.matched  # nothing was checked
+
+    def test_replay_produces_fresh_durations(self, session, exported):
+        _, measured, _ = session
+        report = replay_log(exported, measured)
+        assert report.average_duration_ms() > 0.0
+        assert len(report.durations_ms()) == exported.query_count
+
+
+class TestEvaMetrics:
+    def test_counts_match_log(self, exported):
+        metrics = eva_metrics(exported)
+        assert metrics.total_queries == exported.query_count
+        assert metrics.total_interactions == exported.interaction_count
+
+    def test_exploration_time_is_final_elapsed(self, exported):
+        metrics = eva_metrics(exported)
+        assert metrics.total_exploration_ms == pytest.approx(
+            exported.entries[-1].elapsed_ms
+        )
+
+    def test_response_stats_ordered(self, exported):
+        metrics = eva_metrics(exported)
+        assert (
+            0.0
+            < metrics.mean_response_ms
+            <= metrics.p95_response_ms
+            <= metrics.max_response_ms
+        )
+
+    def test_attributes_explored_from_sql(self, exported):
+        metrics = eva_metrics(exported)
+        assert metrics.attributes_explored_count > 0
+        schema = generate_dataset("customer_service", 8, seed=0).schema
+        assert metrics.attributes_explored <= set(schema.names)
+
+    def test_model_mix_sums_to_interactions(self, exported):
+        metrics = eva_metrics(exported)
+        assert sum(metrics.model_mix.values()) == metrics.total_interactions
+
+    def test_empty_log_is_all_zero(self):
+        log = ExportedLog(
+            dashboard="d",
+            engine="e",
+            workflow=None,
+            goals_completed=0,
+            goals_total=0,
+        )
+        metrics = eva_metrics(log)
+        assert metrics.total_queries == 0
+        assert metrics.interaction_rate_per_minute == 0.0
+        assert metrics.empty_result_fraction == 0.0
+
+    def test_empty_result_fraction(self):
+        log = ExportedLog(
+            dashboard="d",
+            engine="e",
+            workflow=None,
+            goals_completed=0,
+            goals_total=1,
+            entries=[
+                _entry(rows_returned=0),
+                _entry(step=2, rows_returned=5, elapsed_ms=5.0),
+            ],
+        )
+        assert eva_metrics(log).empty_result_fraction == pytest.approx(0.5)
+
+
+# ---------------------------------------------------------------------------
+# Property: synthetic logs survive both serialization formats
+# ---------------------------------------------------------------------------
+
+_entries = st.builds(
+    LogEntry,
+    step=st.integers(min_value=0, max_value=500),
+    model=st.sampled_from(["oracle", "markov", "initial"]),
+    interaction=st.sampled_from(
+        ["initial render", "checkbox queue=A", "slider hour 3..9", "drop, down"]
+    ),
+    sql=st.sampled_from(
+        [
+            "SELECT COUNT(*) FROM t",
+            "SELECT a, SUM(b) AS s FROM t GROUP BY a",
+            "SELECT x FROM t WHERE note = 'it''s'",
+        ]
+    ),
+    rows_returned=st.integers(min_value=0, max_value=10_000),
+    duration_ms=st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+    elapsed_ms=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    goal_index=st.integers(min_value=0, max_value=5),
+    progress_after=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+)
+
+
+@given(st.lists(_entries, max_size=20))
+@settings(max_examples=30, deadline=None)
+def test_serialization_round_trip_property(tmp_path_factory, entries):
+    log = ExportedLog(
+        dashboard="customer_service",
+        engine="vectorstore",
+        workflow="shneiderman",
+        goals_completed=1,
+        goals_total=3,
+        entries=entries,
+    )
+    directory = tmp_path_factory.mktemp("logs")
+    jsonl_path = directory / "log.jsonl"
+    write_jsonl(log, jsonl_path)
+    assert read_jsonl(jsonl_path).entries == entries
+    csv_path = directory / "log.csv"
+    write_csv(log, csv_path)
+    assert read_csv(csv_path).entries == entries
+
+
+class TestThinkTime:
+    def test_think_time_extends_exploration(self):
+        log = ExportedLog(
+            dashboard="d",
+            engine="e",
+            workflow=None,
+            goals_completed=0,
+            goals_total=1,
+            entries=[_entry(), _entry(step=2, elapsed_ms=5.0)],
+        )
+        base = eva_metrics(log)
+        slowed = eva_metrics(log, think_time_ms=30_000)
+        assert slowed.total_exploration_ms == pytest.approx(
+            base.total_exploration_ms + 30_000 * base.total_interactions
+        )
+
+    def test_think_time_lowers_interaction_rate(self):
+        log = ExportedLog(
+            dashboard="d",
+            engine="e",
+            workflow=None,
+            goals_completed=0,
+            goals_total=1,
+            entries=[_entry(), _entry(step=2, elapsed_ms=5.0)],
+        )
+        base = eva_metrics(log)
+        slowed = eva_metrics(log, think_time_ms=30_000)
+        assert slowed.interaction_rate_per_minute < base.interaction_rate_per_minute
+        # 2 interactions with 30 s pauses each -> about 2 per minute.
+        assert slowed.interaction_rate_per_minute == pytest.approx(2.0, rel=0.01)

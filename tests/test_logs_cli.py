@@ -1,0 +1,147 @@
+"""The session-log CLI: simulate, replay, metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.logs.cli import main
+from repro.logs.io import read_csv, read_jsonl
+
+ROWS = 3_000
+SEED = 5
+
+
+@pytest.fixture(scope="module")
+def jsonl_log(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "session.jsonl"
+    exit_code = main(
+        [
+            "simulate",
+            "--dashboard", "customer_service",
+            "--workflow", "shneiderman",
+            "--rows", str(ROWS),
+            "--seed", str(SEED),
+            "--out", str(path),
+        ]
+    )
+    assert exit_code == 0
+    return path
+
+
+class TestSimulate:
+    def test_writes_readable_jsonl(self, jsonl_log):
+        log = read_jsonl(jsonl_log)
+        assert log.dashboard == "customer_service"
+        assert log.workflow == "shneiderman"
+        assert log.query_count > 0
+
+    def test_csv_extension_selects_csv_format(self, tmp_path):
+        path = tmp_path / "session.csv"
+        exit_code = main(
+            [
+                "simulate",
+                "--rows", str(ROWS),
+                "--seed", str(SEED),
+                "--out", str(path),
+            ]
+        )
+        assert exit_code == 0
+        log = read_csv(path)
+        assert log.query_count > 0
+
+    def test_same_seed_is_deterministic(self, jsonl_log, tmp_path):
+        other = tmp_path / "again.jsonl"
+        main(
+            [
+                "simulate",
+                "--rows", str(ROWS),
+                "--seed", str(SEED),
+                "--out", str(other),
+            ]
+        )
+        first = read_jsonl(jsonl_log)
+        second = read_jsonl(other)
+        assert [e.sql for e in first.entries] == [
+            e.sql for e in second.entries
+        ]
+
+
+class TestReplay:
+    def test_matching_dataset_replays_clean(self, jsonl_log, capsys):
+        exit_code = main(
+            [
+                "replay", str(jsonl_log),
+                "--engine", "sqlite",
+                "--rows", str(ROWS),
+                "--seed", str(SEED),
+            ]
+        )
+        assert exit_code == 0
+        assert "all cardinalities matched" in capsys.readouterr().out
+
+    def test_wrong_dataset_reports_mismatches(self, jsonl_log, capsys):
+        exit_code = main(
+            [
+                "replay", str(jsonl_log),
+                "--engine", "sqlite",
+                "--rows", str(ROWS // 2),
+                "--seed", str(SEED),
+            ]
+        )
+        assert exit_code == 1
+        assert "mismatches" in capsys.readouterr().out
+
+    def test_no_check_ignores_mismatches(self, jsonl_log):
+        exit_code = main(
+            [
+                "replay", str(jsonl_log),
+                "--engine", "vectorstore",
+                "--rows", str(ROWS // 2),
+                "--seed", str(SEED),
+                "--no-check",
+            ]
+        )
+        assert exit_code == 0
+
+
+class TestMetrics:
+    def test_prints_section7_measures(self, jsonl_log, capsys):
+        exit_code = main(["metrics", str(jsonl_log)])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "total interactions" in out
+        assert "attributes explored" in out
+        assert "interaction rate" in out
+        assert "customer_service" in out
+
+
+class TestParser:
+    def test_missing_subcommand_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_dashboard_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--dashboard", "nosuch", "--out", "x.jsonl"])
+
+
+class TestHarnessExportFlag:
+    def test_harness_cli_exports_logs(self, tmp_path, capsys):
+        from repro.harness.cli import main as harness_main
+        from repro.logs.io import read_jsonl
+
+        directory = tmp_path / "harness_logs"
+        exit_code = harness_main(
+            [
+                "--dashboards", "customer_service",
+                "--workflows", "shneiderman",
+                "--engines", "vectorstore",
+                "--rows", "2000",
+                "--runs", "1",
+                "--export-logs", str(directory),
+            ]
+        )
+        assert exit_code == 0
+        files = list(directory.glob("*.jsonl"))
+        assert len(files) == 1
+        assert read_jsonl(files[0]).query_count > 0

@@ -1,0 +1,232 @@
+"""Tests for the goal tracker, Oracle model, and Markov model."""
+
+import random
+
+import pytest
+
+from repro.dashboard.state import DashboardState, Interaction, InteractionKind
+from repro.engine.registry import create_engine
+from repro.equivalence.results import ResultCache
+from repro.errors import SimulationError
+from repro.simulation.goals import GoalTracker
+from repro.simulation.markov import (
+    MARKOV_PRESETS,
+    InteractionCategory,
+    MarkovModel,
+)
+from repro.simulation.oracle import OracleModel
+from repro.sql.parser import parse_query
+
+
+@pytest.fixture()
+def cache(cs_data):
+    engine = create_engine("vectorstore")
+    engine.load_table(cs_data)
+    return ResultCache(engine)
+
+
+@pytest.fixture()
+def state(cs_spec, cs_data):
+    return DashboardState(cs_spec, cs_data)
+
+
+GOAL_SQL = (
+    "SELECT queue, COUNT(lostCalls) AS count_lostCalls "
+    "FROM customer_service GROUP BY queue"
+)
+
+
+class TestGoalTracker:
+    def test_initially_incomplete(self, cache):
+        tracker = GoalTracker([parse_query(GOAL_SQL)], cache)
+        assert not tracker.complete
+        assert tracker.progress == 0.0
+
+    def test_observing_goal_query_completes(self, cache):
+        goal = parse_query(GOAL_SQL)
+        tracker = GoalTracker([goal], cache)
+        gained = tracker.observe([goal])
+        assert gained > 0
+        assert tracker.complete
+        assert tracker.progress == 1.0
+
+    def test_union_coverage(self, cache):
+        tracker = GoalTracker([parse_query(GOAL_SQL)], cache)
+        tracker.observe(
+            [
+                parse_query(
+                    "SELECT queue, COUNT(*) FROM customer_service "
+                    "GROUP BY queue"
+                )
+            ]
+        )
+        assert not tracker.complete  # counts don't match lostCalls counts
+        for q in "ABCD":
+            tracker.observe(
+                [
+                    parse_query(
+                        f"SELECT COUNT(lostCalls) AS count_lostCalls "
+                        f"FROM customer_service WHERE queue IN ('{q}')"
+                    )
+                ]
+            )
+        assert tracker.complete
+
+    def test_gain_without_commit(self, cache):
+        goal = parse_query(GOAL_SQL)
+        tracker = GoalTracker([goal], cache)
+        assert tracker.gain([goal]) > 0
+        assert not tracker.complete  # gain() must not mutate
+
+    def test_seen_queries_gain_nothing(self, cache):
+        goal = parse_query(GOAL_SQL)
+        tracker = GoalTracker([goal], cache)
+        tracker.observe([goal])
+        assert tracker.gain([goal]) == 0
+
+    def test_progress_monotone(self, cache):
+        tracker = GoalTracker([parse_query(GOAL_SQL)], cache)
+        last = 0.0
+        for q in "ABCD":
+            tracker.observe(
+                [
+                    parse_query(
+                        f"SELECT COUNT(lostCalls) AS count_lostCalls "
+                        f"FROM customer_service WHERE queue IN ('{q}')"
+                    )
+                ]
+            )
+            assert tracker.progress >= last
+            last = tracker.progress
+
+    def test_empty_goal_set_complete(self, cache):
+        tracker = GoalTracker([], cache)
+        assert tracker.complete
+        assert tracker.progress == 1.0
+
+
+class TestOracle:
+    def test_completes_figure4_pattern(self, cache, state):
+        tracker = GoalTracker([parse_query(GOAL_SQL)], cache)
+        tracker.observe(state.initial_queries())
+        oracle = OracleModel(tracker, rng=random.Random(0))
+        steps = 0
+        while not tracker.complete and steps < 15:
+            interaction = oracle.next_interaction(state)
+            assert interaction is not None, "oracle stalled"
+            tracker.observe(state.apply(interaction))
+            steps += 1
+        assert tracker.complete
+        assert steps <= 10  # four queues, some slack
+
+    def test_returns_none_when_goal_complete(self, cache, state):
+        goal = parse_query(GOAL_SQL)
+        tracker = GoalTracker([goal], cache)
+        tracker.observe([goal])
+        oracle = OracleModel(tracker, rng=random.Random(0))
+        assert oracle.next_interaction(state) is None
+
+    def test_escape_clear_removes_irrelevant_filter(self, cache, state):
+        goal = parse_query(GOAL_SQL)
+        tracker = GoalTracker([goal], cache)
+        tracker.observe(state.initial_queries())
+        # Pollute with a filter on a column the goal does not mention.
+        state.apply(
+            Interaction(
+                InteractionKind.WIDGET_TOGGLE, "day_dropdown", "Mon"
+            )
+        )
+        oracle = OracleModel(tracker, rng=random.Random(0))
+        # Drive to the stuck point: all queue values covered under the
+        # polluted filter give wrong counts; eventually the oracle must
+        # emit the clear.
+        for _ in range(20):
+            interaction = oracle.next_interaction(state)
+            if interaction is None:
+                break
+            if interaction.kind in (
+                InteractionKind.WIDGET_CLEAR,
+                InteractionKind.VIZ_CLEAR,
+            ):
+                assert interaction.target == "day_dropdown"
+                break
+            tracker.observe(state.apply(interaction))
+
+    def test_lookahead_validation(self, cache):
+        tracker = GoalTracker([], cache)
+        with pytest.raises(ValueError):
+            OracleModel(tracker, lookahead=0)
+
+    def test_lookahead_two_still_completes(self, cache, state):
+        tracker = GoalTracker([parse_query(GOAL_SQL)], cache)
+        tracker.observe(state.initial_queries())
+        oracle = OracleModel(tracker, lookahead=2, rng=random.Random(0))
+        steps = 0
+        while not tracker.complete and steps < 15:
+            interaction = oracle.next_interaction(state)
+            if interaction is None:
+                break
+            tracker.observe(state.apply(interaction))
+            steps += 1
+        assert tracker.complete
+
+
+class TestMarkov:
+    def test_presets_are_valid(self):
+        for name in MARKOV_PRESETS:
+            MarkovModel(name)
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(SimulationError):
+            MarkovModel("nope")
+
+    def test_invalid_matrix_rejected(self):
+        broken = {
+            category: {c: 0.0 for c in InteractionCategory}
+            for category in InteractionCategory
+        }
+        with pytest.raises(SimulationError):
+            MarkovModel(broken)
+
+    def test_produces_applicable_interactions(self, state):
+        model = MarkovModel("balanced", random.Random(1))
+        for _ in range(30):
+            interaction = model.next_interaction(state)
+            assert interaction is not None
+            state.apply(interaction)  # must never raise
+
+    def test_deterministic_under_seed(self, cs_spec, cs_data):
+        def run(seed):
+            state = DashboardState(cs_spec, cs_data)
+            model = MarkovModel("balanced", random.Random(seed))
+            return [
+                model.next_interaction(state).describe()
+                for _ in range(10)
+            ]
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_reset_clears_chain_state(self, state):
+        model = MarkovModel("balanced", random.Random(1))
+        model.next_interaction(state)
+        assert model.last_category is not None
+        model.reset()
+        assert model.last_category is None
+
+    def test_filter_heavy_preset_prefers_filters(self, state):
+        model = MarkovModel("idebench_default", random.Random(3))
+        categories = []
+        for _ in range(60):
+            interaction = model.next_interaction(state)
+            state.apply(interaction)
+            categories.append(model.last_category)
+        filters = sum(
+            1
+            for c in categories
+            if c in (
+                InteractionCategory.CATEGORICAL_FILTER,
+                InteractionCategory.RANGE_FILTER,
+            )
+        )
+        assert filters > len(categories) * 0.5

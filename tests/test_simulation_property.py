@@ -1,0 +1,167 @@
+"""Property-based tests on simulation-layer invariants.
+
+Hypothesis drives random (but valid) interaction sequences and checks:
+
+- the dashboard state machine never emits malformed SQL;
+- emitted queries always execute on every engine;
+- goal-tracker progress is monotone under observation;
+- state copies are isolated;
+- the RESET interaction is a true left identity for the query mapping.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.dashboard.state import DashboardState, Interaction, InteractionKind
+from repro.engine.registry import create_engine
+from repro.equivalence.results import ResultCache
+from repro.simulation.goals import GoalTracker
+from repro.sql.formatter import format_query
+from repro.sql.parser import parse_query
+from repro.workload import generate_dataset
+
+# Module-level fixtures (hypothesis needs function-scope independence).
+_TABLE = generate_dataset("customer_service", 400, seed=13)
+_ENGINE = create_engine("vectorstore")
+_ENGINE.load_table(_TABLE)
+
+
+def _spec():
+    from repro.dashboard.library import load_dashboard
+
+    return load_dashboard("customer_service")
+
+
+_SPEC = _spec()
+
+# An interaction script is a list of indices; each index selects from
+# whatever interactions are available at that point, which keeps every
+# generated sequence valid by construction.
+_scripts = st.lists(
+    st.integers(min_value=0, max_value=10_000), min_size=1, max_size=12
+)
+
+
+def _play(script):
+    state = DashboardState(_SPEC, _TABLE)
+    emitted = list(state.initial_queries())
+    for pick in script:
+        actions = state.available_interactions()
+        if not actions:
+            break
+        emitted.extend(state.apply(actions[pick % len(actions)]))
+    return state, emitted
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(_scripts)
+def test_emitted_sql_always_parses(script):
+    _state, emitted = _play(script)
+    for query in emitted:
+        text = format_query(query)
+        assert parse_query(text) == query
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(_scripts)
+def test_emitted_queries_always_execute(script):
+    _state, emitted = _play(script)
+    for query in emitted:
+        result = _ENGINE.execute(query)
+        assert result.columns
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(_scripts)
+def test_reset_restores_baseline_queries(script):
+    state, _ = _play(script)
+    baseline = DashboardState(_SPEC, _TABLE).all_queries()
+    state.apply(Interaction(InteractionKind.RESET))
+    assert state.all_queries() == baseline
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(_scripts)
+def test_state_key_identifies_query_mapping(script):
+    """Equal state keys imply equal data-layer snapshots."""
+    state_a, _ = _play(script)
+    state_b, _ = _play(script)
+    assert state_a.state_key() == state_b.state_key()
+    assert state_a.all_queries() == state_b.all_queries()
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(_scripts)
+def test_copy_isolation(script):
+    state, _ = _play(script)
+    key_before = state.state_key()
+    clone = state.copy()
+    actions = clone.available_interactions()
+    if actions:
+        clone.apply(actions[0])
+    assert state.state_key() == key_before
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(_scripts)
+def test_tracker_progress_monotone(script):
+    goal = parse_query(
+        "SELECT queue, COUNT(lostCalls) AS count_lostCalls "
+        "FROM customer_service GROUP BY queue"
+    )
+    cache = ResultCache(_ENGINE)
+    tracker = GoalTracker([goal], cache)
+    _state, emitted = _play(script)
+    last = 0.0
+    for query in emitted:
+        tracker.observe([query])
+        assert tracker.progress >= last
+        assert 0.0 <= tracker.progress <= 1.0
+        last = tracker.progress
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(_scripts, st.integers(min_value=0, max_value=2**30))
+def test_gain_matches_observe(script, salt):
+    """gain(q) computed before observe(q) equals the observed gain."""
+    goal = parse_query(
+        "SELECT repID, COUNT(calls) AS count_calls "
+        "FROM customer_service GROUP BY repID"
+    )
+    cache = ResultCache(_ENGINE)
+    tracker = GoalTracker([goal], cache)
+    _state, emitted = _play(script)
+    for query in emitted:
+        predicted = tracker.gain([query])
+        actual = tracker.observe([query])
+        assert predicted == actual

@@ -1,0 +1,226 @@
+"""Tests for workflows, goal generation, and full session simulation."""
+
+import math
+import random
+
+import pytest
+
+from repro.dashboard.library import DASHBOARD_NAMES, load_dashboard
+from repro.engine.registry import create_engine
+from repro.errors import ConfigError
+from repro.simulation import (
+    SessionConfig,
+    SessionSimulator,
+    WORKFLOWS,
+    WorkflowNotApplicable,
+    get_workflow,
+)
+from repro.simulation.goalgen import (
+    DashboardCapabilities,
+    generate_goal,
+    generate_goal_set,
+)
+from repro.sql.formatter import format_query
+from repro.workload import generate_dataset
+
+
+@pytest.fixture()
+def engines(cs_data):
+    measured = create_engine("vectorstore")
+    measured.load_table(cs_data)
+    reference = create_engine("vectorstore")
+    reference.load_table(cs_data)
+    return measured, reference
+
+
+class TestWorkflows:
+    def test_three_workflows_registered(self):
+        assert set(WORKFLOWS) == {"shneiderman", "battle_heer", "crossfilter"}
+
+    def test_unknown_workflow_raises(self):
+        with pytest.raises(ConfigError):
+            get_workflow("nope")
+
+    def test_each_workflow_has_three_goals(self, cs_spec):
+        for name in WORKFLOWS:
+            goals = get_workflow(name).instantiate_for_dashboard(
+                cs_spec, random.Random(0)
+            )
+            assert len(goals) == 3
+
+    def test_myride_incompatibilities_match_paper(self):
+        """MyRide supports only Shneiderman (§6.2.3)."""
+        spec = load_dashboard("myride")
+        assert get_workflow("shneiderman").is_applicable_to_dashboard(spec)
+        assert not get_workflow("battle_heer").is_applicable_to_dashboard(spec)
+        assert not get_workflow("crossfilter").is_applicable_to_dashboard(spec)
+
+    def test_other_dashboards_support_shneiderman_and_battle_heer(self):
+        for name in DASHBOARD_NAMES:
+            spec = load_dashboard(name)
+            assert get_workflow("shneiderman").is_applicable_to_dashboard(
+                spec
+            ), name
+            if name != "myride":
+                assert get_workflow(
+                    "battle_heer"
+                ).is_applicable_to_dashboard(spec), name
+
+
+class TestCapabilities:
+    def test_customer_service_capabilities(self, cs_spec):
+        caps = DashboardCapabilities.from_spec(cs_spec)
+        assert "queue" in caps.filterable_categorical
+        assert "dayOfWeek" in caps.filterable_categorical
+        assert ("count", "calls") in caps.measured_pairs
+        assert ("count", "lostCalls") in caps.measured_pairs
+        assert "hour" in caps.dimension_quantitative
+
+    def test_goal_key_pool_prefers_displayed(self, cs_spec):
+        caps = DashboardCapabilities.from_spec(cs_spec)
+        pool = caps.goal_key_pool()
+        # dayOfWeek is filterable but never displayed -> excluded.
+        assert "dayOfWeek" not in pool
+        assert "queue" in pool
+
+    def test_goals_use_dashboard_columns(self, cs_spec):
+        for template in (
+            "analyzing_spread",
+            "measuring_differences",
+            "filtering",
+            "finding_correlations",
+            "identification",
+            "temporal_patterns",
+        ):
+            goal = generate_goal(template, cs_spec, random.Random(1))
+            text = format_query(goal.query)
+            assert "customer_service" in text
+
+    def test_goal_set_order_preserved(self, cs_spec):
+        goals = generate_goal_set(
+            ("filtering", "identification"), cs_spec, random.Random(2)
+        )
+        assert goals[0].template == "filtering"
+        assert goals[1].template == "identification"
+
+
+class TestSessionConfig:
+    def test_p_markov_decays(self):
+        config = SessionConfig(p_markov_initial=1.0, decay_rate=0.2)
+        assert config.p_markov(0) == 1.0
+        assert config.p_markov(10) == pytest.approx(math.exp(-2.0))
+
+    def test_novice_slower_decay_than_expert(self):
+        novice = SessionConfig.novice()
+        expert = SessionConfig.expert()
+        assert novice.p_markov(10) > expert.p_markov(10)
+
+
+class TestSession:
+    def run_session(self, cs_spec, cs_data, engines, **config_kwargs):
+        measured, reference = engines
+        goals = get_workflow("shneiderman").instantiate_for_dashboard(
+            cs_spec, random.Random(4)
+        )
+        simulator = SessionSimulator(
+            cs_spec,
+            cs_data,
+            [g.query for g in goals],
+            measured_engine=measured,
+            reference_engine=reference,
+            config=SessionConfig(seed=1, **config_kwargs),
+            workflow_name="shneiderman",
+        )
+        return simulator.run()
+
+    def test_log_structure(self, cs_spec, cs_data, engines):
+        log = self.run_session(cs_spec, cs_data, engines)
+        assert log.dashboard == "customer_service"
+        assert log.workflow == "shneiderman"
+        assert log.records[0].model == "initial"
+        assert log.records[0].interaction is None
+        assert len(log.records[0].queries) == 5  # one per viz
+        assert log.query_count == sum(len(r.queries) for r in log.records)
+
+    def test_oracle_only_session_completes_goals(
+        self, cs_spec, cs_data, engines
+    ):
+        log = self.run_session(
+            cs_spec, cs_data, engines, p_markov_initial=0.0
+        )
+        assert log.goals_completed >= 2
+
+    def test_durations_positive(self, cs_spec, cs_data, engines):
+        log = self.run_session(cs_spec, cs_data, engines)
+        durations = log.query_durations()
+        assert durations
+        assert all(d >= 0 for d in durations)
+        assert log.average_duration() == pytest.approx(
+            sum(durations) / len(durations)
+        )
+
+    def test_reproducible_under_seed(self, cs_spec, cs_data, engines):
+        a = self.run_session(cs_spec, cs_data, engines)
+        b = self.run_session(cs_spec, cs_data, engines)
+        assert a.queries() == b.queries()
+
+    def test_max_total_steps_respected(self, cs_spec, cs_data, engines):
+        log = self.run_session(
+            cs_spec,
+            cs_data,
+            engines,
+            p_markov_initial=1.0,
+            decay_rate=0.0,
+            run_to_max=True,
+            max_total_steps=12,
+            max_steps_per_goal=12,
+        )
+        assert log.interaction_count <= 12
+
+    def test_model_mix_tracks_models(self, cs_spec, cs_data, engines):
+        log = self.run_session(cs_spec, cs_data, engines)
+        mix = log.model_mix()
+        assert sum(mix.values()) == log.interaction_count
+
+    def test_to_rows_flat_format(self, cs_spec, cs_data, engines):
+        log = self.run_session(cs_spec, cs_data, engines)
+        rows = log.to_rows()
+        assert rows
+        assert {"step", "interaction", "sql", "rows_returned",
+                "duration_ms"} <= set(rows[0])
+
+    def test_empty_goal_list_raises(self, cs_spec, cs_data, engines):
+        measured, reference = engines
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            SessionSimulator(
+                cs_spec, cs_data, [], measured, reference
+            )
+
+
+class TestCrossDashboardSessions:
+    @pytest.mark.parametrize("dashboard", DASHBOARD_NAMES)
+    def test_every_dashboard_simulates(self, dashboard):
+        spec = load_dashboard(dashboard)
+        table = generate_dataset(dashboard, 800, seed=2)
+        measured = create_engine("vectorstore")
+        measured.load_table(table)
+        reference = create_engine("vectorstore")
+        reference.load_table(table)
+        try:
+            goals = get_workflow("shneiderman").instantiate_for_dashboard(
+                spec, random.Random(2)
+            )
+        except WorkflowNotApplicable:
+            pytest.skip("workflow not applicable")
+        log = SessionSimulator(
+            spec,
+            table,
+            [g.query for g in goals],
+            measured_engine=measured,
+            reference_engine=reference,
+            config=SessionConfig(seed=2, max_total_steps=40),
+        ).run()
+        assert log.query_count > 0
+        assert log.records[0].model == "initial"

@@ -1,0 +1,162 @@
+"""Unit tests for the fluent query builder."""
+
+import pytest
+
+from repro.sql.ast import Column, InList, Literal, Star
+from repro.sql.builder import (
+    QueryBuilder,
+    avg,
+    col,
+    count,
+    func,
+    lit,
+    max_,
+    min_,
+    select,
+    sum_,
+)
+from repro.sql.formatter import format_query
+from repro.sql.parser import parse_query
+
+
+class TestExpressionSugar:
+    def test_comparison_operators(self):
+        assert format_sql(col("a") > 5) == "a > 5"
+        assert format_sql(col("a") <= 2) == "a <= 2"
+        assert format_sql(col("a") == "x") == "a = 'x'"
+        assert format_sql(col("a") != 1) == "a != 1"
+
+    def test_arithmetic(self):
+        assert format_sql(col("a") + 1) == "a + 1"
+        assert format_sql(col("a") / col("b")) == "a / b"
+
+    def test_boolean_combinators(self):
+        expr = (col("a") > 1).and_(col("b") < 2)
+        assert format_sql(expr) == "a > 1 AND b < 2"
+        expr = (col("a") > 1).or_(col("b") < 2)
+        assert format_sql(expr) == "a > 1 OR b < 2"
+
+    def test_not(self):
+        assert format_sql((col("a") > 1).not_()) == "NOT a > 1"
+
+    def test_in_list_sugar(self):
+        expr = col("q").in_list(["A", "B"])
+        assert isinstance(expr.expr, InList)
+
+    def test_between_sugar(self):
+        assert format_sql(col("h").between(1, 5)) == "h BETWEEN 1 AND 5"
+
+    def test_like_sugar(self):
+        assert format_sql(col("n").like("a%")) == "n LIKE 'a%'"
+
+    def test_is_null_sugar(self):
+        assert format_sql(col("n").is_null()) == "n IS NULL"
+
+    def test_label_builds_aliased_item(self):
+        item = count().label("n")
+        assert item.alias == "n"
+
+
+class TestAggregateHelpers:
+    def test_count_star_default(self):
+        assert count().expr.args == (Star(),)
+
+    def test_count_column(self):
+        assert count(col("a")).expr.args == (Column("a"),)
+
+    def test_count_distinct(self):
+        assert count(col("a"), distinct=True).expr.distinct
+
+    @pytest.mark.parametrize(
+        "helper,name",
+        [(sum_, "SUM"), (avg, "AVG"), (min_, "MIN"), (max_, "MAX")],
+    )
+    def test_named_aggregates(self, helper, name):
+        assert helper(col("x")).expr.name == name
+
+    def test_func_coerces_plain_values(self):
+        call = func("BIN", col("x"), 10).expr
+        assert call.args[1] == Literal(10)
+
+    def test_lit(self):
+        assert lit(3).expr == Literal(3)
+
+
+class TestQueryBuilder:
+    def test_minimal_query(self):
+        query = select("a").from_table("t").build()
+        assert format_query(query) == "SELECT a FROM t"
+
+    def test_string_star(self):
+        query = select("*").from_table("t").build()
+        assert format_query(query) == "SELECT * FROM t"
+
+    def test_full_query_matches_parser(self):
+        built = (
+            select("queue", count().label("n"))
+            .from_table("cs")
+            .where(col("hour") >= 9)
+            .where(col("queue").in_list(["A"]))
+            .group_by("queue")
+            .having(count() > 1)
+            .order_by("n", descending=True)
+            .limit(5)
+            .build()
+        )
+        parsed = parse_query(
+            "SELECT queue, COUNT(*) AS n FROM cs "
+            "WHERE hour >= 9 AND queue IN ('A') GROUP BY queue "
+            "HAVING COUNT(*) > 1 ORDER BY n DESC LIMIT 5"
+        )
+        assert built == parsed
+
+    def test_where_calls_accumulate_with_and(self):
+        query = (
+            select("a")
+            .from_table("t")
+            .where(col("a") > 1)
+            .where(col("b") < 2)
+            .build()
+        )
+        assert query.where.op == "AND"
+
+    def test_having_accumulates(self):
+        query = (
+            select("a", count())
+            .from_table("t")
+            .group_by("a")
+            .having(count() > 1)
+            .having(count() < 9)
+            .build()
+        )
+        assert query.having.op == "AND"
+
+    def test_distinct(self):
+        assert select("a").distinct().from_table("t").build().distinct
+
+    def test_group_by_expression_object(self):
+        query = (
+            select(func("HOUR", col("ts")), count())
+            .from_table("t")
+            .group_by(func("HOUR", col("ts")))
+            .build()
+        )
+        assert query.group_by[0].name == "HOUR"
+
+    def test_build_without_from_raises(self):
+        with pytest.raises(ValueError):
+            QueryBuilder(["a"]).build()
+
+    def test_select_requires_items(self):
+        with pytest.raises(ValueError):
+            select()
+
+    def test_table_alias(self):
+        query = select("a").from_table("t", alias="x").build()
+        assert query.from_table.alias == "x"
+
+
+def format_sql(wrapper):
+    from repro.sql.formatter import format_expression
+
+    return format_expression(wrapper.expr)

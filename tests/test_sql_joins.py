@@ -1,0 +1,197 @@
+"""SQL-layer JOIN support: AST, parser, formatter, builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql.ast import Column, Join, Query, TableRef, walk
+from repro.sql.builder import col, count, select
+from repro.sql.formatter import format_query
+from repro.sql.parser import parse_query
+
+
+class TestJoinNode:
+    def test_kind_is_upper_cased(self):
+        join = Join(TableRef("d"), Column("a"), Column("b"), "left")
+        assert join.kind == "LEFT"
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Join(TableRef("d"), Column("a"), Column("b"), "CROSS")
+
+    def test_children_cover_table_and_keys(self):
+        join = Join(TableRef("d"), Column("a", table="f"), Column("b"))
+        kinds = [type(c).__name__ for c in join.children()]
+        assert kinds == ["TableRef", "Column", "Column"]
+
+    def test_join_is_hashable(self):
+        join = Join(TableRef("d"), Column("a"), Column("b"))
+        assert hash(join) == hash(
+            Join(TableRef("d"), Column("a"), Column("b"))
+        )
+
+    def test_str_mentions_kind_and_keys(self):
+        join = Join(TableRef("d"), Column("a", table="f"), Column("b"), "LEFT")
+        assert "LEFT JOIN" in str(join)
+        assert "f.a" in str(join)
+
+
+class TestParseJoins:
+    def test_bare_join_is_inner(self):
+        query = parse_query("SELECT x FROM f JOIN d ON f.k = d.k")
+        assert len(query.joins) == 1
+        assert query.joins[0].kind == "INNER"
+
+    def test_inner_keyword_accepted(self):
+        query = parse_query("SELECT x FROM f INNER JOIN d ON f.k = d.k")
+        assert query.joins[0].kind == "INNER"
+
+    def test_left_join(self):
+        query = parse_query("SELECT x FROM f LEFT JOIN d ON f.k = d.k")
+        assert query.joins[0].kind == "LEFT"
+
+    def test_left_outer_join(self):
+        query = parse_query("SELECT x FROM f LEFT OUTER JOIN d ON f.k = d.k")
+        assert query.joins[0].kind == "LEFT"
+
+    def test_join_keys_keep_qualifiers(self):
+        query = parse_query("SELECT x FROM f JOIN d ON f.k = d.j")
+        join = query.joins[0]
+        assert join.left_key == Column("k", table="f")
+        assert join.right_key == Column("j", table="d")
+
+    def test_multiple_joins_in_order(self):
+        query = parse_query(
+            "SELECT x FROM f JOIN a ON f.p = a.p LEFT JOIN b ON f.q = b.q"
+        )
+        assert [j.table.name for j in query.joins] == ["a", "b"]
+        assert [j.kind for j in query.joins] == ["INNER", "LEFT"]
+
+    def test_join_with_alias(self):
+        query = parse_query("SELECT x FROM f JOIN dim AS d ON f.k = d.k")
+        assert query.joins[0].table == TableRef("dim", "d")
+
+    def test_join_then_where_group_order(self):
+        query = parse_query(
+            "SELECT r, COUNT(*) FROM f JOIN d ON f.k = d.k "
+            "WHERE v > 3 GROUP BY r ORDER BY r LIMIT 5"
+        )
+        assert query.joins and query.where is not None
+        assert query.group_by and query.order_by and query.limit == 5
+
+    def test_join_without_on_is_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT x FROM f JOIN d WHERE x = 1")
+
+    def test_non_column_join_key_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT x FROM f JOIN d ON 1 = d.k")
+
+    def test_missing_right_side_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT x FROM f JOIN d ON f.k =")
+
+
+class TestFormatJoins:
+    def test_inner_join_prints_bare_join(self):
+        query = parse_query("SELECT x FROM f JOIN d ON f.k = d.k")
+        assert "JOIN d ON f.k = d.k" in format_query(query)
+        assert "INNER" not in format_query(query)
+
+    def test_left_join_prints_left_join(self):
+        query = parse_query("SELECT x FROM f LEFT JOIN d ON f.k = d.k")
+        assert "LEFT JOIN d ON f.k = d.k" in format_query(query)
+
+    def test_round_trip_single_join(self):
+        text = "SELECT x FROM f JOIN d ON f.k = d.k WHERE x > 1"
+        query = parse_query(text)
+        assert parse_query(format_query(query)) == query
+
+    def test_round_trip_multi_join_with_aliases(self):
+        text = (
+            "SELECT x FROM f AS t JOIN dim AS d ON t.k = d.k "
+            "LEFT JOIN cal ON t.dt = cal.dt GROUP BY x"
+        )
+        query = parse_query(text)
+        assert parse_query(format_query(query)) == query
+
+    def test_join_appears_between_from_and_where(self):
+        query = parse_query("SELECT x FROM f JOIN d ON f.k = d.k WHERE x = 1")
+        text = format_query(query)
+        assert text.index("FROM") < text.index("JOIN") < text.index("WHERE")
+
+
+class TestBuilderJoins:
+    def test_join_with_string_keys(self):
+        query = (
+            select("region", count())
+            .from_table("fact")
+            .join("dim", "fact.k", "dim.k")
+            .group_by("region")
+            .build()
+        )
+        assert query.joins[0].left_key == Column("k", table="fact")
+        assert query.joins[0].right_key == Column("k", table="dim")
+
+    def test_join_with_expression_keys(self):
+        query = (
+            select("x")
+            .from_table("f")
+            .join("d", col("k", table="f"), col("k", table="d"))
+            .build()
+        )
+        assert query.joins[0].left_key.table == "f"
+
+    def test_left_join_kind(self):
+        query = (
+            select("x")
+            .from_table("f")
+            .join("d", "f.k", "d.k", kind="LEFT")
+            .build()
+        )
+        assert query.joins[0].kind == "LEFT"
+
+    def test_unqualified_string_key(self):
+        query = select("x").from_table("f").join("d", "k", "k").build()
+        assert query.joins[0].left_key == Column("k")
+
+    def test_non_column_key_rejected(self):
+        with pytest.raises(ValueError):
+            select("x").from_table("f").join("d", count(), "k").build()
+
+    def test_builder_round_trips_through_text(self):
+        query = (
+            select("region", count())
+            .from_table("fact")
+            .join("dim", "fact.k", "dim.k")
+            .group_by("region")
+            .build()
+        )
+        assert parse_query(format_query(query)) == query
+
+
+class TestQueryHelpers:
+    def test_table_names_includes_joined_tables(self):
+        query = parse_query(
+            "SELECT x FROM f JOIN a ON f.p = a.p JOIN b ON f.q = b.q"
+        )
+        assert query.table_names() == ["f", "a", "b"]
+
+    def test_walk_traverses_join_nodes(self):
+        query = parse_query("SELECT x FROM f JOIN d ON f.k = d.j")
+        names = {
+            node.name for node in walk(query) if isinstance(node, Column)
+        }
+        assert {"x", "k", "j"} <= names
+
+    def test_joins_default_to_empty(self):
+        query = parse_query("SELECT x FROM f")
+        assert query.joins == ()
+
+    def test_and_where_preserves_joins(self):
+        from repro.sql.ast import BinaryOp, Literal
+
+        query = parse_query("SELECT x FROM f JOIN d ON f.k = d.k")
+        extended = query.and_where(BinaryOp("=", Column("x"), Literal(1)))
+        assert extended.joins == query.joins

@@ -1,0 +1,158 @@
+"""Unit tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.sql.lexer import Token, TokenType, tokenize
+
+
+def kinds(text):
+    return [t.type for t in tokenize(text)]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)][:-1]  # drop EOF
+
+
+class TestBasicTokens:
+    def test_keywords_are_uppercased(self):
+        tokens = tokenize("select From WHERE")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+        assert all(t.type is TokenType.KEYWORD for t in tokens[:-1])
+
+    def test_identifier(self):
+        (token, _eof) = tokenize("customer_service")
+        assert token.type is TokenType.IDENTIFIER
+        assert token.value == "customer_service"
+
+    def test_identifier_case_preserved(self):
+        assert values("repID") == ["repID"]
+
+    def test_quoted_identifier(self):
+        (token, _eof) = tokenize('"weird name"')
+        assert token.type is TokenType.IDENTIFIER
+        assert token.value == "weird name"
+
+    def test_star(self):
+        assert kinds("*")[0] is TokenType.STAR
+
+    def test_punctuation(self):
+        assert kinds("( , )")[:3] == [
+            TokenType.LPAREN,
+            TokenType.COMMA,
+            TokenType.RPAREN,
+        ]
+
+    def test_eof_is_final(self):
+        assert kinds("x")[-1] is TokenType.EOF
+
+    def test_empty_input_yields_only_eof(self):
+        assert kinds("") == [TokenType.EOF]
+
+    def test_whitespace_only(self):
+        assert kinds("   \n\t ") == [TokenType.EOF]
+
+
+class TestNumbers:
+    def test_integer(self):
+        assert values("42") == ["42"]
+
+    def test_decimal(self):
+        assert values("3.14") == ["3.14"]
+
+    def test_leading_dot(self):
+        assert values(".5") == [".5"]
+
+    def test_exponent(self):
+        assert values("1e6") == ["1e6"]
+
+    def test_exponent_with_sign(self):
+        assert values("1.5e-3") == ["1.5e-3"]
+
+    def test_number_followed_by_dot_identifier_stops(self):
+        tokens = tokenize("1.5.x")
+        assert tokens[0].value == "1.5"
+
+    def test_e_not_followed_by_digits_is_not_exponent(self):
+        tokens = tokenize("2e")
+        assert tokens[0].value == "2"
+        assert tokens[1].value == "e"
+
+
+class TestStrings:
+    def test_simple_string(self):
+        (token, _eof) = tokenize("'hello'")
+        assert token.type is TokenType.STRING
+        assert token.value == "hello"
+
+    def test_escaped_quote(self):
+        (token, _eof) = tokenize("'it''s'")
+        assert token.value == "it's"
+
+    def test_empty_string(self):
+        (token, _eof) = tokenize("''")
+        assert token.value == ""
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize("'oops")
+
+    def test_unterminated_quoted_identifier_raises(self):
+        with pytest.raises(LexError):
+            tokenize('"oops')
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "text", ["=", "!=", "<", "<=", ">", ">=", "+", "-", "/", "%"]
+    )
+    def test_single_operator(self, text):
+        tokens = tokenize(text)
+        assert tokens[0].type is TokenType.OPERATOR
+        assert tokens[0].value == text
+
+    def test_angle_bracket_inequality_normalized(self):
+        assert values("<>") == ["!="]
+
+    def test_two_char_operator_not_split(self):
+        assert values("a <= b") == ["a", "<=", "b"]
+
+    def test_unknown_character_raises_with_position(self):
+        with pytest.raises(LexError) as info:
+            tokenize("a ? b")
+        assert info.value.position == 2
+
+
+class TestTokenMatches:
+    def test_matches_type_only(self):
+        token = Token(TokenType.KEYWORD, "SELECT", 0)
+        assert token.matches(TokenType.KEYWORD)
+
+    def test_matches_value_case_insensitive(self):
+        token = Token(TokenType.KEYWORD, "SELECT", 0)
+        assert token.matches(TokenType.KEYWORD, "select")
+
+    def test_matches_rejects_wrong_type(self):
+        token = Token(TokenType.IDENTIFIER, "select", 0)
+        assert not token.matches(TokenType.KEYWORD, "select")
+
+    def test_positions_recorded(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3
+
+
+class TestFullStatement:
+    def test_realistic_query_token_stream(self):
+        text = (
+            "SELECT queue, COUNT(*) FROM cs WHERE hour >= 9 "
+            "AND queue IN ('A', 'B') GROUP BY queue LIMIT 5"
+        )
+        tokens = tokenize(text)
+        assert tokens[-1].type is TokenType.EOF
+        keyword_values = [
+            t.value for t in tokens if t.type is TokenType.KEYWORD
+        ]
+        assert keyword_values == [
+            "SELECT", "FROM", "WHERE", "AND", "IN", "GROUP", "BY", "LIMIT",
+        ]

@@ -1,0 +1,267 @@
+"""Unit tests for the recursive-descent SQL parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql.ast import (
+    Between,
+    BinaryOp,
+    Column,
+    FuncCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Query,
+    SelectItem,
+    Star,
+    UnaryOp,
+)
+from repro.sql.parser import parse_expression, parse_query
+
+
+class TestSelectList:
+    def test_select_star(self):
+        query = parse_query("SELECT * FROM t")
+        assert isinstance(query.select[0].expr, Star)
+
+    def test_select_columns(self):
+        query = parse_query("SELECT a, b FROM t")
+        assert [i.expr for i in query.select] == [Column("a"), Column("b")]
+
+    def test_alias_with_as(self):
+        query = parse_query("SELECT a AS x FROM t")
+        assert query.select[0].alias == "x"
+
+    def test_alias_without_as(self):
+        query = parse_query("SELECT a x FROM t")
+        assert query.select[0].alias == "x"
+
+    def test_qualified_column(self):
+        query = parse_query("SELECT t.a FROM t")
+        assert query.select[0].expr == Column("a", table="t")
+
+    def test_distinct(self):
+        assert parse_query("SELECT DISTINCT a FROM t").distinct
+
+    def test_output_names(self):
+        query = parse_query("SELECT a, COUNT(*) AS n, b + 1 FROM t")
+        assert query.output_names()[:2] == ["a", "n"]
+
+
+class TestFunctions:
+    def test_count_star(self):
+        query = parse_query("SELECT COUNT(*) FROM t")
+        call = query.select[0].expr
+        assert call == FuncCall("COUNT", (Star(),))
+
+    def test_count_distinct(self):
+        call = parse_expression("COUNT(DISTINCT a)")
+        assert call.distinct
+        assert call.args == (Column("a"),)
+
+    def test_nested_calls(self):
+        call = parse_expression("SUM(BIN(x, 10))")
+        assert call.name == "SUM"
+        assert call.args[0].name == "BIN"
+
+    def test_function_name_uppercased(self):
+        assert parse_expression("count(a)").name == "COUNT"
+
+    def test_zero_arg_function(self):
+        call = parse_expression("NOW()")
+        assert call.args == ()
+
+
+class TestPredicates:
+    def test_comparison(self):
+        expr = parse_expression("a >= 5")
+        assert expr == BinaryOp(">=", Column("a"), Literal(5))
+
+    def test_in_list(self):
+        expr = parse_expression("q IN ('A', 'B')")
+        assert expr == InList(
+            Column("q"), (Literal("A"), Literal("B"))
+        )
+
+    def test_not_in(self):
+        expr = parse_expression("q NOT IN ('A')")
+        assert expr.negated
+
+    def test_between(self):
+        expr = parse_expression("h BETWEEN 9 AND 17")
+        assert expr == Between(Column("h"), Literal(9), Literal(17))
+
+    def test_not_between(self):
+        assert parse_expression("h NOT BETWEEN 1 AND 2").negated
+
+    def test_like(self):
+        expr = parse_expression("name LIKE 'c%'")
+        assert expr == Like(Column("name"), "c%")
+
+    def test_not_like(self):
+        assert parse_expression("name NOT LIKE 'x'").negated
+
+    def test_is_null(self):
+        expr = parse_expression("note IS NULL")
+        assert expr == IsNull(Column("note"))
+
+    def test_is_not_null(self):
+        assert parse_expression("note IS NOT NULL").negated
+
+    def test_bare_not(self):
+        expr = parse_expression("NOT a = 1")
+        assert isinstance(expr, UnaryOp)
+        assert expr.op == "NOT"
+
+
+class TestPrecedence:
+    def test_and_binds_tighter_than_or(self):
+        expr = parse_expression("a = 1 OR b = 2 AND c = 3")
+        assert expr.op == "OR"
+        assert expr.right.op == "AND"
+
+    def test_parentheses_override(self):
+        expr = parse_expression("(a = 1 OR b = 2) AND c = 3")
+        assert expr.op == "AND"
+        assert expr.left.op == "OR"
+
+    def test_multiplication_before_addition(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_comparison_of_arithmetic(self):
+        expr = parse_expression("a + 1 > b * 2")
+        assert expr.op == ">"
+        assert expr.left.op == "+"
+        assert expr.right.op == "*"
+
+    def test_unary_minus_folds_into_literal(self):
+        assert parse_expression("-5") == Literal(-5)
+
+    def test_unary_minus_on_column(self):
+        expr = parse_expression("-a")
+        assert isinstance(expr, UnaryOp)
+
+    def test_left_associative_subtraction(self):
+        expr = parse_expression("10 - 3 - 2")
+        assert expr.op == "-"
+        assert expr.left.op == "-"
+
+
+class TestLiterals:
+    @pytest.mark.parametrize(
+        "text,value",
+        [
+            ("42", 42),
+            ("3.5", 3.5),
+            ("'x'", "x"),
+            ("TRUE", True),
+            ("FALSE", False),
+            ("NULL", None),
+        ],
+    )
+    def test_literal_values(self, text, value):
+        assert parse_expression(text) == Literal(value)
+
+    def test_float_stays_float(self):
+        assert isinstance(parse_expression("1.0").value, float)
+
+    def test_int_stays_int(self):
+        assert isinstance(parse_expression("7").value, int)
+
+
+class TestClauses:
+    def test_where(self):
+        query = parse_query("SELECT a FROM t WHERE a > 1")
+        assert query.where is not None
+
+    def test_group_by_multiple(self):
+        query = parse_query("SELECT a, b, COUNT(*) FROM t GROUP BY a, b")
+        assert query.group_by == (Column("a"), Column("b"))
+
+    def test_group_by_expression(self):
+        query = parse_query(
+            "SELECT HOUR(ts), COUNT(*) FROM t GROUP BY HOUR(ts)"
+        )
+        assert query.group_by[0].name == "HOUR"
+
+    def test_having(self):
+        query = parse_query(
+            "SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 2"
+        )
+        assert query.having is not None
+
+    def test_order_by_default_ascending(self):
+        query = parse_query("SELECT a FROM t ORDER BY a")
+        assert not query.order_by[0].descending
+
+    def test_order_by_desc(self):
+        query = parse_query("SELECT a FROM t ORDER BY a DESC")
+        assert query.order_by[0].descending
+
+    def test_order_by_multiple(self):
+        query = parse_query("SELECT a, b FROM t ORDER BY a DESC, b ASC")
+        assert [o.descending for o in query.order_by] == [True, False]
+
+    def test_limit(self):
+        assert parse_query("SELECT a FROM t LIMIT 10").limit == 10
+
+    def test_table_alias(self):
+        query = parse_query("SELECT a FROM table1 AS t1")
+        assert query.from_table.alias == "t1"
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "SELECT FROM t",
+            "SELECT a",
+            "SELECT a FROM",
+            "SELECT a FROM t WHERE",
+            "SELECT a FROM t GROUP a",
+            "SELECT a FROM t LIMIT x",
+            "SELECT a FROM t extra garbage here",
+            "FROM t SELECT a",
+            "SELECT a FROM t WHERE a IN ()",
+        ],
+    )
+    def test_malformed_queries_raise(self, text):
+        with pytest.raises(ParseError):
+            parse_query(text)
+
+    def test_qualified_star_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT t.* FROM t")
+
+    def test_trailing_tokens_rejected_for_expression(self):
+        with pytest.raises(ParseError):
+            parse_expression("a = 1 banana")
+
+
+class TestQueryHelpers:
+    def test_is_aggregate_with_group_by(self):
+        assert parse_query("SELECT a, COUNT(*) FROM t GROUP BY a").is_aggregate
+
+    def test_is_aggregate_without_group_by(self):
+        assert parse_query("SELECT COUNT(*) FROM t").is_aggregate
+
+    def test_not_aggregate(self):
+        assert not parse_query("SELECT a FROM t").is_aggregate
+
+    def test_and_where_extends(self):
+        query = parse_query("SELECT a FROM t WHERE a > 1")
+        extended = query.and_where(parse_expression("b < 2"))
+        assert extended.where.op == "AND"
+
+    def test_and_where_on_empty(self):
+        query = parse_query("SELECT a FROM t")
+        extended = query.and_where(parse_expression("b < 2"))
+        assert extended.where == parse_expression("b < 2")
+
+    def test_query_equality_is_structural(self):
+        assert parse_query("SELECT a FROM t") == parse_query(
+            "select  a  from t"
+        )

@@ -1,0 +1,185 @@
+"""Property-based tests: the SQL layer round-trips arbitrary queries.
+
+Hypothesis generates random queries from the supported subset and
+checks that ``parse(format(q)) == q`` and that normalization is
+idempotent — the invariants the equivalence suite depends on.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.sql.ast import (
+    Between,
+    BinaryOp,
+    Column,
+    Expression,
+    FuncCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    OrderItem,
+    Query,
+    SelectItem,
+    Star,
+    TableRef,
+    UnaryOp,
+)
+from repro.sql.formatter import format_expression, format_query, normalize_sql
+from repro.sql.parser import parse_expression, parse_query
+
+_identifiers = st.sampled_from(
+    ["queue", "hour", "duration", "repID", "abandoned", "note", "x1", "y2"]
+)
+
+_literals = st.one_of(
+    st.integers(min_value=-1000, max_value=1000).map(Literal),
+    st.floats(
+        min_value=-100, max_value=100, allow_nan=False, allow_infinity=False
+    ).map(lambda v: Literal(round(v, 4))),
+    st.sampled_from(["A", "B", "it's", "x y", ""]).map(Literal),
+    st.sampled_from([Literal(True), Literal(False), Literal(None)]),
+)
+
+_columns = _identifiers.map(Column)
+
+
+def _value_exprs(depth: int = 2) -> st.SearchStrategy[Expression]:
+    base = st.one_of(_columns, _literals)
+    if depth <= 0:
+        return base
+    recursive = _value_exprs(depth - 1)
+    return st.one_of(
+        base,
+        st.builds(
+            BinaryOp,
+            st.sampled_from(["+", "-", "*", "/"]),
+            recursive,
+            recursive,
+        ),
+        st.builds(
+            FuncCall,
+            st.sampled_from(["ABS", "LOWER", "YEAR"]),
+            st.tuples(recursive),
+        ),
+    )
+
+
+def _predicates(depth: int = 2) -> st.SearchStrategy[Expression]:
+    values = _value_exprs(1)
+    atoms = st.one_of(
+        st.builds(
+            BinaryOp,
+            st.sampled_from(["=", "!=", "<", "<=", ">", ">="]),
+            _columns,
+            _literals,
+        ),
+        st.builds(
+            InList,
+            _columns,
+            st.lists(_literals, min_size=1, max_size=3).map(tuple),
+            st.booleans(),
+        ),
+        st.builds(Between, _columns, values, values, st.booleans()),
+        st.builds(
+            Like, _columns, st.sampled_from(["a%", "_b", "%c%"]), st.booleans()
+        ),
+        st.builds(IsNull, _columns, st.booleans()),
+    )
+    if depth <= 0:
+        return atoms
+    recursive = _predicates(depth - 1)
+    return st.one_of(
+        atoms,
+        st.builds(
+            BinaryOp, st.sampled_from(["AND", "OR"]), recursive, recursive
+        ),
+        st.builds(UnaryOp, st.just("NOT"), recursive),
+    )
+
+
+_select_items = st.one_of(
+    st.builds(SelectItem, _value_exprs(1), st.none()),
+    st.builds(
+        SelectItem,
+        _value_exprs(1),
+        st.sampled_from(["alias_a", "alias_b"]),
+    ),
+    st.builds(
+        SelectItem,
+        st.builds(
+            FuncCall,
+            st.sampled_from(["COUNT", "SUM", "AVG", "MIN", "MAX"]),
+            st.tuples(_columns),
+            st.booleans(),
+        ),
+        st.none(),
+    ),
+)
+
+_queries = st.builds(
+    Query,
+    select=st.lists(_select_items, min_size=1, max_size=4).map(tuple),
+    from_table=st.just(TableRef("t")),
+    where=st.one_of(st.none(), _predicates(1)),
+    group_by=st.lists(_columns, min_size=0, max_size=2, unique=True).map(
+        tuple
+    ),
+    having=st.none(),
+    order_by=st.lists(
+        st.builds(OrderItem, _columns, st.booleans()),
+        min_size=0,
+        max_size=2,
+    ).map(tuple),
+    limit=st.one_of(st.none(), st.integers(min_value=0, max_value=100)),
+    distinct=st.booleans(),
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_predicates(2))
+def test_expression_format_parse_roundtrip(expr):
+    text = format_expression(expr)
+    assert parse_expression(text) == expr
+
+
+@settings(max_examples=200, deadline=None)
+@given(_value_exprs(2))
+def test_value_expression_roundtrip(expr):
+    text = format_expression(expr)
+    assert parse_expression(text) == expr
+
+
+@settings(max_examples=200, deadline=None)
+@given(_queries)
+def test_query_format_parse_roundtrip(query):
+    text = format_query(query)
+    assert parse_query(text) == query
+
+
+@settings(max_examples=100, deadline=None)
+@given(_queries)
+def test_formatting_is_deterministic(query):
+    assert format_query(query) == format_query(query)
+
+
+@settings(max_examples=100, deadline=None)
+@given(_queries)
+def test_normalize_is_idempotent(query):
+    text = format_query(query)
+    once = normalize_sql(text)
+    assert normalize_sql(once) == once
+
+
+@settings(max_examples=100, deadline=None)
+@given(_predicates(2))
+def test_normalized_text_insensitive_to_keyword_case(expr):
+    text = format_expression(expr)
+    if "'" in text:
+        # Lower-casing the whole text would alter string literals, which
+        # normalization rightly preserves; the property only concerns
+        # keywords and identifiers.
+        return
+    assert normalize_sql(text.lower()) == normalize_sql(text)

@@ -1,0 +1,149 @@
+"""Unit tests for AST analysis helpers (query shapes, column sets)."""
+
+from repro.sql.ast import conjoin, conjuncts, disjoin, disjuncts, walk
+from repro.sql.parser import parse_expression, parse_query
+from repro.sql.visitors import (
+    all_columns,
+    count_filters,
+    filtered_columns,
+    predicate_values,
+    query_shape,
+    selected_columns,
+)
+
+
+class TestQueryShape:
+    def test_plain_columns(self):
+        shape = query_shape(parse_query("SELECT a, b FROM t"))
+        assert shape.plain_columns == ["a", "b"]
+        assert shape.aggregated_columns == []
+
+    def test_aggregated_columns(self):
+        shape = query_shape(
+            parse_query("SELECT q, COUNT(x), SUM(y) FROM t GROUP BY q")
+        )
+        assert shape.plain_columns == ["q"]
+        assert shape.aggregated_columns == ["x", "y"]
+        assert shape.aggregate_functions == ["COUNT", "SUM"]
+
+    def test_count_star_counts_as_star_column(self):
+        shape = query_shape(parse_query("SELECT COUNT(*) FROM t"))
+        assert shape.aggregated_columns == ["*"]
+
+    def test_star_select(self):
+        shape = query_shape(parse_query("SELECT * FROM t"))
+        assert shape.has_star
+
+    def test_group_by_columns(self):
+        shape = query_shape(
+            parse_query("SELECT q, h, COUNT(*) FROM t GROUP BY q, h")
+        )
+        assert shape.group_by_columns == ["q", "h"]
+
+    def test_expression_column_extraction(self):
+        shape = query_shape(parse_query("SELECT a + b FROM t"))
+        assert shape.plain_columns == ["a", "b"]
+
+    def test_mixed_expression_with_aggregate(self):
+        shape = query_shape(
+            parse_query("SELECT SUM(x) / COUNT(y) FROM t")
+        )
+        assert sorted(shape.aggregated_columns) == ["x", "y"]
+
+    def test_total_columns(self):
+        shape = query_shape(
+            parse_query("SELECT q, COUNT(x) FROM t GROUP BY q")
+        )
+        assert shape.total_columns == 2
+
+
+class TestCountFilters:
+    def test_no_filters(self):
+        assert count_filters(parse_query("SELECT a FROM t")) == 0
+
+    def test_single_comparison(self):
+        assert count_filters(parse_query("SELECT a FROM t WHERE a > 1")) == 1
+
+    def test_and_counts_each_atom(self):
+        query = parse_query("SELECT a FROM t WHERE a > 1 AND b < 2 AND c = 3")
+        assert count_filters(query) == 3
+
+    def test_or_counts_each_atom(self):
+        query = parse_query("SELECT a FROM t WHERE a > 1 OR b < 2")
+        assert count_filters(query) == 2
+
+    def test_in_is_one_filter(self):
+        query = parse_query("SELECT a FROM t WHERE q IN ('A','B','C')")
+        assert count_filters(query) == 1
+
+    def test_between_is_one_filter(self):
+        query = parse_query("SELECT a FROM t WHERE h BETWEEN 1 AND 5")
+        assert count_filters(query) == 1
+
+    def test_having_counts(self):
+        query = parse_query(
+            "SELECT q, COUNT(*) FROM t WHERE a > 1 GROUP BY q "
+            "HAVING COUNT(*) > 2"
+        )
+        assert count_filters(query) == 2
+
+    def test_not_wrapped_atom(self):
+        query = parse_query("SELECT a FROM t WHERE NOT a = 1")
+        assert count_filters(query) == 1
+
+
+class TestColumnSets:
+    def test_filtered_columns(self):
+        query = parse_query(
+            "SELECT a FROM t WHERE b > 1 GROUP BY a HAVING COUNT(c) > 2"
+        )
+        assert filtered_columns(query) == {"b", "c"}
+
+    def test_selected_columns(self):
+        query = parse_query("SELECT a, SUM(b) FROM t GROUP BY a")
+        assert selected_columns(query) == {"a", "b"}
+
+    def test_all_columns(self):
+        query = parse_query(
+            "SELECT a FROM t WHERE b = 1 ORDER BY c"
+        )
+        assert all_columns(query) == {"a", "b", "c"}
+
+    def test_predicate_values(self):
+        predicate = parse_expression("q IN ('A', 'B') AND h > 5")
+        assert set(predicate_values(predicate)) == {"A", "B", 5}
+
+
+class TestConjunctHelpers:
+    def test_conjuncts_flatten(self):
+        predicate = parse_expression("a = 1 AND b = 2 AND c = 3")
+        assert len(conjuncts(predicate)) == 3
+
+    def test_conjuncts_keep_or_intact(self):
+        predicate = parse_expression("(a = 1 OR b = 2) AND c = 3")
+        parts = conjuncts(predicate)
+        assert len(parts) == 2
+
+    def test_conjuncts_of_none(self):
+        assert conjuncts(None) == []
+
+    def test_conjoin_roundtrip(self):
+        predicate = parse_expression("a = 1 AND b = 2")
+        assert conjoin(conjuncts(predicate)) == predicate
+
+    def test_conjoin_empty(self):
+        assert conjoin([]) is None
+
+    def test_disjuncts_flatten(self):
+        predicate = parse_expression("a = 1 OR b = 2 OR c = 3")
+        assert len(disjuncts(predicate)) == 3
+
+    def test_disjoin_roundtrip(self):
+        predicate = parse_expression("a = 1 OR b = 2")
+        assert disjoin(disjuncts(predicate)) == predicate
+
+    def test_walk_visits_all_nodes(self):
+        query = parse_query("SELECT a, COUNT(b) FROM t WHERE c = 1")
+        names = {n.name for n in walk(query) if hasattr(n, "name") and
+                 type(n).__name__ == "Column"}
+        assert names == {"a", "b", "c"}

@@ -1,0 +1,204 @@
+"""CSV ingest/export for Table, including type inference."""
+
+from __future__ import annotations
+
+import datetime as dt
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.engine.table import ColumnDef, Schema, Table
+from repro.engine.types import DataType, parse_cell
+from repro.errors import SchemaError
+from repro.workload.datasets import generate_customer_service
+
+
+class TestParseCell:
+    def test_empty_is_null(self):
+        assert parse_cell("") is None
+
+    def test_integer(self):
+        assert parse_cell("42") == 42
+        assert isinstance(parse_cell("42"), int)
+
+    def test_float(self):
+        assert parse_cell("3.5") == 3.5
+
+    def test_boolean_case_insensitive(self):
+        assert parse_cell("true") is True
+        assert parse_cell("False") is False
+
+    def test_date(self):
+        assert parse_cell("2024-03-01") == dt.date(2024, 3, 1)
+
+    def test_timestamp(self):
+        assert parse_cell("2024-03-01 10:30:00") == dt.datetime(
+            2024, 3, 1, 10, 30
+        )
+
+    def test_string_fallback(self):
+        assert parse_cell("queue A") == "queue A"
+
+    def test_numeric_looking_text_prefers_number(self):
+        assert parse_cell("007") == 7
+
+
+class TestCsvRoundTrip:
+    def test_lossless_with_schema(self, tmp_path):
+        table = generate_customer_service(300, seed=3)
+        path = tmp_path / "cs.csv"
+        table.to_csv(path)
+        restored = Table.from_csv("customer_service", path, schema=table.schema)
+        for name in table.schema.names:
+            assert restored.column(name) == table.column(name), name
+
+    def test_inference_recovers_types(self, tmp_path):
+        table = generate_customer_service(300, seed=3)
+        path = tmp_path / "cs.csv"
+        table.to_csv(path)
+        inferred = Table.from_csv("customer_service", path)
+        assert [c.dtype for c in inferred.schema] == [
+            c.dtype for c in table.schema
+        ]
+
+    def test_nulls_round_trip(self, tmp_path):
+        table = Table.from_rows(
+            "t",
+            [{"a": 1, "b": "x"}, {"a": None, "b": None}, {"a": 3, "b": "z"}],
+        )
+        path = tmp_path / "t.csv"
+        table.to_csv(path)
+        restored = Table.from_csv("t", path, schema=table.schema)
+        assert restored.column("a") == [1, None, 3]
+        assert restored.column("b") == ["x", None, "z"]
+
+    def test_booleans_round_trip(self, tmp_path):
+        table = Table.from_rows(
+            "t", [{"flag": True}, {"flag": False}, {"flag": None}]
+        )
+        path = tmp_path / "t.csv"
+        table.to_csv(path)
+        restored = Table.from_csv("t", path, schema=table.schema)
+        assert restored.column("flag") == [True, False, None]
+        assert restored.schema.dtype("flag") is DataType.BOOLEAN
+
+    def test_commas_and_quotes_in_strings(self, tmp_path):
+        table = Table.from_rows(
+            "t", [{"note": 'a, "quoted" cell'}, {"note": "line\nbreak"}]
+        )
+        path = tmp_path / "t.csv"
+        table.to_csv(path)
+        restored = Table.from_csv("t", path, schema=table.schema)
+        assert restored.column("note") == table.column("note")
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError, match="empty"):
+            Table.from_csv("t", path)
+
+    def test_ragged_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n3\n")
+        with pytest.raises(SchemaError, match="line 3"):
+            Table.from_csv("t", path)
+
+    def test_unknown_schema_column_rejected(self, tmp_path):
+        path = tmp_path / "extra.csv"
+        path.write_text("a,nosuch\n1,2\n")
+        schema = Schema([ColumnDef("a", DataType.INTEGER)])
+        with pytest.raises(SchemaError, match="not in the schema"):
+            Table.from_csv("t", path, schema=schema)
+
+    def test_header_only_file_gives_empty_table(self, tmp_path):
+        path = tmp_path / "header.csv"
+        path.write_text("a,b\n")
+        table = Table.from_csv(
+            "t",
+            path,
+            schema=Schema(
+                [
+                    ColumnDef("a", DataType.INTEGER),
+                    ColumnDef("b", DataType.STRING),
+                ]
+            ),
+        )
+        assert table.num_rows == 0
+
+    def test_loaded_table_executes(self, tmp_path):
+        from repro.engine import create_engine
+        from repro.sql.parser import parse_query
+
+        table = generate_customer_service(200, seed=1)
+        path = tmp_path / "cs.csv"
+        table.to_csv(path)
+        restored = Table.from_csv("customer_service", path, schema=table.schema)
+        engine = create_engine("sqlite")
+        engine.load_table(restored)
+        result = engine.execute(
+            parse_query(
+                "SELECT queue, COUNT(*) AS n FROM customer_service "
+                "GROUP BY queue ORDER BY queue"
+            )
+        )
+        assert sum(result.column("n")) == 200
+
+
+# ---------------------------------------------------------------------------
+# Property: typed tables survive a CSV round trip with their schema
+# ---------------------------------------------------------------------------
+
+_values = st.one_of(
+    st.none(),
+    st.integers(min_value=-10_000, max_value=10_000),
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False).map(
+        lambda v: round(v, 6)
+    ),
+    st.sampled_from(["east", "it's", 'with "quotes"', "a,b", ""]),
+    st.booleans(),
+    st.dates(
+        min_value=dt.date(2000, 1, 1), max_value=dt.date(2030, 12, 31)
+    ),
+)
+
+
+@given(
+    st.lists(
+        st.fixed_dictionaries(
+            {
+                "i": st.integers(min_value=0, max_value=99) | st.none(),
+                "f": st.floats(
+                    min_value=-100, max_value=100, allow_nan=False
+                ).map(lambda v: round(v, 4))
+                | st.none(),
+                # "" excluded: CSV cannot distinguish it from NULL
+                # (documented limitation of Table.to_csv).
+                "s": st.sampled_from(["x", "y,z", 'q"w']) | st.none(),
+                "d": st.dates(
+                    min_value=dt.date(2020, 1, 1),
+                    max_value=dt.date(2025, 1, 1),
+                )
+                | st.none(),
+            }
+        ),
+        min_size=1,
+        max_size=25,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_csv_round_trip_property(tmp_path_factory, rows):
+    schema = Schema(
+        [
+            ColumnDef("i", DataType.INTEGER),
+            ColumnDef("f", DataType.FLOAT),
+            ColumnDef("s", DataType.STRING),
+            ColumnDef("d", DataType.DATE),
+        ]
+    )
+    table = Table.from_rows("t", rows, schema=schema)
+    path = tmp_path_factory.mktemp("csv") / "t.csv"
+    table.to_csv(path)
+    restored = Table.from_csv("t", path, schema=schema)
+    for name in schema.names:
+        assert restored.column(name) == table.column(name), name

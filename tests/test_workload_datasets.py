@@ -1,0 +1,130 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.workload import DATASET_NAMES, dataset_schema, generate_dataset
+
+
+class TestRegistry:
+    def test_six_datasets(self):
+        assert len(DATASET_NAMES) == 6
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(ConfigError):
+            generate_dataset("nope", 10)
+
+    def test_nonpositive_rows_raises(self):
+        with pytest.raises(ConfigError):
+            generate_dataset("circulation", 0)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_same_seed_same_data(self, name):
+        a = generate_dataset(name, 200, seed=5)
+        b = generate_dataset(name, 200, seed=5)
+        for column in a.schema.names:
+            assert a.column(column) == b.column(column)
+
+    def test_different_seed_different_data(self):
+        a = generate_dataset("customer_service", 200, seed=1)
+        b = generate_dataset("customer_service", 200, seed=2)
+        assert a.column("queue") != b.column("queue")
+
+
+class TestShapes:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_row_count(self, name):
+        assert generate_dataset(name, 321, seed=0).num_rows == 321
+
+    @pytest.mark.parametrize(
+        "name,quant,cat",
+        [
+            ("circulation", 2, 2),
+            ("supply_chain", 5, 18),
+            ("ubc_energy", 22, 4),
+            ("myride", 10, 3),
+            ("it_monitor", 3, 5),
+            ("customer_service", 10, 6),
+        ],
+    )
+    def test_figure6_column_counts(self, name, quant, cat):
+        schema = dataset_schema(name)
+        assert len(schema.numeric_columns()) == quant
+        assert len(schema.categorical_columns()) == cat
+        assert len(schema.temporal_columns()) >= 1
+
+    def test_values_are_plain_python(self):
+        table = generate_dataset("it_monitor", 50, seed=0)
+        for value in table.column("severity"):
+            assert type(value) is str
+        for value in table.column("cpu"):
+            assert isinstance(value, float)
+
+
+class TestInjectedRelationships:
+    def test_call_volume_correlates_with_abandonment(self):
+        """The Example 2.2 correlation must exist in the data."""
+        table = generate_dataset("customer_service", 20_000, seed=0)
+        hours = np.array(table.column("hour"), dtype=float)
+        abandoned = np.array(table.column("abandoned"), dtype=float)
+        volume_per_hour = np.bincount(hours.astype(int), minlength=24)
+        abandonment_per_hour = np.zeros(24)
+        for h in range(24):
+            mask = hours == h
+            if mask.any():
+                abandonment_per_hour[h] = abandoned[mask].mean()
+        correlation = np.corrcoef(
+            volume_per_hour, abandonment_per_hour
+        )[0, 1]
+        assert correlation > 0.5
+
+    def test_it_latency_follows_cpu(self):
+        table = generate_dataset("it_monitor", 10_000, seed=0)
+        cpu = np.array(table.column("cpu"))
+        latency = np.array(table.column("latency"))
+        assert np.corrcoef(cpu, latency)[0, 1] > 0.3
+
+    def test_it_latency_is_heavy_tailed(self):
+        """Most latency mass is low; the domain stretches far above it
+        (this drives the §6.4 empty-range behaviour)."""
+        table = generate_dataset("it_monitor", 10_000, seed=0)
+        latency = np.array(table.column("latency"))
+        assert np.percentile(latency, 90) < latency.max() / 5
+
+    def test_myride_heart_rate_follows_power(self):
+        table = generate_dataset("myride", 5_000, seed=0)
+        power = np.array(table.column("power"))
+        heart_rate = np.array(table.column("heart_rate"))
+        assert np.corrcoef(power, heart_rate)[0, 1] > 0.5
+
+    def test_supply_chain_profit_depends_on_discount(self):
+        table = generate_dataset("supply_chain", 10_000, seed=0)
+        discount = np.array(table.column("discount"))
+        profit = np.array(table.column("profit"))
+        sales = np.array(table.column("sales"))
+        margin = profit / np.maximum(sales, 1e-9)
+        assert np.corrcoef(discount, margin)[0, 1] < -0.5
+
+    def test_customer_service_queues_skewed(self):
+        table = generate_dataset("customer_service", 10_000, seed=0)
+        queues = table.column("queue")
+        assert queues.count("A") > queues.count("D") * 2
+
+
+class TestEngineCompatibility:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_loads_into_sqlite(self, name):
+        from repro.engine.registry import create_engine
+        from repro.sql.parser import parse_query
+
+        table = generate_dataset(name, 100, seed=0)
+        engine = create_engine("sqlite")
+        engine.load_table(table)
+        result = engine.execute(
+            parse_query(f"SELECT COUNT(*) FROM {table.name}")
+        )
+        assert result.rows == [(100,)]
+        engine.close()

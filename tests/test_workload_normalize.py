@@ -1,0 +1,248 @@
+"""Star-schema normalization: extraction, validation, query reassembly."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.engine import available_engines, create_engine
+from repro.engine.table import Table
+from repro.errors import SchemaError
+from repro.sql.parser import parse_query
+from repro.workload.datasets import (
+    RETAIL_STAR_DIMENSIONS,
+    generate_retail_orders,
+)
+from repro.workload.normalize import (
+    DimensionSpec,
+    load_star,
+    normalize_star,
+    reassembly_query,
+)
+
+
+@pytest.fixture(scope="module")
+def retail():
+    return generate_retail_orders(3000, seed=11)
+
+
+@pytest.fixture(scope="module")
+def retail_star(retail):
+    return normalize_star(
+        retail, [DimensionSpec(*d) for d in RETAIL_STAR_DIMENSIONS]
+    )
+
+
+class TestDimensionSpec:
+    def test_requires_attributes(self):
+        with pytest.raises(SchemaError):
+            DimensionSpec("d", "k", ())
+
+    def test_key_cannot_be_attribute(self):
+        with pytest.raises(SchemaError):
+            DimensionSpec("d", "k", ("k", "x"))
+
+
+class TestNormalizeStar:
+    def test_fact_loses_dimension_attributes(self, retail, retail_star):
+        assert "category" not in retail_star.fact.schema
+        assert "city" not in retail_star.fact.schema
+        # Foreign keys stay in the fact table.
+        assert "product_id" in retail_star.fact.schema
+        assert "store_id" in retail_star.fact.schema
+
+    def test_fact_row_count_unchanged(self, retail, retail_star):
+        assert retail_star.fact.num_rows == retail.num_rows
+
+    def test_dimension_tables_are_distinct_keys(self, retail_star):
+        product = retail_star.dimensions[0]
+        keys = product.column("product_id")
+        assert len(keys) == len(set(keys))
+
+    def test_dimension_naming_convention(self, retail_star):
+        assert [d.name for d in retail_star.dimensions] == [
+            "retail_orders_product",
+            "retail_orders_store",
+        ]
+
+    def test_attribute_owner_mapping(self, retail_star):
+        assert (
+            retail_star.attribute_owner["category"]
+            == "retail_orders_product"
+        )
+        assert retail_star.attribute_owner["region"] == "retail_orders_store"
+
+    def test_joins_align_with_dimensions(self, retail_star):
+        assert len(retail_star.joins) == len(retail_star.dimensions)
+        for join, dim in zip(retail_star.joins, retail_star.dimensions):
+            assert join.table.name == dim.name
+            assert join.kind == "INNER"
+
+    def test_unknown_column_rejected(self, retail):
+        with pytest.raises(SchemaError, match="not in"):
+            normalize_star(retail, [DimensionSpec("d", "nosuch", ("city",))])
+
+    def test_attribute_claimed_twice_rejected(self, retail):
+        with pytest.raises(SchemaError, match="claimed by both"):
+            normalize_star(
+                retail,
+                [
+                    DimensionSpec("a", "product_id", ("category",)),
+                    DimensionSpec("b", "store_id", ("category",)),
+                ],
+            )
+
+    def test_fd_violation_rejected_when_strict(self):
+        table = Table.from_rows(
+            "t",
+            [
+                {"k": 1, "attr": "x", "v": 1},
+                {"k": 1, "attr": "y", "v": 2},  # k=1 maps to two attrs
+            ],
+        )
+        with pytest.raises(SchemaError, match="functionally dependent"):
+            normalize_star(table, [DimensionSpec("d", "k", ("attr",))])
+
+    def test_fd_violation_first_wins_when_lenient(self):
+        table = Table.from_rows(
+            "t",
+            [
+                {"k": 1, "attr": "x", "v": 1},
+                {"k": 1, "attr": "y", "v": 2},
+            ],
+        )
+        star = normalize_star(
+            table, [DimensionSpec("d", "k", ("attr",))], strict=False
+        )
+        assert star.dimensions[0].column("attr") == ["x"]
+
+    def test_null_keys_have_no_dimension_row(self):
+        table = Table.from_rows(
+            "t",
+            [
+                {"k": 1, "attr": "x", "v": 1},
+                {"k": None, "attr": "z", "v": 2},
+            ],
+        )
+        star = normalize_star(table, [DimensionSpec("d", "k", ("attr",))])
+        assert star.dimensions[0].column("k") == [1]
+        # The fact row with the NULL key survives in the fact table.
+        assert star.fact.num_rows == 2
+
+
+class TestReassemblyQuery:
+    def test_only_needed_dimensions_joined(self, retail_star):
+        query = parse_query(
+            "SELECT category, COUNT(*) FROM retail_orders GROUP BY category"
+        )
+        rewritten = reassembly_query(retail_star, query)
+        assert [j.table.name for j in rewritten.joins] == [
+            "retail_orders_product"
+        ]
+
+    def test_fact_only_query_gets_no_joins(self, retail_star):
+        query = parse_query(
+            "SELECT store_id, SUM(revenue) FROM retail_orders GROUP BY store_id"
+        )
+        assert reassembly_query(retail_star, query).joins == ()
+
+    def test_both_dimensions_joined_when_needed(self, retail_star):
+        query = parse_query(
+            "SELECT region, category, COUNT(*) FROM retail_orders "
+            "GROUP BY region, category"
+        )
+        rewritten = reassembly_query(retail_star, query)
+        assert len(rewritten.joins) == 2
+
+    def test_wrong_table_rejected(self, retail_star):
+        with pytest.raises(SchemaError):
+            reassembly_query(retail_star, parse_query("SELECT x FROM other"))
+
+    def test_query_with_joins_rejected(self, retail_star):
+        query = parse_query(
+            "SELECT category FROM retail_orders "
+            "JOIN retail_orders_product ON retail_orders.product_id = "
+            "retail_orders_product.product_id"
+        )
+        with pytest.raises(SchemaError, match="already contains joins"):
+            reassembly_query(retail_star, query)
+
+    def test_where_column_triggers_join(self, retail_star):
+        query = parse_query(
+            "SELECT order_id FROM retail_orders WHERE region = 'east'"
+        )
+        rewritten = reassembly_query(retail_star, query)
+        assert [j.table.name for j in rewritten.joins] == [
+            "retail_orders_store"
+        ]
+
+
+class TestStarEquivalence:
+    """Denormalized and star-schema execution must agree on every engine."""
+
+    QUERIES = [
+        "SELECT category, SUM(revenue) AS rev FROM retail_orders "
+        "GROUP BY category ORDER BY category",
+        "SELECT region, category, COUNT(*) AS n FROM retail_orders "
+        "WHERE quantity > 5 GROUP BY region, category ORDER BY region, category",
+        "SELECT region, AVG(revenue) AS a FROM retail_orders "
+        "WHERE category IN ('Technology') GROUP BY region ORDER BY region",
+        "SELECT order_id, unit_price FROM retail_orders "
+        "WHERE city = 'City-03' ORDER BY order_id LIMIT 20",
+    ]
+
+    @pytest.mark.parametrize("engine_name", available_engines())
+    @pytest.mark.parametrize("sql", QUERIES)
+    def test_star_matches_denormalized(
+        self, retail, retail_star, engine_name, sql
+    ):
+        query = parse_query(sql)
+        denormalized = create_engine(engine_name)
+        denormalized.load_table(retail)
+        normalized = create_engine(engine_name)
+        load_star(normalized, retail_star)
+        expected = denormalized.execute(query)
+        actual = normalized.execute(reassembly_query(retail_star, query))
+        assert actual.sorted_rows() == expected.sorted_rows()
+
+
+# ---------------------------------------------------------------------------
+# Property: normalize/reassemble is lossless for FD-clean random tables
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def _fd_table(draw):
+    num_keys = draw(st.integers(min_value=1, max_value=5))
+    labels = ["a", "b", "c", "d", "e"]
+    attr_of_key = {k: labels[k % len(labels)] for k in range(num_keys)}
+    num_rows = draw(st.integers(min_value=1, max_value=30))
+    rows = []
+    for i in range(num_rows):
+        key = draw(st.integers(min_value=0, max_value=num_keys - 1))
+        rows.append(
+            {
+                "id": i,
+                "k": key,
+                "attr": attr_of_key[key],
+                "v": draw(st.integers(min_value=-10, max_value=10)),
+            }
+        )
+    return Table.from_rows("t", rows)
+
+
+@given(_fd_table())
+@settings(max_examples=40, deadline=None)
+def test_normalization_round_trip_property(table):
+    star = normalize_star(table, [DimensionSpec("d", "k", ("attr",))])
+    query = parse_query(
+        "SELECT attr, COUNT(*) AS n, SUM(v) AS s FROM t GROUP BY attr"
+    )
+    denormalized = create_engine("vectorstore")
+    denormalized.load_table(table)
+    normalized = create_engine("vectorstore")
+    load_star(normalized, star)
+    expected = denormalized.execute(query)
+    actual = normalized.execute(reassembly_query(star, query))
+    assert actual.sorted_rows() == expected.sorted_rows()
