@@ -1,0 +1,156 @@
+"""Batch vs sequential execution on the Figure-7 dashboards.
+
+A dashboard refresh fans out one query per visualization, all over the
+same table and — after any interaction — the same AND-ed widget
+filters. The shared-scan batch executor collapses each such refresh to
+one base-table scan per (table, normalized filter) group. This
+benchmark drives identical interaction walks through all six library
+dashboards in both modes, verifies the results stay identical, and
+records scans-per-refresh and wall-clock, writing the
+``BENCH_batch.json`` artifact.
+
+Headline claim under test: on interaction-driven refreshes (the bulk
+of a session; the unfiltered initial render has no redundant filter
+work to share), batch mode performs at least 2x fewer base-table scans
+than sequential mode.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+
+from _common import BENCH_ROWS, RESULTS_DIR, write_result
+
+from repro.dashboard.library import DASHBOARD_NAMES, load_dashboard
+from repro.dashboard.state import DashboardState, InteractionKind
+from repro.engine.batch import BatchExecutor
+from repro.engine.instrument import CountingEngine
+from repro.engine.registry import create_engine
+from repro.metrics import format_table
+from repro.workload.datasets import generate_dataset
+
+#: Interactions per dashboard walk (each triggers one refresh).
+WALK_STEPS = 6
+ENGINES = ("rowstore", "vectorstore", "sqlite")
+
+
+def _record_walk(spec, table, steps: int):
+    """One deterministic interaction walk: per-refresh query lists."""
+    state = DashboardState(spec, table)
+    rng = random.Random(41)
+    render = state.initial_queries()
+    interactions = []
+    for _ in range(steps):
+        actions = state.available_interactions()
+        filtering = [
+            a
+            for a in actions
+            if a.kind
+            in (InteractionKind.WIDGET_TOGGLE, InteractionKind.WIDGET_SET)
+        ] or actions
+        interactions.append(state.apply(rng.choice(filtering)))
+    return render, interactions
+
+
+def _run_mode(engine_name, refreshes, table, batch: bool):
+    """Execute every refresh; return (base_scans, wall_ms, results)."""
+    counting = CountingEngine(create_engine(engine_name))
+    counting.load_table(table)
+    executor = BatchExecutor(counting)
+    collected = []
+    start = time.perf_counter()
+    for queries in refreshes:
+        if batch:
+            collected.append(
+                [t.result for t in executor.run(queries).results]
+            )
+        else:
+            collected.append([counting.execute(q) for q in queries])
+    wall_ms = (time.perf_counter() - start) * 1000.0
+    scans = counting.base_scans()
+    counting.close()
+    return scans, wall_ms, collected
+
+
+def run_comparison():
+    rows = []
+    for name in DASHBOARD_NAMES:
+        spec = load_dashboard(name)
+        table = generate_dataset(name, BENCH_ROWS, seed=17)
+        render, interactions = _record_walk(spec, table, WALK_STEPS)
+        row = {
+            "dashboard": name,
+            "refreshes": 1 + len(interactions),
+            "queries": len(render) + sum(len(r) for r in interactions),
+        }
+        for engine_name in ENGINES:
+            seq_scans, seq_ms, seq_results = _run_mode(
+                engine_name, [render] + interactions, table, batch=False
+            )
+            bat_scans, bat_ms, bat_results = _run_mode(
+                engine_name, [render] + interactions, table, batch=True
+            )
+            assert seq_results == bat_results, (
+                f"{name}/{engine_name}: batch diverged from sequential"
+            )
+            row[f"{engine_name}_speedup"] = round(seq_ms / bat_ms, 2)
+            if engine_name == ENGINES[0]:
+                # Scan counts are engine-independent; measure once,
+                # split render vs interaction refreshes.
+                i_seq, _, _ = _run_mode(
+                    engine_name, interactions, table, batch=False
+                )
+                i_bat, _, _ = _run_mode(
+                    engine_name, interactions, table, batch=True
+                )
+                row.update(
+                    sequential_scans=seq_scans,
+                    batch_scans=bat_scans,
+                    interaction_sequential_scans=i_seq,
+                    interaction_batch_scans=i_bat,
+                    interaction_scan_reduction=round(i_seq / i_bat, 2),
+                )
+        rows.append(row)
+    return rows
+
+
+def test_batch_executor_scan_reduction(benchmark):
+    rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+
+    text = format_table(rows)
+    write_result("batch_executor", text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    artifact = {
+        "engines": list(ENGINES),
+        "rows": BENCH_ROWS,
+        "walk_steps": WALK_STEPS,
+        "dashboards": rows,
+        "total_interaction_sequential_scans": sum(
+            r["interaction_sequential_scans"] for r in rows
+        ),
+        "total_interaction_batch_scans": sum(
+            r["interaction_batch_scans"] for r in rows
+        ),
+    }
+    artifact["overall_interaction_scan_reduction"] = round(
+        artifact["total_interaction_sequential_scans"]
+        / artifact["total_interaction_batch_scans"],
+        2,
+    )
+    (RESULTS_DIR / "BENCH_batch.json").write_text(
+        json.dumps(artifact, indent=2) + "\n"
+    )
+
+    # Acceptance: >=2x fewer base-table scans per interaction refresh,
+    # on every one of the six dashboards.
+    for row in rows:
+        assert (
+            row["interaction_sequential_scans"]
+            >= 2 * row["interaction_batch_scans"]
+        ), row
+    assert artifact["overall_interaction_scan_reduction"] >= 2.0
+    # Batch must never scan more than sequential, render included.
+    for row in rows:
+        assert row["batch_scans"] <= row["sequential_scans"], row

@@ -4,10 +4,20 @@ Each visualization node corresponds to one SQL query. The base query is
 derived from the visualization's dimensions and measures; active filters
 (from widgets and cross-filtering selections, delivered by the state's
 propagation pass) are AND-ed into the WHERE clause.
+
+A dashboard *refresh* — the initial render, or the fan-out after an
+interaction — is represented by :class:`RefreshPlan`: the ordered set
+of component queries, executable either sequentially or through the
+shared-scan batch optimizer (:mod:`repro.engine.batch`). Because every
+component queries the same table and shares the same AND-ed filters,
+batch mode collapses the refresh into a handful of shared scans.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
+from repro.engine.interface import Engine, QueryResult
 from repro.dashboard.spec import (
     DashboardSpec,
     DimensionSpec,
@@ -134,6 +144,51 @@ def filtered_query(
     for expr in ordered[1:]:
         predicate = BinaryOp("AND", predicate, expr)
     return query.with_where(predicate)
+
+
+@dataclass
+class RefreshPlan:
+    """One dashboard refresh: the ordered fan-out of component queries.
+
+    This is the unit the batch executor consumes — the full set of
+    queries a render or interaction re-emits, positionally aligned with
+    the visualization ids they feed.
+    """
+
+    viz_ids: list[str]
+    queries: list[Query]
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def execute(
+        self, engine: Engine, batch: bool = True
+    ) -> dict[str, QueryResult]:
+        """Run the refresh; returns timed results keyed by viz id.
+
+        ``batch=True`` routes through :meth:`Engine.execute_batch`
+        (shared scans); ``batch=False`` executes each component query
+        independently. Both produce identical result sets.
+        """
+        if batch:
+            timed = engine.execute_batch(self.queries)
+        else:
+            timed = [engine.execute_timed(q) for q in self.queries]
+        return dict(zip(self.viz_ids, timed))
+
+
+def build_refresh(state, viz_ids=None) -> RefreshPlan:
+    """The refresh plan for a dashboard state (all or selected nodes).
+
+    ``state`` is a :class:`~repro.dashboard.state.DashboardState`
+    (duck-typed to avoid a circular import — the state module builds
+    its queries through this data layer).
+    """
+    if viz_ids is None:
+        viz_ids = sorted(state.visualizations)
+    else:
+        viz_ids = list(viz_ids)
+    return RefreshPlan(viz_ids, [state.query_for(v) for v in viz_ids])
 
 
 def membership_filter(column: str, members: list[object]) -> Expression:

@@ -21,7 +21,7 @@ from repro.dashboard.components import (
     VisualizationRuntime,
     WidgetRuntime,
 )
-from repro.dashboard.datalayer import filtered_query
+from repro.dashboard.datalayer import build_refresh, filtered_query
 from repro.dashboard.graph import DashboardGraph
 from repro.dashboard.spec import DashboardSpec
 from repro.engine.table import Table
@@ -164,6 +164,31 @@ class DashboardState:
         """Queries emitted when the dashboard first renders."""
         return [self.query_for(v_id) for v_id in sorted(self.visualizations)]
 
+    # -- refresh paths (batch API) ---------------------------------------------
+
+    def refresh(self, engine, viz_ids=None, batch: bool = True):
+        """Execute the current queries of (all or selected) nodes.
+
+        Routes through the shared-scan batch executor by default
+        (:meth:`~repro.engine.interface.Engine.execute_batch`); pass
+        ``batch=False`` for sequential per-component execution. Returns
+        timed results keyed by visualization id.
+        """
+        return build_refresh(self, viz_ids).execute(engine, batch=batch)
+
+    def apply_and_refresh(
+        self, interaction: Interaction, engine, batch: bool = True
+    ):
+        """Apply an interaction and execute its fan-out as one batch.
+
+        The re-emitted queries of every affected visualization are
+        evaluated together — the shared-scan path a live dashboard
+        backend takes on each user gesture. Returns timed results keyed
+        by visualization id.
+        """
+        affected = self.apply_affected(interaction)
+        return self.refresh(engine, viz_ids=affected, batch=batch)
+
     # -- applying interactions ---------------------------------------------------
 
     def apply(self, interaction: Interaction) -> list[Query]:
@@ -173,13 +198,24 @@ class DashboardState:
         interaction's source via directed edges (§3.0.3); each re-emits
         its updated query against the DBMS.
         """
+        return [
+            self.query_for(v_id)
+            for v_id in self.apply_affected(interaction)
+        ]
+
+    def apply_affected(self, interaction: Interaction) -> list[str]:
+        """Apply an interaction; return the affected visualization ids.
+
+        This is the mutation half of :meth:`apply` — refresh paths use
+        the id list to batch the re-emitted queries per interaction.
+        """
         kind = interaction.kind
         if kind is InteractionKind.RESET:
             for w_id in self.widget_state:
                 self.widget_state[w_id] = None
             for v_id in self.viz_selection:
                 self.viz_selection[v_id] = frozenset()
-            return self.initial_queries()
+            return sorted(self.visualizations)
 
         target = interaction.target
         if target is None:
@@ -200,8 +236,7 @@ class DashboardState:
         else:  # pragma: no cover - enum is exhaustive
             raise InteractionError(f"unhandled interaction kind {kind!r}")
 
-        affected = self.graph.reachable_visualizations(target)
-        return [self.query_for(v_id) for v_id in affected]
+        return list(self.graph.reachable_visualizations(target))
 
     def _apply_widget(
         self, kind: InteractionKind, widget_id: str, value: object

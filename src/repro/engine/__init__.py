@@ -14,21 +14,48 @@ substitute engines that reproduce those systems' *execution models*:
 All engines accept the same :class:`~repro.sql.ast.Query` AST and return
 the same :class:`~repro.engine.interface.ResultSet`, so the benchmark
 harness can swap them freely.
+
+Batch (shared-scan) execution
+-----------------------------
+
+A dashboard refresh emits many queries over the same table and filters.
+:meth:`Engine.execute_batch` evaluates such a bundle through the
+multi-query optimizer in :mod:`repro.engine.batch`: queries are grouped
+by (table, normalized WHERE predicate), each group's filter runs as
+**one shared scan**, compatible aggregates are fused into one merged
+pass, and results are sliced back — byte-identical to sequential
+execution, positionally aligned with the input::
+
+    results = engine.execute_batch(state.initial_queries())
+
+:class:`CachedEngine` additionally caches whole scan groups
+(:class:`~repro.engine.cache.ScanGroupCache`), invalidated per table on
+``load_table``, so a repeated refresh costs zero engine work. The
+benchmark harness toggles the mode end-to-end with
+``python -m repro.harness.cli --batch`` / ``--no-batch``
+(``BenchmarkConfig(batch=...)``, ``SessionConfig(batch=...)``), and
+``repro.logs.replay.replay_log(..., batch=True)`` replays recorded
+sessions with each interaction's fan-out batched.
 """
 
-from repro.engine.cache import CachedEngine
+from repro.engine.batch import BatchExecutor, BatchResult, BatchStats
+from repro.engine.cache import CachedEngine, ScanGroupCache
 from repro.engine.interface import Engine, QueryResult, ResultSet
 from repro.engine.registry import available_engines, create_engine
 from repro.engine.table import ColumnDef, Schema, Table
 from repro.engine.types import DataType
 
 __all__ = [
+    "BatchExecutor",
+    "BatchResult",
+    "BatchStats",
     "CachedEngine",
     "ColumnDef",
     "DataType",
     "Engine",
     "QueryResult",
     "ResultSet",
+    "ScanGroupCache",
     "Schema",
     "Table",
     "available_engines",

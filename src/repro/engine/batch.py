@@ -1,0 +1,466 @@
+"""Shared-scan batch query execution (multi-query optimization).
+
+A dashboard refresh emits a bundle of queries that overlap heavily: same
+base table, same AND-ed widget filters, different group-bys and
+aggregates (paper §3.0.3). Executing them independently repeats the most
+expensive work — the filtered table scan — once per component. This
+module merges a refresh into a handful of shared scans:
+
+1. **Grouping.** Queries are grouped by scan signature — (table,
+   normalized filter predicate) — via
+   :func:`repro.engine.planner.scan_signature`.
+2. **Fusion.** Within a group, queries with identical GROUP BY keys
+   (:func:`repro.engine.planner.fusion_signature`) are fused into one
+   merged query that computes every requested aggregate in a single
+   pass; the combined result is sliced back column-wise.
+3. **Shared scan.** When a group still holds several fused executions
+   and carries a filter, the filter runs once (``SELECT * … WHERE …``),
+   the qualifying rows are materialized as a temporary engine-resident
+   relation in base-table order, and each fused query runs over it with
+   its WHERE stripped. Filtering commutes with grouping, ordering, and
+   limiting, so a deterministic engine returns byte-identical results.
+
+Correctness needs no engine cooperation beyond determinism: every
+member query is still *executed by the engine itself*, merely over a
+pre-filtered, order-preserving relation. The property tests in
+``tests/test_engine_batch.py`` assert byte-identical results against
+sequential execution across all engines.
+
+Caveat: engines whose physical plan depends on the SELECT list (e.g. a
+covering secondary index) could order fused output differently. The
+benchmark's default setup applies no indexing (§6.2.2); batch execution
+follows it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.engine.interface import Engine, QueryResult, ResultSet
+from repro.engine.planner import (
+    ScanSignature,
+    fusion_signature,
+    scan_signature,
+)
+from repro.engine.table import Schema, Table
+from repro.errors import ExecutionError
+from repro.sql.ast import (
+    Query,
+    SelectItem,
+    Star,
+    TableRef,
+    replace_query,
+)
+from repro.sql.formatter import format_query
+
+#: Name prefix of the temporary relations materialized for shared scans.
+#: The result cache recognizes it to exempt them from invalidation.
+TEMP_PREFIX = "__batchscan_"
+
+
+def temp_table_name(table: str, predicate_key: str) -> str:
+    """Deterministic temp-relation name for one (table, filter) group."""
+    digest = hashlib.sha1(predicate_key.encode("utf-8")).hexdigest()[:10]
+    return f"{TEMP_PREFIX}{table}_{digest}"
+
+
+@dataclass(frozen=True)
+class BatchItem:
+    """One query of a batch, tagged with its request position."""
+
+    index: int
+    query: Query
+    sql: str  # canonical text: stable cache key and log string
+
+
+@dataclass
+class ScanGroup:
+    """Queries sharing one (table, normalized predicate) scan.
+
+    ``signature is None`` marks queries the optimizer cannot share
+    (joins); they execute directly, exactly as in sequential mode.
+    """
+
+    signature: ScanSignature | None
+    members: list[BatchItem]
+
+
+@dataclass
+class BatchStats:
+    """What one (or more) batch executions did, for the benchmarks.
+
+    ``base_scans`` counts engine executions *issued* against a base
+    table — the quantity sequential execution pays once per query
+    (``sequential_scans``). Executions against the temporary filtered
+    relations are not base scans: they read only the rows the shared
+    scan already qualified. When the fallback engine is itself a cache,
+    some issued executions may be answered without touching data, so
+    this is an upper bound; benchmarks count true scans at the engine
+    boundary with :class:`repro.engine.instrument.CountingEngine`.
+    """
+
+    queries: int = 0
+    groups: int = 0
+    base_scans: int = 0
+    shared_scans: int = 0  # temp materializations performed
+    fused_queries: int = 0  # queries answered by a merged execution
+    cache_hits: int = 0  # queries served from a scan-group cache
+    fallbacks: int = 0  # queries executed unbatched (joins etc.)
+
+    @property
+    def sequential_scans(self) -> int:
+        """Base scans sequential execution would have performed."""
+        return self.queries
+
+    def merge(self, other: "BatchStats") -> None:
+        self.queries += other.queries
+        self.groups += other.groups
+        self.base_scans += other.base_scans
+        self.shared_scans += other.shared_scans
+        self.fused_queries += other.fused_queries
+        self.cache_hits += other.cache_hits
+        self.fallbacks += other.fallbacks
+
+
+@dataclass
+class BatchResult:
+    """Positionally aligned results of one batch execution."""
+
+    results: list[QueryResult]
+    stats: BatchStats
+
+
+def _query_keys(query: Query) -> tuple[str, ScanSignature | None]:
+    """(canonical SQL, scan signature) for one query."""
+    return format_query(query), scan_signature(query)
+
+
+def group_queries(
+    queries: list[Query],
+    key_fn=_query_keys,
+) -> list[ScanGroup]:
+    """Partition a batch by scan signature, preserving encounter order."""
+    groups: dict[tuple[str, str], ScanGroup] = {}
+    ordered: list[ScanGroup] = []
+    for index, query in enumerate(queries):
+        sql, signature = key_fn(query)
+        item = BatchItem(index, query, sql)
+        if signature is None:
+            ordered.append(ScanGroup(None, [item]))
+            continue
+        key = (signature.table, signature.predicate_key)
+        group = groups.get(key)
+        if group is None:
+            group = ScanGroup(signature, [])
+            groups[key] = group
+            ordered.append(group)
+        group.members.append(item)
+    return ordered
+
+
+class _FusionClass:
+    """Queries fusable into one merged execution (same scan, same keys).
+
+    The merged SELECT list is the deduplicated concatenation of the
+    members' lists, keyed by (expression, output name) so each member's
+    result — values *and* column names — can be sliced back unchanged.
+    """
+
+    def __init__(self, template: Query) -> None:
+        self._template = template
+        self.members: list[BatchItem] = []
+        self._items: list[SelectItem] = []
+        self._positions: dict[tuple[object, str], int] = {}
+        self.slices: list[list[int]] = []
+
+    def add(self, item: BatchItem) -> None:
+        columns: list[int] = []
+        for i, sel in enumerate(item.query.select):
+            key = (sel.expr, sel.output_name(i))
+            position = self._positions.get(key)
+            if position is None:
+                position = len(self._items)
+                self._positions[key] = position
+                self._items.append(sel)
+            columns.append(position)
+        self.members.append(item)
+        self.slices.append(columns)
+
+    def merged_query(self) -> Query:
+        if len(self.members) == 1:
+            return self.members[0].query
+        return replace_query(self._template, select=tuple(self._items))
+
+    def slice_result(self, position: int, merged: ResultSet) -> ResultSet:
+        """Project one member's columns back out of the merged result."""
+        member = self.members[position]
+        if len(self.members) == 1:
+            return merged
+        columns = self.slices[position]
+        rows = [tuple(row[j] for j in columns) for row in merged.rows]
+        return ResultSet(member.query.output_names(), rows)
+
+
+def fuse_members(members: list[BatchItem]) -> list[_FusionClass]:
+    """Partition one scan group's members into fusion classes."""
+    classes: dict[tuple, _FusionClass] = {}
+    ordered: list[_FusionClass] = []
+    for item in members:
+        signature = fusion_signature(item.query)
+        if signature is None:
+            solo = _FusionClass(item.query)
+            solo.add(item)
+            ordered.append(solo)
+            continue
+        cls = classes.get(signature)
+        if cls is None:
+            cls = _FusionClass(item.query)
+            classes[signature] = cls
+            ordered.append(cls)
+        cls.add(item)
+    return ordered
+
+
+class BatchExecutor:
+    """Executes query batches through the shared-scan optimizer.
+
+    Results are byte-identical to calling ``engine.execute_timed`` per
+    query. With a :class:`~repro.engine.cache.ScanGroupCache`, whole
+    scan groups are cached and served without touching the engine until
+    the underlying table mutates.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        group_cache=None,
+        fallback_engine: Engine | None = None,
+    ) -> None:
+        self.engine = engine
+        self.group_cache = group_cache
+        #: The caller-facing engine: unbatchable queries (joins,
+        #: aliased FROM) execute here, and results are stamped with its
+        #: name. A caching wrapper passes itself so fallbacks keep the
+        #: per-query cache while shared scans bypass it.
+        self.fallback_engine = fallback_engine or engine
+        #: Cumulative stats across every ``run`` on this executor.
+        self.stats = BatchStats()
+        # Dashboard refreshes rebuild equal ASTs every time; Query is a
+        # frozen dataclass, so a bounded per-executor memo lets the
+        # fully-cached refresh path skip re-formatting/re-normalizing
+        # each query. Instance-scoped so retention ends with the engine.
+        self._key_memo: "OrderedDict[Query, tuple[str, ScanSignature | None]]" = (
+            OrderedDict()
+        )
+
+    def run(self, queries: list[Query]) -> BatchResult:
+        """Execute one batch; results align positionally with input."""
+        stats = BatchStats(queries=len(queries))
+        results: list[QueryResult | None] = [None] * len(queries)
+        groups = group_queries(list(queries), key_fn=self._memoized_keys)
+        stats.groups = len(groups)
+        for group in groups:
+            if group.signature is None:
+                for item in group.members:
+                    results[item.index] = self.fallback_engine.execute_timed(
+                        item.query
+                    )
+                    stats.fallbacks += 1
+                    stats.base_scans += 1
+            else:
+                self._run_group(group, results, stats)
+        if any(r is None for r in results):
+            # Positional alignment is the API contract; a hole here
+            # must fail loudly, never compact silently.
+            raise ExecutionError("batch execution left a query unanswered")
+        self.stats.merge(stats)
+        return BatchResult(list(results), stats)
+
+    # -- internals ----------------------------------------------------------
+
+    def _memoized_keys(self, query: Query) -> tuple[str, ScanSignature | None]:
+        try:
+            keys = self._key_memo.get(query)
+        except TypeError:  # unhashable literal somewhere in the AST
+            return _query_keys(query)
+        if keys is None:
+            keys = _query_keys(query)
+            self._key_memo[query] = keys
+            if len(self._key_memo) > 1024:
+                self._key_memo.popitem(last=False)
+        return keys
+
+    def _run_group(
+        self,
+        group: ScanGroup,
+        results: list[QueryResult | None],
+        stats: BatchStats,
+    ) -> None:
+        signature = group.signature
+        assert signature is not None
+        pending = group.members
+        if self.group_cache is not None:
+            pending = self._serve_cached(signature, pending, results, stats)
+            if not pending:
+                return
+        classes = fuse_members(pending)
+        stats.fused_queries += len(pending) - len(classes)
+        predicate = pending[0].query.where
+        produced: dict[str, ResultSet] = {}
+        shared = False
+        if predicate is not None and len(classes) > 1:
+            shared = self._run_shared(
+                signature, classes, results, stats, produced
+            )
+        if not shared:
+            for cls in classes:
+                # A solo class runs the caller's SQL verbatim, so it may
+                # go through the caller-facing engine (and its caches);
+                # merged queries' SQL is internal and must bypass them.
+                target = (
+                    self.fallback_engine
+                    if len(cls.members) == 1
+                    else self.engine
+                )
+                timed = target.execute_timed(cls.merged_query())
+                stats.base_scans += 1
+                self._distribute(cls, timed.result, timed.duration_ms, 0.0,
+                                 results, produced)
+        if self.group_cache is not None and produced:
+            self.group_cache.store(
+                signature.table, signature.predicate_key, produced
+            )
+
+    def _run_shared(
+        self,
+        signature: ScanSignature,
+        classes: list[_FusionClass],
+        results: list[QueryResult | None],
+        stats: BatchStats,
+        produced: dict[str, ResultSet],
+    ) -> bool:
+        """One base scan, then every fused query over the filtered rows.
+
+        Returns ``False`` (nothing executed) when the engine can
+        neither materialize the filtered relation natively nor expose
+        the base schema for the generic fetch-and-load fallback.
+        """
+        predicate = classes[0].members[0].query.where
+        name = temp_table_name(signature.table, signature.predicate_key)
+        start = time.perf_counter()
+        if not self.engine.materialize_filtered(
+            name, signature.table, predicate
+        ):
+            schema = self.engine.table_schema(signature.table)
+            if schema is None:
+                return False
+            fetch = Query(
+                select=(SelectItem(Star()),),
+                from_table=TableRef(signature.table),
+                where=predicate,
+            )
+            fetched = self.engine.execute(fetch)
+            self.engine.load_table(_materialize(name, schema, fetched))
+        scan_ms = (time.perf_counter() - start) * 1000.0
+        stats.base_scans += 1
+        stats.shared_scans += 1
+        member_count = sum(len(c.members) for c in classes)
+        fetch_share = scan_ms / member_count
+        try:
+            for cls in classes:
+                # Alias the temp back to the base name so queries with
+                # table-qualified columns (``events.q``) keep resolving.
+                rewritten = replace_query(
+                    cls.merged_query(),
+                    from_table=TableRef(name, alias=signature.table),
+                    where=None,
+                )
+                timed = self.engine.execute_timed(rewritten)
+                self._distribute(
+                    cls, timed.result, timed.duration_ms, fetch_share,
+                    results, produced,
+                )
+        finally:
+            try:
+                self.engine.unload_table(name)
+            except ExecutionError:
+                pass  # engine keeps the temp; next load replaces it
+        return True
+
+    def _distribute(
+        self,
+        cls: _FusionClass,
+        merged: ResultSet,
+        duration_ms: float,
+        extra_share_ms: float,
+        results: list[QueryResult | None],
+        produced: dict[str, ResultSet],
+    ) -> None:
+        """Slice a class execution back into per-query timed results."""
+        share = duration_ms / len(cls.members)
+        for position, item in enumerate(cls.members):
+            sliced = cls.slice_result(position, merged)
+            # The group cache copies on store, and rows are immutable
+            # tuples, so handing the same ResultSet to both is safe.
+            produced[item.sql] = sliced
+            results[item.index] = QueryResult(
+                result=sliced,
+                duration_ms=share + extra_share_ms,
+                engine=self.fallback_engine.name,
+                sql=item.sql,
+            )
+
+    def _serve_cached(
+        self,
+        signature: ScanSignature,
+        members: list[BatchItem],
+        results: list[QueryResult | None],
+        stats: BatchStats,
+    ) -> list[BatchItem]:
+        """Answer members already in the scan-group cache; return the rest."""
+        cached = self.group_cache.lookup(
+            signature.table, signature.predicate_key
+        )
+        pending: list[BatchItem] = []
+        for item in members:
+            hit = cached.get(item.sql)
+            if hit is None:
+                pending.append(item)
+                continue
+            start = time.perf_counter()
+            copy = ResultSet(hit.columns, hit.rows)
+            duration_ms = (time.perf_counter() - start) * 1000.0
+            results[item.index] = QueryResult(
+                result=copy,
+                duration_ms=duration_ms,
+                engine=self.fallback_engine.name,
+                sql=item.sql,
+            )
+            stats.cache_hits += 1
+        return pending
+
+
+def _materialize(name: str, schema: Schema, fetched: ResultSet) -> Table:
+    """Build the temp relation from a ``SELECT *`` result, typed like base."""
+    positions = {column: i for i, column in enumerate(fetched.columns)}
+    columns = {
+        column: [row[positions[column]] for row in fetched.rows]
+        for column in schema.names
+    }
+    return Table(name, schema, columns)
+
+
+__all__ = [
+    "BatchExecutor",
+    "BatchItem",
+    "BatchResult",
+    "BatchStats",
+    "ScanGroup",
+    "TEMP_PREFIX",
+    "fuse_members",
+    "group_queries",
+    "temp_table_name",
+]

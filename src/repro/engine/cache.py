@@ -1,4 +1,4 @@
-"""LRU query-result cache, as an engine wrapper.
+"""LRU result caches, as an engine wrapper.
 
 The paper's environment applies "no indexing or caching" (§6.2.2), yet
 dashboard workloads are highly repetitive: toggling a checkbox off and
@@ -7,32 +7,130 @@ any engine with an exact-match result cache keyed on the canonical SQL
 text, making that design choice ablatable
 (``benchmarks/bench_ablation_indexes_cache.py``).
 
-The cache is transparent: results are returned as fresh
+Two cache layers cover the two execution modes:
+
+- the **per-query cache** answers repeated single queries;
+- the **scan-group cache** (:class:`ScanGroupCache`) answers whole
+  batch groups — every result a shared scan produced, keyed by
+  (table, normalized predicate) — so a repeated dashboard refresh costs
+  zero engine work until the data changes.
+
+Invalidation is table-aware: ``load_table`` drops only the entries that
+read the replaced table (join results name every table they touched).
+Temporary shared-scan relations (``TEMP_PREFIX``) are exempt — they are
+derived data, loaded and dropped inside a single batch execution — and
+queries against them are never cached, so they can never go stale.
+
+The caches are transparent: results are returned as fresh
 :class:`~repro.engine.interface.ResultSet` instances (rows are immutable
-tuples, so sharing them is safe), and any ``load_table`` call empties
-the cache because the data it summarized is gone.
+tuples, so sharing them is safe).
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 
-from repro.engine.interface import Engine, ResultSet
-from repro.engine.table import Table
+from repro.engine.batch import TEMP_PREFIX, BatchExecutor
+from repro.engine.interface import Engine, QueryResult, ResultSet
+from repro.engine.table import Schema, Table
 from repro.errors import ConfigError
 from repro.sql.ast import Query
 from repro.sql.formatter import format_query
 
 
+class ScanGroupCache:
+    """LRU cache of whole batch scan groups.
+
+    One entry per (table, normalized predicate) holds every member
+    result the group's shared scan produced, keyed by canonical SQL.
+    Entries fill incrementally: a later batch may add new member queries
+    to an existing group. ``load_table`` on the owning engine must call
+    :meth:`invalidate_table` — a mutated table silently serving stale
+    group results is exactly the regression the cache tests guard.
+    """
+
+    #: Member results retained per group; a long-lived session batching
+    #: ever-varying SELECT shapes under one filter stays bounded.
+    MAX_MEMBERS_PER_GROUP = 64
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity <= 0:
+            raise ConfigError("scan-group cache capacity must be positive")
+        self._capacity = capacity
+        self._groups: OrderedDict[
+            tuple[str, str], dict[str, ResultSet]
+        ] = OrderedDict()
+
+    @property
+    def size(self) -> int:
+        """Number of cached scan groups."""
+        return len(self._groups)
+
+    def lookup(self, table: str, predicate_key: str) -> dict[str, ResultSet]:
+        """The group's cached results by SQL text (empty when absent).
+
+        Returns a shallow copy so callers cannot corrupt the entry.
+        """
+        entry = self._groups.get((table, predicate_key))
+        if entry is None:
+            return {}
+        self._groups.move_to_end((table, predicate_key))
+        return dict(entry)
+
+    def store(
+        self,
+        table: str,
+        predicate_key: str,
+        results: dict[str, ResultSet],
+    ) -> None:
+        """Add one group's results, merging into any existing entry."""
+        key = (table, predicate_key)
+        entry = self._groups.get(key)
+        if entry is None:
+            entry = {}
+            self._groups[key] = entry
+        for sql, result in results.items():
+            entry.pop(sql, None)  # re-store refreshes recency
+            entry[sql] = ResultSet(result.columns, result.rows)
+        while len(entry) > self.MAX_MEMBERS_PER_GROUP:
+            del entry[next(iter(entry))]  # drop least-recently stored
+        self._groups.move_to_end(key)
+        while len(self._groups) > self._capacity:
+            self._groups.popitem(last=False)
+
+    def invalidate_table(self, name: str) -> None:
+        """Drop every group that scanned ``name``."""
+        stale = [key for key in self._groups if key[0] == name]
+        for key in stale:
+            del self._groups[key]
+
+    def clear(self) -> None:
+        self._groups.clear()
+
+
 class CachedEngine(Engine):
     """Exact-match LRU result cache in front of another engine."""
 
-    def __init__(self, inner: Engine, capacity: int = 256) -> None:
+    def __init__(
+        self,
+        inner: Engine,
+        capacity: int = 256,
+        scan_group_capacity: int | None = None,
+    ) -> None:
         if capacity <= 0:
             raise ConfigError("cache capacity must be positive")
         self._inner = inner
         self._capacity = capacity
-        self._entries: OrderedDict[str, ResultSet] = OrderedDict()
+        #: sql text -> (result, names of every table the query read)
+        self._entries: OrderedDict[
+            str, tuple[ResultSet, frozenset[str]]
+        ] = OrderedDict()
+        # A scan group bundles several member results, so by default it
+        # gets a proportionally smaller entry budget than the LRU.
+        if scan_group_capacity is None:
+            scan_group_capacity = max(1, capacity // 2)
+        self._scan_groups = ScanGroupCache(scan_group_capacity)
+        self._batch_executor = None
         self.hits = 0
         self.misses = 0
         self.name = f"cached({inner.name})"
@@ -52,6 +150,11 @@ class CachedEngine(Engine):
         return len(self._entries)
 
     @property
+    def scan_groups(self) -> ScanGroupCache:
+        """The batch-mode scan-group cache."""
+        return self._scan_groups
+
+    @property
     def hit_rate(self) -> float:
         """Fraction of executed queries answered from the cache."""
         total = self.hits + self.misses
@@ -59,33 +162,94 @@ class CachedEngine(Engine):
             return 0.0
         return self.hits / total
 
+    def _invalidate_table(self, name: str) -> None:
+        """Drop every cached answer that read ``name``.
+
+        Mutating or dropping a base table invalidates exactly the
+        entries that scanned it (join results carry every table name).
+        Shared-scan temps are exempt: they are derived data, never
+        cached, loaded and dropped inside a single batch execution.
+        """
+        if name.startswith(TEMP_PREFIX):
+            return
+        stale = [
+            sql
+            for sql, (_, tables) in self._entries.items()
+            if name in tables
+        ]
+        for sql in stale:
+            del self._entries[sql]
+        self._scan_groups.invalidate_table(name)
+
     def load_table(self, table: Table) -> None:
-        # New data invalidates every cached answer, not just this
-        # table's: joins may have combined it into other results.
-        self._entries.clear()
+        self._invalidate_table(table.name)
         self._inner.load_table(table)
+
+    def unload_table(self, name: str) -> None:
+        self._invalidate_table(name)
+        self._inner.unload_table(name)
+
+    def table_schema(self, name: str) -> Schema | None:
+        return self._inner.table_schema(name)
+
+    def materialize_filtered(self, name, source: str, predicate) -> bool:
+        # Writing to ``name`` replaces it like a load would.
+        self._invalidate_table(name)
+        return self._inner.materialize_filtered(name, source, predicate)
 
     def create_index(self, table: str, column: str) -> None:
         self._inner.create_index(table, column)
 
     def execute(self, query: Query) -> ResultSet:
+        tables = frozenset(query.table_names())
+        if any(name.startswith(TEMP_PREFIX) for name in tables):
+            # Shared-scan temps are transient; caching them would risk
+            # stale reads after their base table mutates.
+            return self._inner.execute(query)
         key = format_query(query)
         cached = self._entries.get(key)
         if cached is not None:
             self._entries.move_to_end(key)
             self.hits += 1
-            return ResultSet(cached.columns, cached.rows)
+            result, _ = cached
+            return ResultSet(result.columns, result.rows)
         result = self._inner.execute(query)
         self.misses += 1
-        self._entries[key] = ResultSet(result.columns, result.rows)
+        self._entries[key] = (ResultSet(result.columns, result.rows), tables)
         if len(self._entries) > self._capacity:
             self._entries.popitem(last=False)  # evict least recently used
         return result
 
+    def execute_batch(self, queries: list[Query]) -> list[QueryResult]:
+        """Batch execution with whole-scan-group caching.
+
+        A repeated dashboard refresh (same table, same filters, same
+        component queries) is answered entirely from the scan-group
+        cache; ``load_table`` on any scanned table invalidates it. The
+        executor runs against the *inner* engine so merged/fetch
+        queries — whose SQL no caller ever issues directly — don't
+        evict useful entries from the per-query LRU.
+        """
+        if self._batch_executor is None:
+            self._batch_executor = BatchExecutor(
+                self._inner,
+                group_cache=self._scan_groups,
+                fallback_engine=self,  # unbatchable queries keep the LRU
+            )
+        return self._batch_executor.run(queries).results
+
+    @property
+    def batch_stats(self):
+        """Cumulative shared-scan statistics (None before first batch)."""
+        if self._batch_executor is None:
+            return None
+        return self._batch_executor.stats
+
     def invalidate(self) -> None:
         """Drop every cached result (keeps hit/miss counters)."""
         self._entries.clear()
+        self._scan_groups.clear()
 
     def close(self) -> None:
-        self._entries.clear()
+        self.invalidate()
         self._inner.close()

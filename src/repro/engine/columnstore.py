@@ -19,28 +19,51 @@ from repro.engine.expressions import (
     evaluate_values,
     make_accumulator,
 )
-from repro.engine.interface import Engine, ResultSet
+from repro.engine.interface import DatabaseBackedEngine, ResultSet
 from repro.engine.planner import (
     AggregatePlan,
     ProjectionPlan,
     placeholder_row,
     plan_query,
 )
-from repro.engine.table import Database, Table
+from repro.engine.table import Table, take_columns
 from repro.engine.types import sort_key
-from repro.sql.ast import FuncCall, Query, Star
+from repro.sql.ast import FuncCall, Query, SelectItem, Star, TableRef
 
 
-class VectorStoreEngine(Engine):
+def filtered_table(table: Table, name: str, predicate) -> Table:
+    """Rows of ``table`` satisfying ``predicate``, in base order.
+
+    Shared by the vectorized engines to materialize batch shared-scan
+    relations without shuttling rows through result sets: one mask over
+    the column arrays, then plain column slicing — the values stay the
+    original Python objects, so downstream execution is byte-identical
+    to filtering inline.
+    """
+    from repro.engine.derived import rewrite_query
+
+    probe = Query(
+        select=(SelectItem(Star()),),
+        from_table=TableRef(table.name),
+        where=predicate,
+    )
+    arrays = {n: table.array(n) for n in table.schema.names}
+    probe = rewrite_query(probe, table, arrays)
+    ctx = VectorContext(arrays, table.num_rows)
+    indices = np.nonzero(evaluate_mask(probe.where, ctx))[0].tolist()
+    return Table(name, table.schema, take_columns(table, indices))
+
+
+class VectorStoreEngine(DatabaseBackedEngine):
     """Pure-Python vectorized (batch-at-a-time) engine."""
 
     name = "vectorstore"
 
-    def __init__(self) -> None:
-        self._db = Database()
-
-    def load_table(self, table: Table) -> None:
-        self._db.add(table)
+    def materialize_filtered(self, name, source: str, predicate) -> bool:
+        if source not in self._db:
+            return False
+        self.load_table(filtered_table(self._db.table(source), name, predicate))
+        return True
 
     def execute(self, query: Query) -> ResultSet:
         from repro.engine.derived import rewrite_query

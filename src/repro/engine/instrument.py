@@ -1,0 +1,68 @@
+"""Engine instrumentation for tests and benchmarks.
+
+Not part of the execution path: wrappers here observe engine traffic so
+the test suite and ``benchmarks/bench_batch_executor.py`` can verify
+optimizer claims (scan counts) at the engine boundary instead of
+trusting an executor's self-reported statistics.
+"""
+
+from __future__ import annotations
+
+from repro.engine.batch import TEMP_PREFIX
+from repro.engine.interface import Engine, ResultSet
+from repro.engine.table import Schema, Table
+from repro.sql.ast import Query
+
+
+class CountingEngine(Engine):
+    """Transparent wrapper counting executions per FROM table."""
+
+    def __init__(self, inner: Engine) -> None:
+        self._inner = inner
+        self.name = f"counting({inner.name})"
+        self.scans: dict[str, int] = {}
+
+    @property
+    def inner(self) -> Engine:
+        return self._inner
+
+    @property
+    def supports_indexes(self) -> bool:  # type: ignore[override]
+        return self._inner.supports_indexes
+
+    def base_scans(self) -> int:
+        """Executions that read a base (non-temporary) table."""
+        return sum(
+            count
+            for table, count in self.scans.items()
+            if not table.startswith(TEMP_PREFIX)
+        )
+
+    def reset(self) -> None:
+        self.scans.clear()
+
+    def load_table(self, table: Table) -> None:
+        self._inner.load_table(table)
+
+    def unload_table(self, name: str) -> None:
+        self._inner.unload_table(name)
+
+    def table_schema(self, name: str) -> Schema | None:
+        return self._inner.table_schema(name)
+
+    def materialize_filtered(self, name, source: str, predicate) -> bool:
+        done = self._inner.materialize_filtered(name, source, predicate)
+        if done:  # a native shared scan reads the base table once
+            self.scans[source] = self.scans.get(source, 0) + 1
+        return done
+
+    def create_index(self, table: str, column: str) -> None:
+        self._inner.create_index(table, column)
+
+    def execute(self, query: Query) -> ResultSet:
+        for table in query.table_names():  # joins scan every table read
+            self.scans[table] = self.scans.get(table, 0) + 1
+        return self._inner.execute(query)
+
+    def close(self) -> None:
+        self._inner.close()

@@ -13,7 +13,7 @@ import math
 import time
 from dataclasses import dataclass, field
 
-from repro.engine.table import Table
+from repro.engine.table import Database, Schema, Table
 from repro.sql.ast import Query
 
 
@@ -146,6 +146,44 @@ class Engine(abc.ABC):
             f"engine {self.name!r} does not support secondary indexes"
         )
 
+    def unload_table(self, name: str) -> None:
+        """Drop a previously loaded table.
+
+        The batch executor uses this to discard the temporary filtered
+        relations it materializes for shared scans. Engines that cannot
+        drop tables refuse; the executor then leaves the temp relation
+        in place (a later shared scan of the same group replaces it,
+        but distinct filters accumulate), so engines that implement
+        :meth:`load_table` should implement this too.
+        """
+        from repro.errors import ExecutionError
+
+        raise ExecutionError(
+            f"engine {self.name!r} does not support unloading tables"
+        )
+
+    def materialize_filtered(self, name, source: str, predicate) -> bool:
+        """Materialize ``source`` rows satisfying ``predicate`` as ``name``.
+
+        The shared-scan fast path: engines that can filter internally
+        (SQLite via ``CREATE TABLE AS``, the pure-Python stores via
+        column slicing) build the temporary relation without shuttling
+        rows through Python, preserving base-table row order. Returns
+        ``False`` when unsupported; the batch executor then falls back
+        to ``SELECT * … WHERE …`` plus :meth:`load_table`.
+        """
+        return False
+
+    def table_schema(self, name: str) -> Schema | None:
+        """Schema of a loaded table, or ``None`` when unknown.
+
+        The batch executor needs the base table's schema to type the
+        shared-scan materialization; engines that cannot answer return
+        ``None`` and batch execution degrades gracefully to per-query
+        scans.
+        """
+        return None
+
     @abc.abstractmethod
     def execute(self, query: Query) -> ResultSet:
         """Execute a query and return its result."""
@@ -164,6 +202,20 @@ class Engine(abc.ABC):
             sql=format_query(query),
         )
 
+    def execute_batch(self, queries: list[Query]) -> list[QueryResult]:
+        """Execute a batch of queries through the shared-scan optimizer.
+
+        Queries that read the same table through the same (normalized)
+        filter are evaluated together: the filter runs once, and
+        compatible aggregates are computed in one merged pass
+        (:mod:`repro.engine.batch`). Results are positionally aligned
+        with ``queries`` and identical to calling :meth:`execute_timed`
+        on each query in turn.
+        """
+        from repro.engine.batch import BatchExecutor
+
+        return BatchExecutor(self).run(queries).results
+
     def close(self) -> None:
         """Release engine resources (default: nothing to do)."""
 
@@ -172,3 +224,27 @@ class Engine(abc.ABC):
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+
+class DatabaseBackedEngine(Engine):
+    """Base for the pure-Python engines that keep tables in a Database.
+
+    Provides the table-lifecycle surface (load/unload/schema lookup)
+    over a shared :class:`~repro.engine.table.Database`; subclasses
+    supply the execution model and may extend load/unload (e.g. to
+    drop secondary indexes with the data).
+    """
+
+    def __init__(self) -> None:
+        self._db = Database()
+
+    def load_table(self, table: Table) -> None:
+        self._db.add(table)
+
+    def unload_table(self, name: str) -> None:
+        self._db.remove(name)
+
+    def table_schema(self, name: str) -> Schema | None:
+        if name not in self._db:
+            return None
+        return self._db.table(name).schema

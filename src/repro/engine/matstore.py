@@ -25,7 +25,7 @@ from repro.engine.expressions import (
     evaluate_row,
     evaluate_values,
 )
-from repro.engine.interface import Engine, ResultSet
+from repro.engine.interface import DatabaseBackedEngine, ResultSet
 from repro.engine.planner import (
     AggregatePlan,
     ProjectionPlan,
@@ -40,25 +40,38 @@ from repro.engine.columnstore import (
     _maybe_int,
     _object_aggregate,
     _distinct_aggregate,
+    filtered_table,
 )
 from repro.engine.indexes import TableIndexes, candidate_indices
-from repro.engine.table import Database, Table
+from repro.engine.table import Table
 from repro.sql.ast import FuncCall, Query, Star, conjuncts
 
 
-class MatStoreEngine(Engine):
+class MatStoreEngine(DatabaseBackedEngine):
     """Pure-Python operator-at-a-time engine with full materialization."""
 
     name = "matstore"
     supports_indexes = True
 
     def __init__(self) -> None:
-        self._db = Database()
+        super().__init__()
         self._indexes: dict[str, TableIndexes] = {}
 
     def load_table(self, table: Table) -> None:
-        self._db.add(table)
+        super().load_table(table)
         self._indexes.pop(table.name, None)  # stale indexes die with the data
+
+    def unload_table(self, name: str) -> None:
+        super().unload_table(name)
+        self._indexes.pop(name, None)
+
+    def materialize_filtered(self, name, source: str, predicate) -> bool:
+        if source not in self._db:
+            return False
+        # Route through load_table: replacing a table must drop its
+        # stale secondary indexes exactly like a load does.
+        self.load_table(filtered_table(self._db.table(source), name, predicate))
+        return True
 
     def create_index(self, table: str, column: str) -> None:
         indexes = self._indexes.get(table)

@@ -206,6 +206,78 @@ class _AggregateCollector:
         return expr  # Literals and Star pass through.
 
 
+# ---------------------------------------------------------------------------
+# Multi-query (batch) planning support
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScanSignature:
+    """Identity of the table scan a query performs.
+
+    Two queries with equal signatures read the same rows: same base
+    table, same (normalized) filter predicate. The batch executor
+    (:mod:`repro.engine.batch`) groups a dashboard refresh by signature
+    and evaluates each group with one shared scan.
+    """
+
+    table: str
+    predicate_key: str  # canonical text of the normalized WHERE ('' = none)
+
+
+def scan_signature(query: Query) -> ScanSignature | None:
+    """The query's scan signature, or ``None`` when it cannot share.
+
+    Join queries return ``None``: they read several tables and the
+    shared-scan rewrite only covers the single-table queries dashboards
+    emit (§3.0.3). FROM-aliased queries also return ``None`` — the
+    shared-scan rewrite re-aliases the temp relation to the base table
+    name, which would orphan references to the user's alias.
+    """
+    if query.joins or query.from_table.alias is not None:
+        return None
+    # Deferred import: equivalence.* imports engine.interface, so a
+    # module-level import here would be cyclic during package init.
+    from repro.equivalence.normalize import canonical_text, normalize_predicate
+
+    return ScanSignature(
+        table=query.from_table.name,
+        predicate_key=canonical_text(normalize_predicate(query.where)),
+    )
+
+
+def fusion_signature(query: Query) -> tuple | None:
+    """Key under which queries can be *fused* into one merged execution.
+
+    Queries in the same scan group with equal fusion signatures compute
+    over identical row sets *and* identical group keys, so their SELECT
+    lists can be concatenated into a single query and the combined
+    result sliced back column-wise — provably order-preserving on any
+    deterministic engine.
+
+    Returns ``None`` for queries that must execute on their own:
+    HAVING/ORDER BY/LIMIT/DISTINCT change row sets or ordering in
+    select-list-dependent ways, ``SELECT *`` expands positionally, and
+    unaliased non-column items are named engine-dependently (SQLite
+    preserves the SQL text's casing, ``col_<i>`` names are positional)
+    so slicing them out of a merged result would rename them.
+    """
+    if (
+        query.having is not None
+        or query.order_by
+        or query.limit is not None
+        or query.distinct
+        or query.joins
+    ):
+        return None
+    for item in query.select:
+        if isinstance(item.expr, Star):
+            return None
+        if item.alias is None and not isinstance(item.expr, Column):
+            return None
+    return ("agg", query.group_by) if query.is_aggregate else ("proj",)
+
+
 def placeholder_row(
     keys: tuple[object, ...], aggs: list[object]
 ) -> dict[str, object]:

@@ -19,14 +19,14 @@ import numpy as np
 
 from repro.engine.expressions import evaluate_row, make_accumulator
 from repro.engine.indexes import TableIndexes, candidate_indices
-from repro.engine.interface import Engine, ResultSet
+from repro.engine.interface import DatabaseBackedEngine, ResultSet
 from repro.engine.planner import (
     AggregatePlan,
     ProjectionPlan,
     placeholder_row,
     plan_query,
 )
-from repro.engine.table import Database, Table
+from repro.engine.table import Table
 from repro.engine.types import sort_key
 from repro.sql.ast import Query, Star, conjuncts
 
@@ -34,19 +34,40 @@ from repro.sql.ast import Query, Star, conjuncts
 _Tagged = tuple[tuple[object, ...], tuple[object, ...]]
 
 
-class RowStoreEngine(Engine):
+class RowStoreEngine(DatabaseBackedEngine):
     """Pure-Python iterator-model engine."""
 
     name = "rowstore"
     supports_indexes = True
 
     def __init__(self) -> None:
-        self._db = Database()
+        super().__init__()
         self._indexes: dict[str, TableIndexes] = {}
 
     def load_table(self, table: Table) -> None:
-        self._db.add(table)
+        super().load_table(table)
         self._indexes.pop(table.name, None)  # stale indexes die with the data
+
+    def unload_table(self, name: str) -> None:
+        super().unload_table(name)
+        self._indexes.pop(name, None)
+
+    def materialize_filtered(self, name, source: str, predicate) -> bool:
+        if source not in self._db:
+            return False
+        from repro.engine.table import take_columns
+
+        table = self._db.table(source)
+        # Same per-row semantics as this engine's filter stage.
+        indices = [
+            i
+            for i, row in enumerate(table.iter_rows())
+            if evaluate_row(predicate, row) is True
+        ]
+        # Route through load_table: replacing a table must drop its
+        # stale secondary indexes exactly like a load does.
+        self.load_table(Table(name, table.schema, take_columns(table, indices)))
+        return True
 
     def create_index(self, table: str, column: str) -> None:
         indexes = self._indexes.get(table)

@@ -82,6 +82,46 @@ class SQLiteEngine(Engine):
         self._conn.commit()
         self._schemas[table.name] = table
 
+    def unload_table(self, name: str) -> None:
+        self._conn.execute(f'DROP TABLE IF EXISTS "{name}"')
+        self._conn.commit()
+        self._schemas.pop(name, None)
+
+    def materialize_filtered(self, name, source: str, predicate) -> bool:
+        """Shared-scan fast path: filter entirely inside SQLite.
+
+        ``CREATE TABLE AS SELECT`` inserts in scan (rowid) order, so
+        the temporary relation preserves base order and downstream
+        queries return exactly what they would with the filter inline.
+        """
+        from repro.sql.formatter import format_expression
+
+        base = self._schemas.get(source)
+        if base is None:
+            return False
+        where_sql = format_expression(predicate)
+        try:
+            self._conn.execute(f'DROP TABLE IF EXISTS "{name}"')
+            self._conn.execute(
+                f'CREATE TABLE "{name}" AS '
+                f'SELECT * FROM "{source}" WHERE {where_sql}'
+            )
+        except sqlite3.Error as exc:
+            raise ExecutionError(
+                f"sqlite shared scan failed for {source!r}: {exc}"
+            ) from exc
+        self._conn.commit()
+        # Register the base table under the temp name so output values
+        # convert with the same schema (dates, booleans, ...).
+        self._schemas[name] = base
+        return True
+
+    def table_schema(self, name: str):
+        table = self._schemas.get(name)
+        if table is None:
+            return None
+        return table.schema
+
     def create_index(self, table: str, column: str) -> None:
         if table not in self._schemas:
             raise ExecutionError(f"unknown table {table!r}")

@@ -62,6 +62,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print workload-shape statistics per dashboard",
     )
     parser.add_argument(
+        "--batch", action=argparse.BooleanOptionalAction, default=False,
+        help="execute each interaction's query fan-out through the "
+        "shared-scan batch optimizer (--no-batch: one engine call per "
+        "query, the paper's sequential setup)",
+    )
+    parser.add_argument(
         "--progress", action="store_true", help="print per-run progress"
     )
     parser.add_argument(
@@ -81,6 +87,7 @@ def main(argv: list[str] | None = None) -> int:
         sizes={f"{args.rows}": args.rows},
         runs=args.runs,
         seed=args.seed,
+        batch=args.batch,
     )
     runner = BenchmarkRunner(config, log_directory=args.export_logs)
     result = runner.run(progress=args.progress)

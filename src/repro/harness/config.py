@@ -47,6 +47,13 @@ class BenchmarkConfig:
     #: Rows in the reference table used for goal-coverage logic (kept
     #: small so planning cost does not scale with the measured dataset).
     reference_rows: int = 2_000
+    #: Execute each interaction's fan-out through the shared-scan batch
+    #: optimizer instead of one engine call per query (the CLI's
+    #: ``--batch`` / ``--no-batch``). ``True`` forces batch mode on the
+    #: session; ``False`` (the default) defers to ``session.batch``.
+    #: After construction this field always mirrors the session flag —
+    #: the session config is the single source of truth downstream.
+    batch: bool = False
     #: Fixed-duration sessions by default: each goal segment runs its
     #: full step budget even if the goal completes early, matching the
     #: paper's time-boxed exploration studies and keeping per-dashboard
@@ -72,6 +79,15 @@ class BenchmarkConfig:
             raise ConfigError("runs must be >= 1")
         if not self.sizes:
             raise ConfigError("at least one dataset size is required")
+        if self.batch and not self.session.batch:
+            from dataclasses import replace
+
+            object.__setattr__(
+                self, "session", replace(self.session, batch=True)
+            )
+        # Keep the two views consistent: ``batch`` always mirrors the
+        # session flag, which is the single source of truth downstream.
+        object.__setattr__(self, "batch", self.session.batch)
 
     @classmethod
     def paper_scale(cls) -> "BenchmarkConfig":

@@ -202,6 +202,7 @@ class BenchmarkRunner:
             markov_preset=self.config.session.markov_preset,
             lookahead=self.config.session.lookahead,
             run_to_max=self.config.session.run_to_max,
+            batch=self.config.session.batch,
             seed=self.config.seed * 1_000 + run_index,
         )
         simulator = SessionSimulator(

@@ -59,17 +59,23 @@ def replay_log(
     engine: Engine,
     check_cardinality: bool = True,
     strict: bool = False,
+    batch: bool = False,
 ) -> ReplayReport:
     """Re-execute every query in ``log`` against ``engine``.
 
     The engine must already hold the dataset the log was recorded
     against. With ``strict=True`` the first cardinality mismatch raises;
     otherwise mismatches are collected in the report.
+
+    With ``batch=True``, each interaction's fan-out — the consecutive
+    entries sharing one ``step`` — replays as a single unit through the
+    shared-scan optimizer
+    (:meth:`~repro.engine.interface.Engine.execute_batch`), recreating
+    the multi-query execution a batching dashboard backend performs.
     """
     report = ReplayReport(engine=engine.name)
-    for entry in log.entries:
-        query = parse_query(entry.sql)
-        timed = engine.execute_timed(query)
+
+    def record(entry: LogEntry, timed: QueryResult) -> None:
         report.results.append(timed)
         if check_cardinality and timed.rows_returned != entry.rows_returned:
             mismatch = ReplayMismatch(entry, timed.rows_returned)
@@ -80,4 +86,17 @@ def replay_log(
                     f"{timed.rows_returned} for {entry.sql!r}"
                 )
             report.mismatches.append(mismatch)
+
+    if not batch:
+        for entry in log.entries:
+            record(entry, engine.execute_timed(parse_query(entry.sql)))
+        return report
+
+    from itertools import groupby
+
+    for _, group in groupby(log.entries, key=lambda e: e.step):
+        step_entries = list(group)
+        queries = [parse_query(e.sql) for e in step_entries]
+        for entry, timed in zip(step_entries, engine.execute_batch(queries)):
+            record(entry, timed)
     return report

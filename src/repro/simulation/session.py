@@ -62,6 +62,12 @@ class SessionConfig:
     #: coverage (the "dynamically generate goal orderings based on the
     #: current model and dashboard states" extension of §4.3).
     dynamic_goal_order: bool = False
+    #: When True, each interaction's emitted queries execute as one
+    #: batch through the shared-scan optimizer
+    #: (:meth:`~repro.engine.interface.Engine.execute_batch`) instead
+    #: of one engine call per query — the multi-query execution mode
+    #: the harness toggles with ``--batch``.
+    batch: bool = False
     seed: int = 0
 
     def p_markov(self, step: int) -> float:
@@ -224,7 +230,7 @@ class SessionSimulator:
                 goal_index=0,
                 model="initial",
                 interaction=None,
-                queries=[self._measure(q) for q in initial],
+                queries=self._measure_all(initial),
                 progress_after=0.0,
             )
         )
@@ -269,7 +275,7 @@ class SessionSimulator:
                         goal_index=goal_index,
                         model=model_name,
                         interaction=interaction,
-                        queries=[self._measure(q) for q in emitted],
+                        queries=self._measure_all(emitted),
                         progress_after=tracker.progress,
                     )
                 )
@@ -323,3 +329,15 @@ class SessionSimulator:
     def _measure(self, query: Query) -> QueryResult:
         """Run one query on the system under test, timed."""
         return self.measured_engine.execute_timed(query)
+
+    def _measure_all(self, queries: list[Query]) -> list[QueryResult]:
+        """Run one interaction's emitted fan-out on the measured engine.
+
+        In batch mode the whole fan-out goes through the shared-scan
+        optimizer as a single unit — the execution strategy under test —
+        while sequential mode preserves the paper's one-call-per-query
+        behavior.
+        """
+        if self.config.batch:
+            return self.measured_engine.execute_batch(list(queries))
+        return [self._measure(q) for q in queries]

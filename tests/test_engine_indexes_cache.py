@@ -303,6 +303,121 @@ class TestCachedEngine:
         )
         assert result.rows == [(125,)]
 
+    def test_invalidation_is_per_table(self, table):
+        engine = self._engine(table)
+        query = parse_query("SELECT COUNT(*) AS n FROM events")
+        engine.execute(query)
+        engine.load_table(
+            Table.from_rows("other", [{"k": 1}, {"k": 2}])
+        )
+        engine.execute(query)
+        assert engine.hits == 1  # unrelated load left the entry alive
+        engine.load_table(table)
+        engine.execute(query)
+        assert engine.misses == 2  # same-table load dropped it
+
+
+class TestScanGroupCacheInvalidation:
+    """Batch scan groups must never serve stale reads after mutation."""
+
+    def _queries(self):
+        return [
+            parse_query(
+                "SELECT queue, COUNT(*) AS n FROM events "
+                "WHERE hour = 1 GROUP BY queue"
+            ),
+            parse_query(
+                "SELECT hour, COUNT(*) AS n FROM events "
+                "WHERE hour = 1 GROUP BY hour"
+            ),
+            parse_query(
+                "SELECT queue, MIN(score) AS lo FROM events "
+                "WHERE hour = 1 GROUP BY queue"
+            ),
+        ]
+
+    def test_repeated_batch_hits_scan_group_cache(self, table):
+        engine = CachedEngine(create_engine("rowstore"))
+        engine.load_table(table)
+        queries = self._queries()
+        first = engine.execute_batch(queries)
+        second = engine.execute_batch(queries)
+        assert engine.batch_stats.cache_hits == len(queries)
+        assert engine.scan_groups.size >= 1
+        for a, b in zip(first, second):
+            assert a.result == b.result
+
+    def test_table_mutation_invalidates_batch_scan_groups(self, table):
+        engine = CachedEngine(create_engine("rowstore"))
+        engine.load_table(table)
+        queries = self._queries()
+        stale = engine.execute_batch(queries)
+
+        # Mutate: replace the table with hour-1 rows requeued to 'Z'.
+        mutated_rows = [
+            {
+                "id": i,
+                "queue": "Z" if i % 24 == 1 else "ABCD"[i % 4],
+                "hour": i % 24,
+                "score": float(i % 7) if i % 11 else None,
+            }
+            for i in range(500)
+        ]
+        engine.load_table(Table.from_rows("events", mutated_rows))
+        assert engine.scan_groups.size == 0  # groups dropped with the data
+
+        fresh = engine.execute_batch(queries)
+        sequential = [
+            engine.inner.execute(q) for q in queries
+        ]  # ground truth from the raw engine
+        for timed, expected in zip(fresh, sequential):
+            assert timed.result == expected
+        # The stale pre-mutation answer must be gone, not re-served.
+        assert fresh[0].result.rows != stale[0].result.rows
+
+    def test_unload_table_invalidates_both_caches(self, table):
+        engine = CachedEngine(create_engine("rowstore"))
+        engine.load_table(table)
+        query = parse_query("SELECT COUNT(*) AS n FROM events")
+        engine.execute(query)
+        engine.execute_batch(self._queries())
+        engine.unload_table("events")
+        assert engine.scan_groups.size == 0
+        with pytest.raises(SchemaError):
+            engine.execute(query)  # must reach the engine, not the cache
+
+    def test_solo_batch_queries_share_the_per_query_cache(self, table):
+        engine = CachedEngine(create_engine("rowstore"))
+        engine.load_table(table)
+        query = parse_query("SELECT COUNT(*) AS n FROM events")
+        engine.execute(query)  # warm the LRU sequentially
+        timed = engine.execute_batch([query])
+        assert engine.hits == 1  # batch solo path consulted the LRU
+        assert timed[0].result.rows == [(500,)]
+
+    def test_scan_group_member_count_is_bounded(self):
+        from repro.engine import ResultSet
+        from repro.engine.cache import ScanGroupCache
+
+        cache = ScanGroupCache()
+        cap = ScanGroupCache.MAX_MEMBERS_PER_GROUP
+        for i in range(cap + 10):
+            cache.store("t", "p", {f"SELECT {i}": ResultSet(["a"], [(i,)])})
+        entry = cache.lookup("t", "p")
+        assert len(entry) == cap
+        assert f"SELECT {cap + 9}" in entry  # newest kept
+        assert "SELECT 0" not in entry  # oldest evicted
+
+    def test_unrelated_table_load_keeps_scan_groups(self, table):
+        engine = CachedEngine(create_engine("rowstore"))
+        engine.load_table(table)
+        queries = self._queries()
+        engine.execute_batch(queries)
+        engine.load_table(Table.from_rows("other", [{"k": 1}]))
+        assert engine.scan_groups.size >= 1
+        engine.execute_batch(queries)
+        assert engine.batch_stats.cache_hits == len(queries)
+
 
 # ---------------------------------------------------------------------------
 # Property: index transparency over random predicates (rowstore + matstore)
