@@ -1,0 +1,174 @@
+"""Concurrent vs sequential execution of the six-dashboard refresh suite.
+
+The scan-group executor (:mod:`repro.concurrency`) exists to overlap
+independent work: scan groups within a refresh, and whole refreshes
+across dashboards. This benchmark drives identical interaction walks
+through all six library dashboards — each dashboard served by its own
+engine instance, the multi-session deployment shape — and measures the
+wall-clock of draining the whole suite with ``workers=1`` (today's
+sequential path) versus ``workers=4``, verifying byte-identical results.
+
+Two scenarios per engine:
+
+- **Serving** (the headline): each engine call is charged a simulated
+  client/server round trip (``SIMBA_BENCH_RTT_MS``, default 10 ms) via
+  :class:`~repro.engine.instrument.DispatchLatencyEngine` — the paper's
+  DBMSs are networked services, and interactive dashboards are
+  latency-bound. Round trips overlap on any core count, so this is the
+  honest demonstration of what the worker pool buys; on multi-core
+  hosts compute overlaps too and the numbers only improve.
+- **Compute-only** (``rtt=0``), reported alongside for transparency:
+  on a single-core container (``cpu_count`` is recorded in the
+  artifact) GIL-bound engines cannot speed up and SQLite only gains
+  what scheduling overlap allows, so this column is ~1x there.
+
+Headline claim under test: >=1.5x wall-clock speedup on the SQLite
+engine for the six-dashboard serving suite, workers=4 vs workers=1.
+Writes ``benchmarks/results/BENCH_async.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+
+from _common import BENCH_ROWS, RESULTS_DIR, write_result
+
+from repro.concurrency import run_tasks
+from repro.dashboard.library import DASHBOARD_NAMES, load_dashboard
+from repro.dashboard.state import DashboardState, InteractionKind
+from repro.engine.instrument import DispatchLatencyEngine
+from repro.engine.registry import create_engine
+from repro.metrics import format_table
+from repro.workload.datasets import generate_dataset
+
+#: Interaction refreshes per dashboard session (plus the initial render).
+WALK_STEPS = 4
+WORKERS = 4
+ENGINES = ("rowstore", "vectorstore", "matstore", "sqlite")
+#: Simulated client<->DBMS round trip charged per engine call.
+RTT_MS = float(os.environ.get("SIMBA_BENCH_RTT_MS", "10"))
+
+
+def _record_walks():
+    """Per dashboard: the (table, refresh query lists) of one session."""
+    suites = []
+    for name in DASHBOARD_NAMES:
+        spec = load_dashboard(name)
+        table = generate_dataset(name, BENCH_ROWS, seed=17)
+        state = DashboardState(spec, table)
+        rng = random.Random(43)
+        refreshes = [state.initial_queries()]
+        for _ in range(WALK_STEPS):
+            actions = state.available_interactions()
+            filtering = [
+                a
+                for a in actions
+                if a.kind
+                in (InteractionKind.WIDGET_TOGGLE, InteractionKind.WIDGET_SET)
+            ] or actions
+            refreshes.append(state.apply(rng.choice(filtering)))
+        suites.append((name, table, refreshes))
+    return suites
+
+
+def _run_suite(engine_name, suites, workers, rtt_ms):
+    """Drain every dashboard session once; returns (wall_ms, results).
+
+    One engine instance per dashboard (loaded outside the timed
+    region); sessions run as tasks over a ``workers``-wide pool, and
+    each refresh's scan groups use the same width. ``workers=1`` is the
+    sequential baseline.
+    """
+    engines = []
+    tasks = []
+    for _, table, refreshes in suites:
+        inner = create_engine(engine_name)
+        inner.load_table(table)
+        engine = DispatchLatencyEngine(inner, rtt_ms)
+        engines.append(engine)
+
+        def session(engine=engine, refreshes=refreshes):
+            collected = []
+            for queries in refreshes:
+                timed = engine.execute_batch(list(queries), workers=workers)
+                collected.append([t.result for t in timed])
+            return collected
+
+        tasks.append(session)
+    start = time.perf_counter()
+    results = run_tasks(tasks, workers=workers)
+    wall_ms = (time.perf_counter() - start) * 1000.0
+    for engine in engines:
+        engine.close()
+    return wall_ms, results
+
+
+def run_comparison():
+    suites = _record_walks()
+    rows = []
+    for engine_name in ENGINES:
+        serial_ms, serial_results = _run_suite(engine_name, suites, 1, RTT_MS)
+        conc_ms, conc_results = _run_suite(engine_name, suites, WORKERS, RTT_MS)
+        assert serial_results == conc_results, (
+            f"{engine_name}: workers={WORKERS} diverged from sequential"
+        )
+        compute_serial_ms, base_results = _run_suite(
+            engine_name, suites, 1, 0.0
+        )
+        compute_conc_ms, overlap_results = _run_suite(
+            engine_name, suites, WORKERS, 0.0
+        )
+        assert base_results == overlap_results, (
+            f"{engine_name}: compute-only workers={WORKERS} diverged"
+        )
+        assert serial_results == base_results, (
+            f"{engine_name}: latency wrapper changed results"
+        )
+        rows.append(
+            {
+                "engine": engine_name,
+                "serial_ms": round(serial_ms, 1),
+                "concurrent_ms": round(conc_ms, 1),
+                "speedup": round(serial_ms / conc_ms, 2),
+                "compute_serial_ms": round(compute_serial_ms, 1),
+                "compute_concurrent_ms": round(compute_conc_ms, 1),
+                "compute_speedup": round(
+                    compute_serial_ms / compute_conc_ms, 2
+                ),
+            }
+        )
+    return rows
+
+
+def test_async_executor_speedup(benchmark):
+    rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+
+    text = format_table(rows)
+    write_result("async_executor", text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    artifact = {
+        "suite": "six-dashboard refresh serving",
+        "dashboards": list(DASHBOARD_NAMES),
+        "rows": BENCH_ROWS,
+        "walk_steps": WALK_STEPS,
+        "refreshes_per_dashboard": 1 + WALK_STEPS,
+        "workers": WORKERS,
+        "simulated_rtt_ms": RTT_MS,
+        "cpu_count": os.cpu_count(),
+        "engines": {row["engine"]: row for row in rows},
+    }
+    sqlite_row = artifact["engines"]["sqlite"]
+    artifact["sqlite_speedup"] = sqlite_row["speedup"]
+    (RESULTS_DIR / "BENCH_async.json").write_text(
+        json.dumps(artifact, indent=2) + "\n"
+    )
+
+    # Acceptance: >=1.5x wall-clock on SQLite for the serving suite.
+    assert sqlite_row["speedup"] >= 1.5, sqlite_row
+    # Overlap must never lose to sequential in the latency-bound
+    # scenario, on any engine.
+    for row in rows:
+        assert row["speedup"] >= 1.0, row

@@ -1,0 +1,103 @@
+"""Concurrent multi-dashboard refreshes through the worker pool.
+
+A deployment serving several analysts holds one live
+:class:`~repro.dashboard.state.DashboardState` per dashboard, each
+backed by its own engine. When their refreshes land together, the
+inter-session layer (:func:`repro.concurrency.refresh_many`) drains
+them over one worker pool — SQLite-backed dashboards refresh in true
+parallel (per-thread connections), pure-Python ones serialize per
+engine but overlap across engines — and every result is byte-identical
+to refreshing one dashboard at a time.
+
+Run with::
+
+    PYTHONPATH=src python examples/concurrent_refresh.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.concurrency import RefreshJob, refresh_many
+from repro.dashboard.library import DASHBOARD_NAMES, load_dashboard
+from repro.dashboard.state import DashboardState, InteractionKind
+from repro.engine.registry import create_engine
+from repro.workload.datasets import generate_dataset
+
+ROWS = 5_000
+WORKERS = 4
+
+
+def build_jobs() -> list[RefreshJob]:
+    """One live dashboard per library spec, each on its own engine."""
+    jobs: list[RefreshJob] = []
+    for name in DASHBOARD_NAMES:
+        spec = load_dashboard(name)
+        table = generate_dataset(name, ROWS, seed=7)
+        engine = create_engine("sqlite")
+        engine.load_table(table)
+        state = DashboardState(spec, table)
+        # Simulate an analyst mid-exploration: apply one filter so the
+        # refresh exercises the shared-scan path, not just the render.
+        action = next(
+            (
+                a
+                for a in state.available_interactions()
+                if a.kind is InteractionKind.WIDGET_TOGGLE
+            ),
+            None,
+        )
+        if action is not None:
+            state.apply(action)
+        # workers here is the *intra-refresh* level: each refresh's
+        # independent scan groups also overlap.
+        jobs.append(RefreshJob(state, engine, workers=WORKERS))
+    return jobs
+
+
+def drain(jobs: list[RefreshJob], workers: int) -> float:
+    start = time.perf_counter()
+    results = refresh_many(jobs, workers=workers)
+    elapsed_ms = (time.perf_counter() - start) * 1000.0
+    total = sum(len(r) for r in results)
+    print(
+        f"  workers={workers}: {len(jobs)} dashboards, "
+        f"{total} visualizations refreshed in {elapsed_ms:.1f} ms"
+    )
+    return elapsed_ms
+
+
+def main() -> None:
+    jobs = build_jobs()
+    print("In-process engines (gains need multiple cores):")
+    sequential_ms = drain(jobs, workers=1)
+    concurrent_ms = drain(jobs, workers=WORKERS)
+    print(f"  overlap: {sequential_ms / concurrent_ms:.2f}x")
+
+    # The results really are identical:
+    seq = refresh_many(jobs, workers=1)
+    conc = refresh_many(jobs, workers=WORKERS)
+    assert all(
+        a[v].result == b[v].result
+        for a, b in zip(seq, conc)
+        for v in a
+    )
+    print("  verified: workers=1 and workers=4 results are byte-identical")
+
+    # The deployment shape the pool is really for: a networked DBMS,
+    # where every call pays a round trip. Round trips overlap on any
+    # machine, so concurrent refreshes win even on one core.
+    from repro.engine.instrument import DispatchLatencyEngine
+
+    for job in jobs:
+        job.engine = DispatchLatencyEngine(job.engine, latency_ms=5.0)
+    print("Same suite over a simulated 5 ms client/server round trip:")
+    sequential_ms = drain(jobs, workers=1)
+    concurrent_ms = drain(jobs, workers=WORKERS)
+    print(f"  overlap: {sequential_ms / concurrent_ms:.2f}x")
+    for job in jobs:
+        job.engine.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -32,6 +32,7 @@ paper-vs-measured record of every table and figure.
 
 from repro.algebra import GOAL_TEMPLATES, get_template, translate
 from repro.approx import approximate_execute, progressive_execute
+from repro.concurrency import RefreshJob, ScanGroupExecutor, refresh_many
 from repro.dashboard import DashboardSpec, DashboardState, Interaction
 from repro.dashboard.library import DASHBOARD_NAMES, all_dashboards, load_dashboard
 from repro.engine import (
@@ -78,7 +79,9 @@ __all__ = [
     "Interaction",
     "MarkovModel",
     "OracleModel",
+    "RefreshJob",
     "ResultSet",
+    "ScanGroupExecutor",
     "SessionConfig",
     "SessionLog",
     "SessionSimulator",
@@ -96,6 +99,7 @@ __all__ = [
     "normalize_star",
     "parse_query",
     "progressive_execute",
+    "refresh_many",
     "replay_log",
     "run_user_study",
     "table3_matrix",

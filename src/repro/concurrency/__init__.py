@@ -1,0 +1,71 @@
+"""Concurrent execution of scan groups, refreshes, and sessions.
+
+PR 1's batch executor collapsed a dashboard refresh into a handful of
+independent :class:`~repro.engine.batch.ScanGroup` units; this package
+is the next rung of the scale-out progression (batch -> **async** ->
+sharded): it overlaps those independent units — and whole refreshes
+across dashboards and engines — over a worker pool while keeping every
+result byte-identical to sequential execution.
+
+Layers, bottom up:
+
+- :mod:`repro.concurrency.pool` — the worker pool. ``workers=1``
+  resolves to an inline :class:`~repro.concurrency.pool.SerialPool`, so
+  the default path is *exactly* today's sequential execution (no
+  threads, no queues).
+- :mod:`repro.concurrency.policy` — per-engine execution policies.
+  SQLite executes scan groups with true thread parallelism (per-thread
+  connections release the GIL inside the C library); the pure-Python
+  stores are GIL-bound and run as a serialized task queue, overlapping
+  only across engines and sessions.
+- :mod:`repro.concurrency.singleflight` — concurrent identical
+  computations collapse to one; the cache hardening in
+  :mod:`repro.engine.cache` builds on it.
+- :mod:`repro.concurrency.executor` —
+  :class:`~repro.concurrency.executor.ScanGroupExecutor`, the batch
+  executor that schedules one batch's scan groups over the pool and
+  reassembles results in request order.
+- :mod:`repro.concurrency.sessions` — the inter-session layer:
+  overlapping whole dashboard refreshes
+  (:func:`~repro.concurrency.sessions.refresh_many`) and generic
+  ordered task maps used by the harness and log replay.
+
+Determinism contract: for any ``workers`` value, every public entry
+point returns results positionally identical to its sequential
+counterpart. Only wall-clock and internal scheduling change.
+"""
+
+from repro.concurrency.executor import ScanGroupExecutor
+from repro.concurrency.pool import SerialPool, WorkerPool, create_pool, map_ordered
+from repro.concurrency.policy import (
+    SlotGatedEngine,
+    execution_slot,
+    parallel_scans,
+    slot_gated,
+    thread_safe,
+)
+from repro.concurrency.sessions import (
+    RefreshJob,
+    execute_all,
+    refresh_many,
+    run_tasks,
+)
+from repro.concurrency.singleflight import SingleFlight
+
+__all__ = [
+    "RefreshJob",
+    "ScanGroupExecutor",
+    "SerialPool",
+    "SingleFlight",
+    "SlotGatedEngine",
+    "WorkerPool",
+    "create_pool",
+    "execute_all",
+    "execution_slot",
+    "map_ordered",
+    "parallel_scans",
+    "refresh_many",
+    "run_tasks",
+    "slot_gated",
+    "thread_safe",
+]

@@ -1,0 +1,191 @@
+"""Concurrent scan-group scheduling over a worker pool.
+
+:class:`ScanGroupExecutor` extends the shared-scan
+:class:`~repro.engine.batch.BatchExecutor` with a scheduling layer: the
+independent :class:`~repro.engine.batch.ScanGroup` units of one batch
+become tasks. Engines whose scans genuinely overlap
+(``parallel_scans`` — SQLite with its per-thread connections) get their
+groups dispatched across a worker pool; everything else runs as a
+serialized task queue in submission order, which is byte-for-byte the
+sequential executor.
+
+Determinism: each group writes only its own members' positions in the
+shared results list, and stats merge in submission order after every
+task settles — so results and statistics are identical for every
+``workers`` value, whatever the completion interleaving was.
+
+Safety: a non-thread-safe engine is wrapped so every *individual* call
+into it serializes through its
+:func:`~repro.concurrency.policy.execution_slot` — leaf-granular, never
+held across anything that can block on another thread (a coarser
+group-wide hold deadlocks against the cache's single-flight: one
+thread waits on a flight while holding the slot its leader needs).
+Interleaving leaf calls across groups is safe because shared-scan temp
+relations carry unique per-execution names. An optional
+:class:`~repro.concurrency.singleflight.SingleFlight` collapses
+concurrent *identical* groups (same table, same predicate, same member
+set — two sessions refreshing the same dashboard at once) into one
+computation, with followers served from the scan-group cache the
+leader populated.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.engine.batch import (
+    BatchExecutor,
+    BatchResult,
+    BatchStats,
+    ScanGroup,
+)
+from repro.engine.interface import Engine, QueryResult
+from repro.concurrency.policy import parallel_scans, slot_gated
+from repro.concurrency.pool import WorkerPool, map_ordered
+from repro.concurrency.singleflight import SingleFlight
+from repro.errors import ExecutionError
+from repro.sql.ast import Query
+
+
+class ScanGroupExecutor(BatchExecutor):
+    """Batch executor that overlaps independent scan groups.
+
+    A drop-in superset of :class:`~repro.engine.batch.BatchExecutor`:
+    ``run(queries)`` with ``workers=1`` takes the exact sequential code
+    path (no pool, no threads). The executor itself is safe to share
+    across threads — concurrent ``run`` calls from overlapping
+    refreshes are supported and deduplicated via ``group_flight``.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        workers: int = 1,
+        group_cache=None,
+        fallback_engine: Engine | None = None,
+        group_flight: SingleFlight | None = None,
+    ) -> None:
+        engine = slot_gated(engine)
+        super().__init__(
+            engine, group_cache=group_cache, fallback_engine=fallback_engine
+        )
+        self.workers = workers
+        #: Collapses concurrent identical groups; only effective with a
+        #: group cache (followers are served from what the leader
+        #: stored there).
+        self._group_flight = group_flight
+        # BatchExecutor's cumulative stats and key memo are shared
+        # mutable state; concurrent run() calls guard them here.
+        self._shared_lock = threading.Lock()
+        self._pool: WorkerPool | None = None
+
+    def _pool_for(self, workers: int) -> WorkerPool:
+        """The executor's persistent pool (created on first parallel run).
+
+        Persistence matters beyond thread-start cost: SQLite replicas
+        are per-thread snapshots, so a long-lived executor reusing its
+        threads amortizes one database copy across many refreshes
+        instead of re-snapshotting on every call. The pool is sized by
+        the first parallel request; later larger requests share it
+        (capped) rather than racing a resize.
+        """
+        with self._shared_lock:
+            if self._pool is None:
+                self._pool = WorkerPool(workers)
+            return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        with self._shared_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown()
+
+    def run(self, queries: list[Query], workers: int | None = None) -> BatchResult:
+        """Execute one batch; results align positionally with input.
+
+        ``workers`` overrides the constructor value for this call.
+        """
+        effective = self.workers if workers is None else workers
+        stats = BatchStats(queries=len(queries))
+        results: list[QueryResult | None] = [None] * len(queries)
+        with self._shared_lock:  # the key memo is shared mutable state
+            groups = self._group(queries)
+        stats.groups = len(groups)
+        if effective > 1 and len(groups) > 1 and parallel_scans(self.engine):
+            pool = self._pool_for(effective)
+            group_stats = map_ordered(
+                pool, lambda g: self._execute_group(g, results), groups
+            )
+        else:
+            # Serialized task queue: submission order, caller's thread.
+            group_stats = [self._execute_group(g, results) for g in groups]
+        for group_stat in group_stats:
+            stats.merge(group_stat)
+        if any(r is None for r in results):
+            # Positional alignment is the API contract; a hole here
+            # must fail loudly, never compact silently.
+            raise ExecutionError("batch execution left a query unanswered")
+        with self._shared_lock:
+            self.stats.merge(stats)
+        return BatchResult(list(results), stats)
+
+    # -- internals ----------------------------------------------------------
+
+    def _group(self, queries: list[Query]) -> list[ScanGroup]:
+        from repro.engine.batch import group_queries
+
+        return group_queries(list(queries), key_fn=self._memoized_keys)
+
+    def _execute_group(
+        self, group: ScanGroup, results: list[QueryResult | None]
+    ) -> BatchStats:
+        """Run one group as an isolated task; returns its stats delta.
+
+        Writes only this group's member positions in ``results`` —
+        disjoint across groups, so no locking is needed on the list.
+        """
+        if (
+            self._group_flight is not None
+            and self.group_cache is not None
+            and group.signature is not None
+        ):
+            key = (
+                group.signature.table,
+                group.signature.predicate_key,
+                tuple(sorted({m.sql for m in group.members})),
+            )
+            # The leader computes and fills the scan-group cache; a
+            # follower re-running the group is then answered entirely
+            # from that cache (zero engine work). Each call distributes
+            # into its own results list, so only the flight key is
+            # shared.
+            stats, leader = self._group_flight.do(
+                key, lambda: self._run_one(group, results)
+            )
+            if leader:
+                return stats
+            return self._run_one(group, results)
+        return self._run_one(group, results)
+
+    def _run_one(
+        self, group: ScanGroup, results: list[QueryResult | None]
+    ) -> BatchStats:
+        # No lock is held here: engine safety is leaf-granular (the
+        # _SlotGatedEngine wrapper / the engine's own thread-safety),
+        # so waiting on a cache flight inside a fallback can never
+        # deadlock against another thread's leader.
+        stats = BatchStats()
+        if group.signature is None:
+            for item in group.members:
+                results[item.index] = self.fallback_engine.execute_timed(
+                    item.query
+                )
+                stats.fallbacks += 1
+                stats.base_scans += 1
+        else:
+            self._run_group(group, results, stats)
+        return stats
+
+
+__all__ = ["ScanGroupExecutor"]

@@ -1,0 +1,155 @@
+"""Per-engine execution policies for concurrent scheduling.
+
+Engines differ in what concurrency they tolerate and what it buys:
+
+- **SQLite** maintains one connection per thread (see
+  :mod:`repro.engine.sqlite_engine`), releases the GIL inside the C
+  library, and has no shared mutable Python state — scan groups for it
+  run genuinely in parallel.
+- **The pure-Python stores** (rowstore/vectorstore/matstore) keep
+  tables and lazily-built index structures in shared dictionaries and
+  are GIL-bound anyway; their work runs as a *serialized task queue* —
+  one task at a time per engine instance — overlapping only with other
+  engines' and sessions' work.
+- **Wrappers** (cache, instrumentation) advertise the policy of the
+  stack they guard.
+
+Two engine attributes drive scheduling (declared on
+:class:`~repro.engine.interface.Engine` and defaulting to ``False``):
+
+``thread_safe``
+    The engine may be *invoked* from multiple threads concurrently
+    without corruption. Callers must wrap non-thread-safe engines in
+    :func:`execution_slot`.
+``parallel_scans``
+    Concurrent invocations can actually overlap compute — scheduling
+    extra workers at them is profitable, not just safe.
+
+:func:`execution_slot` hands out the per-instance mutex that implements
+the serialized queue. Locks live in a weak registry so an engine's
+slot dies with the engine.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import weakref
+from typing import ContextManager
+
+from repro.engine.interface import Engine, ResultSet
+from repro.engine.table import Schema, Table
+from repro.sql.ast import Query
+
+_REGISTRY_LOCK = threading.Lock()
+_SLOTS: "weakref.WeakKeyDictionary[Engine, threading.RLock]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def thread_safe(engine: Engine) -> bool:
+    """May this engine be called from multiple threads concurrently?"""
+    return bool(getattr(engine, "thread_safe", False))
+
+
+def parallel_scans(engine: Engine) -> bool:
+    """Does concurrent invocation overlap actual compute for this engine?"""
+    return bool(getattr(engine, "parallel_scans", False))
+
+
+def serialization_lock(engine: Engine) -> threading.RLock:
+    """The per-instance mutex backing this engine's serialized queue."""
+    with _REGISTRY_LOCK:
+        lock = _SLOTS.get(engine)
+        if lock is None:
+            lock = threading.RLock()
+            _SLOTS[engine] = lock
+        return lock
+
+
+def execution_slot(engine: Engine) -> ContextManager[None]:
+    """Context manager gating one unit of work on ``engine``.
+
+    Thread-safe engines get a no-op slot (their tasks overlap freely);
+    everything else shares a per-instance reentrant lock, which turns a
+    worker pool into a serialized task queue for that engine while
+    still overlapping work across *different* engines.
+
+    Reentrant so a task that holds its engine's slot can call helpers
+    that defensively take it again; distinct tasks on distinct threads
+    still exclude each other.
+    """
+    if thread_safe(engine):
+        return contextlib.nullcontext()
+    return serialization_lock(engine)
+
+
+class SlotGatedEngine(Engine):
+    """Serializes every call into a non-thread-safe engine.
+
+    Leaf-granular: each individual engine call runs inside the inner
+    engine's :func:`execution_slot`, and the slot is never held across
+    anything that can block on another thread (holding it for a longer
+    span deadlocks against single-flight waits). Interleaving calls
+    from different tasks is safe because shared-scan temp relations
+    carry unique per-execution names.
+    """
+
+    thread_safe = True  # safe to call from any thread — that's the point
+    parallel_scans = False
+
+    def __init__(self, inner: Engine) -> None:
+        self._inner = inner
+        self.name = inner.name  # results stay stamped with the real name
+
+    @property
+    def inner(self) -> Engine:
+        return self._inner
+
+    @property
+    def supports_indexes(self) -> bool:  # type: ignore[override]
+        return self._inner.supports_indexes
+
+    def load_table(self, table: Table) -> None:
+        with execution_slot(self._inner):
+            self._inner.load_table(table)
+
+    def unload_table(self, name: str) -> None:
+        with execution_slot(self._inner):
+            self._inner.unload_table(name)
+
+    def table_schema(self, name: str) -> Schema | None:
+        with execution_slot(self._inner):
+            return self._inner.table_schema(name)
+
+    def materialize_filtered(self, name, source: str, predicate) -> bool:
+        with execution_slot(self._inner):
+            return self._inner.materialize_filtered(name, source, predicate)
+
+    def create_index(self, table: str, column: str) -> None:
+        with execution_slot(self._inner):
+            self._inner.create_index(table, column)
+
+    def execute(self, query: Query) -> ResultSet:
+        with execution_slot(self._inner):
+            return self._inner.execute(query)
+
+    def close(self) -> None:
+        self._inner.close()
+
+
+def slot_gated(engine: Engine) -> Engine:
+    """The engine itself when thread-safe, else a slot-gating wrapper."""
+    if thread_safe(engine):
+        return engine
+    return SlotGatedEngine(engine)
+
+
+__all__ = [
+    "SlotGatedEngine",
+    "execution_slot",
+    "parallel_scans",
+    "serialization_lock",
+    "slot_gated",
+    "thread_safe",
+]

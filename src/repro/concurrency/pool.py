@@ -1,0 +1,134 @@
+"""Worker pools with a sequential degenerate case.
+
+Two implementations share one surface (``submit`` returning a
+:class:`concurrent.futures.Future`, plus ``shutdown``):
+
+- :class:`SerialPool` executes the task inline at submit time and
+  returns an already-resolved future. ``workers=1`` everywhere in the
+  system resolves to this pool, so the default configuration runs the
+  exact sequential code path — no threads are created, and interleaving
+  cannot differ from pre-concurrency behavior.
+- :class:`WorkerPool` wraps a :class:`~concurrent.futures.ThreadPoolExecutor`.
+
+Result ordering is the caller's job; :func:`map_ordered` is the shared
+helper: submit everything, gather in submission order, and only after
+every task settled re-raise the first (submission-order) failure. The
+wait-then-raise discipline matters — callers hand tasks shared output
+slots, so no task may still be running when an exception propagates.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.errors import ConfigError
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class SerialPool:
+    """Inline 'pool': submit executes immediately on the calling thread."""
+
+    workers = 1
+
+    def submit(self, fn: Callable[..., R], /, *args, **kwargs) -> "Future[R]":
+        future: "Future[R]" = Future()
+        try:
+            future.set_result(fn(*args, **kwargs))
+        except (KeyboardInterrupt, SystemExit):
+            # Inline execution runs on the caller's thread: aborting
+            # must abort *now*, not after the rest of the task list.
+            raise
+        except BaseException as exc:  # resolved future carries the error
+            future.set_exception(exc)
+        return future
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Nothing to release."""
+
+    def __enter__(self) -> "SerialPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+
+class WorkerPool:
+    """A thread-backed pool for overlapping engine work.
+
+    Threads suit this system's unit of work: SQLite releases the GIL
+    inside the C library (true parallelism on multi-core hosts), and
+    latency-bound deployments (client/server round trips) overlap even
+    on one core. The pure-Python engines gain only cross-engine overlap
+    — the per-engine policies in :mod:`repro.concurrency.policy` keep
+    their tasks serialized.
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ConfigError("worker pool needs at least one worker")
+        self.workers = workers
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="simba-worker"
+        )
+
+    def submit(self, fn: Callable[..., R], /, *args, **kwargs) -> "Future[R]":
+        return self._executor.submit(fn, *args, **kwargs)
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+
+#: Either pool flavor; they are duck-typed rather than subclassed.
+Pool = SerialPool | WorkerPool
+
+
+def create_pool(workers: int) -> Pool:
+    """SerialPool for ``workers <= 1``, WorkerPool otherwise."""
+    if workers <= 1:
+        return SerialPool()
+    return WorkerPool(workers)
+
+
+def map_ordered(
+    pool: Pool,
+    fn: Callable[[T], R],
+    items: Iterable[T],
+) -> list[R]:
+    """Apply ``fn`` over ``items`` on the pool; results in input order.
+
+    With a :class:`SerialPool` this is a plain loop — an exception
+    aborts at the failing item, exactly the pre-pool sequential
+    behavior (no point draining a task list that already failed).
+
+    On a :class:`WorkerPool`, all futures settle before anything is
+    raised, so a failing task can never leave siblings running against
+    shared state; the first failure *by submission order* then
+    propagates (deterministic regardless of completion order).
+    """
+    if isinstance(pool, SerialPool):
+        return [fn(item) for item in items]
+    futures: Sequence[Future] = [pool.submit(fn, item) for item in items]
+    results: list[R] = []
+    first_error: BaseException | None = None
+    for future in futures:
+        try:
+            results.append(future.result())
+        except BaseException as exc:
+            if first_error is None:
+                first_error = exc
+            results.append(None)  # type: ignore[arg-type]
+    if first_error is not None:
+        raise first_error
+    return results
+
+
+__all__ = ["Pool", "SerialPool", "WorkerPool", "create_pool", "map_ordered"]

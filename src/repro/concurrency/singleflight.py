@@ -1,0 +1,79 @@
+"""Single-flight execution: concurrent identical work computes once.
+
+When several threads ask for the same expensive computation at the same
+time — the classic cache-stampede shape: two dashboard sessions refresh
+the same scan group in the same instant — only the first caller (the
+*leader*) runs it; the rest block until the leader finishes and then
+share its value. Distinct keys never wait on each other.
+
+Error semantics follow the Go ``singleflight`` package this mirrors:
+a leader's exception propagates to every waiter of that flight, and the
+key is released either way, so the next request retries fresh.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, TypeVar
+
+R = TypeVar("R")
+
+
+class _Flight:
+    """One in-progress computation and its rendezvous point."""
+
+    __slots__ = ("done", "value", "error")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.value: object = None
+        self.error: BaseException | None = None
+
+
+class SingleFlight:
+    """Deduplicates concurrent calls by key.
+
+    ``do(key, fn)`` returns ``(value, leader)`` where ``leader`` tells
+    the caller whether *its* invocation ran ``fn``. Followers receive
+    the leader's value object itself — callers that hand out mutable
+    results should copy before returning (the engine caches already
+    copy ResultSets on the way out).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._flights: dict[object, _Flight] = {}
+
+    @property
+    def in_flight(self) -> int:
+        """Number of keys currently being computed (for tests/metrics)."""
+        with self._lock:
+            return len(self._flights)
+
+    def do(self, key: object, fn: Callable[[], R]) -> tuple[R, bool]:
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is None:
+                flight = _Flight()
+                self._flights[key] = flight
+                lead = True
+            else:
+                lead = False
+        if lead:
+            try:
+                flight.value = fn()
+            except BaseException as exc:
+                flight.error = exc
+                raise
+            finally:
+                with self._lock:
+                    self._flights.pop(key, None)
+                flight.done.set()
+            return flight.value, True  # type: ignore[return-value]
+        flight.done.wait()
+        if flight.error is not None:
+            raise flight.error
+        return flight.value, False  # type: ignore[return-value]
+
+
+__all__ = ["SingleFlight"]

@@ -162,16 +162,23 @@ class RefreshPlan:
         return len(self.queries)
 
     def execute(
-        self, engine: Engine, batch: bool = True
+        self, engine: Engine, batch: bool = True, workers: int = 1
     ) -> dict[str, QueryResult]:
         """Run the refresh; returns timed results keyed by viz id.
 
         ``batch=True`` routes through :meth:`Engine.execute_batch`
         (shared scans); ``batch=False`` executes each component query
-        independently. Both produce identical result sets.
+        independently. ``workers > 1`` overlaps the refresh's
+        independent units (scan groups in batch mode, single queries
+        otherwise) over a worker pool. All combinations produce
+        identical result sets.
         """
         if batch:
-            timed = engine.execute_batch(self.queries)
+            timed = engine.execute_batch(self.queries, workers=workers)
+        elif workers > 1:
+            from repro.concurrency.sessions import execute_all
+
+            timed = execute_all(engine, self.queries, workers=workers)
         else:
             timed = [engine.execute_timed(q) for q in self.queries]
         return dict(zip(self.viz_ids, timed))

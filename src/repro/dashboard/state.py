@@ -166,18 +166,25 @@ class DashboardState:
 
     # -- refresh paths (batch API) ---------------------------------------------
 
-    def refresh(self, engine, viz_ids=None, batch: bool = True):
+    def refresh(self, engine, viz_ids=None, batch: bool = True,
+                workers: int = 1):
         """Execute the current queries of (all or selected) nodes.
 
         Routes through the shared-scan batch executor by default
         (:meth:`~repro.engine.interface.Engine.execute_batch`); pass
-        ``batch=False`` for sequential per-component execution. Returns
-        timed results keyed by visualization id.
+        ``batch=False`` for sequential per-component execution, and
+        ``workers > 1`` to overlap the refresh's independent scan
+        groups over a worker pool (results are byte-identical; see
+        :mod:`repro.concurrency`). Returns timed results keyed by
+        visualization id.
         """
-        return build_refresh(self, viz_ids).execute(engine, batch=batch)
+        return build_refresh(self, viz_ids).execute(
+            engine, batch=batch, workers=workers
+        )
 
     def apply_and_refresh(
-        self, interaction: Interaction, engine, batch: bool = True
+        self, interaction: Interaction, engine, batch: bool = True,
+        workers: int = 1,
     ):
         """Apply an interaction and execute its fan-out as one batch.
 
@@ -187,7 +194,9 @@ class DashboardState:
         by visualization id.
         """
         affected = self.apply_affected(interaction)
-        return self.refresh(engine, viz_ids=affected, batch=batch)
+        return self.refresh(
+            engine, viz_ids=affected, batch=batch, workers=workers
+        )
 
     # -- applying interactions ---------------------------------------------------
 

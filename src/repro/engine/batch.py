@@ -35,6 +35,7 @@ follows it.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -62,9 +63,17 @@ TEMP_PREFIX = "__batchscan_"
 
 
 def temp_table_name(table: str, predicate_key: str) -> str:
-    """Deterministic temp-relation name for one (table, filter) group."""
+    """Deterministic temp-relation name stem for one (table, filter) group."""
     digest = hashlib.sha1(predicate_key.encode("utf-8")).hexdigest()[:10]
     return f"{TEMP_PREFIX}{table}_{digest}"
+
+
+#: Uniquifies each shared-scan materialization's relation name, so two
+#: executions of the same (table, filter) group overlapping on one
+#: engine — concurrent refreshes sharing a store — can never replace or
+#: drop each other's temp mid-group. Names keep the TEMP_PREFIX, which
+#: is all the cache-exemption and scan-counting logic keys on.
+_TEMP_SEQUENCE = itertools.count()
 
 
 @dataclass(frozen=True)
@@ -302,7 +311,12 @@ class BatchExecutor:
         signature = group.signature
         assert signature is not None
         pending = group.members
+        epoch = None
         if self.group_cache is not None:
+            # Captured before any engine work: if the table is
+            # invalidated while this group computes, the store below is
+            # dropped instead of caching results of vanished data.
+            epoch = self.group_cache.epoch(signature.table)
             pending = self._serve_cached(signature, pending, results, stats)
             if not pending:
                 return
@@ -331,7 +345,8 @@ class BatchExecutor:
                                  results, produced)
         if self.group_cache is not None and produced:
             self.group_cache.store(
-                signature.table, signature.predicate_key, produced
+                signature.table, signature.predicate_key, produced,
+                epoch=epoch,
             )
 
     def _run_shared(
@@ -349,7 +364,8 @@ class BatchExecutor:
         the base schema for the generic fetch-and-load fallback.
         """
         predicate = classes[0].members[0].query.where
-        name = temp_table_name(signature.table, signature.predicate_key)
+        stem = temp_table_name(signature.table, signature.predicate_key)
+        name = f"{stem}_{next(_TEMP_SEQUENCE)}"
         start = time.perf_counter()
         if not self.engine.materialize_filtered(
             name, signature.table, predicate

@@ -21,6 +21,15 @@ Temporary shared-scan relations (``TEMP_PREFIX``) are exempt — they are
 derived data, loaded and dropped inside a single batch execution — and
 queries against them are never cached, so they can never go stale.
 
+Thread-safety: the wrapper is safe to hammer from a worker pool
+(``thread_safe = True``). Its own structures are mutex-guarded; calls
+into a non-thread-safe inner engine serialize through that engine's
+:func:`~repro.concurrency.policy.execution_slot`; concurrent misses on
+the same SQL collapse to one inner execution (single-flight); and an
+epoch counter closes the compute/invalidate race — a result computed
+against pre-mutation data is never stored after the mutation
+invalidated its table (the "lost invalidation" the stress tests guard).
+
 The caches are transparent: results are returned as fresh
 :class:`~repro.engine.interface.ResultSet` instances (rows are immutable
 tuples, so sharing them is safe).
@@ -28,9 +37,10 @@ tuples, so sharing them is safe).
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
-from repro.engine.batch import TEMP_PREFIX, BatchExecutor
+from repro.engine.batch import TEMP_PREFIX
 from repro.engine.interface import Engine, QueryResult, ResultSet
 from repro.engine.table import Schema, Table
 from repro.errors import ConfigError
@@ -47,6 +57,12 @@ class ScanGroupCache:
     to an existing group. ``load_table`` on the owning engine must call
     :meth:`invalidate_table` — a mutated table silently serving stale
     group results is exactly the regression the cache tests guard.
+
+    All operations are mutex-guarded; concurrent scan-group tasks may
+    look up and store freely. Writers that computed against data that
+    may have mutated mid-flight pass the :meth:`epoch` they observed
+    before computing — a store whose table epoch has moved on is
+    silently dropped rather than caching a stale group.
     """
 
     #: Member results retained per group; a long-lived session batching
@@ -57,59 +73,94 @@ class ScanGroupCache:
         if capacity <= 0:
             raise ConfigError("scan-group cache capacity must be positive")
         self._capacity = capacity
+        self._lock = threading.RLock()
         self._groups: OrderedDict[
             tuple[str, str], dict[str, ResultSet]
         ] = OrderedDict()
+        #: Per-table invalidation counters backing the epoch protocol.
+        self._epochs: dict[str, int] = {}
+        #: Cache-wide clears; part of every epoch so ``clear`` also
+        #: fences tables that were never individually invalidated.
+        self._clears = 0
 
     @property
     def size(self) -> int:
         """Number of cached scan groups."""
-        return len(self._groups)
+        with self._lock:
+            return len(self._groups)
+
+    def epoch(self, table: str) -> tuple[int, int]:
+        """The table's invalidation epoch; capture before computing.
+
+        Opaque to callers: compare for equality only. Moves when the
+        table is invalidated *or* the whole cache is cleared.
+        """
+        with self._lock:
+            return (self._clears, self._epochs.get(table, 0))
 
     def lookup(self, table: str, predicate_key: str) -> dict[str, ResultSet]:
         """The group's cached results by SQL text (empty when absent).
 
         Returns a shallow copy so callers cannot corrupt the entry.
         """
-        entry = self._groups.get((table, predicate_key))
-        if entry is None:
-            return {}
-        self._groups.move_to_end((table, predicate_key))
-        return dict(entry)
+        with self._lock:
+            entry = self._groups.get((table, predicate_key))
+            if entry is None:
+                return {}
+            self._groups.move_to_end((table, predicate_key))
+            return dict(entry)
 
     def store(
         self,
         table: str,
         predicate_key: str,
         results: dict[str, ResultSet],
+        epoch: tuple[int, int] | None = None,
     ) -> None:
-        """Add one group's results, merging into any existing entry."""
-        key = (table, predicate_key)
-        entry = self._groups.get(key)
-        if entry is None:
-            entry = {}
-            self._groups[key] = entry
-        for sql, result in results.items():
-            entry.pop(sql, None)  # re-store refreshes recency
-            entry[sql] = ResultSet(result.columns, result.rows)
-        while len(entry) > self.MAX_MEMBERS_PER_GROUP:
-            del entry[next(iter(entry))]  # drop least-recently stored
-        self._groups.move_to_end(key)
-        while len(self._groups) > self._capacity:
-            self._groups.popitem(last=False)
+        """Add one group's results, merging into any existing entry.
+
+        With ``epoch`` given, the store is dropped when the table was
+        invalidated (or the cache cleared) since the caller captured it
+        — the results were computed against data that no longer exists.
+        """
+        with self._lock:
+            if epoch is not None and epoch != (
+                self._clears,
+                self._epochs.get(table, 0),
+            ):
+                return
+            key = (table, predicate_key)
+            entry = self._groups.get(key)
+            if entry is None:
+                entry = {}
+                self._groups[key] = entry
+            for sql, result in results.items():
+                entry.pop(sql, None)  # re-store refreshes recency
+                entry[sql] = ResultSet(result.columns, result.rows)
+            while len(entry) > self.MAX_MEMBERS_PER_GROUP:
+                del entry[next(iter(entry))]  # drop least-recently stored
+            self._groups.move_to_end(key)
+            while len(self._groups) > self._capacity:
+                self._groups.popitem(last=False)
 
     def invalidate_table(self, name: str) -> None:
         """Drop every group that scanned ``name``."""
-        stale = [key for key in self._groups if key[0] == name]
-        for key in stale:
-            del self._groups[key]
+        with self._lock:
+            self._epochs[name] = self._epochs.get(name, 0) + 1
+            stale = [key for key in self._groups if key[0] == name]
+            for key in stale:
+                del self._groups[key]
 
     def clear(self) -> None:
-        self._groups.clear()
+        with self._lock:
+            self._clears += 1
+            self._groups.clear()
 
 
 class CachedEngine(Engine):
     """Exact-match LRU result cache in front of another engine."""
+
+    thread_safe = True
 
     def __init__(
         self,
@@ -121,6 +172,10 @@ class CachedEngine(Engine):
             raise ConfigError("cache capacity must be positive")
         self._inner = inner
         self._capacity = capacity
+        self._lock = threading.RLock()
+        #: Global invalidation counter; a per-query result computed
+        #: before any table mutation is never stored after it.
+        self._epoch = 0
         #: sql text -> (result, names of every table the query read)
         self._entries: OrderedDict[
             str, tuple[ResultSet, frozenset[str]]
@@ -131,6 +186,10 @@ class CachedEngine(Engine):
             scan_group_capacity = max(1, capacity // 2)
         self._scan_groups = ScanGroupCache(scan_group_capacity)
         self._batch_executor = None
+        from repro.concurrency.singleflight import SingleFlight
+
+        self._flight = SingleFlight()
+        self._group_flight = SingleFlight()
         self.hits = 0
         self.misses = 0
         self.name = f"cached({inner.name})"
@@ -145,9 +204,15 @@ class CachedEngine(Engine):
         return self._inner.supports_indexes
 
     @property
+    def parallel_scans(self) -> bool:  # type: ignore[override]
+        """Concurrency profile follows the engine actually scanning."""
+        return self._inner.parallel_scans
+
+    @property
     def size(self) -> int:
         """Number of cached result sets."""
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     @property
     def scan_groups(self) -> ScanGroupCache:
@@ -156,11 +221,18 @@ class CachedEngine(Engine):
 
     @property
     def hit_rate(self) -> float:
-        """Fraction of executed queries answered from the cache."""
-        total = self.hits + self.misses
-        if total == 0:
-            return 0.0
-        return self.hits / total
+        """Fraction of executed queries answered without inner work."""
+        with self._lock:
+            total = self.hits + self.misses
+            if total == 0:
+                return 0.0
+            return self.hits / total
+
+    def _inner_slot(self):
+        """The serialization gate for calls into the wrapped engine."""
+        from repro.concurrency.policy import execution_slot
+
+        return execution_slot(self._inner)
 
     def _invalidate_table(self, name: str) -> None:
         """Drop every cached answer that read ``name``.
@@ -172,22 +244,35 @@ class CachedEngine(Engine):
         """
         if name.startswith(TEMP_PREFIX):
             return
-        stale = [
-            sql
-            for sql, (_, tables) in self._entries.items()
-            if name in tables
-        ]
-        for sql in stale:
-            del self._entries[sql]
+        with self._lock:
+            self._epoch += 1
+            stale = [
+                sql
+                for sql, (_, tables) in self._entries.items()
+                if name in tables
+            ]
+            for sql in stale:
+                del self._entries[sql]
         self._scan_groups.invalidate_table(name)
 
     def load_table(self, table: Table) -> None:
+        # Invalidate on both sides of the mutation: before, so no new
+        # reader trusts doomed entries; after, so anything a straggling
+        # compute stored mid-mutation is purged too.
         self._invalidate_table(table.name)
-        self._inner.load_table(table)
+        try:
+            with self._inner_slot():
+                self._inner.load_table(table)
+        finally:
+            self._invalidate_table(table.name)
 
     def unload_table(self, name: str) -> None:
         self._invalidate_table(name)
-        self._inner.unload_table(name)
+        try:
+            with self._inner_slot():
+                self._inner.unload_table(name)
+        finally:
+            self._invalidate_table(name)
 
     def table_schema(self, name: str) -> Schema | None:
         return self._inner.table_schema(name)
@@ -195,32 +280,64 @@ class CachedEngine(Engine):
     def materialize_filtered(self, name, source: str, predicate) -> bool:
         # Writing to ``name`` replaces it like a load would.
         self._invalidate_table(name)
-        return self._inner.materialize_filtered(name, source, predicate)
+        try:
+            with self._inner_slot():
+                return self._inner.materialize_filtered(
+                    name, source, predicate
+                )
+        finally:
+            self._invalidate_table(name)
 
     def create_index(self, table: str, column: str) -> None:
-        self._inner.create_index(table, column)
+        with self._inner_slot():
+            self._inner.create_index(table, column)
 
     def execute(self, query: Query) -> ResultSet:
         tables = frozenset(query.table_names())
         if any(name.startswith(TEMP_PREFIX) for name in tables):
             # Shared-scan temps are transient; caching them would risk
             # stale reads after their base table mutates.
-            return self._inner.execute(query)
+            with self._inner_slot():
+                return self._inner.execute(query)
         key = format_query(query)
-        cached = self._entries.get(key)
-        if cached is not None:
-            self._entries.move_to_end(key)
-            self.hits += 1
-            result, _ = cached
-            return ResultSet(result.columns, result.rows)
-        result = self._inner.execute(query)
-        self.misses += 1
-        self._entries[key] = (ResultSet(result.columns, result.rows), tables)
-        if len(self._entries) > self._capacity:
-            self._entries.popitem(last=False)  # evict least recently used
-        return result
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                result, _ = cached
+                return ResultSet(result.columns, result.rows)
+            epoch = self._epoch
 
-    def execute_batch(self, queries: list[Query]) -> list[QueryResult]:
+        def compute() -> ResultSet:
+            with self._inner_slot():
+                result = self._inner.execute(query)
+            with self._lock:
+                self.misses += 1
+                if self._epoch == epoch:
+                    self._entries[key] = (
+                        ResultSet(result.columns, result.rows),
+                        tables,
+                    )
+                    if len(self._entries) > self._capacity:
+                        self._entries.popitem(last=False)  # evict LRU
+            return result
+
+        # The epoch is part of the flight key: a caller arriving after
+        # an invalidation completed must not ride a leader that started
+        # against the pre-mutation data — it starts a fresh flight and
+        # recomputes.
+        result, leader = self._flight.do((key, epoch), compute)
+        if leader:
+            return result
+        # A follower rode the leader's computation: no inner work.
+        with self._lock:
+            self.hits += 1
+        return ResultSet(result.columns, result.rows)
+
+    def execute_batch(
+        self, queries: list[Query], workers: int = 1
+    ) -> list[QueryResult]:
         """Batch execution with whole-scan-group caching.
 
         A repeated dashboard refresh (same table, same filters, same
@@ -228,15 +345,22 @@ class CachedEngine(Engine):
         cache; ``load_table`` on any scanned table invalidates it. The
         executor runs against the *inner* engine so merged/fetch
         queries — whose SQL no caller ever issues directly — don't
-        evict useful entries from the per-query LRU.
+        evict useful entries from the per-query LRU. With ``workers``,
+        independent scan groups overlap; concurrent identical refreshes
+        single-flight into one computation.
         """
-        if self._batch_executor is None:
-            self._batch_executor = BatchExecutor(
-                self._inner,
-                group_cache=self._scan_groups,
-                fallback_engine=self,  # unbatchable queries keep the LRU
-            )
-        return self._batch_executor.run(queries).results
+        with self._lock:
+            if self._batch_executor is None:
+                from repro.concurrency.executor import ScanGroupExecutor
+
+                self._batch_executor = ScanGroupExecutor(
+                    self._inner,
+                    group_cache=self._scan_groups,
+                    fallback_engine=self,  # unbatchable queries keep the LRU
+                    group_flight=self._group_flight,
+                )
+            executor = self._batch_executor
+        return executor.run(queries, workers=workers).results
 
     @property
     def batch_stats(self):
@@ -247,9 +371,15 @@ class CachedEngine(Engine):
 
     def invalidate(self) -> None:
         """Drop every cached result (keeps hit/miss counters)."""
-        self._entries.clear()
+        with self._lock:
+            self._epoch += 1
+            self._entries.clear()
         self._scan_groups.clear()
 
     def close(self) -> None:
         self.invalidate()
+        with self._lock:
+            executor = self._batch_executor
+        if executor is not None:
+            executor.close()  # retire the persistent worker pool
         self._inner.close()

@@ -8,6 +8,9 @@ trusting an executor's self-reported statistics.
 
 from __future__ import annotations
 
+import threading
+import time
+
 from repro.engine.batch import TEMP_PREFIX
 from repro.engine.interface import Engine, ResultSet
 from repro.engine.table import Schema, Table
@@ -15,10 +18,15 @@ from repro.sql.ast import Query
 
 
 class CountingEngine(Engine):
-    """Transparent wrapper counting executions per FROM table."""
+    """Transparent wrapper counting executions per FROM table.
+
+    Counter updates are mutex-guarded so the wrapper can instrument a
+    worker pool's traffic without dropping increments.
+    """
 
     def __init__(self, inner: Engine) -> None:
         self._inner = inner
+        self._lock = threading.Lock()
         self.name = f"counting({inner.name})"
         self.scans: dict[str, int] = {}
 
@@ -30,16 +38,26 @@ class CountingEngine(Engine):
     def supports_indexes(self) -> bool:  # type: ignore[override]
         return self._inner.supports_indexes
 
+    @property
+    def thread_safe(self) -> bool:  # type: ignore[override]
+        return self._inner.thread_safe
+
+    @property
+    def parallel_scans(self) -> bool:  # type: ignore[override]
+        return self._inner.parallel_scans
+
     def base_scans(self) -> int:
         """Executions that read a base (non-temporary) table."""
-        return sum(
-            count
-            for table, count in self.scans.items()
-            if not table.startswith(TEMP_PREFIX)
-        )
+        with self._lock:
+            return sum(
+                count
+                for table, count in self.scans.items()
+                if not table.startswith(TEMP_PREFIX)
+            )
 
     def reset(self) -> None:
-        self.scans.clear()
+        with self._lock:
+            self.scans.clear()
 
     def load_table(self, table: Table) -> None:
         self._inner.load_table(table)
@@ -53,16 +71,86 @@ class CountingEngine(Engine):
     def materialize_filtered(self, name, source: str, predicate) -> bool:
         done = self._inner.materialize_filtered(name, source, predicate)
         if done:  # a native shared scan reads the base table once
-            self.scans[source] = self.scans.get(source, 0) + 1
+            with self._lock:
+                self.scans[source] = self.scans.get(source, 0) + 1
         return done
 
     def create_index(self, table: str, column: str) -> None:
         self._inner.create_index(table, column)
 
     def execute(self, query: Query) -> ResultSet:
-        for table in query.table_names():  # joins scan every table read
-            self.scans[table] = self.scans.get(table, 0) + 1
+        with self._lock:
+            for table in query.table_names():  # joins scan every table
+                self.scans[table] = self.scans.get(table, 0) + 1
         return self._inner.execute(query)
+
+    def close(self) -> None:
+        self._inner.close()
+
+
+class DispatchLatencyEngine(Engine):
+    """Adds a fixed per-call latency, modeling a remote DBMS round trip.
+
+    The engines here are in-process, but the deployments the paper
+    benchmarks stand in for are client/server: every query crosses a
+    network. This wrapper charges that round trip (a GIL-releasing
+    sleep) on each ``execute``/``materialize_filtered`` call, which is
+    what makes concurrency benchmarks honest on machines where
+    CPU-bound work cannot overlap — latency overlap is real on any core
+    count, and it is the dominant win for interactive dashboards.
+
+    The wrapper is thread-safe regardless of its inner engine: round
+    trips overlap freely, while calls into a non-thread-safe inner
+    serialize through its slot-gating wrapper
+    (:func:`repro.concurrency.policy.slot_gated`) — the same leaf
+    discipline :class:`~repro.engine.cache.CachedEngine` uses.
+    """
+
+    thread_safe = True
+    #: Round trips overlap even when compute cannot, so scheduling
+    #: extra workers at a latency-bound engine is always profitable.
+    parallel_scans = True
+
+    def __init__(self, inner: Engine, latency_ms: float) -> None:
+        from repro.concurrency.policy import slot_gated
+
+        self._inner = inner
+        self._gated = slot_gated(inner)
+        self._latency_s = max(0.0, latency_ms) / 1000.0
+        self.latency_ms = max(0.0, latency_ms)
+        self.name = inner.name  # transparent: results carry the real name
+
+    @property
+    def inner(self) -> Engine:
+        return self._inner
+
+    @property
+    def supports_indexes(self) -> bool:  # type: ignore[override]
+        return self._inner.supports_indexes
+
+    def _round_trip(self) -> None:
+        if self._latency_s > 0.0:
+            time.sleep(self._latency_s)
+
+    def load_table(self, table: Table) -> None:
+        self._gated.load_table(table)
+
+    def unload_table(self, name: str) -> None:
+        self._gated.unload_table(name)
+
+    def table_schema(self, name: str) -> Schema | None:
+        return self._gated.table_schema(name)
+
+    def materialize_filtered(self, name, source: str, predicate) -> bool:
+        self._round_trip()
+        return self._gated.materialize_filtered(name, source, predicate)
+
+    def create_index(self, table: str, column: str) -> None:
+        self._gated.create_index(table, column)
+
+    def execute(self, query: Query) -> ResultSet:
+        self._round_trip()
+        return self._gated.execute(query)
 
     def close(self) -> None:
         self._inner.close()

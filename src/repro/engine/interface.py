@@ -129,6 +129,18 @@ class Engine(abc.ABC):
     #: choice ablatable.
     supports_indexes: bool = False
 
+    #: Whether the engine may be invoked from multiple threads
+    #: concurrently without corruption. Callers must serialize access
+    #: to engines that leave this ``False`` (see
+    #: :func:`repro.concurrency.policy.execution_slot`).
+    thread_safe: bool = False
+
+    #: Whether concurrent invocations overlap actual compute (e.g. the
+    #: engine releases the GIL). Drives the scan-group executor's
+    #: decision to schedule an engine's groups in parallel rather than
+    #: as a serialized queue.
+    parallel_scans: bool = False
+
     @abc.abstractmethod
     def load_table(self, table: Table) -> None:
         """Register (or replace) a table in the engine."""
@@ -202,7 +214,9 @@ class Engine(abc.ABC):
             sql=format_query(query),
         )
 
-    def execute_batch(self, queries: list[Query]) -> list[QueryResult]:
+    def execute_batch(
+        self, queries: list[Query], workers: int = 1
+    ) -> list[QueryResult]:
         """Execute a batch of queries through the shared-scan optimizer.
 
         Queries that read the same table through the same (normalized)
@@ -211,9 +225,22 @@ class Engine(abc.ABC):
         (:mod:`repro.engine.batch`). Results are positionally aligned
         with ``queries`` and identical to calling :meth:`execute_timed`
         on each query in turn.
+
+        ``workers > 1`` schedules independent scan groups over a worker
+        pool (:class:`repro.concurrency.executor.ScanGroupExecutor`);
+        results are reassembled in request order, so the output is
+        byte-identical for every ``workers`` value.
         """
         from repro.engine.batch import BatchExecutor
 
+        if workers > 1:
+            from repro.concurrency.executor import ScanGroupExecutor
+
+            executor = ScanGroupExecutor(self, workers=workers)
+            try:
+                return executor.run(queries).results
+            finally:
+                executor.close()
         return BatchExecutor(self).run(queries).results
 
     def close(self) -> None:

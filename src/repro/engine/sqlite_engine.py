@@ -12,14 +12,32 @@ Dialect adaptations:
 - the benchmark's scalar functions (``YEAR``, ``HOUR``, ``BIN``, ...)
   are registered as SQLite user functions;
 - booleans are stored as integers (SQLite has no boolean storage class).
+
+Threading model: ``sqlite3`` connections default to single-thread
+ownership (``check_same_thread``), so the naive one-connection engine
+fails the moment a worker pool touches it. This engine instead keeps a
+**per-thread connection pool**: the creating thread owns the primary
+in-memory database; any other thread lazily receives its own replica
+connection, snapshotted from the primary with the SQLite backup API
+(~2 ms for benchmark-scale tables) and invalidated by a generation
+counter whenever a base table changes. Replicas are fully independent
+databases, so concurrent scans share no page cache or locks — the C
+library releases the GIL and scan groups genuinely parallelize
+(``parallel_scans = True``). Temporary shared-scan relations are
+created on the calling thread's own connection, which is exactly the
+connection the rest of that scan group's task uses.
 """
 
 from __future__ import annotations
 
+import contextlib
 import datetime as _dt
 import math
 import sqlite3
+import threading
+import weakref
 
+from repro.engine.batch import TEMP_PREFIX
 from repro.engine.expressions import apply_scalar_function
 from repro.engine.interface import Engine, ResultSet
 from repro.engine.table import Table
@@ -54,38 +72,132 @@ class SQLiteEngine(Engine):
 
     name = "sqlite"
     supports_indexes = True
+    thread_safe = True
+    parallel_scans = True
 
     def __init__(self) -> None:
-        self._conn = sqlite3.connect(":memory:")
+        # The primary holds the authoritative database. It is created
+        # with cross-thread access allowed (the sqlite3 build here is
+        # SERIALIZED, threadsafety 3) so worker threads can snapshot it
+        # via the backup API; Python-side access is guarded by _lock.
+        self._primary = sqlite3.connect(":memory:", check_same_thread=False)
+        self._owner = threading.get_ident()
+        self._lock = threading.RLock()
+        #: Bumped on every base-table change; replicas older than this
+        #: re-snapshot before their next use.
+        self._generation = 0
+        self._local = threading.local()
+        self._replicas: list[sqlite3.Connection] = []
         self._schemas: dict[str, Table] = {}
-        for func_name, arity in _REGISTERED_FUNCTIONS:
-            self._conn.create_function(
-                func_name, arity, _make_udf(func_name), deterministic=True
-            )
+        _register_functions(self._primary)
+
+    # -- connection pool ----------------------------------------------------
+
+    def _connection(self) -> sqlite3.Connection:
+        """The calling thread's connection (primary for the owner).
+
+        Non-owner threads get a private replica database snapshotted
+        from the primary; a stale replica (base table loaded since the
+        snapshot) is dropped and re-cloned. Per-thread replicas mean
+        concurrent scans never contend on SQLite-side locks.
+
+        Replica lifetime is tied to the thread: the connection hangs
+        off a thread-local token whose finalizer closes it and drops it
+        from the tracking list, so short-lived pool threads (one pool
+        per batch call) cannot accumulate database copies.
+
+        A replica holding live temp relations (a scan group in flight
+        on this thread) is *pinned*: a concurrent base-table load may
+        have bumped the generation, but re-cloning now would destroy
+        the temp mid-group. The group completes against its snapshot —
+        consistent results, and the caches drop the store via their
+        epoch checks — and the replica refreshes on the next use after
+        the pins are gone.
+        """
+        if threading.get_ident() == self._owner:
+            return self._primary
+        local = self._local
+        conn = getattr(local, "conn", None)
+        if conn is not None and (
+            local.generation == self._generation
+            or getattr(local, "pins", None)
+        ):
+            return conn
+        if conn is not None:
+            local.reaper()  # close + untrack the stale replica now
+        replica = sqlite3.connect(":memory:", check_same_thread=False)
+        _register_functions(replica)
+        with self._lock:
+            self._primary.backup(replica)
+            local.generation = self._generation
+            self._replicas.append(replica)
+        local.conn = replica
+        # The token dies with the thread (thread-local storage is the
+        # only reference), triggering the reaper even if this engine
+        # lives on long after the worker pool is gone.
+        token = _ThreadToken()
+        local.token = token
+        local.reaper = weakref.finalize(
+            token, _reap_replica, self._replicas, self._lock, replica
+        )
+        return replica
+
+    def _write_connection(self, name: str) -> sqlite3.Connection:
+        """Where a write to relation ``name`` belongs.
+
+        Shared-scan temporaries are private to the scan-group task that
+        materializes them, so they live on the calling thread's own
+        connection. Everything else is base data: it goes to the
+        primary, and the generation bump invalidates every replica.
+        """
+        if name.startswith(TEMP_PREFIX):
+            return self._connection()
+        self._generation += 1
+        return self._primary
+
+    def _pin_temp(self, name: str) -> None:
+        """Mark a temp as live on this thread's connection (no re-clone)."""
+        if not name.startswith(TEMP_PREFIX):
+            return
+        pins = getattr(self._local, "pins", None)
+        if pins is None:
+            pins = self._local.pins = set()
+        pins.add(name)
+
+    def _unpin_temp(self, name: str) -> None:
+        pins = getattr(self._local, "pins", None)
+        if pins:
+            pins.discard(name)
 
     def load_table(self, table: Table) -> None:
-        cursor = self._conn.cursor()
-        cursor.execute(f'DROP TABLE IF EXISTS "{table.name}"')
-        columns_sql = ", ".join(
-            f'"{c.name}" {_SQLITE_TYPES[c.dtype]}' for c in table.schema
-        )
-        cursor.execute(f'CREATE TABLE "{table.name}" ({columns_sql})')
-        placeholders = ", ".join("?" for _ in table.schema)
-        names = table.schema.names
-        rows = (
-            tuple(_to_sqlite(table.column(n)[i]) for n in names)
-            for i in range(table.num_rows)
-        )
-        cursor.executemany(
-            f'INSERT INTO "{table.name}" VALUES ({placeholders})', rows
-        )
-        self._conn.commit()
-        self._schemas[table.name] = table
+        with self._lock:
+            conn = self._write_connection(table.name)
+            cursor = conn.cursor()
+            cursor.execute(f'DROP TABLE IF EXISTS "{table.name}"')
+            columns_sql = ", ".join(
+                f'"{c.name}" {_SQLITE_TYPES[c.dtype]}' for c in table.schema
+            )
+            cursor.execute(f'CREATE TABLE "{table.name}" ({columns_sql})')
+            placeholders = ", ".join("?" for _ in table.schema)
+            names = table.schema.names
+            rows = (
+                tuple(_to_sqlite(table.column(n)[i]) for n in names)
+                for i in range(table.num_rows)
+            )
+            cursor.executemany(
+                f'INSERT INTO "{table.name}" VALUES ({placeholders})', rows
+            )
+            conn.commit()
+            self._schemas[table.name] = table
+            self._pin_temp(table.name)
 
     def unload_table(self, name: str) -> None:
-        self._conn.execute(f'DROP TABLE IF EXISTS "{name}"')
-        self._conn.commit()
-        self._schemas.pop(name, None)
+        with self._lock:
+            conn = self._write_connection(name)
+            conn.execute(f'DROP TABLE IF EXISTS "{name}"')
+            conn.commit()
+            self._schemas.pop(name, None)
+            self._unpin_temp(name)
 
     def materialize_filtered(self, name, source: str, predicate) -> bool:
         """Shared-scan fast path: filter entirely inside SQLite.
@@ -100,9 +212,11 @@ class SQLiteEngine(Engine):
         if base is None:
             return False
         where_sql = format_expression(predicate)
+        with self._lock:
+            conn = self._write_connection(name)
         try:
-            self._conn.execute(f'DROP TABLE IF EXISTS "{name}"')
-            self._conn.execute(
+            conn.execute(f'DROP TABLE IF EXISTS "{name}"')
+            conn.execute(
                 f'CREATE TABLE "{name}" AS '
                 f'SELECT * FROM "{source}" WHERE {where_sql}'
             )
@@ -110,14 +224,17 @@ class SQLiteEngine(Engine):
             raise ExecutionError(
                 f"sqlite shared scan failed for {source!r}: {exc}"
             ) from exc
-        self._conn.commit()
+        conn.commit()
         # Register the base table under the temp name so output values
         # convert with the same schema (dates, booleans, ...).
-        self._schemas[name] = base
+        with self._lock:
+            self._schemas[name] = base
+            self._pin_temp(name)
         return True
 
     def table_schema(self, name: str):
-        table = self._schemas.get(name)
+        with self._lock:
+            table = self._schemas.get(name)
         if table is None:
             return None
         return table.schema
@@ -126,12 +243,16 @@ class SQLiteEngine(Engine):
         if table not in self._schemas:
             raise ExecutionError(f"unknown table {table!r}")
         name = f"idx_{table}_{column}"
-        self._conn.execute(
-            f'CREATE INDEX IF NOT EXISTS "{name}" ON "{table}" ("{column}")'
-        )
-        self._conn.commit()
+        with self._lock:
+            self._generation += 1  # replicas re-clone to pick up the index
+            self._primary.execute(
+                f'CREATE INDEX IF NOT EXISTS "{name}" ON "{table}" ("{column}")'
+            )
+            self._primary.commit()
 
     def execute(self, query: Query) -> ResultSet:
+        with self._lock:  # stable snapshot vs concurrent load_table
+            schemas = dict(self._schemas)
         if query.joins and any(
             isinstance(item.expr, Star) for item in query.select
         ):
@@ -139,32 +260,83 @@ class SQLiteEngine(Engine):
             from repro.engine.table import Database
             from repro.sql.ast import replace_query
 
-            db = Database(list(self._schemas.values()))
+            db = Database(list(schemas.values()))
             query = replace_query(
                 query, select=expand_star_items(db, query)
             )
         sql = format_query(query)
-        try:
-            cursor = self._conn.execute(sql)
-        except sqlite3.Error as exc:
-            raise ExecutionError(f"sqlite error for {sql!r}: {exc}") from exc
-        columns = [d[0] for d in cursor.description]
+        conn = self._connection()
+        # Replica reads are lock-free (private databases); reads on the
+        # shared primary serialize against base-table writes arriving
+        # from worker threads — DDL on a connection with an open read
+        # cursor raises 'database table is locked' otherwise.
+        guard = (
+            self._lock if conn is self._primary else contextlib.nullcontext()
+        )
+        with guard:
+            try:
+                cursor = conn.execute(sql)
+            except sqlite3.Error as exc:
+                raise ExecutionError(
+                    f"sqlite error for {sql!r}: {exc}"
+                ) from exc
+            fetched = cursor.fetchall()
+            columns = [d[0] for d in cursor.description]
         tables = [
-            self._schemas[name]
+            schemas[name]
             for name in query.table_names()
-            if name in self._schemas
+            if name in schemas
         ]
         converters = [
             _output_converter(name, tables) for name in columns
         ]
         rows = [
             tuple(conv(v) for conv, v in zip(converters, row))
-            for row in cursor.fetchall()
+            for row in fetched
         ]
         return ResultSet(columns, rows)
 
     def close(self) -> None:
-        self._conn.close()
+        with self._lock:
+            for replica in self._replicas:
+                try:
+                    replica.close()
+                except sqlite3.Error:  # pragma: no cover - best-effort
+                    pass
+            self._replicas.clear()
+            self._primary.close()
+
+
+class _ThreadToken:
+    """Weakref-able marker living in one thread's local storage."""
+
+    __slots__ = ("__weakref__",)
+
+
+def _reap_replica(replicas, lock, conn) -> None:
+    """Finalizer: close one replica and drop it from tracking.
+
+    Module-level (no engine reference) so a dead thread's replica is
+    reclaimed even while the engine object stays alive. Idempotent with
+    ``close()``: double-closing a sqlite3 connection is a no-op.
+    """
+    with lock:
+        try:
+            replicas.remove(conn)
+        except ValueError:
+            pass
+    try:
+        conn.close()
+    except sqlite3.Error:  # pragma: no cover - close is best-effort
+        pass
+
+
+def _register_functions(conn: sqlite3.Connection) -> None:
+    """Install the benchmark's scalar UDFs on one connection."""
+    for func_name, arity in _REGISTERED_FUNCTIONS:
+        conn.create_function(
+            func_name, arity, _make_udf(func_name), deterministic=True
+        )
 
 
 def _make_udf(name: str):

@@ -68,6 +68,12 @@ def build_parser() -> argparse.ArgumentParser:
         "query, the paper's sequential setup)",
     )
     parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker-pool width: overlaps independent engine x run grid "
+        "cells and each session's scan groups (1 = sequential; results "
+        "are identical for any value, only wall-clock changes)",
+    )
+    parser.add_argument(
         "--progress", action="store_true", help="print per-run progress"
     )
     parser.add_argument(
@@ -88,6 +94,7 @@ def main(argv: list[str] | None = None) -> int:
         runs=args.runs,
         seed=args.seed,
         batch=args.batch,
+        workers=args.workers,
     )
     runner = BenchmarkRunner(config, log_directory=args.export_logs)
     result = runner.run(progress=args.progress)

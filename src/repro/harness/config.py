@@ -54,6 +54,17 @@ class BenchmarkConfig:
     #: After construction this field always mirrors the session flag —
     #: the session config is the single source of truth downstream.
     batch: bool = False
+    #: Worker-pool width (the CLI's ``--workers``). Two effects: the
+    #: runner overlaps independent engine x run grid cells over a pool
+    #: of this size, and each session's own fan-outs default to the
+    #: same width (``session.workers``, when not set explicitly).
+    #: Setting only ``session.workers`` does *not* turn on cell
+    #: overlap — intra-session and cross-cell concurrency stay
+    #: independently controllable. ``1`` is the sequential
+    #: pre-concurrency path; results are identical for every value —
+    #: only wall-clock and the *measured* durations change (overlapped
+    #: queries contend for cores).
+    workers: int = 1
     #: Fixed-duration sessions by default: each goal segment runs its
     #: full step budget even if the goal completes early, matching the
     #: paper's time-boxed exploration studies and keeping per-dashboard
@@ -79,14 +90,22 @@ class BenchmarkConfig:
             raise ConfigError("runs must be >= 1")
         if not self.sizes:
             raise ConfigError("at least one dataset size is required")
-        if self.batch and not self.session.batch:
-            from dataclasses import replace
+        if self.workers < 1:
+            raise ConfigError("workers must be >= 1")
+        from dataclasses import replace
 
+        if self.batch and not self.session.batch:
             object.__setattr__(
                 self, "session", replace(self.session, batch=True)
             )
-        # Keep the two views consistent: ``batch`` always mirrors the
-        # session flag, which is the single source of truth downstream.
+        if self.workers > 1 and self.session.workers == 1:
+            object.__setattr__(
+                self, "session", replace(self.session, workers=self.workers)
+            )
+        # ``batch`` always mirrors the session flag (single source of
+        # truth downstream); ``workers`` stays the runner's own cell
+        # concurrency — an explicit ``session.workers`` only affects
+        # the sessions themselves.
         object.__setattr__(self, "batch", self.session.batch)
 
     @classmethod

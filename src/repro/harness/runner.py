@@ -114,7 +114,18 @@ class BenchmarkRunner:
         Workflow/dashboard pairs the workflow cannot target (MyRide vs
         correlation-bearing workflows) are recorded in ``skipped`` —
         the same incompatibility the paper reports in §6.2.3.
+
+        With ``config.workers > 1``, the independent engine x run cells
+        of each dashboard overlap across a worker pool: sessions on
+        thread-safe engines (SQLite's per-thread connections) run fully
+        concurrently, while cells sharing a pure-Python engine
+        serialize on that engine's execution slot but overlap with
+        every other engine's cells. Cell results are gathered in grid
+        order, so ``result.runs`` is identical to a sequential run.
         """
+        from repro.concurrency.policy import execution_slot
+        from repro.concurrency.sessions import run_tasks
+
         result = BenchmarkResult(self.config)
         for size_label, num_rows in sorted(
             self.config.sizes.items(), key=lambda kv: kv[1]
@@ -129,6 +140,7 @@ class BenchmarkRunner:
                     name: self._loaded_engine(name, table)
                     for name in self.config.engines
                 }
+                cells = []
                 for workflow_name in self.config.workflows:
                     workflow = get_workflow(workflow_name)
                     for run_index in range(self.config.runs):
@@ -146,24 +158,43 @@ class BenchmarkRunner:
                             )
                             break
                         for engine_name, engine in engines.items():
-                            run_result = self._run_session(
+                            cells.append(self._cell_task(
+                                execution_slot,
                                 spec, table, reference, goals,
                                 engine, engine_name,
                                 dashboard_name, workflow_name,
                                 size_label, num_rows, run_index,
-                            )
-                            result.runs.append(run_result)
-                            if progress:
-                                print(
-                                    f"[{size_label}] {dashboard_name} x "
-                                    f"{workflow_name} x {engine_name} "
-                                    f"run {run_index}: "
-                                    f"{run_result.average_duration:.2f} ms avg "
-                                    f"({run_result.queries} queries)"
-                                )
+                            ))
+                for run_result in run_tasks(
+                    cells, workers=self.config.workers
+                ):
+                    result.runs.append(run_result)
+                    if progress:
+                        print(
+                            f"[{size_label}] {run_result.dashboard} x "
+                            f"{run_result.workflow} x {run_result.engine} "
+                            f"run {run_result.run_index}: "
+                            f"{run_result.average_duration:.2f} ms avg "
+                            f"({run_result.queries} queries)"
+                        )
                 for engine in engines.values():
                     engine.close()
         return result
+
+    def _cell_task(self, execution_slot, spec, table, reference, goals,
+                   engine, engine_name, dashboard_name, workflow_name,
+                   size_label, num_rows, run_index):
+        """One engine x run grid cell as a schedulable closure."""
+
+        def cell() -> RunResult:
+            with execution_slot(engine):
+                return self._run_session(
+                    spec, table, reference, goals, engine, engine_name,
+                    dashboard_name, workflow_name, size_label, num_rows,
+                    run_index,
+                )
+
+        return cell
 
     # -- internals ----------------------------------------------------------------
 
@@ -203,6 +234,7 @@ class BenchmarkRunner:
             lookahead=self.config.session.lookahead,
             run_to_max=self.config.session.run_to_max,
             batch=self.config.session.batch,
+            workers=self.config.session.workers,
             seed=self.config.seed * 1_000 + run_index,
         )
         simulator = SessionSimulator(

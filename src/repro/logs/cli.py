@@ -76,6 +76,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-check", action="store_true",
         help="skip cardinality checking",
     )
+    replay.add_argument(
+        "--batch", action="store_true",
+        help="replay each interaction's fan-out through the shared-scan "
+        "batch optimizer",
+    )
+    replay.add_argument(
+        "--workers", type=int, default=1,
+        help="worker-pool width for overlapping the replay "
+        "(1 = sequential; results are identical for any value)",
+    )
 
     metrics = commands.add_parser(
         "metrics", help="print the §7 exploration metrics of a log"
@@ -146,7 +156,8 @@ def _replay(args) -> int:
     table = generate_dataset(log.dashboard, args.rows, seed=args.seed)
     engine.load_table(table)
     report = replay_log(
-        log, engine, check_cardinality=not args.no_check
+        log, engine, check_cardinality=not args.no_check,
+        batch=args.batch, workers=args.workers,
     )
     print(
         f"replayed {report.query_count} queries on {engine.name}: "

@@ -60,6 +60,7 @@ def replay_log(
     check_cardinality: bool = True,
     strict: bool = False,
     batch: bool = False,
+    workers: int = 1,
 ) -> ReplayReport:
     """Re-execute every query in ``log`` against ``engine``.
 
@@ -72,6 +73,13 @@ def replay_log(
     shared-scan optimizer
     (:meth:`~repro.engine.interface.Engine.execute_batch`), recreating
     the multi-query execution a batching dashboard backend performs.
+
+    ``workers > 1`` overlaps the replay over a worker pool — scan
+    groups within each step in batch mode, individual queries
+    otherwise. Results and mismatch reports are identical for every
+    ``workers`` value (queries still record in log order); only
+    ``strict`` raising moves from mid-execution to the recording pass,
+    since overlapped queries have already run when checks happen.
     """
     report = ReplayReport(engine=engine.name)
 
@@ -88,6 +96,14 @@ def replay_log(
             report.mismatches.append(mismatch)
 
     if not batch:
+        if workers > 1:
+            from repro.concurrency.sessions import execute_all
+
+            queries = [parse_query(e.sql) for e in log.entries]
+            timed_results = execute_all(engine, queries, workers=workers)
+            for entry, timed in zip(log.entries, timed_results):
+                record(entry, timed)
+            return report
         for entry in log.entries:
             record(entry, engine.execute_timed(parse_query(entry.sql)))
         return report
@@ -97,6 +113,7 @@ def replay_log(
     for _, group in groupby(log.entries, key=lambda e: e.step):
         step_entries = list(group)
         queries = [parse_query(e.sql) for e in step_entries]
-        for entry, timed in zip(step_entries, engine.execute_batch(queries)):
+        timed_results = engine.execute_batch(queries, workers=workers)
+        for entry, timed in zip(step_entries, timed_results):
             record(entry, timed)
     return report

@@ -68,6 +68,12 @@ class SessionConfig:
     #: of one engine call per query — the multi-query execution mode
     #: the harness toggles with ``--batch``.
     batch: bool = False
+    #: Worker-pool width for each interaction's fan-out: independent
+    #: scan groups (batch mode) or single queries (sequential mode)
+    #: overlap across this many workers. ``1`` (the default) is exactly
+    #: the pre-concurrency execution path; results are byte-identical
+    #: for every value (:mod:`repro.concurrency`).
+    workers: int = 1
     seed: int = 0
 
     def p_markov(self, step: int) -> float:
@@ -336,8 +342,18 @@ class SessionSimulator:
         In batch mode the whole fan-out goes through the shared-scan
         optimizer as a single unit — the execution strategy under test —
         while sequential mode preserves the paper's one-call-per-query
-        behavior.
+        behavior. ``config.workers`` overlaps the fan-out's independent
+        units either way; results are byte-identical.
         """
         if self.config.batch:
-            return self.measured_engine.execute_batch(list(queries))
+            return self.measured_engine.execute_batch(
+                list(queries), workers=self.config.workers
+            )
+        if self.config.workers > 1:
+            from repro.concurrency.sessions import execute_all
+
+            return execute_all(
+                self.measured_engine, list(queries),
+                workers=self.config.workers,
+            )
         return [self._measure(q) for q in queries]
