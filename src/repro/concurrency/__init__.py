@@ -1,18 +1,19 @@
-"""Concurrent execution of scan groups, refreshes, and sessions.
+"""Concurrent execution of scan groups, shards, refreshes, and sessions.
 
-PR 1's batch executor collapsed a dashboard refresh into a handful of
-independent :class:`~repro.engine.batch.ScanGroup` units; this package
-is the next rung of the scale-out progression (batch -> **async** ->
-sharded): it overlaps those independent units — and whole refreshes
-across dashboards and engines — over a worker pool while keeping every
-result byte-identical to sequential execution.
+The batch executor (PR 1) collapsed a dashboard refresh into a handful
+of independent :class:`~repro.engine.batch.ScanGroup` units; this
+package overlaps those units — and whole refreshes across dashboards
+and engines — over a worker pool, and (with the third rung of the
+scale-out progression, batch -> async -> **sharded**) schedules the
+per-shard scan tasks that :mod:`repro.sharding` splits each group into.
+Every result stays byte-identical to sequential execution.
 
 Layers, bottom up:
 
 - :mod:`repro.concurrency.pool` — the worker pool. ``workers=1``
   resolves to an inline :class:`~repro.concurrency.pool.SerialPool`, so
-  the default path is *exactly* today's sequential execution (no
-  threads, no queues).
+  the default path is *exactly* the sequential execution (no threads,
+  no queues).
 - :mod:`repro.concurrency.policy` — per-engine execution policies.
   SQLite executes scan groups with true thread parallelism (per-thread
   connections release the GIL inside the C library); the pure-Python
@@ -23,16 +24,28 @@ Layers, bottom up:
   :mod:`repro.engine.cache` builds on it.
 - :mod:`repro.concurrency.executor` —
   :class:`~repro.concurrency.executor.ScanGroupExecutor`, the batch
-  executor that schedules one batch's scan groups over the pool and
-  reassembles results in request order.
+  executor that schedules one batch's scan groups — or, with
+  ``shards > 1``, one task per (group, shard) plus a rollup merge —
+  over the pool and reassembles results in request order.
 - :mod:`repro.concurrency.sessions` — the inter-session layer:
   overlapping whole dashboard refreshes
   (:func:`~repro.concurrency.sessions.refresh_many`) and generic
   ordered task maps used by the harness and log replay.
 
-Determinism contract: for any ``workers`` value, every public entry
-point returns results positionally identical to its sequential
-counterpart. Only wall-clock and internal scheduling change.
+Determinism contract: for any ``(workers, shards)`` combination, every
+public entry point returns results positionally identical to its
+sequential counterpart. Only wall-clock and internal scheduling change.
+
+Thread-safety contract, in one place (each module documents its own
+piece): engine calls are *leaf-granular* — a non-thread-safe engine's
+per-instance :func:`~repro.concurrency.policy.execution_slot` is held
+for exactly one call, never across a wait on another thread; caches
+close the compute/invalidate race with *epoch guards* (a result
+computed against pre-mutation data is never stored after the mutation);
+concurrent identical work *single-flights* into one computation; and
+SQLite runs worker threads on *per-thread replica connections*
+snapshotted from the primary, invalidated by a generation counter and
+pinned while a task's temp relations are live.
 """
 
 from repro.concurrency.executor import ScanGroupExecutor

@@ -9,29 +9,55 @@ groups dispatched across a worker pool; everything else runs as a
 serialized task queue in submission order, which is byte-for-byte the
 sequential executor.
 
-Determinism: each group writes only its own members' positions in the
-shared results list, and stats merge in submission order after every
-task settles — so results and statistics are identical for every
-``workers`` value, whatever the completion interleaving was.
+With ``shards > 1`` the unit of work shrinks from one task per group to
+**one task per (group, shard)**: each shardable group's base scan is
+split across contiguous row-range shards (:mod:`repro.sharding`), the
+per-shard scan tasks schedule over the same pool alongside unshardable
+groups' whole-group tasks, and once a group's shards have all settled a
+merge step rolls the partial aggregates up into the final member
+results. ``shards=1`` is byte-for-byte the pre-existing path — the
+sharded code is not even reached.
 
-Safety: a non-thread-safe engine is wrapped so every *individual* call
-into it serializes through its
-:func:`~repro.concurrency.policy.execution_slot` — leaf-granular, never
-held across anything that can block on another thread (a coarser
-group-wide hold deadlocks against the cache's single-flight: one
-thread waits on a flight while holding the slot its leader needs).
-Interleaving leaf calls across groups is safe because shared-scan temp
-relations carry unique per-execution names. An optional
-:class:`~repro.concurrency.singleflight.SingleFlight` collapses
-concurrent *identical* groups (same table, same predicate, same member
-set — two sessions refreshing the same dashboard at once) into one
-computation, with followers served from the scan-group cache the
-leader populated.
+Determinism: each group (or its merge step) writes only its own
+members' positions in the shared results list, and stats merge in
+submission order after every task settles — so results and statistics
+are identical for every ``(workers, shards)`` combination, whatever the
+completion interleaving was.
+
+Thread-safety contract (what PR 2 established, spelled out):
+
+- **Leaf-granular slots.** A non-thread-safe engine is wrapped so
+  every *individual* call into it serializes through its
+  :func:`~repro.concurrency.policy.execution_slot` — never held across
+  anything that can block on another thread (a coarser group-wide hold
+  deadlocks against the cache's single-flight: one thread waits on a
+  flight while holding the slot its leader needs). Interleaving leaf
+  calls across groups and shards is safe because shared-scan and
+  partial-rollup temp relations carry unique per-execution names.
+- **Single-flight.** An optional
+  :class:`~repro.concurrency.singleflight.SingleFlight` collapses
+  concurrent *identical* groups (same table, same predicate, same
+  member set — two sessions refreshing the same dashboard at once)
+  into one computation, with followers served from the scan-group
+  cache the leader populated. Sharded groups skip the flight — their
+  work is a task fan-out, not a single closure — and rely on the
+  epoch-guarded scan-group cache alone to absorb repeats.
+- **Epoch guards.** Every scan-group cache store carries the epoch
+  captured before the group's first engine call; a store whose table
+  was invalidated mid-compute is dropped, never cached (the "lost
+  invalidation" race the stress tests guard).
+- **Per-thread replicas.** SQLite executes worker-thread calls on
+  private replica connections snapshotted from the primary (see
+  :mod:`repro.engine.sqlite_engine`), so concurrent scans share no
+  SQLite-side state; a generation counter refreshes replicas after
+  base-table loads, and in-flight temps pin their replica until the
+  task finishes.
 """
 
 from __future__ import annotations
 
 import threading
+from typing import Callable
 
 from repro.engine.batch import (
     BatchExecutor,
@@ -48,19 +74,25 @@ from repro.sql.ast import Query
 
 
 class ScanGroupExecutor(BatchExecutor):
-    """Batch executor that overlaps independent scan groups.
+    """Batch executor that overlaps independent scan groups and shards.
 
     A drop-in superset of :class:`~repro.engine.batch.BatchExecutor`:
     ``run(queries)`` with ``workers=1`` takes the exact sequential code
-    path (no pool, no threads). The executor itself is safe to share
+    path (no pool, no threads), and ``shards=1`` keeps one task per
+    group; ``shards > 1`` splits each shardable group into one scan
+    task per row-range shard plus a partial-aggregate merge
+    (:mod:`repro.sharding`). The executor itself is safe to share
     across threads — concurrent ``run`` calls from overlapping
-    refreshes are supported and deduplicated via ``group_flight``.
+    refreshes are supported and deduplicated via ``group_flight``
+    (unsharded groups only; sharded repeats are absorbed by the
+    scan-group cache instead).
     """
 
     def __init__(
         self,
         engine: Engine,
         workers: int = 1,
+        shards: int = 1,
         group_cache=None,
         fallback_engine: Engine | None = None,
         group_flight: SingleFlight | None = None,
@@ -70,6 +102,9 @@ class ScanGroupExecutor(BatchExecutor):
             engine, group_cache=group_cache, fallback_engine=fallback_engine
         )
         self.workers = workers
+        #: Row-range shards per shardable scan group; ``1`` keeps the
+        #: one-task-per-group execution untouched.
+        self.shards = shards
         #: Collapses concurrent identical groups; only effective with a
         #: group cache (followers are served from what the leader
         #: stored there).
@@ -101,12 +136,22 @@ class ScanGroupExecutor(BatchExecutor):
         if pool is not None:
             pool.shutdown()
 
-    def run(self, queries: list[Query], workers: int | None = None) -> BatchResult:
+    def run(
+        self,
+        queries: list[Query],
+        workers: int | None = None,
+        shards: int | None = None,
+    ) -> BatchResult:
         """Execute one batch; results align positionally with input.
 
-        ``workers`` overrides the constructor value for this call.
+        ``workers`` and ``shards`` override the constructor values for
+        this call. ``shards <= 1`` takes the exact pre-existing
+        one-task-per-group path.
         """
         effective = self.workers if workers is None else workers
+        sharding = self.shards if shards is None else shards
+        if sharding > 1:
+            return self._run_sharded(queries, effective, sharding)
         stats = BatchStats(queries=len(queries))
         results: list[QueryResult | None] = [None] * len(queries)
         with self._shared_lock:  # the key memo is shared mutable state
@@ -122,6 +167,59 @@ class ScanGroupExecutor(BatchExecutor):
             group_stats = [self._execute_group(g, results) for g in groups]
         for group_stat in group_stats:
             stats.merge(group_stat)
+        if any(r is None for r in results):
+            # Positional alignment is the API contract; a hole here
+            # must fail loudly, never compact silently.
+            raise ExecutionError("batch execution left a query unanswered")
+        with self._shared_lock:
+            self.stats.merge(stats)
+        return BatchResult(list(results), stats)
+
+    def _run_sharded(
+        self, queries: list[Query], workers: int, shards: int
+    ) -> BatchResult:
+        """One task per (group, shard), then one merge per group.
+
+        Shardable groups contribute ``shards`` scan tasks to a flat
+        task list (unshardable groups contribute their pre-existing
+        whole-group task); the list schedules over the pool exactly
+        like groups do, and once *all* tasks have settled each sharded
+        group's partials roll up on the calling thread, in group order
+        — so results and stats are deterministic for any
+        ``(workers, shards)``.
+        """
+        from repro.sharding import Partitioner
+        from repro.sharding.executor import plan_sharded_group
+
+        partitioner = Partitioner(shards)
+        stats = BatchStats(queries=len(queries))
+        results: list[QueryResult | None] = [None] * len(queries)
+        with self._shared_lock:  # the key memo is shared mutable state
+            groups = self._group(queries)
+        stats.groups = len(groups)
+        plan_stats = BatchStats()  # cache hits served at plan time
+        units: list[Callable[[], BatchStats]] = []
+        sharded_runs = []
+        for group in groups:
+            run = plan_sharded_group(
+                self, group, partitioner, results, plan_stats
+            )
+            if run is None:
+                units.append(
+                    lambda g=group: self._execute_group(g, results)
+                )
+            else:
+                sharded_runs.append(run)
+                units.extend(run.scan_tasks())
+        if workers > 1 and len(units) > 1 and parallel_scans(self.engine):
+            pool = self._pool_for(workers)
+            unit_stats = map_ordered(pool, lambda unit: unit(), units)
+        else:
+            # Serialized task queue: submission order, caller's thread.
+            unit_stats = [unit() for unit in units]
+        merge_stats = [run.merge(results) for run in sharded_runs]
+        for delta in (plan_stats, *unit_stats, *merge_stats):
+            stats.merge(delta)
         if any(r is None for r in results):
             # Positional alignment is the API contract; a hole here
             # must fail loudly, never compact silently.

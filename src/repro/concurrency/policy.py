@@ -122,9 +122,21 @@ class SlotGatedEngine(Engine):
         with execution_slot(self._inner):
             return self._inner.table_schema(name)
 
-    def materialize_filtered(self, name, source: str, predicate) -> bool:
+    def table_row_count(self, name: str) -> int | None:
         with execution_slot(self._inner):
-            return self._inner.materialize_filtered(name, source, predicate)
+            return self._inner.table_row_count(name)
+
+    def materialize_filtered(
+        self, name, source: str, predicate, row_range=None
+    ) -> bool:
+        with execution_slot(self._inner):
+            if row_range is None:  # legacy three-argument inners work
+                return self._inner.materialize_filtered(
+                    name, source, predicate
+                )
+            return self._inner.materialize_filtered(
+                name, source, predicate, row_range
+            )
 
     def create_index(self, table: str, column: str) -> None:
         with execution_slot(self._inner):

@@ -40,9 +40,10 @@ class RefreshJob:
     """One dashboard refresh to schedule: a state, its engine, options.
 
     ``viz_ids=None`` refreshes every visualization. ``workers`` here is
-    the *intra-batch* level passed down to the scan-group executor;
-    the pool running jobs concurrently is sized by
-    :func:`refresh_many`'s own ``workers`` argument.
+    the *intra-batch* level passed down to the scan-group executor, and
+    ``shards`` the per-group row-range shard count
+    (:mod:`repro.sharding`); the pool running jobs concurrently is
+    sized by :func:`refresh_many`'s own ``workers`` argument.
     """
 
     state: object  # DashboardState (duck-typed; avoids a circular import)
@@ -50,6 +51,7 @@ class RefreshJob:
     viz_ids: Sequence[str] | None = None
     batch: bool = True
     workers: int = 1
+    shards: int = 1
 
 
 def refresh_many(
@@ -70,6 +72,7 @@ def refresh_many(
                 viz_ids=job.viz_ids,
                 batch=job.batch,
                 workers=job.workers,
+                shards=job.shards,
             )
 
     return run_tasks([lambda j=job: run_job(j) for job in jobs], workers)

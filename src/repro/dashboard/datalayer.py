@@ -162,7 +162,8 @@ class RefreshPlan:
         return len(self.queries)
 
     def execute(
-        self, engine: Engine, batch: bool = True, workers: int = 1
+        self, engine: Engine, batch: bool = True, workers: int = 1,
+        shards: int = 1,
     ) -> dict[str, QueryResult]:
         """Run the refresh; returns timed results keyed by viz id.
 
@@ -170,11 +171,17 @@ class RefreshPlan:
         (shared scans); ``batch=False`` executes each component query
         independently. ``workers > 1`` overlaps the refresh's
         independent units (scan groups in batch mode, single queries
-        otherwise) over a worker pool. All combinations produce
-        identical result sets.
+        otherwise) over a worker pool. ``shards > 1`` splits each scan
+        group's base scan across row-range shards with
+        partial-aggregate rollup (:mod:`repro.sharding`) — a
+        batch-mode feature, ignored in sequential mode where there are
+        no scan groups to shard. All combinations produce identical
+        result sets.
         """
         if batch:
-            timed = engine.execute_batch(self.queries, workers=workers)
+            timed = engine.execute_batch(
+                self.queries, workers=workers, shards=shards
+            )
         elif workers > 1:
             from repro.concurrency.sessions import execute_all
 

@@ -167,24 +167,26 @@ class DashboardState:
     # -- refresh paths (batch API) ---------------------------------------------
 
     def refresh(self, engine, viz_ids=None, batch: bool = True,
-                workers: int = 1):
+                workers: int = 1, shards: int = 1):
         """Execute the current queries of (all or selected) nodes.
 
         Routes through the shared-scan batch executor by default
         (:meth:`~repro.engine.interface.Engine.execute_batch`); pass
-        ``batch=False`` for sequential per-component execution, and
+        ``batch=False`` for sequential per-component execution,
         ``workers > 1`` to overlap the refresh's independent scan
-        groups over a worker pool (results are byte-identical; see
-        :mod:`repro.concurrency`). Returns timed results keyed by
-        visualization id.
+        groups over a worker pool, and ``shards > 1`` to split each
+        scan group's base scan across row-range shards with
+        partial-aggregate rollup (results are byte-identical; see
+        :mod:`repro.concurrency` and :mod:`repro.sharding`). Returns
+        timed results keyed by visualization id.
         """
         return build_refresh(self, viz_ids).execute(
-            engine, batch=batch, workers=workers
+            engine, batch=batch, workers=workers, shards=shards
         )
 
     def apply_and_refresh(
         self, interaction: Interaction, engine, batch: bool = True,
-        workers: int = 1,
+        workers: int = 1, shards: int = 1,
     ):
         """Apply an interaction and execute its fan-out as one batch.
 
@@ -195,7 +197,8 @@ class DashboardState:
         """
         affected = self.apply_affected(interaction)
         return self.refresh(
-            engine, viz_ids=affected, batch=batch, workers=workers
+            engine, viz_ids=affected, batch=batch, workers=workers,
+            shards=shards,
         )
 
     # -- applying interactions ---------------------------------------------------

@@ -20,6 +20,14 @@ module merges a refresh into a handful of shared scans:
    its WHERE stripped. Filtering commutes with grouping, ordering, and
    limiting, so a deterministic engine returns byte-identical results.
 
+4. **Partial-aggregate rollup.** For sharded execution
+   (:mod:`repro.sharding`), :func:`build_rollup` decomposes a fused
+   aggregate query into a *partial* query (AVG becomes SUM + COUNT;
+   COUNT/SUM/MIN/MAX pass through) that runs once per table shard, and
+   a *merge* query that re-aggregates the per-shard partial rows into
+   the final result — COUNT and SUM partials merge with SUM, MIN/MAX
+   with themselves, AVG as ``SUM(sums) * 1.0 / SUM(counts)``.
+
 Correctness needs no engine cooperation beyond determinism: every
 member query is still *executed by the engine itself*, merely over a
 pre-filtered, order-preserving relation. The property tests in
@@ -30,6 +38,26 @@ Caveat: engines whose physical plan depends on the SELECT list (e.g. a
 covering secondary index) could order fused output differently. The
 benchmark's default setup applies no indexing (§6.2.2); batch execution
 follows it.
+
+Thread-safety contract (established in the concurrency layer, relied on
+here): a bare :class:`BatchExecutor` is **not** safe to share across
+threads — its cumulative stats and key memo are unguarded. The
+concurrent subclass (:class:`~repro.concurrency.executor.ScanGroupExecutor`)
+adds the locking, serializes every call into a non-thread-safe engine
+through that engine's per-instance
+:func:`~repro.concurrency.policy.execution_slot`, and relies on three
+invariants this module maintains:
+
+- **Unique temp names** (:func:`unique_temp_name`): two executions of
+  the same (table, filter) group overlapping on one engine can never
+  replace or drop each other's shared-scan relation.
+- **Epoch-guarded cache stores**: the scan-group cache epoch is
+  captured *before* any engine work and passed to ``store`` — a result
+  computed against data that mutated mid-group is silently dropped
+  instead of cached (the "lost invalidation" race).
+- **Leaf-granular engine calls**: no lock is held across an engine
+  call, so a call that blocks on another thread's single-flight leader
+  cannot deadlock against that leader's engine slot.
 """
 
 from __future__ import annotations
@@ -42,17 +70,31 @@ from dataclasses import dataclass
 
 from repro.engine.interface import Engine, QueryResult, ResultSet
 from repro.engine.planner import (
+    AGG_PREFIX,
+    KEY_PREFIX,
+    AggregatePlan,
     ScanSignature,
     fusion_signature,
+    plan_query,
     scan_signature,
 )
 from repro.engine.table import Schema, Table
 from repro.errors import ExecutionError
 from repro.sql.ast import (
+    Between,
+    BinaryOp,
+    Column,
+    Expression,
+    FuncCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
     Query,
     SelectItem,
     Star,
     TableRef,
+    UnaryOp,
     replace_query,
 )
 from repro.sql.formatter import format_query
@@ -74,6 +116,17 @@ def temp_table_name(table: str, predicate_key: str) -> str:
 #: drop each other's temp mid-group. Names keep the TEMP_PREFIX, which
 #: is all the cache-exemption and scan-counting logic keys on.
 _TEMP_SEQUENCE = itertools.count()
+
+
+def unique_temp_name(table: str, predicate_key: str) -> str:
+    """A never-repeating temp-relation name for one (table, filter) scan.
+
+    Appends a process-wide sequence number to the deterministic stem so
+    overlapping executions on one engine cannot collide; the name keeps
+    :data:`TEMP_PREFIX`, which is all the cache-exemption and
+    scan-counting logic keys on.
+    """
+    return f"{temp_table_name(table, predicate_key)}_{next(_TEMP_SEQUENCE)}"
 
 
 @dataclass(frozen=True)
@@ -118,6 +171,8 @@ class BatchStats:
     fused_queries: int = 0  # queries answered by a merged execution
     cache_hits: int = 0  # queries served from a scan-group cache
     fallbacks: int = 0  # queries executed unbatched (joins etc.)
+    sharded_groups: int = 0  # groups executed as per-shard tasks
+    shard_scans: int = 0  # per-shard base-range materializations
 
     @property
     def sequential_scans(self) -> int:
@@ -132,6 +187,8 @@ class BatchStats:
         self.fused_queries += other.fused_queries
         self.cache_hits += other.cache_hits
         self.fallbacks += other.fallbacks
+        self.sharded_groups += other.sharded_groups
+        self.shard_scans += other.shard_scans
 
 
 @dataclass
@@ -364,8 +421,7 @@ class BatchExecutor:
         the base schema for the generic fetch-and-load fallback.
         """
         predicate = classes[0].members[0].query.where
-        stem = temp_table_name(signature.table, signature.predicate_key)
-        name = f"{stem}_{next(_TEMP_SEQUENCE)}"
+        name = unique_temp_name(signature.table, signature.predicate_key)
         start = time.perf_counter()
         if not self.engine.materialize_filtered(
             name, signature.table, predicate
@@ -469,14 +525,252 @@ def _materialize(name: str, schema: Schema, fetched: ResultSet) -> Table:
     return Table(name, schema, columns)
 
 
+# ---------------------------------------------------------------------------
+# Partial-aggregate rollup (sharded execution support)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AggregateRollup:
+    """Two-level execution plan for one fused aggregate query.
+
+    The *partial* query runs once per table shard over that shard's
+    filtered rows and computes decomposed aggregates (AVG as SUM +
+    COUNT). The per-shard partial rows are then concatenated — in shard
+    order, which preserves first-occurrence order — into a temporary
+    relation, and the *merge* query re-aggregates them on the engine
+    itself, so group ordering, value types, and output naming are the
+    engine's own, exactly as in unsharded execution.
+
+    Exactness boundary: merging re-associates floating-point addition
+    (per-shard sums are rounded before the final SUM), so SUM/AVG over
+    FLOAT columns are byte-identical only when every partial sum is
+    exactly representable — always true for INTEGER/BOOLEAN columns and
+    for dyadic-rational floats; for arbitrary floats, results agree to
+    IEEE-754 rounding (equal after
+    :func:`~repro.engine.interface.normalize_value`). COUNT/MIN/MAX are
+    exact for every type.
+    """
+
+    #: SELECT list of the per-shard query: group keys first, then the
+    #: decomposed aggregate pieces, every item aliased.
+    partial_select: tuple[SelectItem, ...]
+    #: GROUP BY of the per-shard query (the original key expressions).
+    partial_group_by: tuple[Expression, ...]
+    #: SELECT list of the final query over the partial relation: the
+    #: original post-aggregation expressions with each aggregate call
+    #: replaced by its merge expression, aliased to the original output
+    #: names.
+    merge_select: tuple[SelectItem, ...]
+    #: GROUP BY of the final query (the partial key columns).
+    merge_group_by: tuple[Expression, ...]
+    #: Column names of the partial relation, in partial_select order.
+    partial_names: tuple[str, ...]
+    #: Output column names of the final result.
+    output_names: tuple[str, ...]
+
+    def partial_query(self, relation: str, base_table: str) -> Query:
+        """The per-shard query over one shard's filtered relation.
+
+        The shard temp is aliased back to the base table name so
+        table-qualified column references keep resolving, exactly like
+        the shared-scan rewrite.
+        """
+        return Query(
+            select=self.partial_select,
+            from_table=TableRef(relation, alias=base_table),
+            group_by=self.partial_group_by,
+        )
+
+    def merge_query(self, relation: str) -> Query:
+        """The final re-aggregation over the concatenated partials."""
+        return Query(
+            select=self.merge_select,
+            from_table=TableRef(relation),
+            group_by=self.merge_group_by,
+        )
+
+    def partial_table(self, name: str, partials: list[ResultSet]) -> Table:
+        """The merge input: every shard's partial rows, in shard order."""
+        columns: dict[str, list[object]] = {n: [] for n in self.partial_names}
+        for partial in partials:
+            for i, column in enumerate(partial.columns):
+                columns[column].extend(row[i] for row in partial.rows)
+        return Table.from_columns(name, columns)
+
+    def empty_result(self) -> ResultSet:
+        """The result of a grouped rollup with zero qualifying rows."""
+        return ResultSet(list(self.output_names), [])
+
+
+def build_rollup(query: Query) -> AggregateRollup | None:
+    """The partial/merge decomposition of ``query``, or ``None``.
+
+    ``None`` marks queries that cannot roll up from per-shard partials:
+    non-aggregates (projections concatenate instead), HAVING / ORDER BY
+    / LIMIT / DISTINCT (they change row sets or ordering in ways that
+    do not commute with sharding), DISTINCT aggregates (distinct sets
+    overlap across shards), joins, and select items whose output name
+    is engine-dependent (the merge query rebuilds names from aliases,
+    which must match what the engine would have produced — the same
+    naming restriction :func:`~repro.engine.planner.fusion_signature`
+    applies).
+    """
+    if (
+        query.joins
+        or query.having is not None
+        or query.order_by
+        or query.limit is not None
+        or query.distinct
+        or not query.is_aggregate
+    ):
+        return None
+    for item in query.select:
+        if isinstance(item.expr, Star):
+            return None
+        if item.alias is None and not isinstance(item.expr, Column):
+            return None  # engine-dependent output name; cannot rebuild
+    try:
+        plan = plan_query(query)
+    except ExecutionError:
+        return None
+    assert isinstance(plan, AggregatePlan)
+    for call in plan.agg_calls:
+        if call.distinct:
+            return None
+
+    # Partial key columns carry the *original* output name where the
+    # key is selected — the SQLite wrapper restores temporal/boolean
+    # types by looking output columns up in the relation's schema, so a
+    # date-typed group key must keep its name through the partial
+    # relation. Unselected keys get positional internal names.
+    key_names: list[str] = []
+    for i, key in enumerate(plan.key_exprs):
+        name = f"__key{i}"
+        for position, item in enumerate(query.select):
+            if item.expr == key:
+                name = item.output_name(position)
+                break
+        key_names.append(name)
+
+    partial_select: list[SelectItem] = [
+        SelectItem(key, key_names[i])
+        for i, key in enumerate(plan.key_exprs)
+    ]
+    partial_names = list(key_names)
+    substitutions: dict[str, Expression] = {
+        f"{KEY_PREFIX}{i}": Column(key_names[i])
+        for i in range(len(plan.key_exprs))
+    }
+    for j, call in enumerate(plan.agg_calls):
+        if call.name == "AVG":
+            sum_name = f"__part{j}_sum"
+            count_name = f"__part{j}_count"
+            partial_select.append(
+                SelectItem(FuncCall("SUM", call.args), sum_name)
+            )
+            partial_select.append(
+                SelectItem(FuncCall("COUNT", call.args), count_name)
+            )
+            partial_names += [sum_name, count_name]
+            # ``* 1.0`` forces float division on engines with integer
+            # ``/`` (SQLite); SQL NULL propagation makes the all-empty
+            # case come out NULL, matching AVG over zero rows.
+            merged: Expression = BinaryOp(
+                "/",
+                BinaryOp(
+                    "*",
+                    FuncCall("SUM", (Column(sum_name),)),
+                    Literal(1.0),
+                ),
+                FuncCall("SUM", (Column(count_name),)),
+            )
+        elif call.name in ("COUNT", "SUM"):
+            name = f"__part{j}"
+            partial_select.append(SelectItem(call, name))
+            partial_names.append(name)
+            # COUNT partials are never NULL, so SUM-of-counts is total
+            # count; SUM partials skip NULLs shard-locally and SUM of
+            # the partials skips all-NULL shards — both match the
+            # unsharded semantics exactly.
+            merged = FuncCall("SUM", (Column(name),))
+        elif call.name in ("MIN", "MAX"):
+            name = f"__part{j}"
+            partial_select.append(SelectItem(call, name))
+            partial_names.append(name)
+            merged = FuncCall(call.name, (Column(name),))
+        else:  # pragma: no cover - AGGREGATE_FUNCTIONS is exhaustive
+            return None
+        substitutions[f"{AGG_PREFIX}{j}"] = merged
+    if len(set(partial_names)) != len(partial_names):
+        return None  # colliding output names; cannot build the relation
+
+    merge_select = tuple(
+        SelectItem(
+            _substitute(expr, substitutions),
+            query.select[position].output_name(position),
+        )
+        for position, expr in enumerate(plan.item_exprs)
+    )
+    return AggregateRollup(
+        partial_select=tuple(partial_select),
+        partial_group_by=tuple(plan.key_exprs),
+        merge_select=merge_select,
+        merge_group_by=tuple(Column(n) for n in key_names),
+        partial_names=tuple(partial_names),
+        output_names=tuple(query.output_names()),
+    )
+
+
+def _substitute(expr: Expression, mapping: dict[str, Expression]) -> Expression:
+    """Replace placeholder columns by name throughout an expression."""
+    if isinstance(expr, Column):
+        return mapping.get(expr.name, expr)
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(
+            expr.op,
+            _substitute(expr.left, mapping),
+            _substitute(expr.right, mapping),
+        )
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, _substitute(expr.operand, mapping))
+    if isinstance(expr, FuncCall):
+        return FuncCall(
+            expr.name,
+            tuple(_substitute(a, mapping) for a in expr.args),
+            expr.distinct,
+        )
+    if isinstance(expr, InList):
+        return InList(
+            _substitute(expr.expr, mapping),
+            tuple(_substitute(v, mapping) for v in expr.values),
+            expr.negated,
+        )
+    if isinstance(expr, Between):
+        return Between(
+            _substitute(expr.expr, mapping),
+            _substitute(expr.low, mapping),
+            _substitute(expr.high, mapping),
+            expr.negated,
+        )
+    if isinstance(expr, Like):
+        return Like(_substitute(expr.expr, mapping), expr.pattern, expr.negated)
+    if isinstance(expr, IsNull):
+        return IsNull(_substitute(expr.expr, mapping), expr.negated)
+    return expr  # Literals and Star pass through.
+
+
 __all__ = [
+    "AggregateRollup",
     "BatchExecutor",
     "BatchItem",
     "BatchResult",
     "BatchStats",
     "ScanGroup",
     "TEMP_PREFIX",
+    "build_rollup",
     "fuse_members",
     "group_queries",
     "temp_table_name",
+    "unique_temp_name",
 ]

@@ -277,13 +277,22 @@ class CachedEngine(Engine):
     def table_schema(self, name: str) -> Schema | None:
         return self._inner.table_schema(name)
 
-    def materialize_filtered(self, name, source: str, predicate) -> bool:
+    def table_row_count(self, name: str) -> int | None:
+        return self._inner.table_row_count(name)
+
+    def materialize_filtered(
+        self, name, source: str, predicate, row_range=None
+    ) -> bool:
         # Writing to ``name`` replaces it like a load would.
         self._invalidate_table(name)
         try:
             with self._inner_slot():
+                if row_range is None:  # legacy three-argument inners work
+                    return self._inner.materialize_filtered(
+                        name, source, predicate
+                    )
                 return self._inner.materialize_filtered(
-                    name, source, predicate
+                    name, source, predicate, row_range
                 )
         finally:
             self._invalidate_table(name)
@@ -336,7 +345,7 @@ class CachedEngine(Engine):
         return ResultSet(result.columns, result.rows)
 
     def execute_batch(
-        self, queries: list[Query], workers: int = 1
+        self, queries: list[Query], workers: int = 1, shards: int = 1
     ) -> list[QueryResult]:
         """Batch execution with whole-scan-group caching.
 
@@ -347,7 +356,10 @@ class CachedEngine(Engine):
         queries — whose SQL no caller ever issues directly — don't
         evict useful entries from the per-query LRU. With ``workers``,
         independent scan groups overlap; concurrent identical refreshes
-        single-flight into one computation.
+        single-flight into one computation. With ``shards``, shardable
+        groups fan their base scans out per row-range shard
+        (:mod:`repro.sharding`); the rolled-up results land in the same
+        scan-group cache, so repeats are served identically either way.
         """
         with self._lock:
             if self._batch_executor is None:
@@ -360,7 +372,7 @@ class CachedEngine(Engine):
                     group_flight=self._group_flight,
                 )
             executor = self._batch_executor
-        return executor.run(queries, workers=workers).results
+        return executor.run(queries, workers=workers, shards=shards).results
 
     @property
     def batch_stats(self):

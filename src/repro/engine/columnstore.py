@@ -31,7 +31,7 @@ from repro.engine.types import sort_key
 from repro.sql.ast import FuncCall, Query, SelectItem, Star, TableRef
 
 
-def filtered_table(table: Table, name: str, predicate) -> Table:
+def filtered_table(table: Table, name: str, predicate, row_range=None) -> Table:
     """Rows of ``table`` satisfying ``predicate``, in base order.
 
     Shared by the vectorized engines to materialize batch shared-scan
@@ -39,9 +39,20 @@ def filtered_table(table: Table, name: str, predicate) -> Table:
     the column arrays, then plain column slicing — the values stay the
     original Python objects, so downstream execution is byte-identical
     to filtering inline.
+
+    ``row_range`` restricts the scan to a ``(start, stop)`` slice of
+    base row positions (sharded execution): the predicate mask is
+    evaluated over the sliced arrays only, so each shard's scan cost is
+    proportional to its slice. ``predicate=None`` materializes the bare
+    slice.
     """
     from repro.engine.derived import rewrite_query
 
+    start, stop = row_range if row_range is not None else (0, table.num_rows)
+    if predicate is None:
+        return Table(
+            name, table.schema, take_columns(table, list(range(start, stop)))
+        )
     probe = Query(
         select=(SelectItem(Star()),),
         from_table=TableRef(table.name),
@@ -49,8 +60,12 @@ def filtered_table(table: Table, name: str, predicate) -> Table:
     )
     arrays = {n: table.array(n) for n in table.schema.names}
     probe = rewrite_query(probe, table, arrays)
-    ctx = VectorContext(arrays, table.num_rows)
-    indices = np.nonzero(evaluate_mask(probe.where, ctx))[0].tolist()
+    if row_range is not None:
+        # Derived arrays are built full-length; slice everything after
+        # the rewrite so positions stay aligned.
+        arrays = {n: a[start:stop] for n, a in arrays.items()}
+    ctx = VectorContext(arrays, stop - start)
+    indices = (np.nonzero(evaluate_mask(probe.where, ctx))[0] + start).tolist()
     return Table(name, table.schema, take_columns(table, indices))
 
 
@@ -59,10 +74,14 @@ class VectorStoreEngine(DatabaseBackedEngine):
 
     name = "vectorstore"
 
-    def materialize_filtered(self, name, source: str, predicate) -> bool:
+    def materialize_filtered(
+        self, name, source: str, predicate, row_range=None
+    ) -> bool:
         if source not in self._db:
             return False
-        self.load_table(filtered_table(self._db.table(source), name, predicate))
+        self.load_table(
+            filtered_table(self._db.table(source), name, predicate, row_range)
+        )
         return True
 
     def execute(self, query: Query) -> ResultSet:

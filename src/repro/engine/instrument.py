@@ -29,6 +29,9 @@ class CountingEngine(Engine):
         self._lock = threading.Lock()
         self.name = f"counting({inner.name})"
         self.scans: dict[str, int] = {}
+        #: Subset of ``scans``: materializations that carried a row
+        #: range, i.e. per-shard base scans of sharded execution.
+        self.shard_scans: dict[str, int] = {}
 
     @property
     def inner(self) -> Engine:
@@ -58,6 +61,7 @@ class CountingEngine(Engine):
     def reset(self) -> None:
         with self._lock:
             self.scans.clear()
+            self.shard_scans.clear()
 
     def load_table(self, table: Table) -> None:
         self._inner.load_table(table)
@@ -68,11 +72,28 @@ class CountingEngine(Engine):
     def table_schema(self, name: str) -> Schema | None:
         return self._inner.table_schema(name)
 
-    def materialize_filtered(self, name, source: str, predicate) -> bool:
-        done = self._inner.materialize_filtered(name, source, predicate)
-        if done:  # a native shared scan reads the base table once
+    def table_row_count(self, name: str) -> int | None:
+        return self._inner.table_row_count(name)
+
+    def materialize_filtered(
+        self, name, source: str, predicate, row_range=None
+    ) -> bool:
+        if row_range is None:  # legacy three-argument inners work
+            done = self._inner.materialize_filtered(name, source, predicate)
+        else:
+            done = self._inner.materialize_filtered(
+                name, source, predicate, row_range
+            )
+        if done:
+            # A native shared scan reads the base table once; a sharded
+            # scan reads one row range, counted per shard so benchmarks
+            # can report per-shard scan counts.
             with self._lock:
                 self.scans[source] = self.scans.get(source, 0) + 1
+                if row_range is not None:
+                    self.shard_scans[source] = (
+                        self.shard_scans.get(source, 0) + 1
+                    )
         return done
 
     def create_index(self, table: str, column: str) -> None:
@@ -141,9 +162,18 @@ class DispatchLatencyEngine(Engine):
     def table_schema(self, name: str) -> Schema | None:
         return self._gated.table_schema(name)
 
-    def materialize_filtered(self, name, source: str, predicate) -> bool:
-        self._round_trip()
-        return self._gated.materialize_filtered(name, source, predicate)
+    def table_row_count(self, name: str) -> int | None:
+        return self._gated.table_row_count(name)
+
+    def materialize_filtered(
+        self, name, source: str, predicate, row_range=None
+    ) -> bool:
+        self._round_trip()  # every shard's scan pays its own round trip
+        if row_range is None:  # legacy three-argument inners work
+            return self._gated.materialize_filtered(name, source, predicate)
+        return self._gated.materialize_filtered(
+            name, source, predicate, row_range
+        )
 
     def create_index(self, table: str, column: str) -> None:
         self._gated.create_index(table, column)

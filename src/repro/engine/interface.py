@@ -174,7 +174,9 @@ class Engine(abc.ABC):
             f"engine {self.name!r} does not support unloading tables"
         )
 
-    def materialize_filtered(self, name, source: str, predicate) -> bool:
+    def materialize_filtered(
+        self, name, source: str, predicate, row_range=None
+    ) -> bool:
         """Materialize ``source`` rows satisfying ``predicate`` as ``name``.
 
         The shared-scan fast path: engines that can filter internally
@@ -183,8 +185,27 @@ class Engine(abc.ABC):
         rows through Python, preserving base-table row order. Returns
         ``False`` when unsupported; the batch executor then falls back
         to ``SELECT * … WHERE …`` plus :meth:`load_table`.
+
+        ``row_range`` makes the scan shard-aware: a ``(start, stop)``
+        pair restricts it to that half-open range of base row
+        positions, so each shard's scan reads only its slice
+        (:mod:`repro.sharding`). ``predicate`` may be ``None`` when a
+        range is given (an unfiltered shard). Engines that report a
+        row count from :meth:`table_row_count` MUST honor
+        ``row_range`` — the sharded executor gates on that contract.
         """
         return False
+
+    def table_row_count(self, name: str) -> int | None:
+        """Row count of a loaded table, or ``None`` when unknown.
+
+        The sharded executor partitions tables by row range and needs
+        the extent up front. Returning ``None`` (the default, and what
+        any wrapper that does not explicitly delegate inherits) marks
+        the engine unshardable, so sharding degrades safely to the
+        one-task-per-group path rather than guessing.
+        """
+        return None
 
     def table_schema(self, name: str) -> Schema | None:
         """Schema of a loaded table, or ``None`` when unknown.
@@ -215,7 +236,7 @@ class Engine(abc.ABC):
         )
 
     def execute_batch(
-        self, queries: list[Query], workers: int = 1
+        self, queries: list[Query], workers: int = 1, shards: int = 1
     ) -> list[QueryResult]:
         """Execute a batch of queries through the shared-scan optimizer.
 
@@ -230,13 +251,19 @@ class Engine(abc.ABC):
         pool (:class:`repro.concurrency.executor.ScanGroupExecutor`);
         results are reassembled in request order, so the output is
         byte-identical for every ``workers`` value.
+
+        ``shards > 1`` additionally partitions each shardable scan
+        group's base scan into that many row-range shards — one task
+        per (group, shard), merged via partial-aggregate rollup
+        (:mod:`repro.sharding`). ``shards=1`` is the exact pre-existing
+        path.
         """
         from repro.engine.batch import BatchExecutor
 
-        if workers > 1:
+        if workers > 1 or shards > 1:
             from repro.concurrency.executor import ScanGroupExecutor
 
-            executor = ScanGroupExecutor(self, workers=workers)
+            executor = ScanGroupExecutor(self, workers=workers, shards=shards)
             try:
                 return executor.run(queries).results
             finally:
@@ -275,3 +302,8 @@ class DatabaseBackedEngine(Engine):
         if name not in self._db:
             return None
         return self._db.table(name).schema
+
+    def table_row_count(self, name: str) -> int | None:
+        if name not in self._db:
+            return None
+        return self._db.table(name).num_rows

@@ -65,12 +65,16 @@ class MatStoreEngine(DatabaseBackedEngine):
         super().unload_table(name)
         self._indexes.pop(name, None)
 
-    def materialize_filtered(self, name, source: str, predicate) -> bool:
+    def materialize_filtered(
+        self, name, source: str, predicate, row_range=None
+    ) -> bool:
         if source not in self._db:
             return False
         # Route through load_table: replacing a table must drop its
         # stale secondary indexes exactly like a load does.
-        self.load_table(filtered_table(self._db.table(source), name, predicate))
+        self.load_table(
+            filtered_table(self._db.table(source), name, predicate, row_range)
+        )
         return True
 
     def create_index(self, table: str, column: str) -> None:

@@ -52,18 +52,29 @@ class RowStoreEngine(DatabaseBackedEngine):
         super().unload_table(name)
         self._indexes.pop(name, None)
 
-    def materialize_filtered(self, name, source: str, predicate) -> bool:
+    def materialize_filtered(
+        self, name, source: str, predicate, row_range=None
+    ) -> bool:
         if source not in self._db:
             return False
+        from itertools import islice
+
         from repro.engine.table import take_columns
 
         table = self._db.table(source)
-        # Same per-row semantics as this engine's filter stage.
-        indices = [
-            i
-            for i, row in enumerate(table.iter_rows())
-            if evaluate_row(predicate, row) is True
-        ]
+        start, stop = row_range if row_range is not None else (0, table.num_rows)
+        if predicate is None:
+            indices = list(range(start, stop))
+        else:
+            # Same per-row semantics as this engine's filter stage; a
+            # shard visits only its own row slice.
+            indices = [
+                i
+                for i, row in enumerate(
+                    islice(table.iter_rows(), start, stop), start
+                )
+                if evaluate_row(predicate, row) is True
+            ]
         # Route through load_table: replacing a table must drop its
         # stale secondary indexes exactly like a load does.
         self.load_table(Table(name, table.schema, take_columns(table, indices)))

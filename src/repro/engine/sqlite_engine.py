@@ -199,19 +199,33 @@ class SQLiteEngine(Engine):
             self._schemas.pop(name, None)
             self._unpin_temp(name)
 
-    def materialize_filtered(self, name, source: str, predicate) -> bool:
+    def materialize_filtered(
+        self, name, source: str, predicate, row_range=None
+    ) -> bool:
         """Shared-scan fast path: filter entirely inside SQLite.
 
         ``CREATE TABLE AS SELECT`` inserts in scan (rowid) order, so
         the temporary relation preserves base order and downstream
         queries return exactly what they would with the filter inline.
+
+        A ``row_range`` (sharded execution) becomes a rowid window:
+        tables are loaded with one ``INSERT`` per row in base order, so
+        row position ``i`` has rowid ``i + 1`` and a contiguous range
+        restricts the scan natively — SQLite seeks straight to the
+        shard's first page instead of scanning from the top.
         """
         from repro.sql.formatter import format_expression
 
         base = self._schemas.get(source)
         if base is None:
             return False
-        where_sql = format_expression(predicate)
+        clauses = []
+        if row_range is not None:
+            start, stop = row_range
+            clauses.append(f"rowid BETWEEN {start + 1} AND {stop}")
+        if predicate is not None:
+            clauses.append(f"({format_expression(predicate)})")
+        where_sql = " AND ".join(clauses) if clauses else "1"
         with self._lock:
             conn = self._write_connection(name)
         try:
@@ -238,6 +252,18 @@ class SQLiteEngine(Engine):
         if table is None:
             return None
         return table.schema
+
+    def table_row_count(self, name: str):
+        if name.startswith(TEMP_PREFIX):
+            # Shared-scan temps register the *base* Table object under
+            # the temp name (for output-type restoration), so its
+            # num_rows would be the base table's count, not the temp's.
+            return None
+        with self._lock:
+            table = self._schemas.get(name)
+        if table is None:
+            return None
+        return table.num_rows
 
     def create_index(self, table: str, column: str) -> None:
         if table not in self._schemas:

@@ -74,6 +74,13 @@ def build_parser() -> argparse.ArgumentParser:
         "are identical for any value, only wall-clock changes)",
     )
     parser.add_argument(
+        "--shards", type=int, default=1,
+        help="row-range shards per scan group: each batched fan-out's "
+        "base scans split into this many per-shard tasks merged via "
+        "partial-aggregate rollup (needs --batch; 1 = unsharded; "
+        "results are identical for any value)",
+    )
+    parser.add_argument(
         "--progress", action="store_true", help="print per-run progress"
     )
     parser.add_argument(
@@ -95,6 +102,7 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
         batch=args.batch,
         workers=args.workers,
+        shards=args.shards,
     )
     runner = BenchmarkRunner(config, log_directory=args.export_logs)
     result = runner.run(progress=args.progress)

@@ -65,6 +65,14 @@ class BenchmarkConfig:
     #: only wall-clock and the *measured* durations change (overlapped
     #: queries contend for cores).
     workers: int = 1
+    #: Row-range shards per scan group (the CLI's ``--shards``). A
+    #: purely per-session setting: each batched fan-out's shardable
+    #: scan groups split into this many per-shard scan tasks whose
+    #: partial aggregates roll up into the final results
+    #: (:mod:`repro.sharding`). Requires batch mode to have any
+    #: effect; ``1`` is the exact pre-sharding path and results are
+    #: identical for every value.
+    shards: int = 1
     #: Fixed-duration sessions by default: each goal segment runs its
     #: full step budget even if the goal completes early, matching the
     #: paper's time-boxed exploration studies and keeping per-dashboard
@@ -92,6 +100,8 @@ class BenchmarkConfig:
             raise ConfigError("at least one dataset size is required")
         if self.workers < 1:
             raise ConfigError("workers must be >= 1")
+        if self.shards < 1:
+            raise ConfigError("shards must be >= 1")
         from dataclasses import replace
 
         if self.batch and not self.session.batch:
@@ -102,11 +112,17 @@ class BenchmarkConfig:
             object.__setattr__(
                 self, "session", replace(self.session, workers=self.workers)
             )
+        if self.shards > 1 and self.session.shards == 1:
+            object.__setattr__(
+                self, "session", replace(self.session, shards=self.shards)
+            )
         # ``batch`` always mirrors the session flag (single source of
         # truth downstream); ``workers`` stays the runner's own cell
         # concurrency — an explicit ``session.workers`` only affects
-        # the sessions themselves.
+        # the sessions themselves; ``shards`` likewise mirrors into
+        # the sessions and nothing else.
         object.__setattr__(self, "batch", self.session.batch)
+        object.__setattr__(self, "shards", self.session.shards)
 
     @classmethod
     def paper_scale(cls) -> "BenchmarkConfig":

@@ -235,6 +235,7 @@ class BenchmarkRunner:
             run_to_max=self.config.session.run_to_max,
             batch=self.config.session.batch,
             workers=self.config.session.workers,
+            shards=self.config.session.shards,
             seed=self.config.seed * 1_000 + run_index,
         )
         simulator = SessionSimulator(

@@ -86,6 +86,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker-pool width for overlapping the replay "
         "(1 = sequential; results are identical for any value)",
     )
+    replay.add_argument(
+        "--shards", type=int, default=1,
+        help="row-range shards per scan group during batched replay "
+        "(needs --batch; 1 = unsharded; results are identical for "
+        "any value)",
+    )
 
     metrics = commands.add_parser(
         "metrics", help="print the §7 exploration metrics of a log"
@@ -157,7 +163,7 @@ def _replay(args) -> int:
     engine.load_table(table)
     report = replay_log(
         log, engine, check_cardinality=not args.no_check,
-        batch=args.batch, workers=args.workers,
+        batch=args.batch, workers=args.workers, shards=args.shards,
     )
     print(
         f"replayed {report.query_count} queries on {engine.name}: "

@@ -61,6 +61,7 @@ def replay_log(
     strict: bool = False,
     batch: bool = False,
     workers: int = 1,
+    shards: int = 1,
 ) -> ReplayReport:
     """Re-execute every query in ``log`` against ``engine``.
 
@@ -80,6 +81,11 @@ def replay_log(
     ``workers`` value (queries still record in log order); only
     ``strict`` raising moves from mid-execution to the recording pass,
     since overlapped queries have already run when checks happen.
+
+    ``shards > 1`` splits each batched step's shardable scan groups
+    into per-shard scan tasks merged via partial-aggregate rollup
+    (:mod:`repro.sharding`). A batch-mode feature: without scan groups
+    there is nothing to shard, so the sequential path ignores it.
     """
     report = ReplayReport(engine=engine.name)
 
@@ -113,7 +119,9 @@ def replay_log(
     for _, group in groupby(log.entries, key=lambda e: e.step):
         step_entries = list(group)
         queries = [parse_query(e.sql) for e in step_entries]
-        timed_results = engine.execute_batch(queries, workers=workers)
+        timed_results = engine.execute_batch(
+            queries, workers=workers, shards=shards
+        )
         for entry, timed in zip(step_entries, timed_results):
             record(entry, timed)
     return report

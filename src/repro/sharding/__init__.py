@@ -1,0 +1,35 @@
+"""Sharded scan execution: row-range partitioning + partial-agg rollup.
+
+The third rung of the scale-out progression (batch -> async ->
+**sharded**). The batch layer collapsed a dashboard refresh into a few
+shared scans; the concurrency layer overlapped independent scan groups;
+this package splits each scan group's *base scan itself* across
+contiguous row-range shards so a single large table no longer executes
+as one monolithic task:
+
+- :mod:`repro.sharding.partition` — :class:`Partitioner` /
+  :class:`RowRange`, the deterministic near-equal contiguous split.
+- :mod:`repro.sharding.executor` — :class:`ShardedGroupRun`, the
+  per-(group, shard) scan tasks plus the merge step that re-aggregates
+  per-shard partials through the engine; and
+  :func:`plan_sharded_group`, the shardability gate.
+
+The aggregate decomposition itself (AVG into SUM/COUNT, the merge
+expressions) lives in the fusion layer —
+:func:`repro.engine.batch.build_rollup` — next to the query fusion it
+extends. The scheduling seam is
+:class:`~repro.concurrency.executor.ScanGroupExecutor`, whose
+``shards`` parameter replaces "one task per group" with "one task per
+(group, shard), then merge"; ``shards=1`` is byte-for-byte the
+pre-existing path.
+"""
+
+from repro.sharding.executor import ShardedGroupRun, plan_sharded_group
+from repro.sharding.partition import Partitioner, RowRange
+
+__all__ = [
+    "Partitioner",
+    "RowRange",
+    "ShardedGroupRun",
+    "plan_sharded_group",
+]

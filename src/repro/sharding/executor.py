@@ -1,0 +1,277 @@
+"""Sharded execution of one scan group: per-shard scans + one merge.
+
+A shardable scan group stops being "one task": it becomes one
+*scan task per shard* — materialize the shard's filtered row range
+(shard-aware ``materialize_filtered``), run every fusion class's
+partial query over it — plus one *merge step* that concatenates the
+per-shard partial rows (in shard order) and re-aggregates them through
+the engine itself. The scheduling substrate is unchanged: each scan
+task is an ordinary unit of work for the concurrency layer's
+``WorkerPool`` / ``execution_slot`` machinery, exactly like an
+unsharded group.
+
+Why the result is byte-identical to unsharded execution:
+
+- **Row coverage.** :class:`~repro.sharding.partition.RowRange` shards
+  are contiguous, disjoint, and cover the table, so the multiset of
+  rows feeding the aggregates is identical.
+- **Group ordering.** Every engine here orders GROUP BY output either
+  by key value (SQLite's sorter, the matstore's sort-based grouping,
+  the vectorstore's ``np.unique`` path) or by first occurrence in scan
+  order (the rowstore's dict, the vectorstore's hash loop). Key-sorted
+  orders are position-independent, so re-aggregating partials trivially
+  reproduces them. First-occurrence orders compose because shards are
+  contiguous: a key first seen in shard *i* precedes, in base order,
+  every key first seen in shard *j > i*; concatenating per-shard
+  partials in shard order therefore presents first occurrences to the
+  merge aggregation in exactly the base table's first-occurrence order.
+- **Values, types, names.** The merge runs *on the engine*, with the
+  rollup's merge expressions (COUNT/SUM partials via SUM, MIN/MAX via
+  themselves, AVG as ``SUM(sums) * 1.0 / SUM(counts)``), so arithmetic
+  promotion, NULL handling, and output naming are the engine's own.
+  See :class:`~repro.engine.batch.AggregateRollup` for the exactness
+  boundary on floating-point SUM/AVG.
+
+Thread-safety contract: each scan task writes only its own
+``(class, shard)`` slots of the partial matrix and runs engine calls
+leaf-granularly (the executor hands this module a slot-gated engine),
+so scan tasks for one group — and for different groups — interleave
+freely. The merge step runs after every scan task of the group has
+settled, on a single thread, and is the only writer of the group's
+member positions in the shared results list. Cache stores carry the
+epoch captured before any engine work, so a table invalidated
+mid-flight drops the store instead of caching vanished data.
+
+Known boundary vs unsharded execution: an unsharded group runs on one
+thread, so SQLite's pinned replica gives it a consistent snapshot even
+if the base table is reloaded mid-group. A *sharded* group's scan
+tasks run on several threads whose replicas may straddle a concurrent
+``load_table``, so that one batch can observe a mix of old and new
+table versions — returned to the caller, though never cached (the
+epoch moved, so the store is dropped). Serving workloads here load
+tables before queries, making the window academic; a coordinated
+cross-thread snapshot would close it if that ever changes.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.engine.batch import (
+    AggregateRollup,
+    BatchStats,
+    ScanGroup,
+    _FusionClass,
+    build_rollup,
+    fuse_members,
+    unique_temp_name,
+)
+from repro.engine.interface import QueryResult, ResultSet
+from repro.errors import ExecutionError
+from repro.sharding.partition import Partitioner, RowRange
+
+
+class ShardedGroupRun:
+    """One scan group's sharded execution state.
+
+    Built by :func:`plan_sharded_group`; the concurrent executor turns
+    :meth:`scan_tasks` into pool units and calls :meth:`merge` once
+    they have all settled.
+    """
+
+    def __init__(
+        self,
+        executor,  # ScanGroupExecutor (duck-typed; avoids a cyclic import)
+        group: ScanGroup,
+        classes: list[_FusionClass],
+        rollups: list[AggregateRollup],
+        ranges: list[RowRange],
+        epoch: object,
+    ) -> None:
+        self._executor = executor
+        self._group = group
+        self._classes = classes
+        self._rollups = rollups
+        self._ranges = ranges
+        self._epoch = epoch
+        signature = group.signature
+        assert signature is not None
+        self._signature = signature
+        self._predicate = (
+            group.members[0].query.where if group.members else None
+        )
+        # Disjoint (class, shard) slots: scan tasks on different
+        # threads never write the same cell, so no locking is needed.
+        self._partials: list[list[ResultSet | None]] = [
+            [None] * len(ranges) for _ in classes
+        ]
+        self._partial_ms: list[list[float]] = [
+            [0.0] * len(ranges) for _ in classes
+        ]
+        self._scan_ms: list[float] = [0.0] * len(ranges)
+
+    def scan_tasks(self):
+        """One callable per shard; each returns its stats delta.
+
+        Empty when every member was served from the scan-group cache
+        at plan time — a fully warm repeat refresh must not submit
+        no-op tasks to the pool.
+        """
+        if not self._classes:
+            return []
+        return [
+            (lambda shard=shard: self._scan(shard))
+            for shard in range(len(self._ranges))
+        ]
+
+    def _scan(self, shard: int) -> BatchStats:
+        """Materialize one shard's rows and run every partial query."""
+        stats = BatchStats()
+        engine = self._executor.engine
+        signature = self._signature
+        row_range = self._ranges[shard]
+        temp = unique_temp_name(signature.table, signature.predicate_key)
+        start = time.perf_counter()
+        if not engine.materialize_filtered(
+            temp,
+            signature.table,
+            self._predicate,
+            row_range=(row_range.start, row_range.stop),
+        ):
+            # plan_sharded_group gates on table_row_count, and engines
+            # that report a row count must honor row ranges — reaching
+            # this line means the engine broke that contract.
+            raise ExecutionError(
+                f"engine cannot materialize shard {shard} of "
+                f"{signature.table!r}"
+            )
+        self._scan_ms[shard] = (time.perf_counter() - start) * 1000.0
+        stats.base_scans += 1
+        stats.shard_scans += 1
+        try:
+            for index, rollup in enumerate(self._rollups):
+                timed = engine.execute_timed(
+                    rollup.partial_query(temp, signature.table)
+                )
+                self._partials[index][shard] = timed.result
+                self._partial_ms[index][shard] = timed.duration_ms
+        finally:
+            try:
+                engine.unload_table(temp)
+            except ExecutionError:
+                pass  # engine keeps the temp; next load replaces it
+        return stats
+
+    def merge(self, results: list[QueryResult | None]) -> BatchStats:
+        """Roll every class's partials up into final member results."""
+        stats = BatchStats()
+        if not self._classes:
+            return stats
+        stats.sharded_groups = 1
+        executor = self._executor
+        engine = executor.engine
+        signature = self._signature
+        produced: dict[str, ResultSet] = {}
+        member_count = sum(len(c.members) for c in self._classes)
+        fetch_share = sum(self._scan_ms) / member_count
+        for index, (cls, rollup) in enumerate(
+            zip(self._classes, self._rollups)
+        ):
+            partials = self._partials[index]
+            assert all(p is not None for p in partials)
+            duration_ms = sum(self._partial_ms[index])
+            if not any(p.rows for p in partials):
+                # A grouped aggregate over zero qualifying rows: no
+                # groups anywhere, so the merge relation would be empty
+                # — skip the engine round trip.
+                merged = rollup.empty_result()
+            else:
+                relation = unique_temp_name(
+                    signature.table, signature.predicate_key
+                )
+                engine.load_table(rollup.partial_table(relation, partials))
+                try:
+                    timed = engine.execute_timed(rollup.merge_query(relation))
+                finally:
+                    try:
+                        engine.unload_table(relation)
+                    except ExecutionError:
+                        pass
+                merged = timed.result
+                duration_ms += timed.duration_ms
+            executor._distribute(
+                cls, merged, duration_ms, fetch_share, results, produced
+            )
+        if executor.group_cache is not None and produced:
+            executor.group_cache.store(
+                signature.table,
+                signature.predicate_key,
+                produced,
+                epoch=self._epoch,
+            )
+        return stats
+
+
+def plan_sharded_group(
+    executor,
+    group: ScanGroup,
+    partitioner: Partitioner,
+    results: list[QueryResult | None],
+    stats: BatchStats,
+) -> ShardedGroupRun | None:
+    """A :class:`ShardedGroupRun` for ``group``, or ``None``.
+
+    ``None`` means the group cannot shard — no scan signature (joins),
+    an engine that cannot report row counts / materialize row ranges,
+    or any fusion class whose merged query has no partial-aggregate
+    rollup — and must take the pre-existing one-task path. The decision
+    is made *before* touching the scan-group cache, so a ``None``
+    here leaves all cache accounting to the unsharded path.
+
+    When the group shards, cache-served members are answered
+    immediately (into ``results``/``stats``, mirroring the unsharded
+    path) and only the remaining members are planned for execution.
+    """
+    signature = group.signature
+    if signature is None:
+        return None
+    epoch = None
+    if executor.group_cache is not None:
+        # Captured before ANY engine-state read — including the row
+        # count below. A table swapped between reading its extent and
+        # capturing the epoch would otherwise let stale-range results
+        # into the cache with a fresh epoch.
+        epoch = executor.group_cache.epoch(signature.table)
+    engine = executor.engine
+    row_count = engine.table_row_count(signature.table)
+    if row_count is None:
+        return None
+    # Shardability is a member-level property (naming-safe aggregate
+    # queries without HAVING/ORDER BY/LIMIT/DISTINCT), so checking the
+    # full member set also answers for any cache-remainder subset.
+    if any(
+        build_rollup(cls.merged_query()) is None
+        for cls in fuse_members(group.members)
+    ):
+        return None
+    pending = group.members
+    if executor.group_cache is not None:
+        pending = executor._serve_cached(signature, pending, results, stats)
+    classes = fuse_members(pending)
+    stats.fused_queries += len(pending) - len(classes)
+    rollups = []
+    for cls in classes:
+        rollup = build_rollup(cls.merged_query())
+        assert rollup is not None  # subset of a fully shardable group
+        rollups.append(rollup)
+    return ShardedGroupRun(
+        executor,
+        group,
+        classes,
+        rollups,
+        partitioner.split(row_count),
+        epoch,
+    )
+
+
+__all__ = ["ShardedGroupRun", "plan_sharded_group"]

@@ -1,0 +1,74 @@
+"""Row-range table partitioning for sharded scan execution.
+
+A shard is a contiguous range of base-table row positions. Contiguity
+is what makes sharded execution provably order-preserving: every engine
+in this system scans base tables in row order, so the concatenation of
+per-shard scan results *is* the unsharded scan, and first-occurrence
+group orders compose across shards (see
+:mod:`repro.sharding.executor` for the full argument).
+
+The :class:`Partitioner` splits ``num_rows`` into ``shards`` near-equal
+ranges using the classic balanced formula ``start_i = n*i // s`` —
+deterministic, covering every row exactly once, and degrading to empty
+trailing ranges when there are more shards than rows (an empty shard is
+a valid unit of work: its partial aggregates are the aggregates of zero
+rows, which the rollup merges away).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class RowRange:
+    """A half-open range ``[start, stop)`` of base-table row positions."""
+
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.stop < self.start:
+            raise ConfigError(
+                f"invalid row range [{self.start}, {self.stop})"
+            )
+
+    @property
+    def num_rows(self) -> int:
+        return self.stop - self.start
+
+    @property
+    def is_empty(self) -> bool:
+        return self.stop == self.start
+
+    def __repr__(self) -> str:
+        return f"RowRange({self.start}, {self.stop})"
+
+
+class Partitioner:
+    """Splits tables into ``shards`` contiguous, near-equal row ranges."""
+
+    def __init__(self, shards: int) -> None:
+        if shards < 1:
+            raise ConfigError("shard count must be >= 1")
+        self.shards = shards
+
+    def split(self, num_rows: int) -> list[RowRange]:
+        """The shard plan for a table of ``num_rows`` rows.
+
+        Ranges are disjoint, ordered, and cover ``[0, num_rows)``
+        exactly; sizes differ by at most one row. With more shards than
+        rows, the trailing ranges are empty.
+        """
+        if num_rows < 0:
+            raise ConfigError("num_rows must be >= 0")
+        shards = self.shards
+        return [
+            RowRange(num_rows * i // shards, num_rows * (i + 1) // shards)
+            for i in range(shards)
+        ]
+
+
+__all__ = ["Partitioner", "RowRange"]

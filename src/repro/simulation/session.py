@@ -74,6 +74,12 @@ class SessionConfig:
     #: the pre-concurrency execution path; results are byte-identical
     #: for every value (:mod:`repro.concurrency`).
     workers: int = 1
+    #: Row-range shards per scan group (batch mode): each shardable
+    #: group's base scan splits into this many per-shard tasks whose
+    #: partial aggregates roll up into the final results
+    #: (:mod:`repro.sharding`). ``1`` (the default) is exactly the
+    #: pre-sharding execution path.
+    shards: int = 1
     seed: int = 0
 
     def p_markov(self, step: int) -> float:
@@ -347,7 +353,9 @@ class SessionSimulator:
         """
         if self.config.batch:
             return self.measured_engine.execute_batch(
-                list(queries), workers=self.config.workers
+                list(queries),
+                workers=self.config.workers,
+                shards=self.config.shards,
             )
         if self.config.workers > 1:
             from repro.concurrency.sessions import execute_all
