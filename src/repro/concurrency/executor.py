@@ -18,6 +18,15 @@ merge step rolls the partial aggregates up into the final member
 results. ``shards=1`` is byte-for-byte the pre-existing path — the
 sharded code is not even reached.
 
+With ``multiplan=True`` the multi-plan tier
+(:mod:`repro.engine.multiplan`) folds a group's fusion classes into
+one combined pass: unsharded groups run it inside their ordinary group
+task (same scheduling, one engine execution instead of one per class),
+and sharded groups run one combined pass per shard
+(:class:`~repro.sharding.executor.MultiPlanShardedRun`) whose finest
+partials roll up through the same merge machinery. ``multiplan=False``
+(the default) never reaches the evaluator.
+
 Determinism: each group (or its merge step) writes only its own
 members' positions in the shared results list, and stats merge in
 submission order after every task settles — so results and statistics
@@ -96,10 +105,14 @@ class ScanGroupExecutor(BatchExecutor):
         group_cache=None,
         fallback_engine: Engine | None = None,
         group_flight: SingleFlight | None = None,
+        multiplan: bool = False,
     ) -> None:
         engine = slot_gated(engine)
         super().__init__(
-            engine, group_cache=group_cache, fallback_engine=fallback_engine
+            engine,
+            group_cache=group_cache,
+            fallback_engine=fallback_engine,
+            multiplan=multiplan,
         )
         self.workers = workers
         #: Row-range shards per shardable scan group; ``1`` keeps the
@@ -141,17 +154,21 @@ class ScanGroupExecutor(BatchExecutor):
         queries: list[Query],
         workers: int | None = None,
         shards: int | None = None,
+        multiplan: bool | None = None,
     ) -> BatchResult:
         """Execute one batch; results align positionally with input.
 
-        ``workers`` and ``shards`` override the constructor values for
-        this call. ``shards <= 1`` takes the exact pre-existing
-        one-task-per-group path.
+        ``workers``, ``shards``, and ``multiplan`` override the
+        constructor values for this call (``None`` keeps them).
+        ``shards <= 1`` takes the exact pre-existing
+        one-task-per-group path; ``multiplan=False`` likewise never
+        reaches the combined-pass evaluator.
         """
         effective = self.workers if workers is None else workers
         sharding = self.shards if shards is None else shards
+        combine = self.multiplan if multiplan is None else multiplan
         if sharding > 1:
-            return self._run_sharded(queries, effective, sharding)
+            return self._run_sharded(queries, effective, sharding, combine)
         stats = BatchStats(queries=len(queries))
         results: list[QueryResult | None] = [None] * len(queries)
         with self._shared_lock:  # the key memo is shared mutable state
@@ -160,11 +177,15 @@ class ScanGroupExecutor(BatchExecutor):
         if effective > 1 and len(groups) > 1 and parallel_scans(self.engine):
             pool = self._pool_for(effective)
             group_stats = map_ordered(
-                pool, lambda g: self._execute_group(g, results), groups
+                pool,
+                lambda g: self._execute_group(g, results, combine),
+                groups,
             )
         else:
             # Serialized task queue: submission order, caller's thread.
-            group_stats = [self._execute_group(g, results) for g in groups]
+            group_stats = [
+                self._execute_group(g, results, combine) for g in groups
+            ]
         for group_stat in group_stats:
             stats.merge(group_stat)
         if any(r is None for r in results):
@@ -176,7 +197,11 @@ class ScanGroupExecutor(BatchExecutor):
         return BatchResult(list(results), stats)
 
     def _run_sharded(
-        self, queries: list[Query], workers: int, shards: int
+        self,
+        queries: list[Query],
+        workers: int,
+        shards: int,
+        multiplan: bool = False,
     ) -> BatchResult:
         """One task per (group, shard), then one merge per group.
 
@@ -202,11 +227,14 @@ class ScanGroupExecutor(BatchExecutor):
         sharded_runs = []
         for group in groups:
             run = plan_sharded_group(
-                self, group, partitioner, results, plan_stats
+                self, group, partitioner, results, plan_stats,
+                multiplan=multiplan,
             )
             if run is None:
                 units.append(
-                    lambda g=group: self._execute_group(g, results)
+                    lambda g=group: self._execute_group(
+                        g, results, multiplan
+                    )
                 )
             else:
                 sharded_runs.append(run)
@@ -236,12 +264,19 @@ class ScanGroupExecutor(BatchExecutor):
         return group_queries(list(queries), key_fn=self._memoized_keys)
 
     def _execute_group(
-        self, group: ScanGroup, results: list[QueryResult | None]
+        self,
+        group: ScanGroup,
+        results: list[QueryResult | None],
+        multiplan: bool | None = None,
     ) -> BatchStats:
         """Run one group as an isolated task; returns its stats delta.
 
         Writes only this group's member positions in ``results`` —
         disjoint across groups, so no locking is needed on the list.
+        The per-call ``multiplan`` flag rides along rather than
+        mutating executor state: concurrent ``run`` calls with
+        different flags stay independent (results are identical either
+        way, so the flight key need not carry it).
         """
         if (
             self._group_flight is not None
@@ -259,15 +294,18 @@ class ScanGroupExecutor(BatchExecutor):
             # into its own results list, so only the flight key is
             # shared.
             stats, leader = self._group_flight.do(
-                key, lambda: self._run_one(group, results)
+                key, lambda: self._run_one(group, results, multiplan)
             )
             if leader:
                 return stats
-            return self._run_one(group, results)
-        return self._run_one(group, results)
+            return self._run_one(group, results, multiplan)
+        return self._run_one(group, results, multiplan)
 
     def _run_one(
-        self, group: ScanGroup, results: list[QueryResult | None]
+        self,
+        group: ScanGroup,
+        results: list[QueryResult | None],
+        multiplan: bool | None = None,
     ) -> BatchStats:
         # No lock is held here: engine safety is leaf-granular (the
         # _SlotGatedEngine wrapper / the engine's own thread-safety),
@@ -282,7 +320,7 @@ class ScanGroupExecutor(BatchExecutor):
                 stats.fallbacks += 1
                 stats.base_scans += 1
         else:
-            self._run_group(group, results, stats)
+            self._run_group(group, results, stats, multiplan=multiplan)
         return stats
 
 

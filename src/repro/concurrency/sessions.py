@@ -40,10 +40,12 @@ class RefreshJob:
     """One dashboard refresh to schedule: a state, its engine, options.
 
     ``viz_ids=None`` refreshes every visualization. ``workers`` here is
-    the *intra-batch* level passed down to the scan-group executor, and
+    the *intra-batch* level passed down to the scan-group executor,
     ``shards`` the per-group row-range shard count
-    (:mod:`repro.sharding`); the pool running jobs concurrently is
-    sized by :func:`refresh_many`'s own ``workers`` argument.
+    (:mod:`repro.sharding`), and ``multiplan`` the combined-pass
+    evaluation of unfiltered groups (:mod:`repro.engine.multiplan`);
+    the pool running jobs concurrently is sized by
+    :func:`refresh_many`'s own ``workers`` argument.
     """
 
     state: object  # DashboardState (duck-typed; avoids a circular import)
@@ -52,6 +54,7 @@ class RefreshJob:
     batch: bool = True
     workers: int = 1
     shards: int = 1
+    multiplan: bool = False
 
 
 def refresh_many(
@@ -73,6 +76,7 @@ def refresh_many(
                 batch=job.batch,
                 workers=job.workers,
                 shards=job.shards,
+                multiplan=job.multiplan,
             )
 
     return run_tasks([lambda j=job: run_job(j) for job in jobs], workers)

@@ -163,7 +163,7 @@ class RefreshPlan:
 
     def execute(
         self, engine: Engine, batch: bool = True, workers: int = 1,
-        shards: int = 1,
+        shards: int = 1, multiplan: bool = False,
     ) -> dict[str, QueryResult]:
         """Run the refresh; returns timed results keyed by viz id.
 
@@ -173,14 +173,18 @@ class RefreshPlan:
         independent units (scan groups in batch mode, single queries
         otherwise) over a worker pool. ``shards > 1`` splits each scan
         group's base scan across row-range shards with
-        partial-aggregate rollup (:mod:`repro.sharding`) — a
-        batch-mode feature, ignored in sequential mode where there are
-        no scan groups to shard. All combinations produce identical
-        result sets.
+        partial-aggregate rollup (:mod:`repro.sharding`).
+        ``multiplan=True`` evaluates each unfiltered group's fusion
+        classes in one combined pass (:mod:`repro.engine.multiplan`) —
+        the initial render's one-scan-per-GROUP-BY shape collapses to
+        one scan per table. ``shards`` and ``multiplan`` are batch-mode
+        features, ignored in sequential mode where there are no scan
+        groups. All combinations produce identical result sets.
         """
         if batch:
             timed = engine.execute_batch(
-                self.queries, workers=workers, shards=shards
+                self.queries, workers=workers, shards=shards,
+                multiplan=multiplan,
             )
         elif workers > 1:
             from repro.concurrency.sessions import execute_all

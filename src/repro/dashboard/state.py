@@ -167,26 +167,31 @@ class DashboardState:
     # -- refresh paths (batch API) ---------------------------------------------
 
     def refresh(self, engine, viz_ids=None, batch: bool = True,
-                workers: int = 1, shards: int = 1):
+                workers: int = 1, shards: int = 1,
+                multiplan: bool = False):
         """Execute the current queries of (all or selected) nodes.
 
         Routes through the shared-scan batch executor by default
         (:meth:`~repro.engine.interface.Engine.execute_batch`); pass
         ``batch=False`` for sequential per-component execution,
         ``workers > 1`` to overlap the refresh's independent scan
-        groups over a worker pool, and ``shards > 1`` to split each
+        groups over a worker pool, ``shards > 1`` to split each
         scan group's base scan across row-range shards with
-        partial-aggregate rollup (results are byte-identical; see
-        :mod:`repro.concurrency` and :mod:`repro.sharding`). Returns
-        timed results keyed by visualization id.
+        partial-aggregate rollup, and ``multiplan=True`` to evaluate
+        each unfiltered group's fusion classes in one combined pass —
+        the cold-render optimization (results are byte-identical; see
+        :mod:`repro.concurrency`, :mod:`repro.sharding`, and
+        :mod:`repro.engine.multiplan`). Returns timed results keyed by
+        visualization id.
         """
         return build_refresh(self, viz_ids).execute(
-            engine, batch=batch, workers=workers, shards=shards
+            engine, batch=batch, workers=workers, shards=shards,
+            multiplan=multiplan,
         )
 
     def apply_and_refresh(
         self, interaction: Interaction, engine, batch: bool = True,
-        workers: int = 1, shards: int = 1,
+        workers: int = 1, shards: int = 1, multiplan: bool = False,
     ):
         """Apply an interaction and execute its fan-out as one batch.
 
@@ -198,7 +203,7 @@ class DashboardState:
         affected = self.apply_affected(interaction)
         return self.refresh(
             engine, viz_ids=affected, batch=batch, workers=workers,
-            shards=shards,
+            shards=shards, multiplan=multiplan,
         )
 
     # -- applying interactions ---------------------------------------------------

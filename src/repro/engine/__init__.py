@@ -28,12 +28,17 @@ execution, positionally aligned with the input::
 
     results = engine.execute_batch(state.initial_queries())
 
+With ``multiplan=True``, an *unfiltered* group's fusion classes — the
+initial render's one-scan-per-GROUP-BY shape — additionally evaluate
+in one combined pass per table (:mod:`repro.engine.multiplan`).
+
 :class:`CachedEngine` additionally caches whole scan groups
 (:class:`~repro.engine.cache.ScanGroupCache`), invalidated per table on
 ``load_table``, so a repeated refresh costs zero engine work. The
 benchmark harness toggles the mode end-to-end with
 ``python -m repro.harness.cli --batch`` / ``--no-batch``
-(``BenchmarkConfig(batch=...)``, ``SessionConfig(batch=...)``), and
+(``BenchmarkConfig(batch=...)``, ``SessionConfig(batch=...)``,
+``--multiplan`` for the combined pass), and
 ``repro.logs.replay.replay_log(..., batch=True)`` replays recorded
 sessions with each interaction's fan-out batched.
 """
@@ -41,6 +46,7 @@ sessions with each interaction's fan-out batched.
 from repro.engine.batch import BatchExecutor, BatchResult, BatchStats
 from repro.engine.cache import CachedEngine, ScanGroupCache
 from repro.engine.interface import Engine, QueryResult, ResultSet
+from repro.engine.multiplan import MultiPlan, build_multiplan
 from repro.engine.registry import available_engines, create_engine
 from repro.engine.table import ColumnDef, Schema, Table
 from repro.engine.types import DataType
@@ -53,11 +59,13 @@ __all__ = [
     "ColumnDef",
     "DataType",
     "Engine",
+    "MultiPlan",
     "QueryResult",
     "ResultSet",
     "ScanGroupCache",
     "Schema",
     "Table",
     "available_engines",
+    "build_multiplan",
     "create_engine",
 ]

@@ -20,7 +20,16 @@ module merges a refresh into a handful of shared scans:
    its WHERE stripped. Filtering commutes with grouping, ordering, and
    limiting, so a deterministic engine returns byte-identical results.
 
-4. **Partial-aggregate rollup.** For sharded execution
+4. **Multi-plan evaluation** (``multiplan=True``). An *unfiltered*
+   group — the initial dashboard render — has no filter to share, so
+   steps 1–3 still pay one base scan per fusion class. The evaluator
+   in :mod:`repro.engine.multiplan` computes every class's group-by in
+   a single pass: one combined query GROUPs BY the union of all key
+   expressions with decomposed aggregates, then one small merge query
+   per class derives its exact result from the combined rows. Off by
+   default, like every optimizer tier here.
+
+5. **Partial-aggregate rollup.** For sharded execution
    (:mod:`repro.sharding`), :func:`build_rollup` decomposes a fused
    aggregate query into a *partial* query (AVG becomes SUM + COUNT;
    COUNT/SUM/MIN/MAX pass through) that runs once per table shard, and
@@ -173,6 +182,8 @@ class BatchStats:
     fallbacks: int = 0  # queries executed unbatched (joins etc.)
     sharded_groups: int = 0  # groups executed as per-shard tasks
     shard_scans: int = 0  # per-shard base-range materializations
+    multiplan_groups: int = 0  # groups answered by one combined pass
+    multiplan_plans: int = 0  # fusion classes folded into combined passes
 
     @property
     def sequential_scans(self) -> int:
@@ -189,6 +200,8 @@ class BatchStats:
         self.fallbacks += other.fallbacks
         self.sharded_groups += other.sharded_groups
         self.shard_scans += other.shard_scans
+        self.multiplan_groups += other.multiplan_groups
+        self.multiplan_plans += other.multiplan_plans
 
 
 @dataclass
@@ -304,9 +317,15 @@ class BatchExecutor:
         engine: Engine,
         group_cache=None,
         fallback_engine: Engine | None = None,
+        multiplan: bool = False,
     ) -> None:
         self.engine = engine
         self.group_cache = group_cache
+        #: Evaluate an unfiltered group's fusion classes in one
+        #: combined pass (:mod:`repro.engine.multiplan`) instead of one
+        #: execution per class. ``False`` (the default) is the exact
+        #: pre-multiplan path — the evaluator is not even reached.
+        self.multiplan = multiplan
         #: The caller-facing engine: unbatchable queries (joins,
         #: aliased FROM) execute here, and results are stamped with its
         #: name. A caching wrapper passes itself so fallbacks keep the
@@ -364,6 +383,7 @@ class BatchExecutor:
         group: ScanGroup,
         results: list[QueryResult | None],
         stats: BatchStats,
+        multiplan: bool | None = None,
     ) -> None:
         signature = group.signature
         assert signature is not None
@@ -382,6 +402,17 @@ class BatchExecutor:
         predicate = pending[0].query.where
         produced: dict[str, ResultSet] = {}
         shared = False
+        combine = self.multiplan if multiplan is None else multiplan
+        if combine and predicate is None and len(classes) > 1:
+            # Multi-plan tier: an unfiltered group has no filter to
+            # share, so its eligible fusion classes evaluate together
+            # in one combined pass; ineligible shapes come back and
+            # run per class below.
+            from repro.engine.multiplan import run_multiplan
+
+            classes = run_multiplan(
+                self, signature, classes, results, stats, produced
+            )
         if predicate is not None and len(classes) > 1:
             shared = self._run_shared(
                 signature, classes, results, stats, produced
@@ -592,29 +623,29 @@ class AggregateRollup:
 
     def partial_table(self, name: str, partials: list[ResultSet]) -> Table:
         """The merge input: every shard's partial rows, in shard order."""
-        columns: dict[str, list[object]] = {n: [] for n in self.partial_names}
-        for partial in partials:
-            for i, column in enumerate(partial.columns):
-                columns[column].extend(row[i] for row in partial.rows)
-        return Table.from_columns(name, columns)
+        return concat_partials(name, self.partial_names, partials)
 
     def empty_result(self) -> ResultSet:
         """The result of a grouped rollup with zero qualifying rows."""
         return ResultSet(list(self.output_names), [])
 
 
-def build_rollup(query: Query) -> AggregateRollup | None:
-    """The partial/merge decomposition of ``query``, or ``None``.
+def eligible_plan(query: Query) -> "AggregatePlan | None":
+    """The query's aggregate plan when its aggregates can decompose.
 
-    ``None`` marks queries that cannot roll up from per-shard partials:
-    non-aggregates (projections concatenate instead), HAVING / ORDER BY
-    / LIMIT / DISTINCT (they change row sets or ordering in ways that
-    do not commute with sharding), DISTINCT aggregates (distinct sets
-    overlap across shards), joins, and select items whose output name
-    is engine-dependent (the merge query rebuilds names from aliases,
-    which must match what the engine would have produced — the same
-    naming restriction :func:`~repro.engine.planner.fusion_signature`
-    applies).
+    The single eligibility gate for both partial-aggregate consumers —
+    the sharded rollup (:func:`build_rollup`) and the multi-plan
+    evaluator (:mod:`repro.engine.multiplan`) — so the two paths can
+    never disagree about what is decomposable. ``None`` marks queries
+    whose aggregates cannot be re-aggregated from partials:
+    non-aggregates (projections concatenate instead), HAVING / ORDER
+    BY / LIMIT / DISTINCT (they change row sets or ordering in ways
+    that do not commute with re-aggregation), DISTINCT aggregates
+    (distinct sets overlap across partitions), joins, and select items
+    whose output name is engine-dependent (the merge queries rebuild
+    names from aliases, which must match what the engine would have
+    produced — the same naming restriction
+    :func:`~repro.engine.planner.fusion_signature` applies).
     """
     if (
         query.joins
@@ -638,6 +669,89 @@ def build_rollup(query: Query) -> AggregateRollup | None:
     for call in plan.agg_calls:
         if call.distinct:
             return None
+    return plan
+
+
+def concat_partials(
+    name: str, column_names: tuple[str, ...], partials: list[ResultSet]
+) -> Table:
+    """The merge input: every partial's rows concatenated, in order.
+
+    One partial for a combined single pass; one per shard — in shard
+    order, which preserves first-occurrence order — for sharded
+    execution. Shared by :class:`AggregateRollup` and
+    :class:`~repro.engine.multiplan.MultiPlan` so the relation both
+    merge paths aggregate over is built by the same code.
+    """
+    columns: dict[str, list[object]] = {n: [] for n in column_names}
+    for partial in partials:
+        for i, column in enumerate(partial.columns):
+            columns[column].extend(row[i] for row in partial.rows)
+    return Table.from_columns(name, columns)
+
+
+def decompose_aggregate(
+    call: FuncCall, stem: str
+) -> tuple[list[SelectItem], list[str], Expression] | None:
+    """The mergeable decomposition of one aggregate call.
+
+    Returns ``(pieces, names, merge_expr)``: the partial SELECT items
+    computing the call's decomposed pieces (columns named from
+    ``stem``), their names, and the expression that re-aggregates the
+    pieces back into the call's value. This is the single home of the
+    merge algebra — the sharded rollup (:func:`build_rollup`) and the
+    multi-plan evaluator (:mod:`repro.engine.multiplan`) both build on
+    it, so the two paths cannot drift apart. ``None`` for functions
+    outside the aggregate vocabulary.
+    """
+    if call.name == "AVG":
+        sum_name = f"{stem}_sum"
+        count_name = f"{stem}_count"
+        # ``* 1.0`` forces float division on engines with integer
+        # ``/`` (SQLite); SQL NULL propagation makes the all-empty
+        # case come out NULL, matching AVG over zero rows.
+        merged: Expression = BinaryOp(
+            "/",
+            BinaryOp(
+                "*",
+                FuncCall("SUM", (Column(sum_name),)),
+                Literal(1.0),
+            ),
+            FuncCall("SUM", (Column(count_name),)),
+        )
+        return (
+            [
+                SelectItem(FuncCall("SUM", call.args), sum_name),
+                SelectItem(FuncCall("COUNT", call.args), count_name),
+            ],
+            [sum_name, count_name],
+            merged,
+        )
+    if call.name in ("COUNT", "SUM"):
+        # COUNT partials are never NULL, so SUM-of-counts is the total
+        # count; SUM partials skip NULLs partition-locally and SUM of
+        # the partials skips all-NULL partitions — both match the
+        # one-pass semantics exactly.
+        return [SelectItem(call, stem)], [stem], FuncCall(
+            "SUM", (Column(stem),)
+        )
+    if call.name in ("MIN", "MAX"):
+        return [SelectItem(call, stem)], [stem], FuncCall(
+            call.name, (Column(stem),)
+        )
+    return None
+
+
+def build_rollup(query: Query) -> AggregateRollup | None:
+    """The partial/merge decomposition of ``query``, or ``None``.
+
+    ``None`` marks queries that cannot roll up from per-shard partials
+    — everything :func:`eligible_plan` rejects, plus colliding partial
+    column names.
+    """
+    plan = eligible_plan(query)
+    if plan is None:
+        return None
 
     # Partial key columns carry the *original* output name where the
     # key is selected — the SQLite wrapper restores temporal/boolean
@@ -663,44 +777,12 @@ def build_rollup(query: Query) -> AggregateRollup | None:
         for i in range(len(plan.key_exprs))
     }
     for j, call in enumerate(plan.agg_calls):
-        if call.name == "AVG":
-            sum_name = f"__part{j}_sum"
-            count_name = f"__part{j}_count"
-            partial_select.append(
-                SelectItem(FuncCall("SUM", call.args), sum_name)
-            )
-            partial_select.append(
-                SelectItem(FuncCall("COUNT", call.args), count_name)
-            )
-            partial_names += [sum_name, count_name]
-            # ``* 1.0`` forces float division on engines with integer
-            # ``/`` (SQLite); SQL NULL propagation makes the all-empty
-            # case come out NULL, matching AVG over zero rows.
-            merged: Expression = BinaryOp(
-                "/",
-                BinaryOp(
-                    "*",
-                    FuncCall("SUM", (Column(sum_name),)),
-                    Literal(1.0),
-                ),
-                FuncCall("SUM", (Column(count_name),)),
-            )
-        elif call.name in ("COUNT", "SUM"):
-            name = f"__part{j}"
-            partial_select.append(SelectItem(call, name))
-            partial_names.append(name)
-            # COUNT partials are never NULL, so SUM-of-counts is total
-            # count; SUM partials skip NULLs shard-locally and SUM of
-            # the partials skips all-NULL shards — both match the
-            # unsharded semantics exactly.
-            merged = FuncCall("SUM", (Column(name),))
-        elif call.name in ("MIN", "MAX"):
-            name = f"__part{j}"
-            partial_select.append(SelectItem(call, name))
-            partial_names.append(name)
-            merged = FuncCall(call.name, (Column(name),))
-        else:  # pragma: no cover - AGGREGATE_FUNCTIONS is exhaustive
+        decomposed = decompose_aggregate(call, f"__part{j}")
+        if decomposed is None:  # pragma: no cover - exhaustive vocabulary
             return None
+        pieces, names, merged = decomposed
+        partial_select += pieces
+        partial_names += names
         substitutions[f"{AGG_PREFIX}{j}"] = merged
     if len(set(partial_names)) != len(partial_names):
         return None  # colliding output names; cannot build the relation
@@ -769,6 +851,9 @@ __all__ = [
     "ScanGroup",
     "TEMP_PREFIX",
     "build_rollup",
+    "concat_partials",
+    "decompose_aggregate",
+    "eligible_plan",
     "fuse_members",
     "group_queries",
     "temp_table_name",

@@ -345,7 +345,11 @@ class CachedEngine(Engine):
         return ResultSet(result.columns, result.rows)
 
     def execute_batch(
-        self, queries: list[Query], workers: int = 1, shards: int = 1
+        self,
+        queries: list[Query],
+        workers: int = 1,
+        shards: int = 1,
+        multiplan: bool = False,
     ) -> list[QueryResult]:
         """Batch execution with whole-scan-group caching.
 
@@ -360,6 +364,10 @@ class CachedEngine(Engine):
         groups fan their base scans out per row-range shard
         (:mod:`repro.sharding`); the rolled-up results land in the same
         scan-group cache, so repeats are served identically either way.
+        With ``multiplan``, an unfiltered group's fusion classes
+        evaluate in one combined pass (:mod:`repro.engine.multiplan`);
+        every per-plan result still lands in the scan-group cache under
+        its own SQL, so later refreshes — multiplan or not — hit it.
         """
         with self._lock:
             if self._batch_executor is None:
@@ -372,7 +380,9 @@ class CachedEngine(Engine):
                     group_flight=self._group_flight,
                 )
             executor = self._batch_executor
-        return executor.run(queries, workers=workers, shards=shards).results
+        return executor.run(
+            queries, workers=workers, shards=shards, multiplan=multiplan
+        ).results
 
     @property
     def batch_stats(self):

@@ -236,7 +236,11 @@ class Engine(abc.ABC):
         )
 
     def execute_batch(
-        self, queries: list[Query], workers: int = 1, shards: int = 1
+        self,
+        queries: list[Query],
+        workers: int = 1,
+        shards: int = 1,
+        multiplan: bool = False,
     ) -> list[QueryResult]:
         """Execute a batch of queries through the shared-scan optimizer.
 
@@ -257,18 +261,29 @@ class Engine(abc.ABC):
         per (group, shard), merged via partial-aggregate rollup
         (:mod:`repro.sharding`). ``shards=1`` is the exact pre-existing
         path.
+
+        ``multiplan=True`` evaluates an unfiltered group's fusion
+        classes — the initial render's one-scan-per-GROUP-BY shape —
+        in a single combined pass per group
+        (:mod:`repro.engine.multiplan`), composing with both knobs
+        above: combined passes schedule on the same worker pool, and
+        sharded tables run one combined pass per shard rolled up
+        through the engine. ``False`` (the default) is the exact
+        pre-multiplan path.
         """
         from repro.engine.batch import BatchExecutor
 
         if workers > 1 or shards > 1:
             from repro.concurrency.executor import ScanGroupExecutor
 
-            executor = ScanGroupExecutor(self, workers=workers, shards=shards)
+            executor = ScanGroupExecutor(
+                self, workers=workers, shards=shards, multiplan=multiplan
+            )
             try:
                 return executor.run(queries).results
             finally:
                 executor.close()
-        return BatchExecutor(self).run(queries).results
+        return BatchExecutor(self, multiplan=multiplan).run(queries).results
 
     def close(self) -> None:
         """Release engine resources (default: nothing to do)."""

@@ -81,6 +81,13 @@ def build_parser() -> argparse.ArgumentParser:
         "results are identical for any value)",
     )
     parser.add_argument(
+        "--multiplan", action=argparse.BooleanOptionalAction, default=False,
+        help="evaluate each unfiltered scan group's fusion classes in "
+        "one combined pass — the initial render's one-scan-per-GROUP-BY "
+        "shape collapses to one scan per table (needs --batch; results "
+        "are identical either way)",
+    )
+    parser.add_argument(
         "--progress", action="store_true", help="print per-run progress"
     )
     parser.add_argument(
@@ -103,6 +110,7 @@ def main(argv: list[str] | None = None) -> int:
         batch=args.batch,
         workers=args.workers,
         shards=args.shards,
+        multiplan=args.multiplan,
     )
     runner = BenchmarkRunner(config, log_directory=args.export_logs)
     result = runner.run(progress=args.progress)

@@ -73,6 +73,16 @@ class BenchmarkConfig:
     #: effect; ``1`` is the exact pre-sharding path and results are
     #: identical for every value.
     shards: int = 1
+    #: Combined-pass evaluation of unfiltered scan groups (the CLI's
+    #: ``--multiplan`` / ``--no-multiplan``): each batched fan-out's
+    #: unfiltered groups — the initial dashboard render — compute all
+    #: their group-bys in one engine pass
+    #: (:mod:`repro.engine.multiplan`). A per-session setting that
+    #: requires batch mode to have any effect; ``False`` (the default)
+    #: is the exact pre-multiplan path and results are identical either
+    #: way. After construction this field mirrors ``session.multiplan``
+    #: — the session config is the single source of truth downstream.
+    multiplan: bool = False
     #: Fixed-duration sessions by default: each goal segment runs its
     #: full step budget even if the goal completes early, matching the
     #: paper's time-boxed exploration studies and keeping per-dashboard
@@ -116,13 +126,18 @@ class BenchmarkConfig:
             object.__setattr__(
                 self, "session", replace(self.session, shards=self.shards)
             )
+        if self.multiplan and not self.session.multiplan:
+            object.__setattr__(
+                self, "session", replace(self.session, multiplan=True)
+            )
         # ``batch`` always mirrors the session flag (single source of
         # truth downstream); ``workers`` stays the runner's own cell
         # concurrency — an explicit ``session.workers`` only affects
-        # the sessions themselves; ``shards`` likewise mirrors into
-        # the sessions and nothing else.
+        # the sessions themselves; ``shards`` and ``multiplan``
+        # likewise mirror into the sessions and nothing else.
         object.__setattr__(self, "batch", self.session.batch)
         object.__setattr__(self, "shards", self.session.shards)
+        object.__setattr__(self, "multiplan", self.session.multiplan)
 
     @classmethod
     def paper_scale(cls) -> "BenchmarkConfig":

@@ -236,6 +236,7 @@ class BenchmarkRunner:
             batch=self.config.session.batch,
             workers=self.config.session.workers,
             shards=self.config.session.shards,
+            multiplan=self.config.session.multiplan,
             seed=self.config.seed * 1_000 + run_index,
         )
         simulator = SessionSimulator(

@@ -92,6 +92,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(needs --batch; 1 = unsharded; results are identical for "
         "any value)",
     )
+    replay.add_argument(
+        "--multiplan", action=argparse.BooleanOptionalAction,
+        default=False,
+        help="evaluate each unfiltered scan group's fusion classes in "
+        "one combined pass during batched replay (needs --batch; "
+        "results are identical either way)",
+    )
 
     metrics = commands.add_parser(
         "metrics", help="print the §7 exploration metrics of a log"
@@ -164,6 +171,7 @@ def _replay(args) -> int:
     report = replay_log(
         log, engine, check_cardinality=not args.no_check,
         batch=args.batch, workers=args.workers, shards=args.shards,
+        multiplan=args.multiplan,
     )
     print(
         f"replayed {report.query_count} queries on {engine.name}: "

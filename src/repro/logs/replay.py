@@ -62,6 +62,7 @@ def replay_log(
     batch: bool = False,
     workers: int = 1,
     shards: int = 1,
+    multiplan: bool = False,
 ) -> ReplayReport:
     """Re-execute every query in ``log`` against ``engine``.
 
@@ -84,8 +85,12 @@ def replay_log(
 
     ``shards > 1`` splits each batched step's shardable scan groups
     into per-shard scan tasks merged via partial-aggregate rollup
-    (:mod:`repro.sharding`). A batch-mode feature: without scan groups
-    there is nothing to shard, so the sequential path ignores it.
+    (:mod:`repro.sharding`). ``multiplan=True`` evaluates each
+    unfiltered scan group's fusion classes in one combined pass
+    (:mod:`repro.engine.multiplan`) — the recorded initial render
+    replays with one scan per table. Both are batch-mode features:
+    without scan groups there is nothing to shard or combine, so the
+    sequential path ignores them.
     """
     report = ReplayReport(engine=engine.name)
 
@@ -120,7 +125,7 @@ def replay_log(
         step_entries = list(group)
         queries = [parse_query(e.sql) for e in step_entries]
         timed_results = engine.execute_batch(
-            queries, workers=workers, shards=shards
+            queries, workers=workers, shards=shards, multiplan=multiplan
         )
         for entry, timed in zip(step_entries, timed_results):
             record(entry, timed)

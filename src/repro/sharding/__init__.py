@@ -11,7 +11,9 @@ as one monolithic task:
   :class:`RowRange`, the deterministic near-equal contiguous split.
 - :mod:`repro.sharding.executor` — :class:`ShardedGroupRun`, the
   per-(group, shard) scan tasks plus the merge step that re-aggregates
-  per-shard partials through the engine; and
+  per-shard partials through the engine; :class:`MultiPlanShardedRun`,
+  the multiplan × shards composition (one combined finest-grouping
+  pass per shard, see :mod:`repro.engine.multiplan`); and
   :func:`plan_sharded_group`, the shardability gate.
 
 The aggregate decomposition itself (AVG into SUM/COUNT, the merge
@@ -24,10 +26,15 @@ extends. The scheduling seam is
 pre-existing path.
 """
 
-from repro.sharding.executor import ShardedGroupRun, plan_sharded_group
+from repro.sharding.executor import (
+    MultiPlanShardedRun,
+    ShardedGroupRun,
+    plan_sharded_group,
+)
 from repro.sharding.partition import Partitioner, RowRange
 
 __all__ = [
+    "MultiPlanShardedRun",
     "Partitioner",
     "RowRange",
     "ShardedGroupRun",

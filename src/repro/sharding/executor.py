@@ -71,6 +71,27 @@ from repro.errors import ExecutionError
 from repro.sharding.partition import Partitioner, RowRange
 
 
+def _materialize_shard(engine, signature, predicate, row_range, shard) -> str:
+    """Materialize one shard's filtered row range; returns the temp name.
+
+    :func:`plan_sharded_group` gates on ``table_row_count``, and
+    engines that report a row count must honor row ranges — failure
+    here means the engine broke that contract.
+    """
+    temp = unique_temp_name(signature.table, signature.predicate_key)
+    if not engine.materialize_filtered(
+        temp,
+        signature.table,
+        predicate,
+        row_range=(row_range.start, row_range.stop),
+    ):
+        raise ExecutionError(
+            f"engine cannot materialize shard {shard} of "
+            f"{signature.table!r}"
+        )
+    return temp
+
+
 class ShardedGroupRun:
     """One scan group's sharded execution state.
 
@@ -128,30 +149,18 @@ class ShardedGroupRun:
         """Materialize one shard's rows and run every partial query."""
         stats = BatchStats()
         engine = self._executor.engine
-        signature = self._signature
-        row_range = self._ranges[shard]
-        temp = unique_temp_name(signature.table, signature.predicate_key)
         start = time.perf_counter()
-        if not engine.materialize_filtered(
-            temp,
-            signature.table,
-            self._predicate,
-            row_range=(row_range.start, row_range.stop),
-        ):
-            # plan_sharded_group gates on table_row_count, and engines
-            # that report a row count must honor row ranges — reaching
-            # this line means the engine broke that contract.
-            raise ExecutionError(
-                f"engine cannot materialize shard {shard} of "
-                f"{signature.table!r}"
-            )
+        temp = _materialize_shard(
+            engine, self._signature, self._predicate,
+            self._ranges[shard], shard,
+        )
         self._scan_ms[shard] = (time.perf_counter() - start) * 1000.0
         stats.base_scans += 1
         stats.shard_scans += 1
         try:
             for index, rollup in enumerate(self._rollups):
                 timed = engine.execute_timed(
-                    rollup.partial_query(temp, signature.table)
+                    rollup.partial_query(temp, self._signature.table)
                 )
                 self._partials[index][shard] = timed.result
                 self._partial_ms[index][shard] = timed.duration_ms
@@ -212,14 +221,156 @@ class ShardedGroupRun:
         return stats
 
 
+class MultiPlanShardedRun:
+    """One scan group's sharded *multi-plan* execution state.
+
+    The multiplan × shards composition: each shard task materializes
+    its filtered row range and runs **one combined finest-grouping
+    query** (:class:`~repro.engine.multiplan.MultiPlan`) over it —
+    instead of one partial query per fusion class — and the merge step
+    concatenates the per-shard finest partials in shard order, loads
+    them once, and derives every class's result with its own merge
+    query. Correctness follows from the same two arguments
+    independently established for sharding and for multiplan: the
+    finest partials concatenated in shard order preserve
+    first-occurrence composition (shards are contiguous), and each
+    class's merge re-aggregates its key subset through the engine
+    itself. Thread-safety mirrors :class:`ShardedGroupRun`: scan tasks
+    write disjoint per-shard slots, the merge runs single-threaded
+    after all tasks settle, and cache stores carry the pre-captured
+    epoch.
+    """
+
+    def __init__(
+        self,
+        executor,  # ScanGroupExecutor (duck-typed; avoids a cyclic import)
+        group: ScanGroup,
+        classes: list[_FusionClass],
+        plan,  # repro.engine.multiplan.MultiPlan
+        ranges: list[RowRange],
+        epoch: object,
+    ) -> None:
+        self._executor = executor
+        self._group = group
+        self._classes = classes
+        self._plan = plan
+        self._ranges = ranges
+        self._epoch = epoch
+        signature = group.signature
+        assert signature is not None
+        self._signature = signature
+        self._predicate = (
+            group.members[0].query.where if group.members else None
+        )
+        # Disjoint per-shard slots: scan tasks on different threads
+        # never write the same cell, so no locking is needed.
+        self._partials: list[ResultSet | None] = [None] * len(ranges)
+        self._scan_ms: list[float] = [0.0] * len(ranges)
+
+    def scan_tasks(self):
+        """One callable per shard; each returns its stats delta.
+
+        Unlike :class:`ShardedGroupRun`, this is never empty: the
+        planner only builds a multiplan run for two or more classes
+        left after cache serving (a fully warm group never gets here).
+        """
+        return [
+            (lambda shard=shard: self._scan(shard))
+            for shard in range(len(self._ranges))
+        ]
+
+    def _scan(self, shard: int) -> BatchStats:
+        """Materialize one shard's rows, run the one combined query."""
+        stats = BatchStats()
+        engine = self._executor.engine
+        start = time.perf_counter()
+        temp = _materialize_shard(
+            engine, self._signature, self._predicate,
+            self._ranges[shard], shard,
+        )
+        stats.base_scans += 1
+        stats.shard_scans += 1
+        try:
+            timed = engine.execute_timed(
+                self._plan.combined_query(temp, alias=self._signature.table)
+            )
+            self._partials[shard] = timed.result
+            # One shared pass per shard: its cost pools with the scan
+            # (split evenly across members at merge time), mirroring
+            # how the unsharded shared scan charges its members.
+            self._scan_ms[shard] = (
+                (time.perf_counter() - start) * 1000.0
+            )
+        finally:
+            try:
+                engine.unload_table(temp)
+            except ExecutionError:
+                pass  # engine keeps the temp; next load replaces it
+        return stats
+
+    def merge(self, results: list[QueryResult | None]) -> BatchStats:
+        """Derive every class's result from the concatenated partials."""
+        stats = BatchStats()
+        stats.sharded_groups = 1
+        stats.multiplan_groups = 1
+        stats.multiplan_plans = len(self._classes)
+        executor = self._executor
+        engine = executor.engine
+        signature = self._signature
+        plan = self._plan
+        partials = self._partials
+        assert all(p is not None for p in partials)
+        produced: dict[str, ResultSet] = {}
+        member_count = sum(len(c.members) for c in self._classes)
+        fetch_share = sum(self._scan_ms) / member_count
+        if not any(p.rows for p in partials):
+            # Zero qualifying rows anywhere. (Unreachable when every
+            # plan is global: a keyless combined query always yields a
+            # row per shard.)
+            from repro.engine.multiplan import serve_empty_group
+
+            serve_empty_group(
+                executor, self._classes, plan.plans, fetch_share,
+                results, produced, stats,
+            )
+        else:
+            relation = unique_temp_name(
+                signature.table, signature.predicate_key
+            )
+            engine.load_table(plan.partial_table(relation, partials))
+            try:
+                for cls, plan_merge in zip(self._classes, plan.plans):
+                    timed = engine.execute_timed(
+                        plan_merge.merge_query(relation)
+                    )
+                    executor._distribute(
+                        cls, timed.result, timed.duration_ms, fetch_share,
+                        results, produced,
+                    )
+            finally:
+                try:
+                    engine.unload_table(relation)
+                except ExecutionError:
+                    pass
+        if executor.group_cache is not None and produced:
+            executor.group_cache.store(
+                signature.table,
+                signature.predicate_key,
+                produced,
+                epoch=self._epoch,
+            )
+        return stats
+
+
 def plan_sharded_group(
     executor,
     group: ScanGroup,
     partitioner: Partitioner,
     results: list[QueryResult | None],
     stats: BatchStats,
-) -> ShardedGroupRun | None:
-    """A :class:`ShardedGroupRun` for ``group``, or ``None``.
+    multiplan: bool | None = None,
+) -> "ShardedGroupRun | MultiPlanShardedRun | None":
+    """A sharded run for ``group``, or ``None``.
 
     ``None`` means the group cannot shard — no scan signature (joins),
     an engine that cannot report row counts / materialize row ranges,
@@ -231,6 +382,12 @@ def plan_sharded_group(
     When the group shards, cache-served members are answered
     immediately (into ``results``/``stats``, mirroring the unsharded
     path) and only the remaining members are planned for execution.
+
+    ``multiplan`` (``None`` defers to ``executor.multiplan``) upgrades
+    a group of two or more combinable classes to a
+    :class:`MultiPlanShardedRun` — one combined pass per shard instead
+    of one partial query per (class, shard); anything the combined
+    planner declines keeps the per-class :class:`ShardedGroupRun`.
     """
     signature = group.signature
     if signature is None:
@@ -259,6 +416,36 @@ def plan_sharded_group(
         pending = executor._serve_cached(signature, pending, results, stats)
     classes = fuse_members(pending)
     stats.fused_queries += len(pending) - len(classes)
+    combine = (
+        getattr(executor, "multiplan", False)
+        if multiplan is None
+        else multiplan
+    )
+    # The multiplan tier covers *unfiltered* groups only, here exactly
+    # as in the unsharded executor — filtered groups keep the per-class
+    # rollup (combined passes over filtered groups are ROADMAP future
+    # work). A group with an ineligible class never reaches this point:
+    # the build_rollup gate above already returned None, and the
+    # one-task fallback still applies the unsharded multiplan tier to
+    # the eligible subset.
+    if (
+        combine
+        and len(classes) > 1
+        and pending
+        and pending[0].query.where is None
+    ):
+        from repro.engine.multiplan import build_multiplan
+
+        combined = build_multiplan([cls.merged_query() for cls in classes])
+        if combined is not None:
+            return MultiPlanShardedRun(
+                executor,
+                group,
+                classes,
+                combined,
+                partitioner.split(row_count),
+                epoch,
+            )
     rollups = []
     for cls in classes:
         rollup = build_rollup(cls.merged_query())
@@ -274,4 +461,4 @@ def plan_sharded_group(
     )
 
 
-__all__ = ["ShardedGroupRun", "plan_sharded_group"]
+__all__ = ["MultiPlanShardedRun", "ShardedGroupRun", "plan_sharded_group"]

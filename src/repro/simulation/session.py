@@ -80,6 +80,12 @@ class SessionConfig:
     #: (:mod:`repro.sharding`). ``1`` (the default) is exactly the
     #: pre-sharding execution path.
     shards: int = 1
+    #: When True (batch mode), each unfiltered scan group's fusion
+    #: classes — the initial render's one-scan-per-GROUP-BY shape —
+    #: evaluate in a single combined pass
+    #: (:mod:`repro.engine.multiplan`); results are byte-identical.
+    #: ``False`` (the default) is exactly the pre-multiplan path.
+    multiplan: bool = False
     seed: int = 0
 
     def p_markov(self, step: int) -> float:
@@ -356,6 +362,7 @@ class SessionSimulator:
                 list(queries),
                 workers=self.config.workers,
                 shards=self.config.shards,
+                multiplan=self.config.multiplan,
             )
         if self.config.workers > 1:
             from repro.concurrency.sessions import execute_all

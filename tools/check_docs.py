@@ -1,6 +1,6 @@
-"""Docs health check: links resolve, architecture snippets run.
+"""Docs health check: links resolve, snippets and examples run.
 
-Two guarantees, enforced by the CI ``docs`` job
+Three guarantees, enforced by the CI ``docs`` job
 (``.github/workflows/tests.yml``) so the guides cannot rot:
 
 1. Every relative markdown link in ``docs/*.md`` and ``README.md``
@@ -11,6 +11,9 @@ Two guarantees, enforced by the CI ``docs`` job
    — the guide builds its example refresh incrementally — and the
    asserts inside them are real: a drifted SQL rendering or a changed
    grouping breaks the build.
+3. The tutorial examples listed in ``EXAMPLE_FILES`` run to completion
+   (their internal asserts are real identity checks), at a small
+   dataset size so the job stays fast.
 
 Run locally::
 
@@ -19,13 +22,17 @@ Run locally::
 
 from __future__ import annotations
 
+import os
 import re
+import subprocess
 import sys
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
 DOC_FILES = sorted((REPO / "docs").glob("*.md")) + [REPO / "README.md"]
 SNIPPET_FILES = [REPO / "docs" / "ARCHITECTURE.md"]
+#: Tutorial examples executed end to end (kept fast via env knobs).
+EXAMPLE_FILES = [REPO / "examples" / "multiplan_render.py"]
 
 #: Markdown inline links: [text](target). Reference-style links are
 #: not used in this repo's docs.
@@ -73,8 +80,33 @@ def run_snippets() -> list[str]:
     return errors
 
 
+def run_examples() -> list[str]:
+    errors = []
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    env.setdefault("SIMBA_EXAMPLE_ROWS", "2000")
+    for example in EXAMPLE_FILES:
+        proc = subprocess.run(
+            [sys.executable, str(example)],
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        if proc.returncode != 0:
+            tail = (proc.stderr or proc.stdout).strip().splitlines()[-5:]
+            errors.append(
+                f"{example.relative_to(REPO)}: exit {proc.returncode}: "
+                + " | ".join(tail)
+            )
+        else:
+            print(f"{example.relative_to(REPO)}: executed OK")
+    return errors
+
+
 def main() -> int:
-    errors = check_links() + run_snippets()
+    errors = check_links() + run_snippets() + run_examples()
     checked = sum(
         len(_LINK.findall(doc.read_text(encoding='utf-8')))
         for doc in DOC_FILES
