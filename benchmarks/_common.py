@@ -22,6 +22,18 @@ BENCH_ROWS = int(os.environ.get("SIMBA_BENCH_ROWS", "20000"))
 BENCH_RUNS = int(os.environ.get("SIMBA_BENCH_RUNS", "2"))
 
 
+def policy_block(policy) -> dict:
+    """The artifact config block for an ExecutionPolicy.
+
+    Every ``BENCH_*.json`` embeds the policy it measured — the knob
+    values plus the one-line ``describe()`` summary — so a result file
+    is self-describing about how its queries executed.
+    """
+    block = dict(policy.knobs())
+    block["summary"] = policy.describe()
+    return block
+
+
 def write_result(name: str, text: str) -> None:
     """Persist one benchmark's rendered table and echo it."""
     RESULTS_DIR.mkdir(exist_ok=True)

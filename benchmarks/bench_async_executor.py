@@ -34,9 +34,10 @@ import os
 import random
 import time
 
-from _common import BENCH_ROWS, RESULTS_DIR, write_result
+from _common import BENCH_ROWS, RESULTS_DIR, policy_block, write_result
 
 from repro.concurrency import run_tasks
+from repro.execution import ExecutionPolicy
 from repro.dashboard.library import DASHBOARD_NAMES, load_dashboard
 from repro.dashboard.state import DashboardState, InteractionKind
 from repro.engine.instrument import DispatchLatencyEngine
@@ -93,7 +94,9 @@ def _run_suite(engine_name, suites, workers, rtt_ms):
         def session(engine=engine, refreshes=refreshes):
             collected = []
             for queries in refreshes:
-                timed = engine.execute_batch(list(queries), workers=workers)
+                timed = engine.execute_batch(
+                    list(queries), ExecutionPolicy(workers=workers)
+                )
                 collected.append([t.result for t in timed])
             return collected
 
@@ -156,6 +159,7 @@ def test_async_executor_speedup(benchmark):
         "walk_steps": WALK_STEPS,
         "refreshes_per_dashboard": 1 + WALK_STEPS,
         "workers": WORKERS,
+        "config": {"policy": policy_block(ExecutionPolicy(workers=WORKERS))},
         "simulated_rtt_ms": RTT_MS,
         "cpu_count": os.cpu_count(),
         "engines": {row["engine"]: row for row in rows},

@@ -21,11 +21,12 @@ import json
 import random
 import time
 
-from _common import BENCH_ROWS, RESULTS_DIR, write_result
+from _common import BENCH_ROWS, RESULTS_DIR, policy_block, write_result
 
 from repro.dashboard.library import DASHBOARD_NAMES, load_dashboard
 from repro.dashboard.state import DashboardState, InteractionKind
 from repro.engine.batch import BatchExecutor
+from repro.execution import ExecutionPolicy
 from repro.engine.instrument import CountingEngine
 from repro.engine.registry import create_engine
 from repro.metrics import format_table
@@ -126,6 +127,7 @@ def test_batch_executor_scan_reduction(benchmark):
         "engines": list(ENGINES),
         "rows": BENCH_ROWS,
         "walk_steps": WALK_STEPS,
+        "config": {"policy": policy_block(ExecutionPolicy())},
         "dashboards": rows,
         "total_interaction_sequential_scans": sum(
             r["interaction_sequential_scans"] for r in rows

@@ -51,9 +51,10 @@ import time
 
 import datetime as dt
 
-from _common import BENCH_ROWS, RESULTS_DIR, write_result
+from _common import BENCH_ROWS, RESULTS_DIR, policy_block, write_result
 
 from repro.concurrency import run_tasks
+from repro.execution import ExecutionPolicy
 from repro.dashboard.library import DASHBOARD_NAMES, load_dashboard
 from repro.dashboard.state import DashboardState
 from repro.engine.instrument import CountingEngine, DispatchLatencyEngine
@@ -100,11 +101,12 @@ def _run_suite(engine_name, suites, multiplan, rtt_ms, workers=1, shards=1):
         engines.append(engine)
         counters.append((name, counting))
 
-        def render(engine=engine, queries=queries):
-            timed = engine.execute_batch(
-                list(queries), workers=workers, shards=shards,
-                multiplan=multiplan,
-            )
+        policy = ExecutionPolicy(
+            workers=workers, shards=shards, multiplan=multiplan
+        )
+
+        def render(engine=engine, queries=queries, policy=policy):
+            timed = engine.execute_batch(list(queries), policy)
             return [t.result for t in timed]
 
         tasks.append(render)
@@ -194,8 +196,10 @@ def _byte_identity_matrix():
         for workers, shards in COMBINATIONS:
             for multiplan in (False, True):
                 timed = engine.execute_batch(
-                    list(queries), workers=workers, shards=shards,
-                    multiplan=multiplan,
+                    list(queries),
+                    ExecutionPolicy(
+                        workers=workers, shards=shards, multiplan=multiplan
+                    ),
                 )
                 for seq, got in zip(sequential, timed):
                     assert seq.columns == got.result.columns, (
@@ -285,6 +289,7 @@ def test_multiplan_initial_render_scan_reduction(benchmark):
         "dashboards": list(DASHBOARD_NAMES),
         "rows": BENCH_ROWS,
         "workers": WORKERS,
+        "config": {"policy": policy_block(ExecutionPolicy(multiplan=True))},
         "identity_combinations": [list(c) for c in COMBINATIONS],
         "simulated_rtt_ms": RTT_MS,
         "cpu_count": os.cpu_count(),

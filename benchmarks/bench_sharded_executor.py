@@ -36,9 +36,10 @@ import os
 import random
 import time
 
-from _common import BENCH_ROWS, RESULTS_DIR, write_result
+from _common import BENCH_ROWS, RESULTS_DIR, policy_block, write_result
 
 from repro.concurrency import run_tasks
+from repro.execution import ExecutionPolicy
 from repro.dashboard.library import DASHBOARD_NAMES, load_dashboard
 from repro.dashboard.state import DashboardState, InteractionKind
 from repro.engine.instrument import CountingEngine, DispatchLatencyEngine
@@ -99,7 +100,8 @@ def _run_suite(engine_name, suites, shards, rtt_ms):
             collected = []
             for queries in refreshes:
                 timed = engine.execute_batch(
-                    list(queries), workers=WORKERS, shards=shards
+                    list(queries),
+                    ExecutionPolicy(workers=WORKERS, shards=shards),
                 )
                 collected.append([t.result for t in timed])
             return collected
@@ -207,6 +209,11 @@ def test_sharded_executor_equivalence_and_scan_shape(benchmark):
         "refreshes_per_dashboard": 1 + WALK_STEPS,
         "workers": WORKERS,
         "shard_levels": list(SHARD_LEVELS),
+        "config": {
+            "policy": policy_block(
+                ExecutionPolicy(workers=WORKERS, shards=max(SHARD_LEVELS))
+            )
+        },
         "simulated_rtt_ms": RTT_MS,
         "cpu_count": os.cpu_count(),
         "engines": {row["engine"]: row for row in rows},

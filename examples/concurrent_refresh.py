@@ -19,6 +19,7 @@ from __future__ import annotations
 import time
 
 from repro.concurrency import RefreshJob, refresh_many
+from repro.execution import ExecutionPolicy
 from repro.dashboard.library import DASHBOARD_NAMES, load_dashboard
 from repro.dashboard.state import DashboardState, InteractionKind
 from repro.engine.registry import create_engine
@@ -51,7 +52,11 @@ def build_jobs() -> list[RefreshJob]:
             state.apply(action)
         # workers here is the *intra-refresh* level: each refresh's
         # independent scan groups also overlap.
-        jobs.append(RefreshJob(state, engine, workers=WORKERS))
+        jobs.append(
+            RefreshJob(
+                state, engine, policy=ExecutionPolicy(workers=WORKERS)
+            )
+        )
     return jobs
 
 

@@ -37,6 +37,7 @@ import time
 from repro.dashboard.library import load_dashboard
 from repro.dashboard.state import DashboardState
 from repro.engine.batch import BatchExecutor, fuse_members, group_queries
+from repro.execution import ExecutionPolicy
 from repro.engine.instrument import CountingEngine
 from repro.engine.multiplan import build_multiplan, eligible_plan
 from repro.engine.registry import create_engine
@@ -69,7 +70,9 @@ def instrumented_render(state, queries, multiplan: bool):
     """Render through a counting engine; returns the batch result."""
     counting = CountingEngine(create_engine("sqlite"))
     counting.load_table(state.table)
-    executor = BatchExecutor(counting, multiplan=multiplan)
+    executor = BatchExecutor(
+        counting, ExecutionPolicy(multiplan=multiplan)
+    )
     start = time.perf_counter()
     batch = executor.run(list(queries))
     elapsed_ms = (time.perf_counter() - start) * 1000.0
@@ -128,8 +131,8 @@ def main() -> None:
     print(
         "The dashboard now opens with one scan of its table instead of "
         "one per chart — the same knob is --multiplan on the harness "
-        "and replay CLIs, SessionConfig.multiplan, "
-        "RefreshPlan.execute(multiplan=...), and it composes with "
+        "and replay CLIs and ExecutionPolicy(multiplan=True) everywhere "
+        "a policy= is accepted, and it composes with "
         "--workers and --shards (combined passes schedule on the same "
         "pool; sharded tables run one combined pass per shard)."
     )

@@ -28,6 +28,7 @@ import math
 import time
 
 from repro.concurrency import ScanGroupExecutor
+from repro.execution import ExecutionPolicy
 from repro.dashboard.library import load_dashboard
 from repro.dashboard.state import DashboardState, InteractionKind
 from repro.engine.batch import build_rollup, group_queries
@@ -60,7 +61,9 @@ def instrumented_refresh(state, queries, shards: int):
     """Refresh through a counting engine; returns (results, stats)."""
     counting = CountingEngine(create_engine("sqlite"))
     counting.load_table(state.table)
-    executor = ScanGroupExecutor(counting, workers=WORKERS, shards=shards)
+    executor = ScanGroupExecutor(
+        counting, ExecutionPolicy(workers=WORKERS, shards=shards)
+    )
     start = time.perf_counter()
     batch = executor.run(list(queries))
     elapsed_ms = (time.perf_counter() - start) * 1000.0
@@ -136,8 +139,8 @@ def main() -> None:
         "Each sharded group traded one full-table scan for "
         f"{SHARDS} quarter-table range scans — the unit of work that "
         "parallelizes across cores on multi-core hosts. The same knob "
-        "is --shards on the harness and replay CLIs, "
-        "SessionConfig.shards, and RefreshPlan.execute(shards=...)."
+        "is --shards on the harness and replay CLIs, and "
+        "ExecutionPolicy(shards=...) everywhere a policy= is accepted."
     )
 
 

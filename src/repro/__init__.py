@@ -5,26 +5,26 @@ Large Datasets" (SIGMOD 2025). The package simulates how analysts
 explore dashboards toward analysis goals and measures DBMS performance
 under the resulting query workloads.
 
-Quickstart::
+Quickstart — one import, one session, one execution policy::
 
-    from repro import (
-        SessionConfig, SessionSimulator, create_engine,
-        generate_dataset, get_workflow, load_dashboard,
+    import repro
+
+    session = repro.connect(
+        "sqlite", policy=repro.ExecutionPolicy.concurrent(4)
     )
+    session.load(repro.generate_dataset("customer_service", 10_000, seed=0))
+    results = session.refresh("customer_service")
+    print(session.stats)
 
-    spec = load_dashboard("customer_service")
-    table = generate_dataset("customer_service", 10_000, seed=0)
-    engine = create_engine("sqlite")
-    engine.load_table(table)
-    reference = create_engine("vectorstore")
-    reference.load_table(table)
-    goals = get_workflow("shneiderman").instantiate_for_dashboard(spec)
-    log = SessionSimulator(
-        spec, table, [g.query for g in goals],
-        measured_engine=engine, reference_engine=reference,
-        config=SessionConfig(seed=0),
-    ).run()
-    print(log.average_duration(), "ms over", log.query_count, "queries")
+Execution strategy is configured once through
+:class:`~repro.execution.ExecutionPolicy` (presets: ``serial()``,
+``concurrent(workers)``, ``max_throughput()``, ``auto()``) and travels
+the whole stack as a single ``policy=`` value; every policy returns
+byte-identical results. The full simulation API
+(:class:`SessionSimulator`, :class:`BenchmarkRunner`, …) remains
+importable piecewise, and the pre-policy per-knob keywords
+(``batch=``/``workers=``/``shards=``/``multiplan=``) keep working
+through a deprecation shim.
 
 See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every table and figure.
@@ -43,6 +43,8 @@ from repro.engine import (
     available_engines,
     create_engine,
 )
+from repro.execution import ExecutionPolicy
+from repro.facade import Session, SessionStats, connect
 from repro.logs import eva_metrics, export_session, replay_log
 from repro.equivalence import EquivalenceSuite
 from repro.harness import BenchmarkConfig, BenchmarkRunner, table3_matrix
@@ -60,7 +62,7 @@ from repro.study import run_user_study
 from repro.workload import DATASET_NAMES, generate_dataset
 from repro.workload.normalize import DimensionSpec, normalize_star
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BenchmarkConfig",
@@ -73,6 +75,7 @@ __all__ = [
     "DimensionSpec",
     "Engine",
     "EquivalenceSuite",
+    "ExecutionPolicy",
     "GOAL_TEMPLATES",
     "IDEBenchConfig",
     "IDEBenchSimulator",
@@ -82,13 +85,16 @@ __all__ = [
     "RefreshJob",
     "ResultSet",
     "ScanGroupExecutor",
+    "Session",
     "SessionConfig",
     "SessionLog",
     "SessionSimulator",
+    "SessionStats",
     "Table",
     "all_dashboards",
     "approximate_execute",
     "available_engines",
+    "connect",
     "create_engine",
     "eva_metrics",
     "export_session",

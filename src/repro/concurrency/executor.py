@@ -100,24 +100,36 @@ class ScanGroupExecutor(BatchExecutor):
     def __init__(
         self,
         engine: Engine,
-        workers: int = 1,
-        shards: int = 1,
+        policy=None,
+        *,
         group_cache=None,
         fallback_engine: Engine | None = None,
         group_flight: SingleFlight | None = None,
-        multiplan: bool = False,
+        workers: int | None = None,
+        shards: int | None = None,
+        multiplan: bool | None = None,
     ) -> None:
+        from repro.execution import ExecutionPolicy, resolve_policy
+
+        policy = resolve_policy(
+            policy,
+            api="ScanGroupExecutor",
+            default=ExecutionPolicy(),
+            workers=workers,
+            shards=shards,
+            multiplan=multiplan,
+        )
         engine = slot_gated(engine)
         super().__init__(
             engine,
+            policy,
             group_cache=group_cache,
             fallback_engine=fallback_engine,
-            multiplan=multiplan,
         )
-        self.workers = workers
+        self.workers = policy.workers
         #: Row-range shards per shardable scan group; ``1`` keeps the
         #: one-task-per-group execution untouched.
-        self.shards = shards
+        self.shards = policy.shards
         #: Collapses concurrent identical groups; only effective with a
         #: group cache (followers are served from what the leader
         #: stored there).
@@ -152,21 +164,49 @@ class ScanGroupExecutor(BatchExecutor):
     def run(
         self,
         queries: list[Query],
+        policy=None,
+        *,
         workers: int | None = None,
         shards: int | None = None,
         multiplan: bool | None = None,
     ) -> BatchResult:
         """Execute one batch; results align positionally with input.
 
-        ``workers``, ``shards``, and ``multiplan`` override the
-        constructor values for this call (``None`` keeps them).
-        ``shards <= 1`` takes the exact pre-existing
-        one-task-per-group path; ``multiplan=False`` likewise never
-        reaches the combined-pass evaluator.
+        ``policy`` overrides the constructor's policy for this call
+        (``None`` keeps it); the per-knob keywords are the deprecated
+        equivalent. The override rides along per call rather than
+        mutating executor state, so concurrent ``run`` calls with
+        different policies stay independent. ``shards <= 1`` takes the
+        exact pre-existing one-task-per-group path;
+        ``multiplan=False`` likewise never reaches the combined-pass
+        evaluator.
         """
-        effective = self.workers if workers is None else workers
-        sharding = self.shards if shards is None else shards
-        combine = self.multiplan if multiplan is None else multiplan
+        from repro.execution import resolve_policy
+
+        # The constructor's policy is the per-call default, so a bare
+        # run() behaves exactly as configured.
+        policy = resolve_policy(
+            policy,
+            api="ScanGroupExecutor.run",
+            default=self.policy,
+            workers=workers,
+            shards=shards,
+            multiplan=multiplan,
+        )
+        if not policy.batch:
+            # Mirror the constructor: this executor IS the batch path;
+            # silently running shared scans for a sequential policy
+            # would misreport the very scan counts it exists to change.
+            from repro.errors import ConfigError
+
+            raise ConfigError(
+                "ScanGroupExecutor is the shared-scan path; a "
+                "batch=False policy belongs on Engine.execute_batch, "
+                "which routes it to per-query execution"
+            )
+        effective = policy.workers
+        sharding = policy.shards
+        combine = policy.multiplan
         if sharding > 1:
             return self._run_sharded(queries, effective, sharding, combine)
         stats = BatchStats(queries=len(queries))

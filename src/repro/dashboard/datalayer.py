@@ -162,36 +162,37 @@ class RefreshPlan:
         return len(self.queries)
 
     def execute(
-        self, engine: Engine, batch: bool = True, workers: int = 1,
-        shards: int = 1, multiplan: bool = False,
+        self, engine: Engine, policy=None, *, batch: bool | None = None,
+        workers: int | None = None, shards: int | None = None,
+        multiplan: bool | None = None,
     ) -> dict[str, QueryResult]:
         """Run the refresh; returns timed results keyed by viz id.
 
-        ``batch=True`` routes through :meth:`Engine.execute_batch`
-        (shared scans); ``batch=False`` executes each component query
-        independently. ``workers > 1`` overlaps the refresh's
+        ``policy`` (an :class:`~repro.execution.ExecutionPolicy` or
+        preset name) picks the strategy; the default routes through
+        :meth:`Engine.execute_batch` (shared scans) on one worker. A
+        ``batch=False`` policy executes each component query
+        independently; ``workers > 1`` overlaps the refresh's
         independent units (scan groups in batch mode, single queries
-        otherwise) over a worker pool. ``shards > 1`` splits each scan
-        group's base scan across row-range shards with
-        partial-aggregate rollup (:mod:`repro.sharding`).
-        ``multiplan=True`` evaluates each unfiltered group's fusion
-        classes in one combined pass (:mod:`repro.engine.multiplan`) —
-        the initial render's one-scan-per-GROUP-BY shape collapses to
-        one scan per table. ``shards`` and ``multiplan`` are batch-mode
-        features, ignored in sequential mode where there are no scan
-        groups. All combinations produce identical result sets.
+        otherwise); ``shards``/``multiplan`` split and combine scan
+        groups (:mod:`repro.sharding`, :mod:`repro.engine.multiplan`).
+        All policies produce identical result sets. The per-knob
+        keywords are deprecated and map onto the equivalent policy.
         """
-        if batch:
-            timed = engine.execute_batch(
-                self.queries, workers=workers, shards=shards,
-                multiplan=multiplan,
-            )
-        elif workers > 1:
-            from repro.concurrency.sessions import execute_all
+        from repro.execution import ExecutionPolicy, resolve_policy
 
-            timed = execute_all(engine, self.queries, workers=workers)
-        else:
-            timed = [engine.execute_timed(q) for q in self.queries]
+        policy = resolve_policy(
+            policy,
+            api="RefreshPlan.execute",
+            default=ExecutionPolicy(),
+            batch=batch,
+            workers=workers,
+            shards=shards,
+            multiplan=multiplan,
+        )
+        # The engine dispatches every policy, including the sequential
+        # (batch=False) path — one implementation, not a copy per layer.
+        timed = engine.execute_batch(self.queries, policy)
         return dict(zip(self.viz_ids, timed))
 
 

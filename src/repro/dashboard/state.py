@@ -166,45 +166,61 @@ class DashboardState:
 
     # -- refresh paths (batch API) ---------------------------------------------
 
-    def refresh(self, engine, viz_ids=None, batch: bool = True,
-                workers: int = 1, shards: int = 1,
-                multiplan: bool = False):
+    def refresh(self, engine, viz_ids=None, policy=None, *,
+                batch: bool | None = None, workers: int | None = None,
+                shards: int | None = None, multiplan: bool | None = None):
         """Execute the current queries of (all or selected) nodes.
 
-        Routes through the shared-scan batch executor by default
-        (:meth:`~repro.engine.interface.Engine.execute_batch`); pass
-        ``batch=False`` for sequential per-component execution,
-        ``workers > 1`` to overlap the refresh's independent scan
-        groups over a worker pool, ``shards > 1`` to split each
-        scan group's base scan across row-range shards with
-        partial-aggregate rollup, and ``multiplan=True`` to evaluate
-        each unfiltered group's fusion classes in one combined pass —
-        the cold-render optimization (results are byte-identical; see
-        :mod:`repro.concurrency`, :mod:`repro.sharding`, and
-        :mod:`repro.engine.multiplan`). Returns timed results keyed by
-        visualization id.
+        ``policy`` (an :class:`~repro.execution.ExecutionPolicy` or
+        preset name) picks the execution strategy; the default routes
+        through the shared-scan batch executor
+        (:meth:`~repro.engine.interface.Engine.execute_batch`) on one
+        worker. Every policy returns byte-identical results — workers
+        overlap scan groups, shards split base scans with
+        partial-aggregate rollup, multiplan combines unfiltered groups
+        into one pass (:mod:`repro.concurrency`, :mod:`repro.sharding`,
+        :mod:`repro.engine.multiplan`). The per-knob keywords are
+        deprecated and map onto the equivalent policy. Returns timed
+        results keyed by visualization id.
         """
-        return build_refresh(self, viz_ids).execute(
-            engine, batch=batch, workers=workers, shards=shards,
+        from repro.execution import ExecutionPolicy, resolve_policy
+
+        policy = resolve_policy(
+            policy,
+            api="DashboardState.refresh",
+            default=ExecutionPolicy(),
+            batch=batch,
+            workers=workers,
+            shards=shards,
             multiplan=multiplan,
         )
+        return build_refresh(self, viz_ids).execute(engine, policy)
 
     def apply_and_refresh(
-        self, interaction: Interaction, engine, batch: bool = True,
-        workers: int = 1, shards: int = 1, multiplan: bool = False,
+        self, interaction: Interaction, engine, policy=None, *,
+        batch: bool | None = None, workers: int | None = None,
+        shards: int | None = None, multiplan: bool | None = None,
     ):
         """Apply an interaction and execute its fan-out as one batch.
 
         The re-emitted queries of every affected visualization are
-        evaluated together — the shared-scan path a live dashboard
-        backend takes on each user gesture. Returns timed results keyed
-        by visualization id.
+        evaluated together under ``policy`` — the shared-scan path a
+        live dashboard backend takes on each user gesture. Returns
+        timed results keyed by visualization id.
         """
-        affected = self.apply_affected(interaction)
-        return self.refresh(
-            engine, viz_ids=affected, batch=batch, workers=workers,
-            shards=shards, multiplan=multiplan,
+        from repro.execution import ExecutionPolicy, resolve_policy
+
+        policy = resolve_policy(
+            policy,
+            api="DashboardState.apply_and_refresh",
+            default=ExecutionPolicy(),
+            batch=batch,
+            workers=workers,
+            shards=shards,
+            multiplan=multiplan,
         )
+        affected = self.apply_affected(interaction)
+        return self.refresh(engine, viz_ids=affected, policy=policy)
 
     # -- applying interactions ---------------------------------------------------
 

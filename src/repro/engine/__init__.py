@@ -35,12 +35,12 @@ in one combined pass per table (:mod:`repro.engine.multiplan`).
 :class:`CachedEngine` additionally caches whole scan groups
 (:class:`~repro.engine.cache.ScanGroupCache`), invalidated per table on
 ``load_table``, so a repeated refresh costs zero engine work. The
-benchmark harness toggles the mode end-to-end with
-``python -m repro.harness.cli --batch`` / ``--no-batch``
-(``BenchmarkConfig(batch=...)``, ``SessionConfig(batch=...)``,
-``--multiplan`` for the combined pass), and
-``repro.logs.replay.replay_log(..., batch=True)`` replays recorded
-sessions with each interaction's fan-out batched.
+execution strategy — batch, workers, shards, multiplan — travels the
+whole stack as one :class:`~repro.execution.ExecutionPolicy` value:
+``engine.execute_batch(queries, policy)``,
+``SessionConfig(policy=...)``, ``BenchmarkConfig(policy=...)``,
+``replay_log(..., policy=...)``, and ``--policy PRESET`` on both CLIs
+(the per-knob keywords remain as a deprecation shim).
 """
 
 from repro.engine.batch import BatchExecutor, BatchResult, BatchStats

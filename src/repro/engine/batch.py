@@ -315,17 +315,39 @@ class BatchExecutor:
     def __init__(
         self,
         engine: Engine,
+        policy=None,
+        *,
         group_cache=None,
         fallback_engine: Engine | None = None,
-        multiplan: bool = False,
+        multiplan: bool | None = None,
     ) -> None:
+        from repro.errors import ConfigError
+        from repro.execution import ExecutionPolicy, resolve_policy
+
+        policy = resolve_policy(
+            policy,
+            api="BatchExecutor",
+            default=ExecutionPolicy(),
+            multiplan=multiplan,
+        )
+        if not policy.batch:
+            raise ConfigError(
+                "BatchExecutor is the shared-scan path; a batch=False "
+                "policy belongs on Engine.execute_batch, which routes "
+                "it to per-query execution"
+            )
         self.engine = engine
         self.group_cache = group_cache
+        #: The executor's execution policy. Plain ``BatchExecutor``
+        #: consumes only ``multiplan``; the concurrency subclass
+        #: (:class:`~repro.concurrency.executor.ScanGroupExecutor`)
+        #: schedules ``workers`` and ``shards`` too.
+        self.policy = policy
         #: Evaluate an unfiltered group's fusion classes in one
         #: combined pass (:mod:`repro.engine.multiplan`) instead of one
         #: execution per class. ``False`` (the default) is the exact
         #: pre-multiplan path — the evaluator is not even reached.
-        self.multiplan = multiplan
+        self.multiplan = policy.multiplan
         #: The caller-facing engine: unbatchable queries (joins,
         #: aliased FROM) execute here, and results are stamped with its
         #: name. A caching wrapper passes itself so fallbacks keep the

@@ -347,9 +347,11 @@ class CachedEngine(Engine):
     def execute_batch(
         self,
         queries: list[Query],
-        workers: int = 1,
-        shards: int = 1,
-        multiplan: bool = False,
+        policy=None,
+        *,
+        workers: int | None = None,
+        shards: int | None = None,
+        multiplan: bool | None = None,
     ) -> list[QueryResult]:
         """Batch execution with whole-scan-group caching.
 
@@ -358,17 +360,35 @@ class CachedEngine(Engine):
         cache; ``load_table`` on any scanned table invalidates it. The
         executor runs against the *inner* engine so merged/fetch
         queries — whose SQL no caller ever issues directly — don't
-        evict useful entries from the per-query LRU. With ``workers``,
-        independent scan groups overlap; concurrent identical refreshes
-        single-flight into one computation. With ``shards``, shardable
-        groups fan their base scans out per row-range shard
-        (:mod:`repro.sharding`); the rolled-up results land in the same
-        scan-group cache, so repeats are served identically either way.
-        With ``multiplan``, an unfiltered group's fusion classes
-        evaluate in one combined pass (:mod:`repro.engine.multiplan`);
-        every per-plan result still lands in the scan-group cache under
-        its own SQL, so later refreshes — multiplan or not — hit it.
+        evict useful entries from the per-query LRU. ``policy`` picks
+        the strategy per call (the deprecated per-knob keywords map
+        onto it): with ``workers``, independent scan groups overlap and
+        concurrent identical refreshes single-flight into one
+        computation; with ``shards``, shardable groups fan their base
+        scans out per row-range shard (:mod:`repro.sharding`), the
+        rolled-up results landing in the same scan-group cache; with
+        ``multiplan``, an unfiltered group's fusion classes evaluate in
+        one combined pass (:mod:`repro.engine.multiplan`), every
+        per-plan result still cached under its own SQL. A
+        ``batch=False`` policy executes per query through the wrapper
+        itself, so the per-query LRU keeps answering repeats.
         """
+        from repro.execution import ExecutionPolicy, resolve_policy
+
+        policy = resolve_policy(
+            policy,
+            api="CachedEngine.execute_batch",
+            default=ExecutionPolicy(),
+            workers=workers,
+            shards=shards,
+            multiplan=multiplan,
+        )
+        if not policy.batch:
+            # One sequential-policy dispatch for the whole stack;
+            # executing through the wrapper keeps the per-query LRU.
+            from repro.concurrency.sessions import execute_all
+
+            return execute_all(self, list(queries), workers=policy.workers)
         with self._lock:
             if self._batch_executor is None:
                 from repro.concurrency.executor import ScanGroupExecutor
@@ -380,9 +400,7 @@ class CachedEngine(Engine):
                     group_flight=self._group_flight,
                 )
             executor = self._batch_executor
-        return executor.run(
-            queries, workers=workers, shards=shards, multiplan=multiplan
-        ).results
+        return executor.run(queries, policy).results
 
     @property
     def batch_stats(self):

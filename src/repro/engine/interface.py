@@ -238,52 +238,69 @@ class Engine(abc.ABC):
     def execute_batch(
         self,
         queries: list[Query],
-        workers: int = 1,
-        shards: int = 1,
-        multiplan: bool = False,
+        policy=None,
+        *,
+        workers: int | None = None,
+        shards: int | None = None,
+        multiplan: bool | None = None,
     ) -> list[QueryResult]:
-        """Execute a batch of queries through the shared-scan optimizer.
+        """Execute a batch of queries under one execution policy.
 
-        Queries that read the same table through the same (normalized)
-        filter are evaluated together: the filter runs once, and
-        compatible aggregates are computed in one merged pass
-        (:mod:`repro.engine.batch`). Results are positionally aligned
-        with ``queries`` and identical to calling :meth:`execute_timed`
-        on each query in turn.
+        ``policy`` (an :class:`~repro.execution.ExecutionPolicy` or a
+        preset name) decides the strategy; the default routes through
+        the shared-scan optimizer on a single worker. Results are
+        positionally aligned with ``queries`` and identical to calling
+        :meth:`execute_timed` on each query in turn, for *every*
+        policy — only scheduling and scan counts change:
 
-        ``workers > 1`` schedules independent scan groups over a worker
-        pool (:class:`repro.concurrency.executor.ScanGroupExecutor`);
-        results are reassembled in request order, so the output is
-        byte-identical for every ``workers`` value.
+        - ``policy.batch`` groups queries that read the same table
+          through the same (normalized) filter and evaluates each group
+          with one shared scan (:mod:`repro.engine.batch`);
+          ``batch=False`` runs one engine call per query.
+        - ``policy.workers > 1`` schedules independent scan groups over
+          a worker pool
+          (:class:`repro.concurrency.executor.ScanGroupExecutor`),
+          reassembling results in request order.
+        - ``policy.shards > 1`` partitions each shardable group's base
+          scan into row-range shards — one task per (group, shard),
+          merged via partial-aggregate rollup (:mod:`repro.sharding`).
+        - ``policy.multiplan`` evaluates an unfiltered group's fusion
+          classes — the initial render's one-scan-per-GROUP-BY shape —
+          in a single combined pass per group
+          (:mod:`repro.engine.multiplan`), composing with both knobs
+          above.
 
-        ``shards > 1`` additionally partitions each shardable scan
-        group's base scan into that many row-range shards — one task
-        per (group, shard), merged via partial-aggregate rollup
-        (:mod:`repro.sharding`). ``shards=1`` is the exact pre-existing
-        path.
-
-        ``multiplan=True`` evaluates an unfiltered group's fusion
-        classes — the initial render's one-scan-per-GROUP-BY shape —
-        in a single combined pass per group
-        (:mod:`repro.engine.multiplan`), composing with both knobs
-        above: combined passes schedule on the same worker pool, and
-        sharded tables run one combined pass per shard rolled up
-        through the engine. ``False`` (the default) is the exact
-        pre-multiplan path.
+        The per-knob keywords are deprecated; they map onto the
+        equivalent policy (:func:`~repro.execution.resolve_policy`).
         """
+        from repro.execution import ExecutionPolicy, resolve_policy
+
+        policy = resolve_policy(
+            policy,
+            api="Engine.execute_batch",
+            default=ExecutionPolicy(),
+            workers=workers,
+            shards=shards,
+            multiplan=multiplan,
+        )
+        if not policy.batch:
+            # execute_all is the one sequential-policy dispatch: a
+            # plain per-query loop at workers=1, an overlapped ordered
+            # map on engines that tolerate it otherwise.
+            from repro.concurrency.sessions import execute_all
+
+            return execute_all(self, list(queries), workers=policy.workers)
         from repro.engine.batch import BatchExecutor
 
-        if workers > 1 or shards > 1:
+        if policy.workers > 1 or policy.shards > 1:
             from repro.concurrency.executor import ScanGroupExecutor
 
-            executor = ScanGroupExecutor(
-                self, workers=workers, shards=shards, multiplan=multiplan
-            )
+            executor = ScanGroupExecutor(self, policy=policy)
             try:
                 return executor.run(queries).results
             finally:
                 executor.close()
-        return BatchExecutor(self, multiplan=multiplan).run(queries).results
+        return BatchExecutor(self, policy=policy).run(queries).results
 
     def close(self) -> None:
         """Release engine resources (default: nothing to do)."""

@@ -1,0 +1,424 @@
+"""Unified execution policy for the whole query path.
+
+Four PRs grew four execution knobs — ``batch`` (shared scans),
+``workers`` (scan-group overlap), ``shards`` (row-range partial-aggregate
+splits), ``multiplan`` (combined passes for unfiltered groups) — and each
+was threaded as its own keyword through every layer from
+:meth:`~repro.engine.interface.Engine.execute_batch` up to the CLIs.
+:class:`ExecutionPolicy` replaces that per-knob threading with one frozen
+value that travels the stack intact: every entry point takes
+``policy=``, and the old keywords survive only as a deprecation shim
+(:func:`resolve_policy`) that maps them onto an equivalent policy.
+
+Every knob combination still produces byte-identical results — the
+policy changes *how* a refresh executes, never *what* it returns
+(:mod:`repro.concurrency`, :mod:`repro.sharding`,
+:mod:`repro.engine.multiplan` each document their piece of that
+contract).
+
+Validation happens once, at construction: ``shards > 1`` or
+``multiplan=True`` without ``batch`` used to silently no-op ten layers
+down (there are no scan groups to shard or combine outside batch mode);
+``ExecutionPolicy`` now refuses the combination with a
+:class:`~repro.errors.ConfigError`. The deprecated-kwarg shim instead
+*warns* and drops the inert knobs, preserving the old observable
+behavior for legacy callers.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from dataclasses import dataclass, fields, replace
+
+from repro.errors import ConfigError
+
+#: The knob fields, in threading order (and the legacy keyword names).
+POLICY_KNOBS = ("batch", "workers", "shards", "multiplan")
+
+#: ``auto()`` never sizes the pool past this many workers — beyond it
+#: the GIL-bound stores stop scaling and SQLite replica snapshots cost
+#: more than the overlap buys at laptop scale.
+AUTO_MAX_WORKERS = 8
+
+#: ``auto()`` targets at least this many rows per shard; smaller tables
+#: are not worth the per-shard scan/merge overhead.
+AUTO_ROWS_PER_SHARD = 50_000
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """How a batch of queries executes; never what it returns.
+
+    The default policy routes through the shared-scan optimizer on a
+    single worker — the exact ``execute_batch(queries)`` path. Fields
+    mirror the four scale-out layers, bottom up:
+
+    - ``batch`` — group the queries by (table, normalized filter) and
+      run one shared scan per group (:mod:`repro.engine.batch`);
+      ``False`` executes one engine call per query (the paper's
+      sequential setup).
+    - ``workers`` — overlap independent scan groups (or single queries
+      in sequential mode) over a worker pool of this width
+      (:mod:`repro.concurrency`).
+    - ``shards`` — split each shardable group's base scan into this
+      many row-range shard tasks merged via partial-aggregate rollup
+      (:mod:`repro.sharding`). Batch-mode only.
+    - ``multiplan`` — evaluate each unfiltered group's fusion classes
+      in one combined pass (:mod:`repro.engine.multiplan`). Batch-mode
+      only.
+
+    Future knobs (adaptive shard counts, cardinality-aware pass
+    splitting, pipelined per-group merges — see ROADMAP.md) land here
+    as new fields instead of new keywords on ten signatures.
+    """
+
+    batch: bool = True
+    workers: int = 1
+    shards: int = 1
+    multiplan: bool = False
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.workers, int) or isinstance(self.workers, bool):
+            raise ConfigError("workers must be an integer >= 1")
+        if not isinstance(self.shards, int) or isinstance(self.shards, bool):
+            raise ConfigError("shards must be an integer >= 1")
+        if self.workers < 1:
+            raise ConfigError("workers must be >= 1")
+        if self.shards < 1:
+            raise ConfigError("shards must be >= 1")
+        if not self.batch and self.shards > 1:
+            raise ConfigError(
+                "shards > 1 requires batch execution: row-range sharding "
+                "splits scan groups, and sequential mode has none "
+                "(pass batch=True, or shards=1)"
+            )
+        if not self.batch and self.multiplan:
+            raise ConfigError(
+                "multiplan=True requires batch execution: combined passes "
+                "evaluate scan groups, and sequential mode has none "
+                "(pass batch=True, or multiplan=False)"
+            )
+
+    # -- presets ------------------------------------------------------------
+
+    @classmethod
+    def serial(cls) -> "ExecutionPolicy":
+        """One engine call per query — the paper's sequential setup."""
+        return cls(batch=False)
+
+    @classmethod
+    def batched(cls) -> "ExecutionPolicy":
+        """Shared scans on a single worker (the default policy)."""
+        return cls()
+
+    @classmethod
+    def concurrent(cls, workers: int | None = None) -> "ExecutionPolicy":
+        """Shared scans with scan groups overlapped over a worker pool.
+
+        ``workers=None`` sizes the pool from ``os.cpu_count()``
+        (clamped to :data:`AUTO_MAX_WORKERS`).
+        """
+        if workers is None:
+            workers = _auto_workers()
+        return cls(workers=workers)
+
+    @classmethod
+    def max_throughput(cls) -> "ExecutionPolicy":
+        """Every optimization on, sized from ``os.cpu_count()``.
+
+        Shared scans, a cpu-sized worker pool, one shard per worker,
+        and combined multi-plan passes. Results are still byte-identical
+        to :meth:`serial` — only wall-clock and scan counts change.
+        """
+        workers = _auto_workers()
+        return cls(workers=workers, shards=workers, multiplan=True)
+
+    @classmethod
+    def auto(
+        cls, engine=None, table: str | None = None
+    ) -> "ExecutionPolicy":
+        """Size workers and shards from the machine and the data.
+
+        Workers come from ``os.cpu_count()`` (clamped to
+        :data:`AUTO_MAX_WORKERS`). With an ``engine`` and a ``table``
+        name, shards are sized from the engine's
+        :meth:`~repro.engine.interface.Engine.table_row_count` so each
+        shard scans at least :data:`AUTO_ROWS_PER_SHARD` rows — small
+        tables stay unsharded (the per-shard merge would cost more than
+        the split saves), and the shard count never exceeds the worker
+        count (extra shards would just queue). An engine that cannot
+        report a row count (``table_row_count`` → ``None``) also stays
+        unsharded, mirroring the sharded executor's own degradation.
+        """
+        workers = _auto_workers()
+        shards = 1
+        if engine is not None and table is not None:
+            rows = engine.table_row_count(table)
+            if rows:
+                shards = max(1, min(workers, rows // AUTO_ROWS_PER_SHARD))
+        return cls(workers=workers, shards=shards, multiplan=True)
+
+    #: Preset names accepted by :meth:`preset` and the CLIs' ``--policy``.
+    PRESETS = ("serial", "batch", "concurrent", "max-throughput", "auto")
+
+    @classmethod
+    def preset(cls, name: str) -> "ExecutionPolicy":
+        """Resolve a named preset (the CLI ``--policy`` vocabulary)."""
+        normalized = name.replace("_", "-").lower()
+        if normalized == "serial":
+            return cls.serial()
+        if normalized == "batch":
+            return cls.batched()
+        if normalized == "concurrent":
+            return cls.concurrent()
+        if normalized == "max-throughput":
+            return cls.max_throughput()
+        if normalized == "auto":
+            return cls.auto()
+        raise ConfigError(
+            f"unknown execution-policy preset {name!r}; "
+            f"choose from {', '.join(cls.PRESETS)}"
+        )
+
+    # -- introspection ------------------------------------------------------
+
+    def describe(self) -> str:
+        """One-line human summary (CLIs print it, BENCH artifacts embed it)."""
+        if not self.batch:
+            if self.workers > 1:
+                return (
+                    f"sequential: one engine call per query, "
+                    f"{self.workers} workers overlap independent queries"
+                )
+            return "sequential: one engine call per query"
+        parts = ["batch: shared scans per (table, filter) group"]
+        if self.workers > 1:
+            parts.append(f"{self.workers} workers")
+        if self.shards > 1:
+            parts.append(f"{self.shards} row-range shards/group")
+        if self.multiplan:
+            parts.append("multiplan combined passes")
+        return ", ".join(parts)
+
+    def evolve(self, **changes: object) -> "ExecutionPolicy":
+        """A copy with the given fields replaced (re-validated)."""
+        return replace(self, **changes)
+
+    def knobs(self) -> dict[str, object]:
+        """The policy as a plain knob mapping (artifact/config blocks)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+def _auto_workers() -> int:
+    return max(1, min(os.cpu_count() or 1, AUTO_MAX_WORKERS))
+
+
+def policy_from_knobs(
+    batch: bool = True,
+    workers: int = 1,
+    shards: int = 1,
+    multiplan: bool = False,
+    *,
+    warn_ignored: bool = True,
+    stacklevel: int = 2,
+) -> ExecutionPolicy:
+    """The policy equivalent to a legacy knob combination.
+
+    Preserves the old stack's observable semantics: ``shards > 1`` or
+    ``multiplan=True`` without ``batch`` used to silently do nothing
+    (sequential execution has no scan groups), so the equivalent policy
+    drops them — audibly, unless ``warn_ignored=False`` (internal
+    equivalence checks compare silently).
+    """
+    if not batch and (shards > 1 or multiplan):
+        if warn_ignored:
+            ignored = []
+            if shards > 1:
+                ignored.append(f"shards={shards}")
+            if multiplan:
+                ignored.append("multiplan=True")
+            warnings.warn(
+                f"{' and '.join(ignored)} ignored without batch=True "
+                f"(sequential execution has no scan groups to shard or "
+                f"combine); pass an ExecutionPolicy to make this an error",
+                UserWarning,
+                stacklevel=stacklevel,
+            )
+        shards, multiplan = 1, False
+    return ExecutionPolicy(
+        batch=batch, workers=workers, shards=shards, multiplan=multiplan
+    )
+
+
+def coerce_policy(policy: "ExecutionPolicy | str") -> ExecutionPolicy:
+    """Accept a policy or a preset name (the CLI/config surface)."""
+    if isinstance(policy, str):
+        return ExecutionPolicy.preset(policy)
+    if not isinstance(policy, ExecutionPolicy):
+        raise ConfigError(
+            f"policy must be an ExecutionPolicy or a preset name, "
+            f"got {policy!r}"
+        )
+    return policy
+
+
+def resolve_policy(
+    policy: "ExecutionPolicy | str | None",
+    *,
+    api: str,
+    default: ExecutionPolicy | None = None,
+    stacklevel: int = 3,
+    **knobs: object,
+) -> ExecutionPolicy:
+    """One entry point's ``policy=`` / deprecated-kwarg resolution.
+
+    ``knobs`` are the legacy keywords the entry point still accepts,
+    with ``None`` meaning "not passed". Exactly one style may be used
+    per call: a policy (object or preset name), or legacy knobs (which
+    warn :class:`DeprecationWarning` at the *caller's* location —
+    ``stacklevel=3`` assumes ``resolve_policy`` is called directly by
+    the public entry point). With neither, ``default`` applies — each
+    entry point passes its historical default so old call sites keep
+    their exact behavior.
+    """
+    given = {k: v for k, v in knobs.items() if v is not None}
+    if policy is not None:
+        if given:
+            raise ConfigError(
+                f"{api}: pass either policy= or the deprecated "
+                f"{', '.join(sorted(given))} keyword(s), not both"
+            )
+        return coerce_policy(policy)
+    base = default if default is not None else ExecutionPolicy()
+    if not given:
+        return base
+    warnings.warn(
+        f"{api}: the {', '.join(sorted(given))} keyword(s) are "
+        f"deprecated; pass policy=repro.ExecutionPolicy(...) (or a "
+        f"preset such as ExecutionPolicy.concurrent(4)) instead",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+    merged = base.knobs()
+    merged.update(given)
+    # One more frame than our own warning: policy_from_knobs warns from
+    # inside its own call.
+    return policy_from_knobs(stacklevel=stacklevel + 1, **merged)
+
+
+def compose_cli_policy(
+    preset: str | None,
+    *,
+    base: ExecutionPolicy | None = None,
+    batch: bool | None = None,
+    workers: int | None = None,
+    shards: int | None = None,
+    multiplan: bool | None = None,
+) -> ExecutionPolicy | None:
+    """Compose a CLI's ``--policy`` preset with explicit per-knob flags.
+
+    The individual flags remain first-class CLI surface (not
+    deprecated): each one given overrides the corresponding preset
+    field, starting from ``base`` (the CLI's historical default) when
+    no preset was named. Returns ``None`` when the caller passed
+    nothing at all, so the downstream config's own default applies.
+    Invalid compositions (``--shards 4`` without batch mode) raise
+    :class:`~repro.errors.ConfigError` — the old stack's silent no-op,
+    made audible.
+    """
+    flags = {
+        k: v
+        for k, v in (
+            ("batch", batch),
+            ("workers", workers),
+            ("shards", shards),
+            ("multiplan", multiplan),
+        )
+        if v is not None
+    }
+    if preset is not None:
+        base = ExecutionPolicy.preset(preset)
+    elif not flags:
+        return None
+    elif base is None:
+        base = ExecutionPolicy.serial()
+    return base.evolve(**flags) if flags else base
+
+
+def reconcile_config_policy(
+    policy: "ExecutionPolicy | str | None",
+    knobs: dict[str, object],
+    *,
+    defaults: dict[str, object],
+    api: str,
+    stacklevel: int = 4,
+) -> tuple[ExecutionPolicy, dict[str, object]]:
+    """Policy resolution for config dataclasses with legacy knob *fields*.
+
+    Unlike function keywords, :class:`SessionConfig`-style configs give
+    their legacy knob fields real defaults, so "not passed" means
+    "equal to the default". Returns ``(policy, field_values)``: the
+    effective policy plus the values the legacy fields should carry —
+    the caller's own values when it set any (so old readers observe
+    exactly what was written, even for combinations the old stack
+    silently ignored), the policy's values otherwise.
+
+    A policy alongside *conflicting* legacy values is a
+    :class:`~repro.errors.ConfigError`; alongside *equivalent* values
+    it is accepted silently, which keeps ``dataclasses.replace``
+    round-trips (policy and mirrored fields travel together) warning-free.
+    """
+    given = {k: v for k, v in knobs.items() if v != defaults[k]}
+    if policy is None:
+        if not given:
+            return ExecutionPolicy(**knobs), dict(knobs)
+        warnings.warn(
+            f"{api}: setting {', '.join(sorted(given))} directly is "
+            f"deprecated; pass policy=repro.ExecutionPolicy(...) instead",
+            DeprecationWarning,
+            stacklevel=stacklevel,
+        )
+        return (
+            policy_from_knobs(stacklevel=stacklevel + 1, **knobs),
+            dict(knobs),
+        )
+    resolved = coerce_policy(policy)
+    if given:
+        # A knob equal to the policy's own field is its mirror riding
+        # along, not a conflict. A mismatched one is still accepted
+        # when the whole knob combination is *equivalent* to the
+        # policy after the legacy downgrade (the silently-ignored
+        # shards/multiplan-without-batch shape keeps its written field
+        # values). Only a combination that would execute differently
+        # conflicts.
+        mismatched = {
+            k: v for k, v in given.items() if v != getattr(resolved, k)
+        }
+        if mismatched:
+            equivalent = policy_from_knobs(warn_ignored=False, **knobs)
+            if equivalent != resolved:
+                raise ConfigError(
+                    f"{api}: policy= conflicts with the deprecated "
+                    f"{', '.join(sorted(mismatched))} field(s); set only "
+                    f"policy"
+                )
+        # Fields the caller set keep their written values; unset ones
+        # mirror the policy, so reads stay coherent either way.
+        merged = resolved.knobs()
+        merged.update(given)
+        return resolved, merged
+    return resolved, resolved.knobs()
+
+
+__all__ = [
+    "AUTO_MAX_WORKERS",
+    "AUTO_ROWS_PER_SHARD",
+    "ExecutionPolicy",
+    "POLICY_KNOBS",
+    "coerce_policy",
+    "compose_cli_policy",
+    "policy_from_knobs",
+    "reconcile_config_policy",
+    "resolve_policy",
+]

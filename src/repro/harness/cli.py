@@ -17,6 +17,8 @@ import sys
 
 from repro.dashboard.library import DASHBOARD_NAMES
 from repro.engine.registry import available_engines
+from repro.errors import ConfigError
+from repro.execution import ExecutionPolicy, compose_cli_policy
 from repro.harness.config import BenchmarkConfig
 from repro.harness.runner import BenchmarkRunner
 from repro.metrics.report import format_table
@@ -62,30 +64,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print workload-shape statistics per dashboard",
     )
     parser.add_argument(
-        "--batch", action=argparse.BooleanOptionalAction, default=False,
+        "--policy", default=None, metavar="PRESET",
+        choices=ExecutionPolicy.PRESETS,
+        help="execution-policy preset: "
+        f"{', '.join(ExecutionPolicy.PRESETS)} (individual "
+        "--batch/--workers/--shards/--multiplan flags compose on top; "
+        "default: serial, the paper's sequential setup)",
+    )
+    parser.add_argument(
+        "--batch", action=argparse.BooleanOptionalAction, default=None,
         help="execute each interaction's query fan-out through the "
         "shared-scan batch optimizer (--no-batch: one engine call per "
         "query, the paper's sequential setup)",
     )
     parser.add_argument(
-        "--workers", type=int, default=1,
+        "--workers", type=int, default=None,
         help="worker-pool width: overlaps independent engine x run grid "
         "cells and each session's scan groups (1 = sequential; results "
         "are identical for any value, only wall-clock changes)",
     )
     parser.add_argument(
-        "--shards", type=int, default=1,
+        "--shards", type=int, default=None,
         help="row-range shards per scan group: each batched fan-out's "
         "base scans split into this many per-shard tasks merged via "
-        "partial-aggregate rollup (needs --batch; 1 = unsharded; "
+        "partial-aggregate rollup (needs batch mode; 1 = unsharded; "
         "results are identical for any value)",
     )
     parser.add_argument(
-        "--multiplan", action=argparse.BooleanOptionalAction, default=False,
+        "--multiplan", action=argparse.BooleanOptionalAction, default=None,
         help="evaluate each unfiltered scan group's fusion classes in "
         "one combined pass — the initial render's one-scan-per-GROUP-BY "
-        "shape collapses to one scan per table (needs --batch; results "
-        "are identical either way)",
+        "shape collapses to one scan per table (needs batch mode; "
+        "results are identical either way)",
     )
     parser.add_argument(
         "--progress", action="store_true", help="print per-run progress"
@@ -99,19 +109,32 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
-    config = BenchmarkConfig(
-        dashboards=tuple(args.dashboards),
-        workflows=tuple(args.workflows),
-        engines=tuple(args.engines),
-        sizes={f"{args.rows}": args.rows},
-        runs=args.runs,
-        seed=args.seed,
-        batch=args.batch,
-        workers=args.workers,
-        shards=args.shards,
-        multiplan=args.multiplan,
-    )
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        policy = compose_cli_policy(
+            args.policy,
+            base=ExecutionPolicy.serial(),
+            batch=args.batch,
+            workers=args.workers,
+            shards=args.shards,
+            multiplan=args.multiplan,
+        )
+        config = BenchmarkConfig(
+            dashboards=tuple(args.dashboards),
+            workflows=tuple(args.workflows),
+            engines=tuple(args.engines),
+            sizes={f"{args.rows}": args.rows},
+            runs=args.runs,
+            seed=args.seed,
+            policy=policy,
+        )
+    except ConfigError as exc:
+        parser.error(f"{exc} — on this CLI, add --batch or pick a batch "
+                     f"--policy preset")
+    print(f"execution policy: {config.policy.describe()}")
+    if config.workers > 1:
+        print(f"grid-cell overlap: {config.workers} workers")
     runner = BenchmarkRunner(config, log_directory=args.export_logs)
     result = runner.run(progress=args.progress)
 

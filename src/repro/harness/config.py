@@ -47,41 +47,35 @@ class BenchmarkConfig:
     #: Rows in the reference table used for goal-coverage logic (kept
     #: small so planning cost does not scale with the measured dataset).
     reference_rows: int = 2_000
-    #: Execute each interaction's fan-out through the shared-scan batch
-    #: optimizer instead of one engine call per query (the CLI's
-    #: ``--batch`` / ``--no-batch``). ``True`` forces batch mode on the
-    #: session; ``False`` (the default) defers to ``session.batch``.
-    #: After construction this field always mirrors the session flag —
-    #: the session config is the single source of truth downstream.
+    #: The execution policy for the whole experiment: an
+    #: :class:`~repro.execution.ExecutionPolicy` (or preset name, the
+    #: CLI's ``--policy``). Two effects, matching the old per-knob
+    #: semantics: ``policy.workers`` also sizes the runner's pool for
+    #: overlapping independent engine x run grid cells, and the policy
+    #: merges knob-wise into ``session.policy`` (an explicitly
+    #: configured session keeps its own settings — the session config
+    #: stays the single source of truth downstream). ``None`` defers
+    #: entirely to the session. After construction this field holds
+    #: the sessions' effective policy; results are identical for every
+    #: policy — only wall-clock and the *measured* durations change
+    #: (overlapped queries contend for cores).
+    policy: object = None
+    #: Deprecated (use ``policy``): shared-scan batch execution (the
+    #: CLI's ``--batch`` / ``--no-batch``). Mirrors ``session.batch``
+    #: after construction.
     batch: bool = False
-    #: Worker-pool width (the CLI's ``--workers``). Two effects: the
-    #: runner overlaps independent engine x run grid cells over a pool
-    #: of this size, and each session's own fan-outs default to the
-    #: same width (``session.workers``, when not set explicitly).
-    #: Setting only ``session.workers`` does *not* turn on cell
-    #: overlap — intra-session and cross-cell concurrency stay
-    #: independently controllable. ``1`` is the sequential
-    #: pre-concurrency path; results are identical for every value —
-    #: only wall-clock and the *measured* durations change (overlapped
-    #: queries contend for cores).
+    #: Deprecated (use ``policy``): worker-pool width (the CLI's
+    #: ``--workers``) — grid-cell overlap plus the sessions' default
+    #: fan-out width. Setting only ``session.workers`` does *not* turn
+    #: on cell overlap; this field keeps the runner's own value.
     workers: int = 1
-    #: Row-range shards per scan group (the CLI's ``--shards``). A
-    #: purely per-session setting: each batched fan-out's shardable
-    #: scan groups split into this many per-shard scan tasks whose
-    #: partial aggregates roll up into the final results
-    #: (:mod:`repro.sharding`). Requires batch mode to have any
-    #: effect; ``1`` is the exact pre-sharding path and results are
-    #: identical for every value.
+    #: Deprecated (use ``policy``): row-range shards per scan group
+    #: (the CLI's ``--shards``). Mirrors ``session.shards`` after
+    #: construction.
     shards: int = 1
-    #: Combined-pass evaluation of unfiltered scan groups (the CLI's
-    #: ``--multiplan`` / ``--no-multiplan``): each batched fan-out's
-    #: unfiltered groups — the initial dashboard render — compute all
-    #: their group-bys in one engine pass
-    #: (:mod:`repro.engine.multiplan`). A per-session setting that
-    #: requires batch mode to have any effect; ``False`` (the default)
-    #: is the exact pre-multiplan path and results are identical either
-    #: way. After construction this field mirrors ``session.multiplan``
-    #: — the session config is the single source of truth downstream.
+    #: Deprecated (use ``policy``): combined-pass evaluation of
+    #: unfiltered scan groups (the CLI's ``--multiplan``). Mirrors
+    #: ``session.multiplan`` after construction.
     multiplan: bool = False
     #: Fixed-duration sessions by default: each goal segment runs its
     #: full step budget even if the goal completes early, matching the
@@ -92,6 +86,11 @@ class BenchmarkConfig:
             run_to_max=True, max_steps_per_goal=12, stall_limit=8
         )
     )
+
+    #: The deprecated knob fields' defaults; "set" means "differs".
+    _KNOB_DEFAULTS = {
+        "batch": False, "workers": 1, "shards": 1, "multiplan": False,
+    }
 
     def __post_init__(self) -> None:
         known_engines = set(available_engines())
@@ -108,34 +107,49 @@ class BenchmarkConfig:
             raise ConfigError("runs must be >= 1")
         if not self.sizes:
             raise ConfigError("at least one dataset size is required")
-        if self.workers < 1:
-            raise ConfigError("workers must be >= 1")
-        if self.shards < 1:
-            raise ConfigError("shards must be >= 1")
         from dataclasses import replace
 
-        if self.batch and not self.session.batch:
+        from repro.execution import (
+            POLICY_KNOBS,
+            policy_from_knobs,
+            reconcile_config_policy,
+        )
+
+        _, own = reconcile_config_policy(
+            self.policy,
+            {k: getattr(self, k) for k in POLICY_KNOBS},
+            defaults=self._KNOB_DEFAULTS,
+            api="BenchmarkConfig",
+        )
+        # Merge the config's knobs into the session's, knob-wise: each
+        # knob the session left at its default follows the config (the
+        # pre-policy mirroring semantics). ``workers`` additionally
+        # stays the runner's own cell concurrency.
+        merged = {k: getattr(self.session, k) for k in POLICY_KNOBS}
+        if own["batch"] and not merged["batch"]:
+            merged["batch"] = True
+        if own["workers"] > 1 and merged["workers"] == 1:
+            merged["workers"] = own["workers"]
+        if own["shards"] > 1 and merged["shards"] == 1:
+            merged["shards"] = own["shards"]
+        if own["multiplan"] and not merged["multiplan"]:
+            merged["multiplan"] = True
+        if merged != {k: getattr(self.session, k) for k in POLICY_KNOBS}:
             object.__setattr__(
-                self, "session", replace(self.session, batch=True)
+                self,
+                "session",
+                replace(
+                    self.session,
+                    policy=policy_from_knobs(warn_ignored=False, **merged),
+                    **merged,
+                ),
             )
-        if self.workers > 1 and self.session.workers == 1:
-            object.__setattr__(
-                self, "session", replace(self.session, workers=self.workers)
-            )
-        if self.shards > 1 and self.session.shards == 1:
-            object.__setattr__(
-                self, "session", replace(self.session, shards=self.shards)
-            )
-        if self.multiplan and not self.session.multiplan:
-            object.__setattr__(
-                self, "session", replace(self.session, multiplan=True)
-            )
-        # ``batch`` always mirrors the session flag (single source of
-        # truth downstream); ``workers`` stays the runner's own cell
-        # concurrency — an explicit ``session.workers`` only affects
-        # the sessions themselves; ``shards`` and ``multiplan``
-        # likewise mirror into the sessions and nothing else.
+        # The session is the single source of truth downstream: this
+        # config's policy and knob mirrors all read back from it.
+        # ``workers`` keeps the runner's own cell concurrency.
+        object.__setattr__(self, "policy", self.session.policy)
         object.__setattr__(self, "batch", self.session.batch)
+        object.__setattr__(self, "workers", own["workers"])
         object.__setattr__(self, "shards", self.session.shards)
         object.__setattr__(self, "multiplan", self.session.multiplan)
 

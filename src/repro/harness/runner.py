@@ -233,10 +233,7 @@ class BenchmarkRunner:
             markov_preset=self.config.session.markov_preset,
             lookahead=self.config.session.lookahead,
             run_to_max=self.config.session.run_to_max,
-            batch=self.config.session.batch,
-            workers=self.config.session.workers,
-            shards=self.config.session.shards,
-            multiplan=self.config.session.multiplan,
+            policy=self.config.session.policy,
             seed=self.config.seed * 1_000 + run_index,
         )
         simulator = SessionSimulator(

@@ -23,6 +23,8 @@ from pathlib import Path
 
 from repro.dashboard.library import DASHBOARD_NAMES, load_dashboard
 from repro.engine.registry import available_engines, create_engine
+from repro.errors import ConfigError
+from repro.execution import ExecutionPolicy, compose_cli_policy
 from repro.logs.eva import eva_metrics
 from repro.logs.io import read_csv, read_jsonl, write_csv, write_jsonl
 from repro.logs.records import export_session
@@ -77,26 +79,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip cardinality checking",
     )
     replay.add_argument(
-        "--batch", action="store_true",
+        "--policy", default=None, metavar="PRESET",
+        choices=ExecutionPolicy.PRESETS,
+        help="execution-policy preset for the replay: "
+        f"{', '.join(ExecutionPolicy.PRESETS)} (individual "
+        "--batch/--workers/--shards/--multiplan flags compose on top; "
+        "default: serial, one engine call per logged query)",
+    )
+    replay.add_argument(
+        "--batch", action=argparse.BooleanOptionalAction, default=None,
         help="replay each interaction's fan-out through the shared-scan "
         "batch optimizer",
     )
     replay.add_argument(
-        "--workers", type=int, default=1,
+        "--workers", type=int, default=None,
         help="worker-pool width for overlapping the replay "
         "(1 = sequential; results are identical for any value)",
     )
     replay.add_argument(
-        "--shards", type=int, default=1,
+        "--shards", type=int, default=None,
         help="row-range shards per scan group during batched replay "
-        "(needs --batch; 1 = unsharded; results are identical for "
+        "(needs batch mode; 1 = unsharded; results are identical for "
         "any value)",
     )
     replay.add_argument(
         "--multiplan", action=argparse.BooleanOptionalAction,
-        default=False,
+        default=None,
         help="evaluate each unfiltered scan group's fusion classes in "
-        "one combined pass during batched replay (needs --batch; "
+        "one combined pass during batched replay (needs batch mode; "
         "results are identical either way)",
     )
 
@@ -164,14 +174,29 @@ def _simulate(args) -> int:
 
 
 def _replay(args) -> int:
+    try:
+        policy = compose_cli_policy(
+            args.policy,
+            base=ExecutionPolicy.serial(),
+            batch=args.batch,
+            workers=args.workers,
+            shards=args.shards,
+            multiplan=args.multiplan,
+        ) or ExecutionPolicy.serial()
+    except ConfigError as exc:
+        print(
+            f"error: {exc} — on this CLI, add --batch or pick a batch "
+            f"--policy preset",
+            file=sys.stderr,
+        )
+        return 2
+    print(f"execution policy: {policy.describe()}")
     log = _read_any(args.log)
     engine = create_engine(args.engine)
     table = generate_dataset(log.dashboard, args.rows, seed=args.seed)
     engine.load_table(table)
     report = replay_log(
-        log, engine, check_cardinality=not args.no_check,
-        batch=args.batch, workers=args.workers, shards=args.shards,
-        multiplan=args.multiplan,
+        log, engine, check_cardinality=not args.no_check, policy=policy
     )
     print(
         f"replayed {report.query_count} queries on {engine.name}: "

@@ -59,10 +59,12 @@ def replay_log(
     engine: Engine,
     check_cardinality: bool = True,
     strict: bool = False,
-    batch: bool = False,
-    workers: int = 1,
-    shards: int = 1,
-    multiplan: bool = False,
+    policy=None,
+    *,
+    batch: bool | None = None,
+    workers: int | None = None,
+    shards: int | None = None,
+    multiplan: bool | None = None,
 ) -> ReplayReport:
     """Re-execute every query in ``log`` against ``engine``.
 
@@ -70,28 +72,38 @@ def replay_log(
     against. With ``strict=True`` the first cardinality mismatch raises;
     otherwise mismatches are collected in the report.
 
-    With ``batch=True``, each interaction's fan-out — the consecutive
-    entries sharing one ``step`` — replays as a single unit through the
-    shared-scan optimizer
+    ``policy`` (an :class:`~repro.execution.ExecutionPolicy` or preset
+    name) picks the replay strategy; the default is the historical
+    sequential replay — ``ExecutionPolicy.serial()``, one engine call
+    per logged query, in order. The per-knob keywords are deprecated
+    and map onto the equivalent policy.
+
+    A batch policy replays each interaction's fan-out — the
+    consecutive entries sharing one ``step`` — as a single unit
+    through the shared-scan optimizer
     (:meth:`~repro.engine.interface.Engine.execute_batch`), recreating
-    the multi-query execution a batching dashboard backend performs.
+    the multi-query execution a batching dashboard backend performs;
+    its ``shards``/``multiplan`` knobs split and combine the step's
+    scan groups (:mod:`repro.sharding`, :mod:`repro.engine.multiplan`).
 
     ``workers > 1`` overlaps the replay over a worker pool — scan
     groups within each step in batch mode, individual queries
     otherwise. Results and mismatch reports are identical for every
-    ``workers`` value (queries still record in log order); only
-    ``strict`` raising moves from mid-execution to the recording pass,
-    since overlapped queries have already run when checks happen.
-
-    ``shards > 1`` splits each batched step's shardable scan groups
-    into per-shard scan tasks merged via partial-aggregate rollup
-    (:mod:`repro.sharding`). ``multiplan=True`` evaluates each
-    unfiltered scan group's fusion classes in one combined pass
-    (:mod:`repro.engine.multiplan`) — the recorded initial render
-    replays with one scan per table. Both are batch-mode features:
-    without scan groups there is nothing to shard or combine, so the
-    sequential path ignores them.
+    policy (queries still record in log order); only ``strict``
+    raising moves from mid-execution to the recording pass, since
+    overlapped queries have already run when checks happen.
     """
+    from repro.execution import ExecutionPolicy, resolve_policy
+
+    policy = resolve_policy(
+        policy,
+        api="replay_log",
+        default=ExecutionPolicy.serial(),
+        batch=batch,
+        workers=workers,
+        shards=shards,
+        multiplan=multiplan,
+    )
     report = ReplayReport(engine=engine.name)
 
     def record(entry: LogEntry, timed: QueryResult) -> None:
@@ -106,12 +118,14 @@ def replay_log(
                 )
             report.mismatches.append(mismatch)
 
-    if not batch:
-        if workers > 1:
+    if not policy.batch:
+        if policy.workers > 1:
             from repro.concurrency.sessions import execute_all
 
             queries = [parse_query(e.sql) for e in log.entries]
-            timed_results = execute_all(engine, queries, workers=workers)
+            timed_results = execute_all(
+                engine, queries, workers=policy.workers
+            )
             for entry, timed in zip(log.entries, timed_results):
                 record(entry, timed)
             return report
@@ -124,9 +138,7 @@ def replay_log(
     for _, group in groupby(log.entries, key=lambda e: e.step):
         step_entries = list(group)
         queries = [parse_query(e.sql) for e in step_entries]
-        timed_results = engine.execute_batch(
-            queries, workers=workers, shards=shards, multiplan=multiplan
-        )
+        timed_results = engine.execute_batch(queries, policy)
         for entry, timed in zip(step_entries, timed_results):
             record(entry, timed)
     return report

@@ -62,31 +62,63 @@ class SessionConfig:
     #: coverage (the "dynamically generate goal orderings based on the
     #: current model and dashboard states" extension of §4.3).
     dynamic_goal_order: bool = False
-    #: When True, each interaction's emitted queries execute as one
-    #: batch through the shared-scan optimizer
-    #: (:meth:`~repro.engine.interface.Engine.execute_batch`) instead
-    #: of one engine call per query — the multi-query execution mode
-    #: the harness toggles with ``--batch``.
+    #: How each interaction's emitted queries execute: an
+    #: :class:`~repro.execution.ExecutionPolicy` (or preset name).
+    #: ``None`` resolves to the historical sequential default —
+    #: ``ExecutionPolicy.serial()``, one engine call per query, the
+    #: paper's setup — unless the deprecated per-knob fields below are
+    #: set, in which case they map onto the equivalent policy. After
+    #: construction this field always holds a resolved
+    #: ``ExecutionPolicy``; results are byte-identical for every
+    #: policy (:mod:`repro.concurrency`, :mod:`repro.sharding`,
+    #: :mod:`repro.engine.multiplan`).
+    policy: object = None
+    #: Deprecated (use ``policy``): route each fan-out through the
+    #: shared-scan optimizer
+    #: (:meth:`~repro.engine.interface.Engine.execute_batch`).
     batch: bool = False
-    #: Worker-pool width for each interaction's fan-out: independent
-    #: scan groups (batch mode) or single queries (sequential mode)
-    #: overlap across this many workers. ``1`` (the default) is exactly
-    #: the pre-concurrency execution path; results are byte-identical
-    #: for every value (:mod:`repro.concurrency`).
+    #: Deprecated (use ``policy``): worker-pool width for each
+    #: interaction's fan-out.
     workers: int = 1
-    #: Row-range shards per scan group (batch mode): each shardable
-    #: group's base scan splits into this many per-shard tasks whose
-    #: partial aggregates roll up into the final results
-    #: (:mod:`repro.sharding`). ``1`` (the default) is exactly the
-    #: pre-sharding execution path.
+    #: Deprecated (use ``policy``): row-range shards per scan group
+    #: (:mod:`repro.sharding`).
     shards: int = 1
-    #: When True (batch mode), each unfiltered scan group's fusion
-    #: classes — the initial render's one-scan-per-GROUP-BY shape —
-    #: evaluate in a single combined pass
-    #: (:mod:`repro.engine.multiplan`); results are byte-identical.
-    #: ``False`` (the default) is exactly the pre-multiplan path.
+    #: Deprecated (use ``policy``): combined-pass evaluation of
+    #: unfiltered scan groups (:mod:`repro.engine.multiplan`).
     multiplan: bool = False
     seed: int = 0
+
+    #: The deprecated knob fields' defaults (the pre-policy sequential
+    #: behavior); "set" means "differs from these".
+    _KNOB_DEFAULTS = {
+        "batch": False, "workers": 1, "shards": 1, "multiplan": False,
+    }
+
+    def __post_init__(self) -> None:
+        from repro.execution import POLICY_KNOBS, reconcile_config_policy
+
+        policy, fields_ = reconcile_config_policy(
+            self.policy,
+            {k: getattr(self, k) for k in POLICY_KNOBS},
+            defaults=self._KNOB_DEFAULTS,
+            api="SessionConfig",
+        )
+        object.__setattr__(self, "policy", policy)
+        for name, value in fields_.items():
+            object.__setattr__(self, name, value)
+
+    def with_policy(self, policy) -> "SessionConfig":
+        """A copy executing under ``policy`` (fields re-mirrored)."""
+        from dataclasses import replace
+
+        from repro.execution import POLICY_KNOBS, coerce_policy
+
+        policy = coerce_policy(policy)
+        return replace(
+            self,
+            policy=policy,
+            **{k: getattr(policy, k) for k in POLICY_KNOBS},
+        )
 
     def p_markov(self, step: int) -> float:
         """Probability of using the Markov model at global step ``step``."""
@@ -351,24 +383,23 @@ class SessionSimulator:
     def _measure_all(self, queries: list[Query]) -> list[QueryResult]:
         """Run one interaction's emitted fan-out on the measured engine.
 
-        In batch mode the whole fan-out goes through the shared-scan
-        optimizer as a single unit — the execution strategy under test —
-        while sequential mode preserves the paper's one-call-per-query
-        behavior. ``config.workers`` overlaps the fan-out's independent
-        units either way; results are byte-identical.
+        ``config.policy`` decides the strategy: batch policies send the
+        whole fan-out through the shared-scan optimizer as a single
+        unit — the execution strategy under test — while sequential
+        policies preserve the paper's one-call-per-query behavior,
+        workers overlapping the independent units either way; results
+        are byte-identical.
         """
-        if self.config.batch:
+        policy = self.config.policy
+        if policy.batch:
             return self.measured_engine.execute_batch(
-                list(queries),
-                workers=self.config.workers,
-                shards=self.config.shards,
-                multiplan=self.config.multiplan,
+                list(queries), policy
             )
-        if self.config.workers > 1:
+        if policy.workers > 1:
             from repro.concurrency.sessions import execute_all
 
             return execute_all(
                 self.measured_engine, list(queries),
-                workers=self.config.workers,
+                workers=policy.workers,
             )
         return [self._measure(q) for q in queries]

@@ -32,7 +32,10 @@ REPO = Path(__file__).resolve().parent.parent
 DOC_FILES = sorted((REPO / "docs").glob("*.md")) + [REPO / "README.md"]
 SNIPPET_FILES = [REPO / "docs" / "ARCHITECTURE.md"]
 #: Tutorial examples executed end to end (kept fast via env knobs).
-EXAMPLE_FILES = [REPO / "examples" / "multiplan_render.py"]
+EXAMPLE_FILES = [
+    REPO / "examples" / "multiplan_render.py",
+    REPO / "examples" / "policy_quickstart.py",
+]
 
 #: Markdown inline links: [text](target). Reference-style links are
 #: not used in this repo's docs.
