@@ -1,0 +1,209 @@
+"""Generated adversarial workloads vs the static optimizer presets.
+
+The workload generator (:mod:`repro.workloadgen`) exists to hit each
+optimizer's documented losing regime on purpose. This benchmark runs
+every adversarial preset's dashboard (cold initial render) on all four
+engines and stages a **duel** per preset: the policy whose optimizer
+the preset targets vs the plain batched baseline, compute-only timing
+(no simulated round trips — the regimes here are about compute and
+merge overhead, not saved scans):
+
+- ``key_union_explosion`` / ``high_cardinality_groupby`` duel
+  **multiplan**: one chart per column makes the combined pass's finest
+  grouping (GROUP BY the union of every chart's keys) approach the row
+  count, so building and re-rolling the giant partial relation costs
+  more than the per-class scans it replaced.
+- ``tiny_tables_sharded`` duels **sharding**: at 64 rows the per-shard
+  dispatch and partial-aggregate merge are pure overhead.
+- ``empty_result_filters`` duels **max_throughput** against serial:
+  a near-no-op dashboard where any fixed policy cost shows up directly.
+
+Reported per (preset, engine): plain vs optimized wall-clock (best of
+``BENCH_RUNS`` repetitions), engine-boundary base scans via
+:class:`~repro.engine.instrument.CountingEngine`, and the loss ratio
+``optimized / plain``. The artifact's ``losses`` section lists every
+duel the optimizer lost (ratio > 1.0); the suite asserts at least one
+preset shows a measurable loss (ratio >= 1.05) — the generator's
+reason to exist. Byte-identity (``rows ==``) between the duelling
+policies is asserted on every cell of the matrix; generated measures
+are dyadic, so even float SUM/AVG merges are IEEE-exact.
+
+Writes ``benchmarks/results/BENCH_workloadgen.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from _common import BENCH_ROWS, BENCH_RUNS, RESULTS_DIR, policy_block, write_result
+
+from repro.dashboard.state import DashboardState
+from repro.engine.instrument import CountingEngine
+from repro.engine.registry import create_engine
+from repro.execution import ExecutionPolicy
+from repro.metrics import format_table
+from repro.workloadgen import PRESET_NAMES, generate_preset
+
+ENGINES = ("rowstore", "vectorstore", "matstore", "sqlite")
+CORPUS_SEED = 0
+#: Shards used where a duel exercises the sharded rollup.
+SHARDS = 4
+
+#: preset -> (schema, optimizer label, plain policy, optimized policy).
+#: The optimized side is the static choice the preset is built to punish.
+DUELS = {
+    "key_union_explosion": (
+        "web_analytics",
+        "multiplan",
+        ExecutionPolicy(),
+        ExecutionPolicy(multiplan=True),
+    ),
+    "high_cardinality_groupby": (
+        "web_analytics",
+        "multiplan",
+        ExecutionPolicy(),
+        ExecutionPolicy(multiplan=True),
+    ),
+    "tiny_tables_sharded": (
+        "retail_sales",
+        "sharding",
+        ExecutionPolicy(),
+        ExecutionPolicy(shards=SHARDS),
+    ),
+    "empty_result_filters": (
+        "fleet_telemetry",
+        "max_throughput",
+        ExecutionPolicy.serial(),
+        ExecutionPolicy.max_throughput(),
+    ),
+}
+
+
+def _workloads():
+    """One GeneratedWorkload per preset, bench-sized where that makes sense.
+
+    ``tiny_tables_sharded`` keeps its 64-row table — shrinking the
+    input is the preset; scaling it up would delete the regime.
+    """
+    loads = {}
+    for preset in PRESET_NAMES:
+        schema_name = DUELS[preset][0]
+        rows = None if preset == "tiny_tables_sharded" else BENCH_ROWS
+        workload = generate_preset(
+            preset, schema_name, seed=CORPUS_SEED, rows=rows
+        )
+        loads[preset] = (workload, workload.build_table())
+    return loads
+
+
+def _timed_render(engine_name, table, queries, policy):
+    """(best wall ms, base scans, results) for one cold render."""
+    counting = CountingEngine(create_engine(engine_name))
+    counting.load_table(table)
+    best_ms = None
+    results = None
+    for _ in range(max(1, BENCH_RUNS)):
+        counting.reset()
+        start = time.perf_counter()
+        timed = counting.execute_batch(list(queries), policy)
+        elapsed = (time.perf_counter() - start) * 1000.0
+        results = [t.result for t in timed]
+        if best_ms is None or elapsed < best_ms:
+            best_ms = elapsed
+    scans = counting.base_scans()
+    counting.close()
+    return best_ms, scans, results
+
+
+def run_matrix():
+    rows = []
+    losses = []
+    identity_checks = []
+    for preset, (workload, table) in _workloads().items():
+        _, optimizer, plain_policy, optimized_policy = DUELS[preset]
+        queries = DashboardState(workload.spec, table).initial_queries()
+        for engine_name in ENGINES:
+            plain_ms, plain_scans, plain_results = _timed_render(
+                engine_name, table, queries, plain_policy
+            )
+            opt_ms, opt_scans, opt_results = _timed_render(
+                engine_name, table, queries, optimized_policy
+            )
+            # Byte identity between the duelling policies: dyadic data
+            # makes even re-associated float rollups exact.
+            for want, got in zip(plain_results, opt_results):
+                assert got.columns == want.columns, (preset, engine_name)
+                assert got.rows == want.rows, (preset, engine_name)
+            identity_checks.append(
+                {"preset": preset, "engine": engine_name, "byte_identical": True}
+            )
+            ratio = opt_ms / plain_ms if plain_ms > 0 else float("inf")
+            rows.append(
+                {
+                    "preset": preset,
+                    "engine": engine_name,
+                    "optimizer": optimizer,
+                    "plain_ms": round(plain_ms, 2),
+                    "optimized_ms": round(opt_ms, 2),
+                    "ratio": round(ratio, 3),
+                    "scans_plain": plain_scans,
+                    "scans_optimized": opt_scans,
+                }
+            )
+            if ratio > 1.0:
+                losses.append(
+                    {
+                        "preset": preset,
+                        "engine": engine_name,
+                        "optimizer": optimizer,
+                        "ratio": round(ratio, 3),
+                    }
+                )
+    return rows, losses, identity_checks
+
+
+def test_workloadgen_adversarial_matrix(benchmark):
+    rows, losses, identity_checks = benchmark.pedantic(
+        run_matrix, rounds=1, iterations=1
+    )
+
+    text = format_table(rows)
+    write_result("workloadgen", text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    workload_meta = {
+        preset: {
+            "schema": DUELS[preset][0],
+            "optimizer": DUELS[preset][1],
+            "rows": 64 if preset == "tiny_tables_sharded" else BENCH_ROWS,
+            "note": generate_preset(
+                preset, DUELS[preset][0], seed=CORPUS_SEED
+            ).note,
+            "plain_policy": policy_block(DUELS[preset][2]),
+            "optimized_policy": policy_block(DUELS[preset][3]),
+        }
+        for preset in PRESET_NAMES
+    }
+    artifact = {
+        "suite": "generated adversarial workloads, cold render duels",
+        "corpus_seed": CORPUS_SEED,
+        "bench_rows": BENCH_ROWS,
+        "bench_runs": BENCH_RUNS,
+        "cpu_count": os.cpu_count(),
+        "presets": workload_meta,
+        "matrix": rows,
+        "losses": sorted(
+            losses, key=lambda l: l["ratio"], reverse=True
+        ),
+        "identity_checks": identity_checks,
+    }
+    (RESULTS_DIR / "BENCH_workloadgen.json").write_text(
+        json.dumps(artifact, indent=2) + "\n"
+    )
+
+    # Identity held everywhere (asserted inside the run).
+    assert len(identity_checks) == len(PRESET_NAMES) * len(ENGINES)
+    # The generator's headline: at least one preset makes a static
+    # optimizer measurably lose.
+    assert any(loss["ratio"] >= 1.05 for loss in losses), losses

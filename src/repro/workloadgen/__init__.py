@@ -1,0 +1,74 @@
+"""Seeded synthetic workload generator (schemas -> dashboards -> sessions).
+
+The test suite's stress matrix lives here: typed workload schemas
+(:mod:`~repro.workloadgen.schema`), deterministic data
+(:mod:`~repro.workloadgen.data`), valid-by-construction dashboard specs
+(:mod:`~repro.workloadgen.intents`), augmentation passes
+(:mod:`~repro.workloadgen.augment`), adversarial presets
+(:mod:`~repro.workloadgen.presets`), and replayable interaction
+sessions (:mod:`~repro.workloadgen.sessions`). See
+``docs/ARCHITECTURE.md`` ("Workload generation") for the tour.
+"""
+
+from repro.workloadgen.augment import (
+    scale_cardinality,
+    star_dimensions,
+    sweep_filter_selectivity,
+    widen_group_by,
+)
+from repro.workloadgen.data import generate_table
+from repro.workloadgen.intents import generate_dashboard, generate_dashboards
+from repro.workloadgen.presets import (
+    ADVERSARIAL_PRESETS,
+    PRESET_NAMES,
+    GeneratedWorkload,
+    generate_corpus,
+    generate_preset,
+)
+from repro.workloadgen.schema import (
+    SCHEMA_NAMES,
+    FieldSpec,
+    WorkloadSchema,
+    category,
+    identifier,
+    measure,
+    timestamp,
+    workload_schema,
+)
+from repro.workloadgen.sessions import (
+    GeneratedSession,
+    InteractionStats,
+    ReplayLog,
+    generate_session,
+    idebench_config,
+    run_idebench,
+)
+
+__all__ = [
+    "ADVERSARIAL_PRESETS",
+    "FieldSpec",
+    "GeneratedSession",
+    "GeneratedWorkload",
+    "InteractionStats",
+    "PRESET_NAMES",
+    "ReplayLog",
+    "SCHEMA_NAMES",
+    "WorkloadSchema",
+    "category",
+    "generate_corpus",
+    "generate_dashboard",
+    "generate_dashboards",
+    "generate_preset",
+    "generate_session",
+    "generate_table",
+    "idebench_config",
+    "identifier",
+    "measure",
+    "run_idebench",
+    "scale_cardinality",
+    "star_dimensions",
+    "sweep_filter_selectivity",
+    "timestamp",
+    "widen_group_by",
+    "workload_schema",
+]

@@ -1,0 +1,188 @@
+"""Augmentation passes over generated schemas and dashboards.
+
+Each pass transforms a workload toward one optimizer's documented
+stress regime:
+
+- :func:`scale_cardinality` — multiply category/identifier
+  cardinalities (GROUP BY result width, rollup cost);
+- :func:`widen_group_by` — add one visualization per extra column so
+  the *union* of unfiltered group keys grows, which is exactly the
+  multiplan evaluator's worst case (its combined single pass groups by
+  the union of all plans' keys);
+- :func:`sweep_filter_selectivity` — spec variants whose anchor widget
+  is pinned to progressively smaller option subsets, down to a
+  guaranteed-empty filter (the ``empty_result_filters`` preset's
+  mechanism);
+- :func:`star_dimensions` — map a schema's ``derived_from`` functional
+  dependencies onto :func:`repro.workload.normalize.normalize_star`
+  dimension specs, enabling join-reassembly workloads via
+  ``engine/join.py``.
+
+All passes are pure: they return new spec/schema values and never
+mutate their inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.dashboard.spec import (
+    DashboardSpec,
+    DimensionSpec,
+    MeasureSpec,
+    VisualizationSpec,
+    WidgetSpec,
+)
+from repro.errors import ConfigError
+from repro.workload.normalize import DimensionSpec as StarDimensionSpec
+from repro.workloadgen.data import member_name
+from repro.workloadgen.schema import WorkloadSchema
+
+
+def scale_cardinality(
+    schema: WorkloadSchema, factor: float, roles: tuple[str, ...] = (
+        "category", "identifier",
+    )
+) -> WorkloadSchema:
+    """Scale the cardinality of every field in ``roles`` by ``factor``."""
+    if factor <= 0:
+        raise ConfigError(f"cardinality factor must be > 0, got {factor}")
+    return replace(
+        schema,
+        fields=tuple(
+            replace(f, cardinality=max(1, int(f.cardinality * factor)))
+            if f.role in roles
+            else f
+            for f in schema.fields
+        ),
+    )
+
+
+def widen_group_by(
+    spec: DashboardSpec,
+    schema: WorkloadSchema,
+    columns: tuple[str, ...] | None = None,
+) -> DashboardSpec:
+    """Add one bar chart per column, widening the group-key union.
+
+    The multiplan evaluator folds every *unfiltered* visualization into
+    one pass grouped by the union of their keys; each added chart
+    contributes a fresh key, so the combined grouping's cardinality
+    approaches the product of the per-column cardinalities (bounded by
+    the row count) — its documented losing regime.
+    """
+    if columns is None:
+        columns = tuple(
+            f.name
+            for f in schema.fields
+            if f.role in ("category", "identifier")
+        )
+    measure = schema.by_role("measure")[0]
+    existing = spec.interface.component_ids
+    added = []
+    for column in columns:
+        schema.field(column)  # raise early on unknown columns
+        viz_id = f"v_wide_{column}"
+        if viz_id in existing:
+            continue
+        added.append(
+            VisualizationSpec(
+                id=viz_id,
+                type="bar",
+                dimensions=(DimensionSpec(column),),
+                measures=(MeasureSpec("sum", measure.name),),
+                title=f"sum {measure.name} by {column}",
+                selectable=False,
+            )
+        )
+    interface = replace(
+        spec.interface,
+        visualizations=spec.interface.visualizations + tuple(added),
+    )
+    return replace(spec, interface=interface)
+
+
+def sweep_filter_selectivity(
+    spec: DashboardSpec,
+    schema: WorkloadSchema,
+    column: str,
+    fractions: tuple[float, ...] = (1.0, 0.5, 0.25, 0.0),
+) -> list[tuple[float, DashboardSpec]]:
+    """Spec variants with the ``column`` widget pinned per selectivity.
+
+    For fraction ``f`` the widget's options cover the first
+    ``ceil(f * cardinality)`` members of the category; ``0.0`` pins a
+    member the data generator *never emits* (plus one real member,
+    because the widget runtime defines "every option selected" as no
+    filter), so toggling the absent member alone yields empty results
+    (byte-identity must still hold on empty result sets — that is the
+    point of the ``empty_result_filters`` preset).
+    """
+    field = schema.field(column)
+    if field.role not in ("category", "identifier"):
+        raise ConfigError(
+            f"selectivity sweeps need a category/identifier column, "
+            f"{column!r} is a {field.role}"
+        )
+    variants: list[tuple[float, DashboardSpec]] = []
+    for fraction in fractions:
+        if fraction <= 0.0:
+            options: tuple[object, ...] = (
+                f"{column}_absent",
+                member_name(field, 0),
+            )
+        else:
+            count = max(1, min(
+                field.cardinality,
+                int(field.cardinality * fraction + 0.999999),
+            ))
+            options = tuple(
+                member_name(field, i) for i in range(count)
+            )
+        widgets = tuple(
+            replace(w, options=options) if w.column == column else w
+            for w in spec.interface.widgets
+        )
+        if not any(w.column == column for w in widgets):
+            targets = tuple(
+                v.id for v in spec.interface.visualizations
+            )
+            widgets = widgets + (
+                WidgetSpec(
+                    id=f"w_sweep_{column}",
+                    type="checkbox",
+                    column=column,
+                    targets=targets,
+                    options=options,
+                ),
+            )
+        interface = replace(spec.interface, widgets=widgets)
+        variants.append(
+            (fraction, replace(spec, interface=interface))
+        )
+    return variants
+
+
+def star_dimensions(schema: WorkloadSchema) -> list[StarDimensionSpec]:
+    """The star-schema dimensions a schema's functional deps imply.
+
+    One dimension per identifier that has ``derived_from`` categories:
+    the identifier is the key, its derived categories the attributes.
+    The data generator computes derived values as pure functions of the
+    identifier index, so ``normalize_star(strict=True)`` always accepts
+    generated tables.
+    """
+    dimensions: list[StarDimensionSpec] = []
+    for ident in schema.by_role("identifier"):
+        attributes = tuple(
+            f.name
+            for f in schema.fields
+            if f.derived_from == ident.name
+        )
+        if attributes:
+            dimensions.append(
+                StarDimensionSpec(
+                    name=ident.name, key=ident.name, attributes=attributes
+                )
+            )
+    return dimensions

@@ -1,0 +1,129 @@
+"""Deterministic data generation for workload schemas.
+
+:func:`generate_table` turns a :class:`~repro.workloadgen.schema.WorkloadSchema`
+into an engine :class:`~repro.engine.table.Table`. Three properties the
+rest of the stress matrix depends on:
+
+- **Determinism** — all randomness comes from ``random.Random`` seeded
+  with a *string* (``"workloadgen:data:{schema}:{seed}"``). String
+  seeding hashes via SHA-512, which is stable across processes and
+  Python versions, unlike ``hash()``; the generated rows are therefore
+  byte-reproducible anywhere the corpus hashes are checked.
+- **Dyadic measures** — float measures land on a quarter grid (or are
+  integers) by default, so SUM/AVG merges are exactly associative and
+  results stay *byte-identical* under sharding and multiplan rollups,
+  not merely close. Set ``dyadic=False`` on a field to opt out (the
+  cross-engine tests then need tolerant comparison).
+- **Functional dependencies** — a category with
+  ``derived_from=<identifier>`` is computed from the identifier's
+  index, so ``normalize_star(strict=True)`` always accepts the table.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import random
+
+from repro.engine.table import Table
+from repro.workloadgen.schema import FieldSpec, WorkloadSchema
+
+#: Fixed epoch for generated timestamps (no wall-clock dependence).
+EPOCH = dt.datetime(2024, 3, 1)
+
+
+def _skew_weights(cardinality: int, skew: float) -> list[float]:
+    """Zipf-style cumulative weights: member ``i`` gets ``1/(i+1)^skew``."""
+    weights = [1.0 / (i + 1) ** skew for i in range(cardinality)]
+    total = sum(weights)
+    cumulative = []
+    running = 0.0
+    for weight in weights:
+        running += weight / total
+        cumulative.append(running)
+    return cumulative
+
+
+def _pick_skewed(rng: random.Random, cumulative: list[float]) -> int:
+    point = rng.random()
+    for index, bound in enumerate(cumulative):
+        if point <= bound:
+            return index
+    return len(cumulative) - 1
+
+
+def member_name(field: FieldSpec, index: int) -> str:
+    """The ``index``-th value of a category/identifier field."""
+    return f"{field.name}_{index:04d}"
+
+
+def derived_member(field: FieldSpec, parent_index: int) -> str:
+    """The value a derived category takes for one identifier member.
+
+    A pure function of the parent index, which is what gives the table
+    the functional dependency ``identifier -> derived category``.
+    """
+    return member_name(field, parent_index % field.cardinality)
+
+
+def _measure_value(rng: random.Random, field: FieldSpec) -> object:
+    if field.integer:
+        return rng.randrange(field.low, field.high + 1)
+    if field.dyadic:
+        # Quarter grid: sums of quarters are exact in IEEE-754, so
+        # sharded/multiplan float rollups match serial bit-for-bit.
+        return rng.randrange(field.low * 4, field.high * 4 + 1) / 4.0
+    return rng.uniform(field.low, field.high)
+
+
+def generate_table(
+    schema: WorkloadSchema, num_rows: int, seed: int = 0
+) -> Table:
+    """Generate ``num_rows`` rows of ``schema``, fully seed-determined."""
+    rng = random.Random(f"workloadgen:data:{schema.name}:{seed}")
+    columns: dict[str, list[object]] = {f.name: [] for f in schema.fields}
+
+    categorical = [
+        f for f in schema.fields
+        if f.role == "category" and f.derived_from is None
+    ]
+    identifiers = schema.by_role("identifier")
+    derived = [
+        f for f in schema.fields
+        if f.role == "category" and f.derived_from is not None
+    ]
+    measures = schema.by_role("measure")
+    timestamps = schema.by_role("timestamp")
+    cumulative = {
+        f.name: _skew_weights(f.cardinality, f.skew) for f in categorical
+    }
+
+    for _ in range(num_rows):
+        # Identifier indices first: derived categories are functions of
+        # them, so draw order fixes the functional dependency.
+        id_index = {
+            f.name: rng.randrange(f.cardinality) for f in identifiers
+        }
+        for field in identifiers:
+            columns[field.name].append(
+                member_name(field, id_index[field.name])
+            )
+        for field in derived:
+            columns[field.name].append(
+                derived_member(field, id_index[field.derived_from])
+            )
+        for field in categorical:
+            index = (
+                _pick_skewed(rng, cumulative[field.name])
+                if field.skew > 0.0
+                else rng.randrange(field.cardinality)
+            )
+            columns[field.name].append(member_name(field, index))
+        for field in measures:
+            columns[field.name].append(_measure_value(rng, field))
+        for field in timestamps:
+            offset = rng.randrange(field.span_days * 86400)
+            columns[field.name].append(EPOCH + dt.timedelta(seconds=offset))
+
+    return Table.from_columns(
+        schema.name, columns, schema=schema.engine_schema()
+    )

@@ -1,0 +1,250 @@
+"""Intent generators: seeded schemas -> valid dashboard specifications.
+
+:func:`generate_dashboard` emits a :class:`~repro.dashboard.spec.DashboardSpec`
+for a :class:`~repro.workloadgen.schema.WorkloadSchema`. The spec uses
+the exact JSON schema of the six hand-written dashboards, so
+``DashboardSpec.from_json`` loads generated files unchanged, and it
+passes :meth:`~repro.dashboard.spec.DashboardSpec.validate` *by
+construction* — components only reference columns the schema declares,
+widget targets only reference emitted components.
+
+Every generated dashboard includes three **anchor components**:
+
+- ``v_anchor`` — a selectable bar chart, one categorical dimension ×
+  ``sum(measure)``;
+- ``v_total`` — an unselectable stat panel computing the same
+  ``sum(measure)`` with no grouping;
+- ``w_anchor`` — a checkbox widget on the anchor category targeting
+  every visualization.
+
+This triple guarantees :func:`repro.simulation.goalgen.generate_goal`
+can always instantiate the ``"filtering"`` template (the stat panel is
+reachable from a component filtering the anchor category — the paper's
+Figure 3 "iterative" pattern), so generated dashboards plug into the
+session simulator without per-spec special cases.
+
+The remaining structure is drawn from the seed: extra trend / breakdown
+/ spread / detail visualizations, extra widgets (dropdown, multiselect,
+range slider, date range), and viz-to-viz links.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.dashboard.spec import (
+    DashboardSpec,
+    DimensionSpec,
+    InterfaceSpec,
+    LinkSpec,
+    MeasureSpec,
+    VisualizationSpec,
+    WidgetSpec,
+)
+from repro.workloadgen.schema import WorkloadSchema
+
+
+def _trend_viz(
+    rng: random.Random, schema: WorkloadSchema, viz_id: str
+) -> VisualizationSpec | None:
+    timestamps = schema.by_role("timestamp")
+    if not timestamps:
+        return None
+    ts = rng.choice(timestamps)
+    unit = rng.choice(("day", "hour"))
+    agg = rng.choice(("sum", "avg", "count"))
+    measure = rng.choice(schema.by_role("measure"))
+    return VisualizationSpec(
+        id=viz_id,
+        type=rng.choice(("line", "area")),
+        dimensions=(DimensionSpec(ts.name, bin=unit),),
+        measures=(MeasureSpec(agg, measure.name),),
+        title=f"{agg} {measure.name} per {unit}",
+        selectable=False,
+    )
+
+
+def _breakdown_viz(
+    rng: random.Random, schema: WorkloadSchema, viz_id: str
+) -> VisualizationSpec:
+    cat = rng.choice(schema.by_role("category"))
+    measures: list[MeasureSpec] = [MeasureSpec("count", None)]
+    if rng.random() < 0.6:
+        measures.append(
+            MeasureSpec(
+                rng.choice(("sum", "avg")),
+                rng.choice(schema.by_role("measure")).name,
+            )
+        )
+    return VisualizationSpec(
+        id=viz_id,
+        type=rng.choice(("pie", "bar", "table")),
+        dimensions=(DimensionSpec(cat.name),),
+        measures=tuple(measures),
+        title=f"breakdown by {cat.name}",
+        selectable=rng.random() < 0.5,
+    )
+
+
+def _spread_viz(
+    rng: random.Random, schema: WorkloadSchema, viz_id: str
+) -> VisualizationSpec:
+    measure = rng.choice(schema.by_role("measure"))
+    aggs = rng.sample(("min", "max", "avg"), rng.randint(1, 2))
+    return VisualizationSpec(
+        id=viz_id,
+        type="stat",
+        measures=tuple(MeasureSpec(a, measure.name) for a in sorted(aggs)),
+        title=f"spread of {measure.name}",
+        selectable=False,
+    )
+
+
+def _detail_viz(
+    rng: random.Random, schema: WorkloadSchema, viz_id: str
+) -> VisualizationSpec | None:
+    identifiers = schema.by_role("identifier")
+    if not identifiers:
+        return None
+    ident = rng.choice(identifiers)
+    measure = rng.choice(schema.by_role("measure"))
+    return VisualizationSpec(
+        id=viz_id,
+        type="table",
+        dimensions=(DimensionSpec(ident.name),),
+        measures=(
+            MeasureSpec("count", None),
+            MeasureSpec("sum", measure.name),
+        ),
+        title=f"per-{ident.name} detail",
+        selectable=False,
+    )
+
+
+_EXTRA_KINDS = ("trend", "breakdown", "spread", "detail")
+
+
+def generate_dashboard(
+    schema: WorkloadSchema, index: int = 0, seed: int = 0
+) -> DashboardSpec:
+    """One valid dashboard over ``schema``, determined by (index, seed)."""
+    rng = random.Random(
+        f"workloadgen:intent:{schema.name}:{seed}:{index}"
+    )
+    categories = schema.by_role("category")
+    measures = schema.by_role("measure")
+    anchor_cat = rng.choice(categories)
+    anchor_measure = rng.choice(measures)
+
+    visualizations: list[VisualizationSpec] = [
+        VisualizationSpec(
+            id="v_anchor",
+            type="bar",
+            dimensions=(DimensionSpec(anchor_cat.name),),
+            measures=(MeasureSpec("sum", anchor_measure.name),),
+            title=f"sum {anchor_measure.name} by {anchor_cat.name}",
+            selectable=True,
+        ),
+        VisualizationSpec(
+            id="v_total",
+            type="stat",
+            measures=(MeasureSpec("sum", anchor_measure.name),),
+            title=f"total {anchor_measure.name}",
+            selectable=False,
+        ),
+    ]
+    for extra_index in range(rng.randint(1, 3)):
+        kind = rng.choice(_EXTRA_KINDS)
+        builder = {
+            "trend": _trend_viz,
+            "breakdown": _breakdown_viz,
+            "spread": _spread_viz,
+            "detail": _detail_viz,
+        }[kind]
+        viz = builder(rng, schema, f"v_{kind}_{extra_index}")
+        if viz is not None:
+            visualizations.append(viz)
+
+    viz_ids = tuple(v.id for v in visualizations)
+    widgets: list[WidgetSpec] = [
+        WidgetSpec(
+            id="w_anchor",
+            type="checkbox",
+            column=anchor_cat.name,
+            targets=viz_ids,
+            title=f"filter {anchor_cat.name}",
+        )
+    ]
+    other_cats = [c for c in categories if c.name != anchor_cat.name]
+    if other_cats and rng.random() < 0.7:
+        cat = rng.choice(other_cats)
+        widgets.append(
+            WidgetSpec(
+                id="w_cat",
+                type=rng.choice(("dropdown", "multiselect", "radio")),
+                column=cat.name,
+                targets=viz_ids,
+                title=f"filter {cat.name}",
+            )
+        )
+    if rng.random() < 0.5:
+        measure = rng.choice(measures)
+        widgets.append(
+            WidgetSpec(
+                id="w_range",
+                type="range_slider",
+                column=measure.name,
+                targets=viz_ids,
+                title=f"restrict {measure.name}",
+            )
+        )
+    timestamps = schema.by_role("timestamp")
+    if timestamps and rng.random() < 0.35:
+        ts = rng.choice(timestamps)
+        widgets.append(
+            WidgetSpec(
+                id="w_dates",
+                type="date_range",
+                column=ts.name,
+                targets=viz_ids,
+                title=f"restrict {ts.name}",
+            )
+        )
+
+    links: list[LinkSpec] = []
+    selectable = [
+        v.id
+        for v in visualizations
+        if v.selectable and any(d.bin is None for d in v.dimensions)
+    ]
+    for target in viz_ids:
+        if (
+            selectable
+            and target not in selectable
+            and rng.random() < 0.4
+        ):
+            links.append(LinkSpec(rng.choice(selectable), target))
+
+    return DashboardSpec(
+        name=f"{schema.name}_gen_{index:03d}",
+        dashboard_type="generated",
+        database=schema.database_spec(),
+        interface=InterfaceSpec(
+            visualizations=tuple(visualizations),
+            widgets=tuple(widgets),
+            links=tuple(links),
+        ),
+        description=(
+            f"Synthetic dashboard #{index} over {schema.name} "
+            f"(workloadgen seed {seed})."
+        ),
+    )
+
+
+def generate_dashboards(
+    schema: WorkloadSchema, count: int, seed: int = 0
+) -> list[DashboardSpec]:
+    """``count`` dashboards over one schema, deterministic per seed."""
+    return [
+        generate_dashboard(schema, index=i, seed=seed) for i in range(count)
+    ]

@@ -1,0 +1,281 @@
+"""Interaction-session generation and deterministic replay.
+
+:func:`generate_session` walks a live :class:`~repro.dashboard.state.DashboardState`
+and records a seeded sequence of valid interactions — valid because
+each step is drawn from ``available_interactions()`` *after* applying
+the previous one, so replay can never hit an
+:class:`~repro.errors.InteractionError`. Sessions serialize to JSON
+(datetimes and tuples round-trip through a tiny tagged codec) so the
+regression corpus can pin them byte-for-byte.
+
+:meth:`GeneratedSession.replay` re-drives the session against an
+engine under an :class:`~repro.execution.ExecutionPolicy`, returning
+per-interaction statistics plus the raw result sets — the stress
+matrix compares those results strictly (``columns ==`` and ``rows ==``)
+across engines × policies.
+
+:func:`run_idebench` bridges generated tables into the IDEBench
+baseline (:mod:`repro.idebench.simulator`) for the unconstrained
+stochastic workload the paper compares against.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import json
+import random
+from dataclasses import dataclass, field
+
+from repro.dashboard.spec import DashboardSpec
+from repro.dashboard.state import DashboardState, Interaction, InteractionKind
+from repro.engine.interface import ResultSet
+from repro.engine.table import Table
+from repro.errors import ConfigError
+from repro.idebench.simulator import (
+    IDEBenchConfig,
+    IDEBenchSimulator,
+    IDEBenchWorkflow,
+)
+from repro.workloadgen.data import generate_table
+from repro.workloadgen.schema import WorkloadSchema
+
+#: Relative draw weight per interaction kind: sessions should mostly
+#: manipulate filters (the paper's dominant gesture), with occasional
+#: mark selections and clears.
+_KIND_WEIGHTS = {
+    InteractionKind.WIDGET_TOGGLE: 4,
+    InteractionKind.WIDGET_SET: 2,
+    InteractionKind.VIZ_SELECT: 2,
+    InteractionKind.WIDGET_CLEAR: 1,
+    InteractionKind.VIZ_CLEAR: 1,
+}
+
+
+# -- JSON codec for interaction values ---------------------------------------
+
+
+def _encode_value(value: object) -> object:
+    if isinstance(value, (list, tuple)):
+        return {"@seq": [_encode_value(v) for v in value]}
+    if isinstance(value, dt.datetime):
+        return {"@ts": value.isoformat()}
+    if isinstance(value, dt.date):
+        return {"@date": value.isoformat()}
+    return value
+
+
+def _decode_value(value: object) -> object:
+    if isinstance(value, dict):
+        if "@seq" in value:
+            return tuple(_decode_value(v) for v in value["@seq"])
+        if "@ts" in value:
+            return dt.datetime.fromisoformat(value["@ts"])
+        if "@date" in value:
+            return dt.date.fromisoformat(value["@date"])
+    return value
+
+
+# -- replay record types -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class InteractionStats:
+    """What one replayed interaction cost and returned."""
+
+    step: int
+    description: str
+    queries: int
+    rows: int
+    duration_ms: float
+    #: Result set per refreshed visualization, for identity comparison.
+    results: dict[str, ResultSet] = field(repr=False, default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ReplayLog:
+    """A full replay: initial render (step 0) plus one entry per step."""
+
+    dashboard: str
+    engine: str
+    policy: str
+    records: tuple[InteractionStats, ...]
+
+    @property
+    def total_queries(self) -> int:
+        return sum(r.queries for r in self.records)
+
+    def identity_signature(self) -> list[tuple[int, dict]]:
+        """Canonical (step, {viz: (columns, sorted rows)}) structure.
+
+        Two replays of the same session are *byte-identical* iff their
+        signatures compare equal — rows are sorted by ``repr`` because
+        result order is not part of the identity contract for
+        unordered grouped queries.
+        """
+        signature = []
+        for record in self.records:
+            payload = {
+                viz_id: (
+                    tuple(rs.columns),
+                    tuple(sorted(rs.rows, key=repr)),
+                )
+                for viz_id, rs in sorted(record.results.items())
+            }
+            signature.append((record.step, payload))
+        return signature
+
+
+# -- generated sessions ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GeneratedSession:
+    """A seeded, valid-by-construction interaction sequence."""
+
+    dashboard: str
+    seed: int
+    steps: tuple[Interaction, ...]
+
+    def to_dict(self) -> dict:
+        return {
+            "dashboard": self.dashboard,
+            "seed": self.seed,
+            "steps": [
+                {
+                    "kind": step.kind.value,
+                    "target": step.target,
+                    "value": _encode_value(step.value),
+                }
+                for step in self.steps
+            ],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GeneratedSession":
+        return cls(
+            dashboard=data["dashboard"],
+            seed=data["seed"],
+            steps=tuple(
+                Interaction(
+                    InteractionKind(step["kind"]),
+                    step.get("target"),
+                    _decode_value(step.get("value")),
+                )
+                for step in data["steps"]
+            ),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "GeneratedSession":
+        return cls.from_dict(json.loads(text))
+
+    def replay(
+        self,
+        spec: DashboardSpec,
+        table: Table,
+        engine,
+        policy=None,
+    ) -> ReplayLog:
+        """Re-drive the session; step 0 is the initial dashboard render."""
+        from repro.execution import coerce_policy
+
+        resolved = coerce_policy(policy) if policy is not None else None
+        state = DashboardState(spec, table)
+        records = [
+            _stats(0, "initial render", state.refresh(engine, policy=policy))
+        ]
+        for index, step in enumerate(self.steps, start=1):
+            results = state.apply_and_refresh(step, engine, policy=policy)
+            records.append(_stats(index, step.describe(), results))
+        return ReplayLog(
+            dashboard=self.dashboard,
+            engine=engine.name,
+            policy=resolved.describe() if resolved else "default",
+            records=tuple(records),
+        )
+
+
+def _stats(step: int, description: str, results: dict) -> InteractionStats:
+    return InteractionStats(
+        step=step,
+        description=description,
+        queries=len(results),
+        rows=sum(r.rows_returned for r in results.values()),
+        duration_ms=sum(r.duration_ms for r in results.values()),
+        results={
+            viz_id: timed.result for viz_id, timed in results.items()
+        },
+    )
+
+
+def generate_session(
+    spec: DashboardSpec,
+    table: Table,
+    length: int = 6,
+    seed: int = 0,
+) -> GeneratedSession:
+    """A seeded interaction sequence, valid at every step.
+
+    Each step is drawn (kind-weighted) from the interactions the
+    dashboard actually offers in its *current* state, then applied, so
+    later steps see the updated widget/selection state exactly as the
+    replay will.
+    """
+    if length < 1:
+        raise ConfigError(f"session length must be >= 1, got {length}")
+    rng = random.Random(
+        f"workloadgen:session:{spec.name}:{seed}:{length}"
+    )
+    state = DashboardState(spec, table)
+    steps: list[Interaction] = []
+    for _ in range(length):
+        actions = state.available_interactions()
+        if not actions:
+            break
+        weights = [_KIND_WEIGHTS.get(a.kind, 1) for a in actions]
+        action = rng.choices(actions, weights=weights, k=1)[0]
+        state.apply_affected(action)
+        steps.append(action)
+    return GeneratedSession(
+        dashboard=spec.name, seed=seed, steps=tuple(steps)
+    )
+
+
+# -- IDEBench bridge ---------------------------------------------------------
+
+
+def idebench_config(seed: int = 0, **overrides) -> IDEBenchConfig:
+    """An IDEBench config sized for generated tables (small, seeded)."""
+    defaults = dict(
+        min_operations=20,
+        max_operations=30,
+        max_visualizations=8,
+        seed=seed,
+    )
+    defaults.update(overrides)
+    return IDEBenchConfig(**defaults)
+
+
+def run_idebench(
+    schema: WorkloadSchema,
+    num_rows: int = 800,
+    seed: int = 0,
+    engine=None,
+    config: IDEBenchConfig | None = None,
+) -> IDEBenchWorkflow:
+    """Run the IDEBench baseline over a generated table.
+
+    With ``engine`` given, every emitted query is executed and timed
+    (``workflow.timed``), matching how the paper's baseline comparison
+    measures the unconstrained stochastic workload.
+    """
+    table = generate_table(schema, num_rows, seed=seed)
+    if engine is not None:
+        engine.load_table(table)
+    simulator = IDEBenchSimulator(
+        table, config or idebench_config(seed), engine
+    )
+    return simulator.run()

@@ -1,0 +1,309 @@
+"""Generator unit tests: schemas, data, intents, augmentation passes."""
+
+import random
+
+import pytest
+
+from repro.dashboard.spec import DashboardSpec
+from repro.engine import create_engine
+from repro.errors import ConfigError
+from repro.simulation.goalgen import generate_goal_set
+from repro.sql.parser import parse_query
+from repro.workload.normalize import load_star, normalize_star, reassembly_query
+from repro.workloadgen import (
+    PRESET_NAMES,
+    SCHEMA_NAMES,
+    FieldSpec,
+    WorkloadSchema,
+    category,
+    generate_dashboard,
+    generate_dashboards,
+    generate_preset,
+    generate_table,
+    identifier,
+    measure,
+    scale_cardinality,
+    star_dimensions,
+    sweep_filter_selectivity,
+    widen_group_by,
+    workload_schema,
+)
+
+# -- schema library ----------------------------------------------------------
+
+
+def test_builtin_schemas_carry_all_roles():
+    assert len(SCHEMA_NAMES) >= 3
+    for name in SCHEMA_NAMES:
+        schema = workload_schema(name)
+        assert schema.name == name
+        assert schema.by_role("measure")
+        assert schema.by_role("category")
+        assert schema.by_role("timestamp")
+        assert schema.by_role("identifier")
+        # Engine schema and database spec agree column for column.
+        engine_schema = schema.engine_schema()
+        db = schema.database_spec()
+        assert db.column_names == engine_schema.names
+        assert db.schema().names == engine_schema.names
+
+
+def test_schema_validation_errors():
+    with pytest.raises(ConfigError, match="unknown role"):
+        FieldSpec("x", "metric")
+    with pytest.raises(ConfigError, match="low < high"):
+        measure("m", low=5, high=5)
+    with pytest.raises(ConfigError, match="not an\\s+identifier"):
+        WorkloadSchema(
+            "bad",
+            (
+                category("a"),
+                category("b", derived_from="a"),
+                measure("m"),
+            ),
+        )
+    with pytest.raises(ConfigError, match="unknown workload schema"):
+        workload_schema("no_such_schema")
+    with pytest.raises(ConfigError, match="unknown field"):
+        workload_schema("retail_sales").field("nope")
+
+
+# -- data generation ---------------------------------------------------------
+
+
+def test_generate_table_is_seed_deterministic():
+    schema = workload_schema("web_analytics")
+    first = generate_table(schema, 300, seed=7)
+    second = generate_table(schema, 300, seed=7)
+    for name in schema.engine_schema().names:
+        assert first.column(name) == second.column(name)
+    other = generate_table(schema, 300, seed=8)
+    assert any(
+        first.column(f.name) != other.column(f.name)
+        for f in schema.fields
+    )
+
+
+def test_float_measures_are_dyadic():
+    schema = workload_schema("fleet_telemetry")
+    table = generate_table(schema, 400, seed=0)
+    for field in schema.by_role("measure"):
+        values = table.column(field.name)
+        if field.integer:
+            assert all(isinstance(v, int) for v in values)
+        else:
+            # Quarter grid: 4*v is integral, so float SUMs re-associate
+            # exactly under sharding/multiplan.
+            assert all(float(v * 4).is_integer() for v in values)
+
+
+def test_derived_categories_are_functionally_dependent():
+    schema = workload_schema("retail_sales")
+    table = generate_table(schema, 500, seed=3)
+    keys = table.column("store_id")
+    for derived in ("region", "banner"):
+        mapping: dict[object, object] = {}
+        for key, value in zip(keys, table.column(derived)):
+            assert mapping.setdefault(key, value) == value
+
+
+def test_skew_concentrates_mass_on_first_member():
+    schema = workload_schema("web_analytics")
+    table = generate_table(schema, 2000, seed=1)
+    pages = table.column("page")
+    top_share = pages.count("page_0000") / len(pages)
+    cardinality = schema.field("page").cardinality
+    assert top_share > 2.0 / cardinality  # far above the uniform share
+
+
+# -- intent generation -------------------------------------------------------
+
+
+def test_generator_produces_100_distinct_valid_dashboards():
+    distinct = set()
+    for name in SCHEMA_NAMES:
+        schema = workload_schema(name)
+        for spec in generate_dashboards(schema, 40, seed=0):
+            spec.validate()
+            reloaded = DashboardSpec.from_json(spec.to_json())
+            assert reloaded == spec
+            distinct.add(spec.to_json())
+    assert len(distinct) >= 100
+
+
+def test_dashboard_generation_is_deterministic():
+    schema = workload_schema("fleet_telemetry")
+    assert (
+        generate_dashboard(schema, index=4, seed=11).to_json()
+        == generate_dashboard(schema, index=4, seed=11).to_json()
+    )
+    assert (
+        generate_dashboard(schema, index=4, seed=11).name
+        != generate_dashboard(schema, index=5, seed=11).name
+    )
+
+
+def test_anchor_components_always_present():
+    for name in SCHEMA_NAMES:
+        schema = workload_schema(name)
+        for index in range(5):
+            spec = generate_dashboard(schema, index=index, seed=2)
+            anchor = spec.interface.visualization("v_anchor")
+            total = spec.interface.visualization("v_total")
+            widget = spec.interface.widget("w_anchor")
+            assert anchor.selectable and anchor.dimensions
+            assert not total.dimensions and not total.selectable
+            assert anchor.measures == total.measures
+            assert widget.column == anchor.dimensions[0].column
+            assert set(widget.targets) == {
+                v.id for v in spec.interface.visualizations
+            }
+
+
+def test_goalgen_filtering_template_always_instantiates():
+    for name in SCHEMA_NAMES:
+        schema = workload_schema(name)
+        for index in (0, 3, 9):
+            spec = generate_dashboard(schema, index=index, seed=0)
+            goals = generate_goal_set(
+                ["filtering"], spec, random.Random(index)
+            )
+            assert len(goals) == 1 and goals[0].query is not None
+    for preset in PRESET_NAMES:
+        workload = generate_preset(preset, "retail_sales", seed=0)
+        goals = generate_goal_set(
+            ["filtering"], workload.spec, random.Random(0)
+        )
+        assert goals[0].query is not None
+
+
+# -- augmentation passes -----------------------------------------------------
+
+
+def test_scale_cardinality():
+    schema = workload_schema("web_analytics")
+    scaled = scale_cardinality(schema, 4.0, roles=("identifier",))
+    assert (
+        scaled.field("session_id").cardinality
+        == 4 * schema.field("session_id").cardinality
+    )
+    assert (
+        scaled.field("page").cardinality == schema.field("page").cardinality
+    )
+    with pytest.raises(ConfigError, match="factor"):
+        scale_cardinality(schema, 0)
+
+
+def test_widen_group_by_adds_one_chart_per_column():
+    schema = workload_schema("retail_sales")
+    base = generate_dashboard(schema, index=0, seed=0)
+    wide = widen_group_by(base, schema)
+    key_columns = {
+        f.name
+        for f in schema.fields
+        if f.role in ("category", "identifier")
+    }
+    wide.validate()
+    grouped = {
+        d.column
+        for v in wide.interface.visualizations
+        for d in v.dimensions
+        if d.bin is None
+    }
+    assert key_columns <= grouped
+    assert wide.num_visualizations >= base.num_visualizations + len(
+        key_columns
+    ) - 2  # anchor/breakdown charts may already cover some columns
+
+
+def test_sweep_filter_selectivity():
+    schema = workload_schema("web_analytics")
+    base = generate_dashboard(schema, index=0, seed=0)
+    column = base.interface.widget("w_anchor").column
+    cardinality = schema.field(column).cardinality
+    table = generate_table(schema, 300, seed=0)
+    emitted = set(table.distinct_values(column))
+    variants = dict(
+        sweep_filter_selectivity(
+            base, schema, column, fractions=(1.0, 0.5, 0.0)
+        )
+    )
+    assert set(variants) == {1.0, 0.5, 0.0}
+    for fraction, spec in variants.items():
+        spec.validate()
+        options = spec.interface.widget("w_anchor").options
+        if fraction == 0.0:
+            # The absent member plus one real member ("all selected"
+            # would be interpreted by the widget runtime as no filter).
+            assert len(options) == 2 and options[0] not in emitted
+        else:
+            assert len(options) == max(
+                1, int(cardinality * fraction + 0.999999)
+            )
+    with pytest.raises(ConfigError, match="category/identifier"):
+        sweep_filter_selectivity(base, schema, "hits")
+
+
+def test_star_dimensions_normalize_and_reassemble():
+    schema = workload_schema("retail_sales")
+    table = generate_table(schema, 400, seed=5)
+    dimensions = star_dimensions(schema)
+    assert dimensions and dimensions[0].key == "store_id"
+    assert set(dimensions[0].attributes) == {"region", "banner"}
+    star = normalize_star(table, dimensions)  # strict: FD must hold
+    assert "region" not in star.fact.schema
+
+    query = parse_query(
+        "SELECT region, SUM(revenue) FROM retail_sales GROUP BY region"
+    )
+    denorm_engine = create_engine("rowstore")
+    denorm_engine.load_table(table)
+    expected = denorm_engine.execute(query).sorted_rows(precision=6)
+
+    star_engine = create_engine("rowstore")
+    load_star(star_engine, star)
+    rewritten = reassembly_query(star, query)
+    assert rewritten.joins
+    actual = star_engine.execute(rewritten).sorted_rows(precision=6)
+    assert actual == expected
+
+
+# -- presets -----------------------------------------------------------------
+
+
+def test_presets_shape():
+    assert set(PRESET_NAMES) == {
+        "key_union_explosion",
+        "high_cardinality_groupby",
+        "empty_result_filters",
+        "tiny_tables_sharded",
+    }
+    with pytest.raises(ConfigError, match="unknown preset"):
+        generate_preset("nope", "retail_sales")
+
+    tiny = generate_preset("tiny_tables_sharded", "retail_sales")
+    assert tiny.rows == 64 and len(tiny.build_table()) == 64
+
+    high = generate_preset("high_cardinality_groupby", "web_analytics")
+    base = workload_schema("web_analytics")
+    assert (
+        high.schema.field("session_id").cardinality
+        == 4 * base.field("session_id").cardinality
+    )
+
+    empty = generate_preset("empty_result_filters", "fleet_telemetry")
+    options = empty.spec.interface.widget("w_anchor").options
+    table = empty.build_table()
+    column = empty.spec.interface.widget("w_anchor").column
+    assert options and options[0] not in set(
+        table.distinct_values(column)
+    )
+
+    union = generate_preset("key_union_explosion", "fleet_telemetry")
+    grouped = {
+        d.column
+        for v in union.spec.interface.visualizations
+        for d in v.dimensions
+        if d.bin is None
+    }
+    assert "vehicle_id" in grouped  # the identifier joined the key union

@@ -1,0 +1,164 @@
+"""Golden corpus + the byte-identity stress matrix.
+
+Two layers of guarantees over ``tests/data/generated/``:
+
+1. **Seed determinism (golden).** The checked-in spec/session files
+   match their pinned SHA-256 hashes *and* a fresh in-process
+   regeneration, so any generator change that shifts bytes fails here
+   until ``tools/gen_workload_corpus.py`` is re-run and the diff
+   committed.
+2. **Stress matrix.** Every adversarial workload replays its pinned
+   interaction session on all 4 engines under ``ExecutionPolicy.serial()``
+   vs ``max_throughput()``: per engine the two policies must agree
+   *byte for byte* (columns, rows, and row order), and all engines must
+   agree on content (order-insensitive, since grouped queries are
+   unordered relations). This extends the byte-identity contract of
+   PRs 1-5 from six hand-written dashboards to each optimizer's
+   documented worst case.
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.dashboard.spec import DashboardSpec
+from repro.engine import create_engine
+from repro.execution import ExecutionPolicy
+from repro.workloadgen import (
+    PRESET_NAMES,
+    SCHEMA_NAMES,
+    generate_preset,
+    generate_session,
+)
+from repro.workloadgen.sessions import GeneratedSession
+
+CORPUS_DIR = Path(__file__).parent / "data" / "generated"
+MANIFEST = json.loads(
+    (CORPUS_DIR / "manifest.json").read_text(encoding="utf-8")
+)
+WORKLOADS = MANIFEST["workloads"]
+WORKLOAD_IDS = [w["name"] for w in WORKLOADS]
+ENGINES = ("rowstore", "vectorstore", "matstore", "sqlite")
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _read(name: str) -> str:
+    return (CORPUS_DIR / name).read_text(encoding="utf-8")
+
+
+def test_manifest_covers_every_preset_and_schema():
+    assert len(WORKLOADS) == len(PRESET_NAMES) * len(SCHEMA_NAMES) == 12
+    assert {(w["preset"], w["schema"]) for w in WORKLOADS} == {
+        (p, s) for p in PRESET_NAMES for s in SCHEMA_NAMES
+    }
+
+
+@pytest.mark.parametrize("entry", WORKLOADS, ids=WORKLOAD_IDS)
+def test_corpus_files_match_pinned_hashes_and_load(entry):
+    spec_text = _read(entry["spec_file"])
+    session_text = _read(entry["session_file"])
+    assert _sha256(spec_text) == entry["spec_sha256"]
+    assert _sha256(session_text) == entry["session_sha256"]
+    spec = DashboardSpec.from_json(spec_text)
+    spec.validate()
+    session = GeneratedSession.from_json(session_text)
+    assert session.dashboard == spec.name == entry["name"]
+    assert len(session.steps) == MANIFEST["session_steps"]
+
+
+@pytest.mark.parametrize("entry", WORKLOADS, ids=WORKLOAD_IDS)
+def test_regeneration_is_byte_identical(entry):
+    """Seed-determinism golden test: same seed => same bytes."""
+    workload = generate_preset(
+        entry["preset"],
+        entry["schema"],
+        seed=entry["seed"],
+        rows=entry["rows"],
+    )
+    assert workload.spec.to_json() + "\n" == _read(entry["spec_file"])
+    table = workload.build_table()
+    session = generate_session(
+        workload.spec,
+        table,
+        length=MANIFEST["session_steps"],
+        seed=MANIFEST["corpus_seed"],
+    )
+    assert session.to_json() + "\n" == _read(entry["session_file"])
+
+
+# -- the stress matrix -------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def corpus_runtime():
+    """(spec, table, session) per workload, built once for the matrix."""
+    runtime = {}
+    for entry in WORKLOADS:
+        spec = DashboardSpec.from_json(_read(entry["spec_file"]))
+        table = generate_preset(
+            entry["preset"],
+            entry["schema"],
+            seed=entry["seed"],
+            rows=entry["rows"],
+        ).build_table()
+        session = GeneratedSession.from_json(_read(entry["session_file"]))
+        runtime[entry["name"]] = (spec, table, session)
+    return runtime
+
+
+@pytest.mark.parametrize("name", WORKLOAD_IDS)
+def test_stress_matrix_byte_identity(corpus_runtime, name):
+    spec, table, session = corpus_runtime[name]
+    cross_engine_reference = None
+    for engine_name in ENGINES:
+        engine = create_engine(engine_name)
+        engine.load_table(table)
+        serial = session.replay(
+            spec, table, engine, policy=ExecutionPolicy.serial()
+        )
+        fast = session.replay(
+            spec, table, engine, policy=ExecutionPolicy.max_throughput()
+        )
+        assert len(serial.records) == len(session.steps) + 1
+        for s_rec, f_rec in zip(serial.records, fast.records):
+            assert set(s_rec.results) == set(f_rec.results)
+            for viz_id, expected in s_rec.results.items():
+                got = f_rec.results[viz_id]
+                # Strict byte identity per engine: same columns, same
+                # rows, same row order under every policy.
+                assert got.columns == expected.columns, (
+                    f"{name}/{engine_name}/{viz_id} step {s_rec.step}: "
+                    f"columns differ under max_throughput"
+                )
+                assert got.rows == expected.rows, (
+                    f"{name}/{engine_name}/{viz_id} step {s_rec.step}: "
+                    f"rows differ under max_throughput"
+                )
+        # Cross-engine: grouped queries are unordered relations, so
+        # compare content order-insensitively (dyadic data => exact).
+        signature = [
+            (
+                record.step,
+                {
+                    viz_id: (
+                        tuple(rs.columns),
+                        tuple(rs.sorted_rows(precision=9)),
+                    )
+                    for viz_id, rs in sorted(record.results.items())
+                },
+            )
+            for record in serial.records
+        ]
+        if cross_engine_reference is None:
+            cross_engine_reference = (engine_name, signature)
+        else:
+            assert signature == cross_engine_reference[1], (
+                f"{name}: {engine_name} disagrees with "
+                f"{cross_engine_reference[0]}"
+            )
+        engine.close()

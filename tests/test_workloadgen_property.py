@@ -1,0 +1,151 @@
+"""Property tests over the workload generator (hypothesis).
+
+Three invariants, each over the full (schema, index, seed) space:
+
+- every generated spec validates and survives a JSON round-trip
+  unchanged;
+- generated tables survive the ``workload/normalize.py`` star-schema
+  round-trip: grouped queries over moved attributes return identical
+  results on the denormalized table and the reassembled star;
+- injected spec corruption is rejected by the loader with a *clear*
+  error message naming the offending component.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.dashboard.spec import DashboardSpec
+from repro.engine import create_engine
+from repro.errors import SpecificationError
+from repro.sql.parser import parse_query
+from repro.workload.normalize import (
+    load_star,
+    normalize_star,
+    reassembly_query,
+)
+from repro.workloadgen import (
+    SCHEMA_NAMES,
+    generate_dashboard,
+    generate_table,
+    star_dimensions,
+    workload_schema,
+)
+
+_schema_names = st.sampled_from(SCHEMA_NAMES)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    schema_name=_schema_names,
+    index=st.integers(min_value=0, max_value=500),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_generated_specs_validate_and_round_trip(schema_name, index, seed):
+    spec = generate_dashboard(
+        workload_schema(schema_name), index=index, seed=seed
+    )
+    spec.validate()
+    reloaded = DashboardSpec.from_json(spec.to_json())
+    reloaded.validate()
+    assert reloaded == spec
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    schema_name=_schema_names,
+    seed=st.integers(min_value=0, max_value=30),
+)
+def test_star_normalization_round_trip(schema_name, seed):
+    schema = workload_schema(schema_name)
+    table = generate_table(schema, 150, seed=seed)
+    dimensions = star_dimensions(schema)
+    assert dimensions, f"{schema_name} declares no functional dependencies"
+    star = normalize_star(table, dimensions)  # strict FD check passes
+
+    denorm = create_engine("rowstore")
+    denorm.load_table(table)
+    joined = create_engine("rowstore")
+    load_star(joined, star)
+    measure = schema.by_role("measure")[0].name
+    for attribute in sorted(star.attribute_owner):
+        query = parse_query(
+            f"SELECT {attribute}, COUNT(*), SUM({measure}) "
+            f"FROM {schema.name} GROUP BY {attribute}"
+        )
+        rewritten = reassembly_query(star, query)
+        assert rewritten.joins
+        assert joined.execute(rewritten).sorted_rows(
+            precision=6
+        ) == denorm.execute(query).sorted_rows(precision=6)
+    denorm.close()
+    joined.close()
+
+
+# -- corruption injection ----------------------------------------------------
+
+#: (corruption name, mutator over spec dict, expected message fragment).
+_CORRUPTIONS = [
+    (
+        "unknown_dim_column",
+        lambda d: d["interface"]["visualizations"][0]["dimensions"]
+        .__setitem__(0, {"column": "no_such_column", "bin": None}),
+        "unknown\\s+column 'no_such_column'",
+    ),
+    (
+        "unknown_measure_column",
+        lambda d: d["interface"]["visualizations"][0]["measures"]
+        .__setitem__(0, {"agg": "sum", "column": "no_such_column"}),
+        "unknown\\s+column 'no_such_column'",
+    ),
+    (
+        "unknown_widget_column",
+        lambda d: d["interface"]["widgets"][0]
+        .__setitem__("column", "no_such_column"),
+        "references unknown column",
+    ),
+    (
+        "unknown_widget_target",
+        lambda d: d["interface"]["widgets"][0]
+        .__setitem__("targets", ["ghost_component"]),
+        "targets unknown\\s+component",
+    ),
+    (
+        "bad_viz_type",
+        lambda d: d["interface"]["visualizations"][0]
+        .__setitem__("type", "sparkline"),
+        "unknown type 'sparkline'",
+    ),
+    (
+        "widget_without_targets",
+        lambda d: d["interface"]["widgets"][0].__setitem__("targets", []),
+        "no targets",
+    ),
+    (
+        "duplicate_component_ids",
+        lambda d: d["interface"]["visualizations"].append(
+            dict(d["interface"]["visualizations"][0])
+        ),
+        "duplicate component ids",
+    ),
+]
+
+
+@settings(max_examples=35, deadline=None)
+@given(
+    schema_name=_schema_names,
+    index=st.integers(min_value=0, max_value=100),
+    corruption=st.sampled_from([c[0] for c in _CORRUPTIONS]),
+)
+def test_injected_corruption_raises_clear_errors(
+    schema_name, index, corruption
+):
+    name, mutate, fragment = next(
+        c for c in _CORRUPTIONS if c[0] == corruption
+    )
+    data = generate_dashboard(
+        workload_schema(schema_name), index=index, seed=0
+    ).to_dict()
+    mutate(data)
+    with pytest.raises(SpecificationError, match=fragment):
+        DashboardSpec.from_dict(data)

@@ -1,0 +1,204 @@
+"""Generated interaction sessions: replay determinism, empty-result
+behavior, the IDEBench bridge, and session-simulator integration."""
+
+import datetime as dt
+import random
+
+import pytest
+
+from repro.dashboard.state import Interaction, InteractionKind
+from repro.engine import create_engine
+from repro.errors import ConfigError
+from repro.execution import ExecutionPolicy
+from repro.simulation.goalgen import generate_goal_set
+from repro.simulation.session import SessionConfig, SessionSimulator
+from repro.sql.formatter import format_query
+from repro.workloadgen import (
+    GeneratedSession,
+    generate_dashboard,
+    generate_preset,
+    generate_session,
+    generate_table,
+    run_idebench,
+    workload_schema,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_workload():
+    workload = generate_preset("tiny_tables_sharded", "retail_sales", seed=0)
+    return workload, workload.build_table()
+
+
+# -- generation + serialization ----------------------------------------------
+
+
+def test_generate_session_is_deterministic_and_valid(tiny_workload):
+    workload, table = tiny_workload
+    first = generate_session(workload.spec, table, length=6, seed=3)
+    second = generate_session(workload.spec, table, length=6, seed=3)
+    assert first == second
+    assert len(first.steps) == 6
+    other_seed = generate_session(workload.spec, table, length=6, seed=4)
+    assert first.steps != other_seed.steps
+    with pytest.raises(ConfigError, match="length"):
+        generate_session(workload.spec, table, length=0, seed=0)
+
+
+def test_session_json_round_trip_preserves_value_types():
+    session = GeneratedSession(
+        dashboard="demo",
+        seed=1,
+        steps=(
+            Interaction(InteractionKind.WIDGET_TOGGLE, "w", "member"),
+            Interaction(InteractionKind.WIDGET_SET, "w2", (0.25, 7.5)),
+            Interaction(
+                InteractionKind.WIDGET_SET,
+                "w3",
+                (dt.datetime(2024, 3, 1), dt.datetime(2024, 3, 4, 12)),
+            ),
+            Interaction(
+                InteractionKind.VIZ_SELECT, "v", ("region", "region_0001")
+            ),
+            Interaction(InteractionKind.WIDGET_CLEAR, "w"),
+        ),
+    )
+    restored = GeneratedSession.from_json(session.to_json())
+    assert restored == session
+    # Tuples and datetimes come back as the exact types the dashboard
+    # state machine requires (lists would fail range validation).
+    assert isinstance(restored.steps[1].value, tuple)
+    assert isinstance(restored.steps[2].value[0], dt.datetime)
+
+
+# -- replay ------------------------------------------------------------------
+
+
+def test_replay_determinism_and_per_interaction_stats(tiny_workload):
+    workload, table = tiny_workload
+    session = generate_session(workload.spec, table, length=4, seed=0)
+    engine = create_engine("vectorstore")
+    engine.load_table(table)
+    first = session.replay(
+        workload.spec, table, engine, policy=ExecutionPolicy.serial()
+    )
+    second = session.replay(
+        workload.spec, table, engine, policy=ExecutionPolicy.serial()
+    )
+    assert first.identity_signature() == second.identity_signature()
+    # Step 0 is the initial render; one record per interaction after.
+    assert len(first.records) == len(session.steps) + 1
+    assert first.records[0].description == "initial render"
+    assert first.records[0].queries == workload.spec.num_visualizations
+    for record, step in zip(first.records[1:], session.steps):
+        assert record.description == step.describe()
+        assert record.queries >= 1
+        assert record.duration_ms >= 0
+        assert set(record.results)  # refreshed viz ids populated
+    assert first.total_queries == sum(r.queries for r in first.records)
+    assert first.engine == "vectorstore"
+    assert "sequential" in first.policy
+    engine.close()
+
+
+def test_empty_result_filters_zero_rows_and_byte_identity():
+    workload = generate_preset("empty_result_filters", "web_analytics")
+    table = workload.build_table()
+    widget = workload.spec.interface.widget("w_anchor")
+    absent = widget.options[0]
+    assert absent not in set(table.distinct_values(widget.column))
+    session = GeneratedSession(
+        dashboard=workload.spec.name,
+        seed=0,
+        steps=(
+            Interaction(InteractionKind.WIDGET_TOGGLE, "w_anchor", absent),
+        ),
+    )
+    for engine_name in ("rowstore", "sqlite"):
+        engine = create_engine(engine_name)
+        engine.load_table(table)
+        serial = session.replay(
+            workload.spec, table, engine, policy=ExecutionPolicy.serial()
+        )
+        fast = session.replay(
+            workload.spec,
+            table,
+            engine,
+            policy=ExecutionPolicy.max_throughput(),
+        )
+        after = serial.records[-1]
+        # Grouped visualizations collapse to zero rows under the
+        # never-matching filter; identity must hold on empty results.
+        grouped = [
+            v.id
+            for v in workload.spec.interface.visualizations
+            if v.dimensions
+        ]
+        assert grouped
+        for viz_id in grouped:
+            assert after.results[viz_id].rows == []
+        for s_rec, f_rec in zip(serial.records, fast.records):
+            for viz_id, expected in s_rec.results.items():
+                assert f_rec.results[viz_id].rows == expected.rows
+        engine.close()
+
+
+# -- IDEBench bridge ---------------------------------------------------------
+
+
+def test_idebench_end_to_end_with_engine():
+    schema = workload_schema("fleet_telemetry")
+    engine = create_engine("vectorstore")
+    workflow = run_idebench(schema, num_rows=300, seed=3, engine=engine)
+    assert workflow.queries
+    # Per-query stats are populated when an engine drives the run.
+    assert len(workflow.timed) == len(workflow.queries)
+    assert all(t.duration_ms >= 0 for t in workflow.timed)
+    assert all(t.engine == "vectorstore" for t in workflow.timed)
+    # The stochastic process actually interacted (filters propagated).
+    assert workflow.updates_per_interaction
+    assert workflow.num_visualizations >= 1
+    engine.close()
+
+
+def test_idebench_replay_is_seed_deterministic():
+    schema = workload_schema("web_analytics")
+    first = run_idebench(schema, num_rows=250, seed=9)
+    second = run_idebench(schema, num_rows=250, seed=9)
+    assert first.operations == second.operations
+    assert [format_query(q) for q in first.queries] == [
+        format_query(q) for q in second.queries
+    ]
+    other = run_idebench(schema, num_rows=250, seed=10)
+    assert [format_query(q) for q in first.queries] != [
+        format_query(q) for q in other.queries
+    ]
+
+
+# -- session-simulator integration -------------------------------------------
+
+
+def test_generated_dashboard_drives_session_simulator():
+    schema = workload_schema("retail_sales")
+    spec = generate_dashboard(schema, index=0, seed=0)
+    table = generate_table(schema, 400, seed=0)
+    goals = generate_goal_set(["filtering"], spec, random.Random(0))
+    measured = create_engine("rowstore")
+    measured.load_table(table)
+    reference = create_engine("rowstore")
+    reference.load_table(table)
+    simulator = SessionSimulator(
+        spec,
+        table,
+        [g.query for g in goals],
+        measured_engine=measured,
+        reference_engine=reference,
+        config=SessionConfig(max_total_steps=20, seed=1),
+        workflow_name="workloadgen-integration",
+    )
+    log = simulator.run()
+    assert log.dashboard == spec.name
+    assert log.query_count > 0
+    assert log.records[0].model == "initial"
+    measured.close()
+    reference.close()

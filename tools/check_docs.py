@@ -35,6 +35,7 @@ SNIPPET_FILES = [REPO / "docs" / "ARCHITECTURE.md"]
 EXAMPLE_FILES = [
     REPO / "examples" / "multiplan_render.py",
     REPO / "examples" / "policy_quickstart.py",
+    REPO / "examples" / "generated_workload.py",
 ]
 
 #: Markdown inline links: [text](target). Reference-style links are

@@ -1,0 +1,189 @@
+"""Regenerate (or verify) the generated-workload regression corpus.
+
+The corpus under ``tests/data/generated/`` is one adversarial workload
+per preset × built-in schema (see
+:mod:`repro.workloadgen.presets`): a dashboard spec JSON, a generated
+interaction-session JSON, and a ``manifest.json`` pinning the SHA-256
+of every file plus the (rows, seed) recipe that rebuilds each table.
+``tests/test_workloadgen_corpus.py`` asserts the checked-in files match
+a fresh regeneration — the seed-determinism golden test — so any
+intentional generator change must re-run this script and commit the
+diff.
+
+Usage::
+
+    PYTHONPATH=src python tools/gen_workload_corpus.py          # rewrite
+    PYTHONPATH=src python tools/gen_workload_corpus.py --check  # verify
+    PYTHONPATH=src python tools/gen_workload_corpus.py --smoke  # CI smoke
+
+``--smoke`` is the CI generator step: it generates 20+ dashboards from
+the 3 built-in schemas, validates each, and executes one of them per
+schema on the vectorstore engine (the fastest of the four on grouped
+aggregates).
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.workloadgen import (  # noqa: E402
+    SCHEMA_NAMES,
+    generate_corpus,
+    generate_dashboards,
+    generate_session,
+    generate_table,
+    workload_schema,
+)
+
+CORPUS_DIR = REPO / "tests" / "data" / "generated"
+#: One seed for the whole corpus; bump deliberately to refresh it.
+CORPUS_SEED = 0
+#: Steps per pinned session (kept short: the stress matrix replays
+#: every session on 4 engines x 2 policies inside tier-1).
+SESSION_STEPS = 3
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def build_corpus() -> tuple[dict, dict[str, str]]:
+    """(manifest dict, {filename: contents}) for the current generator."""
+    files: dict[str, str] = {}
+    entries = []
+    for workload in generate_corpus(seed=CORPUS_SEED):
+        spec_text = workload.spec.to_json() + "\n"
+        table = workload.build_table()
+        session = generate_session(
+            workload.spec, table, length=SESSION_STEPS, seed=CORPUS_SEED
+        )
+        session_text = session.to_json() + "\n"
+        spec_file = f"{workload.name}.json"
+        session_file = f"{workload.name}__session.json"
+        files[spec_file] = spec_text
+        files[session_file] = session_text
+        entries.append(
+            {
+                "name": workload.name,
+                "preset": workload.preset,
+                "schema": workload.schema_name,
+                "rows": workload.rows,
+                "seed": workload.seed,
+                "note": workload.note,
+                "spec_file": spec_file,
+                "session_file": session_file,
+                "spec_sha256": _sha256(spec_text),
+                "session_sha256": _sha256(session_text),
+            }
+        )
+    manifest = {
+        "corpus_seed": CORPUS_SEED,
+        "session_steps": SESSION_STEPS,
+        "regenerate": "PYTHONPATH=src python tools/gen_workload_corpus.py",
+        "workloads": entries,
+    }
+    return manifest, files
+
+
+def write_corpus() -> int:
+    manifest, files = build_corpus()
+    CORPUS_DIR.mkdir(parents=True, exist_ok=True)
+    for name, text in files.items():
+        (CORPUS_DIR / name).write_text(text, encoding="utf-8")
+    (CORPUS_DIR / "manifest.json").write_text(
+        json.dumps(manifest, indent=2) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {len(files) + 1} files to {CORPUS_DIR.relative_to(REPO)}")
+    return 0
+
+
+def check_corpus() -> int:
+    manifest, files = build_corpus()
+    errors = []
+    manifest_path = CORPUS_DIR / "manifest.json"
+    if not manifest_path.exists():
+        print(f"ERROR: {manifest_path} missing; run without --check first")
+        return 1
+    on_disk = json.loads(manifest_path.read_text(encoding="utf-8"))
+    if on_disk != manifest:
+        errors.append("manifest.json does not match regeneration")
+    for name, text in files.items():
+        path = CORPUS_DIR / name
+        if not path.exists():
+            errors.append(f"{name}: missing")
+        elif path.read_text(encoding="utf-8") != text:
+            errors.append(f"{name}: contents differ from regeneration")
+    if errors:
+        for error in errors:
+            print(f"ERROR: {error}", file=sys.stderr)
+        print(
+            "corpus is stale; regenerate with "
+            "`PYTHONPATH=src python tools/gen_workload_corpus.py` "
+            "and commit the diff",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"corpus OK ({len(files)} files match regeneration)")
+    return 0
+
+
+def smoke(specs_per_schema: int = 7, rows: int = 400) -> int:
+    """CI smoke: generate, validate, and execute generated dashboards."""
+    from repro.engine import create_engine
+
+    total = 0
+    distinct = set()
+    for schema_name in SCHEMA_NAMES:
+        schema = workload_schema(schema_name)
+        specs = generate_dashboards(schema, specs_per_schema, seed=1)
+        for spec in specs:
+            spec.validate()
+            distinct.add(spec.to_json())
+        total += len(specs)
+        # Execute one generated dashboard end to end per schema.
+        from repro.dashboard.state import DashboardState
+
+        table = generate_table(schema, rows, seed=1)
+        engine = create_engine("vectorstore")
+        engine.load_table(table)
+        state = DashboardState(specs[0], table)
+        results = state.refresh(engine)
+        assert results, f"no results for {specs[0].name}"
+        print(
+            f"{schema_name}: {len(specs)} specs valid, "
+            f"refreshed {len(results)} visualizations on vectorstore"
+        )
+        engine.close()
+    assert len(distinct) == total, "generated specs are not distinct"
+    print(f"smoke OK: {total} distinct specs from {len(SCHEMA_NAMES)} schemas")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--check", action="store_true",
+        help="verify the checked-in corpus matches regeneration",
+    )
+    mode.add_argument(
+        "--smoke", action="store_true",
+        help="generate+validate+execute specs without touching disk",
+    )
+    args = parser.parse_args()
+    if args.check:
+        return check_corpus()
+    if args.smoke:
+        return smoke()
+    return write_corpus()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
