@@ -34,6 +34,18 @@ def policy_block(policy) -> dict:
     return block
 
 
+def telemetry_block(telemetry) -> dict:
+    """The artifact telemetry block for a finished Telemetry bundle.
+
+    A thin alias for :func:`repro.telemetry.export.telemetry_snapshot`
+    so benchmarks embed the same schema the docs describe: metric
+    snapshot, span counts by name, and the per-tier query histogram.
+    """
+    from repro.telemetry import telemetry_snapshot
+
+    return telemetry_snapshot(telemetry)
+
+
 def write_result(name: str, text: str) -> None:
     """Persist one benchmark's rendered table and echo it."""
     RESULTS_DIR.mkdir(exist_ok=True)

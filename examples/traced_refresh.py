@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Telemetry: traced refreshes, the metrics registry, and EXPLAIN.
+
+Telemetry is off by default — uninstalled, the execution stack runs its
+exact pre-telemetry code path. This example turns it on three ways:
+
+1. **A session-scoped bundle.** ``repro.connect(..., telemetry=)``
+   scopes a :class:`repro.Telemetry` bundle around every session
+   operation: the refresh records a span tree (``refresh`` →
+   ``scan_group`` → shards/merges) and the registry collects the
+   ``engine.query_ms`` histogram, ``batch.*`` counters, and per-worker
+   task gauges.
+2. **EXPLAIN.** ``session.explain(dashboard)`` attributes every
+   visualization's query to exactly one answering tier (``cache`` /
+   ``multiplan`` / ``sharded`` / ``shared_scan`` / ``fallback``) and
+   prints the span tree — "why was that refresh slow" in one call.
+3. **Chrome trace export.** The recorded spans write as trace-event
+   JSON loadable in Perfetto / ``chrome://tracing`` (the same file the
+   CLIs produce with ``--trace FILE``).
+
+Usage::
+
+    python examples/traced_refresh.py [rows]
+
+CI runs it via ``tools/check_docs.py`` (``SIMBA_EXAMPLE_ROWS`` keeps it
+fast there).
+"""
+
+import json
+import os
+import sys
+import tempfile
+from pathlib import Path
+
+import repro
+from repro.telemetry import validate_trace_file, write_chrome_trace
+
+
+def main() -> None:
+    rows = int(
+        sys.argv[1]
+        if len(sys.argv) > 1
+        else os.environ.get("SIMBA_EXAMPLE_ROWS", "20000")
+    )
+    table = repro.generate_dataset("customer_service", rows, seed=11)
+
+    # 1. A session-scoped telemetry bundle. The policy pins workers and
+    # shards explicitly so the trace shows real cross-thread nesting
+    # even on single-core machines.
+    telemetry = repro.Telemetry()
+    policy = repro.ExecutionPolicy(workers=4, shards=3)
+    with repro.connect("sqlite", policy=policy, telemetry=telemetry) as s:
+        s.load(table)
+        results = s.refresh("customer_service")
+    spans = telemetry.tracer.spans()
+    print(f"refresh returned {len(results)} visualizations")
+    print(f"recorded {len(spans)} spans on threads "
+          f"{sorted({span.thread for span in spans})}")
+    assert any(span.name.startswith("shard[") for span in spans)
+    assert any(
+        span.thread.startswith("repro-worker-") for span in spans
+    ), "shard work should land on named pool workers"
+
+    query_histogram = telemetry.registry.histogram(
+        "engine.query_ms", engine="sqlite"
+    )
+    assert query_histogram is not None and query_histogram.count >= len(results)
+    print(
+        f"engine.query_ms: count={query_histogram.count} "
+        f"p50={query_histogram.p50:.3f} p95={query_histogram.p95:.3f}"
+    )
+
+    # 2. EXPLAIN: every query attributed to exactly one tier. The
+    # session above is closed, so open a cached one and warm it — the
+    # second refresh's explain must attribute every query to the cache.
+    with repro.connect("sqlite", cache=True) as session:
+        session.load(table)
+        cold = session.explain("customer_service")
+        warm = session.explain("customer_service")
+    print("\ncold refresh explain:")
+    print(cold)
+    assert set(cold.tiers.values()) <= {
+        "cache", "multiplan", "sharded", "shared_scan", "fallback"
+    }
+    assert set(warm.tiers.values()) == {"cache"}, warm.tiers
+    print("\nwarm refresh: every query answered from cache")
+
+    # 3. Chrome trace export, validated the way CI validates it.
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_path = write_chrome_trace(
+            telemetry.tracer, Path(tmp) / "refresh_trace.json"
+        )
+        assert validate_trace_file(trace_path) == []
+        events = json.loads(trace_path.read_text())["traceEvents"]
+        print(f"\nwrote {len(events)} trace events -> {trace_path.name} "
+              f"(open in Perfetto / chrome://tracing)")
+
+    print("\ntelemetry example OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -59,10 +59,11 @@ from repro.simulation import (
 )
 from repro.sql import parse_query
 from repro.study import run_user_study
+from repro.telemetry import ExplainReport, Telemetry
 from repro.workload import DATASET_NAMES, generate_dataset
 from repro.workload.normalize import DimensionSpec, normalize_star
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "BenchmarkConfig",
@@ -76,6 +77,7 @@ __all__ = [
     "Engine",
     "EquivalenceSuite",
     "ExecutionPolicy",
+    "ExplainReport",
     "GOAL_TEMPLATES",
     "IDEBenchConfig",
     "IDEBenchSimulator",
@@ -91,6 +93,7 @@ __all__ = [
     "SessionSimulator",
     "SessionStats",
     "Table",
+    "Telemetry",
     "all_dashboards",
     "approximate_execute",
     "available_engines",

@@ -66,6 +66,7 @@ Thread-safety contract (what PR 2 established, spelled out):
 from __future__ import annotations
 
 import threading
+import time
 from typing import Callable
 
 from repro.engine.batch import (
@@ -80,6 +81,8 @@ from repro.concurrency.pool import WorkerPool, map_ordered
 from repro.concurrency.singleflight import SingleFlight
 from repro.errors import ExecutionError
 from repro.sql.ast import Query
+from repro.telemetry import metrics as _metrics
+from repro.telemetry import trace as _trace
 
 
 class ScanGroupExecutor(BatchExecutor):
@@ -216,11 +219,24 @@ class ScanGroupExecutor(BatchExecutor):
         stats.groups = len(groups)
         if effective > 1 and len(groups) > 1 and parallel_scans(self.engine):
             pool = self._pool_for(effective)
-            group_stats = map_ordered(
-                pool,
-                lambda g: self._execute_group(g, results, combine),
-                groups,
-            )
+            tracer = _trace.ACTIVE
+            if tracer is not None:
+                # Bind each task so the submitting context's span (the
+                # refresh) travels onto the worker thread, along with
+                # the queue-wait measurement.
+                tasks = [
+                    tracer.bind(
+                        lambda g=g: self._execute_group(g, results, combine)
+                    )
+                    for g in groups
+                ]
+                group_stats = map_ordered(pool, lambda t: t(), tasks)
+            else:
+                group_stats = map_ordered(
+                    pool,
+                    lambda g: self._execute_group(g, results, combine),
+                    groups,
+                )
         else:
             # Serialized task queue: submission order, caller's thread.
             group_stats = [
@@ -234,6 +250,9 @@ class ScanGroupExecutor(BatchExecutor):
             raise ExecutionError("batch execution left a query unanswered")
         with self._shared_lock:
             self.stats.merge(stats)
+        registry = _metrics.ACTIVE
+        if registry is not None:
+            registry.record_batch(stats)
         return BatchResult(list(results), stats)
 
     def _run_sharded(
@@ -281,6 +300,11 @@ class ScanGroupExecutor(BatchExecutor):
                 units.extend(run.scan_tasks())
         if workers > 1 and len(units) > 1 and parallel_scans(self.engine):
             pool = self._pool_for(workers)
+            tracer = _trace.ACTIVE
+            if tracer is not None:
+                # Bind each (group, shard) task so its span nests under
+                # the submitting refresh even on a worker thread.
+                units = [tracer.bind(unit) for unit in units]
             unit_stats = map_ordered(pool, lambda unit: unit(), units)
         else:
             # Serialized task queue: submission order, caller's thread.
@@ -294,6 +318,9 @@ class ScanGroupExecutor(BatchExecutor):
             raise ExecutionError("batch execution left a query unanswered")
         with self._shared_lock:
             self.stats.merge(stats)
+        registry = _metrics.ACTIVE
+        if registry is not None:
+            registry.record_batch(stats)
         return BatchResult(list(results), stats)
 
     # -- internals ----------------------------------------------------------
@@ -318,6 +345,23 @@ class ScanGroupExecutor(BatchExecutor):
         different flags stay independent (results are identical either
         way, so the flight key need not carry it).
         """
+        tracer = _trace.ACTIVE
+        if tracer is None:
+            return self._execute_flight(group, results, multiplan, None)
+        attrs: dict = {"members": len(group.members)}
+        if group.signature is not None:
+            attrs["table"] = group.signature.table
+            attrs["group_key"] = group.signature.predicate_key
+        with tracer.span("scan_group", **attrs) as span:
+            return self._execute_flight(group, results, multiplan, span)
+
+    def _execute_flight(
+        self,
+        group: ScanGroup,
+        results: list[QueryResult | None],
+        multiplan: bool | None,
+        span,
+    ) -> BatchStats:
         if (
             self._group_flight is not None
             and self.group_cache is not None
@@ -333,9 +377,18 @@ class ScanGroupExecutor(BatchExecutor):
             # from that cache (zero engine work). Each call distributes
             # into its own results list, so only the flight key is
             # shared.
+            start = time.perf_counter() if span is not None else 0.0
             stats, leader = self._group_flight.do(
                 key, lambda: self._run_one(group, results, multiplan)
             )
+            if span is not None:
+                span.attrs["singleflight"] = (
+                    "leader" if leader else "follower"
+                )
+                if not leader:
+                    span.attrs["flight_wait_ms"] = round(
+                        (time.perf_counter() - start) * 1000.0, 3
+                    )
             if leader:
                 return stats
             return self._run_one(group, results, multiplan)
@@ -353,12 +406,25 @@ class ScanGroupExecutor(BatchExecutor):
         # deadlock against another thread's leader.
         stats = BatchStats()
         if group.signature is None:
-            for item in group.members:
-                results[item.index] = self.fallback_engine.execute_timed(
-                    item.query
-                )
-                stats.fallbacks += 1
-                stats.base_scans += 1
+            tracer = _trace.ACTIVE
+            if tracer is not None:
+                for item in group.members:
+                    # Tag before delegating: a cache hit inside the
+                    # fallback engine overrides with "cache".
+                    tracer.tag_query(item.sql, "fallback")
+                    with tracer.span("fallback", sql=item.sql):
+                        results[item.index] = (
+                            self.fallback_engine.execute_timed(item.query)
+                        )
+                    stats.fallbacks += 1
+                    stats.base_scans += 1
+            else:
+                for item in group.members:
+                    results[item.index] = self.fallback_engine.execute_timed(
+                        item.query
+                    )
+                    stats.fallbacks += 1
+                    stats.base_scans += 1
         else:
             self._run_group(group, results, stats, multiplan=multiplan)
         return stats

@@ -19,10 +19,13 @@ slots, so no task may still be running when an exception propagates.
 
 from __future__ import annotations
 
+import itertools
+import threading
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
 from repro.errors import ConfigError
+from repro.telemetry import metrics as _metrics
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -64,18 +67,49 @@ class WorkerPool:
     on one core. The pure-Python engines gain only cross-engine overlap
     — the per-engine policies in :mod:`repro.concurrency.policy` keep
     their tasks serialized.
+
+    Threads are named deterministically (``repro-worker-0`` … in
+    creation order), so trace timelines and per-worker gauges are
+    stable identifiers across runs of the same pool size.
     """
 
     def __init__(self, workers: int) -> None:
         if workers < 1:
             raise ConfigError("worker pool needs at least one worker")
         self.workers = workers
+        self._thread_ids = itertools.count()
+        self._task_counts: dict[str, int] = {}
         self._executor = ThreadPoolExecutor(
-            max_workers=workers, thread_name_prefix="simba-worker"
+            max_workers=workers,
+            thread_name_prefix="repro-worker",
+            initializer=self._name_worker,
+        )
+
+    def _name_worker(self) -> None:
+        # ThreadPoolExecutor spawns threads lazily but serially, so the
+        # counter assigns 0..workers-1 in creation order.
+        threading.current_thread().name = (
+            f"repro-worker-{next(self._thread_ids)}"
         )
 
     def submit(self, fn: Callable[..., R], /, *args, **kwargs) -> "Future[R]":
-        return self._executor.submit(fn, *args, **kwargs)
+        return self._executor.submit(self._run, fn, args, kwargs)
+
+    def _run(self, fn, args, kwargs):
+        # Each worker writes only its own key (dict ops are atomic
+        # under the GIL), so the counts need no lock.
+        name = threading.current_thread().name
+        count = self._task_counts.get(name, 0) + 1
+        self._task_counts[name] = count
+        registry = _metrics.ACTIVE
+        if registry is not None:
+            registry.set_gauge("pool.worker_tasks", count, worker=name)
+        return fn(*args, **kwargs)
+
+    @property
+    def task_counts(self) -> dict[str, int]:
+        """Tasks executed so far, per worker thread (snapshot copy)."""
+        return dict(self._task_counts)
 
     def shutdown(self, wait: bool = True) -> None:
         self._executor.shutdown(wait=wait)

@@ -184,6 +184,7 @@ class DashboardState:
         results keyed by visualization id.
         """
         from repro.execution import ExecutionPolicy, resolve_policy
+        from repro.telemetry import trace as _trace
 
         policy = resolve_policy(
             policy,
@@ -194,7 +195,18 @@ class DashboardState:
             shards=shards,
             multiplan=multiplan,
         )
-        return build_refresh(self, viz_ids).execute(engine, policy)
+        refresh = build_refresh(self, viz_ids)
+        tracer = _trace.ACTIVE
+        if tracer is None:
+            return refresh.execute(engine, policy)
+        with tracer.span(
+            "refresh",
+            dashboard=self.spec.name,
+            policy=policy.describe(),
+        ) as span:
+            results = refresh.execute(engine, policy)
+            span.attrs["queries"] = len(results)
+            return results
 
     def apply_and_refresh(
         self, interaction: Interaction, engine, policy=None, *,

@@ -49,11 +49,15 @@ benchmark's default setup applies no indexing (§6.2.2); batch execution
 follows it.
 
 Thread-safety contract (established in the concurrency layer, relied on
-here): a bare :class:`BatchExecutor` is **not** safe to share across
-threads — its cumulative stats and key memo are unguarded. The
-concurrent subclass (:class:`~repro.concurrency.executor.ScanGroupExecutor`)
-adds the locking, serializes every call into a non-thread-safe engine
-through that engine's per-instance
+here): a bare :class:`BatchExecutor` guards its own shared mutable
+state — the cumulative stats and the key memo are mutex-protected, so
+an executor shared across threads corrupts neither (the *engine* it
+drives must still tolerate the calls; see
+:attr:`~repro.engine.interface.Engine.thread_safe`). The concurrent
+subclass (:class:`~repro.concurrency.executor.ScanGroupExecutor`)
+retains its own coarser locking around grouping and stats merges —
+redundant with this class's guard, and harmless — serializes every
+call into a non-thread-safe engine through that engine's per-instance
 :func:`~repro.concurrency.policy.execution_slot`, and relies on three
 invariants this module maintains:
 
@@ -73,8 +77,10 @@ from __future__ import annotations
 
 import hashlib
 import itertools
+import threading
 import time
 from collections import OrderedDict
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 from repro.engine.interface import Engine, QueryResult, ResultSet
@@ -107,6 +113,14 @@ from repro.sql.ast import (
     replace_query,
 )
 from repro.sql.formatter import format_query
+from repro.telemetry import metrics as _metrics
+from repro.telemetry import trace as _trace
+
+#: Shared no-op context manager for the telemetry-off path: ``with
+#: _NULL as span:`` binds ``span = None`` and allocates nothing, so
+#: per-group instrumentation stays free when tracing is disabled.
+#: ``nullcontext`` is stateless, hence safely re-entered concurrently.
+_NULL = nullcontext()
 
 #: Name prefix of the temporary relations materialized for shared scans.
 #: The result cache recognizes it to exempt them from invalidation.
@@ -355,6 +369,12 @@ class BatchExecutor:
         self.fallback_engine = fallback_engine or engine
         #: Cumulative stats across every ``run`` on this executor.
         self.stats = BatchStats()
+        # Guards the two pieces of cross-run shared state below — the
+        # cumulative stats and the key memo — so a bare executor shared
+        # across threads never merges lossily or corrupts the memo's
+        # OrderedDict reordering. Leaf-granular: never held across an
+        # engine call.
+        self._state_lock = threading.Lock()
         # Dashboard refreshes rebuild equal ASTs every time; Query is a
         # frozen dataclass, so a bounded per-executor memo lets the
         # fully-cached refresh path skip re-formatting/re-normalizing
@@ -369,35 +389,62 @@ class BatchExecutor:
         results: list[QueryResult | None] = [None] * len(queries)
         groups = group_queries(list(queries), key_fn=self._memoized_keys)
         stats.groups = len(groups)
+        tracer = _trace.ACTIVE
         for group in groups:
             if group.signature is None:
-                for item in group.members:
-                    results[item.index] = self.fallback_engine.execute_timed(
-                        item.query
-                    )
-                    stats.fallbacks += 1
-                    stats.base_scans += 1
+                if tracer is not None:
+                    for item in group.members:
+                        # Tag before delegating: a cache hit inside the
+                        # fallback engine overrides with "cache".
+                        tracer.tag_query(item.sql, "fallback")
+                        with tracer.span("fallback", sql=item.sql):
+                            results[item.index] = (
+                                self.fallback_engine.execute_timed(item.query)
+                            )
+                        stats.fallbacks += 1
+                        stats.base_scans += 1
+                else:
+                    for item in group.members:
+                        results[item.index] = (
+                            self.fallback_engine.execute_timed(item.query)
+                        )
+                        stats.fallbacks += 1
+                        stats.base_scans += 1
+            elif tracer is not None:
+                with tracer.span(
+                    "scan_group",
+                    table=group.signature.table,
+                    group_key=group.signature.predicate_key,
+                    members=len(group.members),
+                ):
+                    self._run_group(group, results, stats)
             else:
                 self._run_group(group, results, stats)
         if any(r is None for r in results):
             # Positional alignment is the API contract; a hole here
             # must fail loudly, never compact silently.
             raise ExecutionError("batch execution left a query unanswered")
-        self.stats.merge(stats)
+        with self._state_lock:
+            self.stats.merge(stats)
+        registry = _metrics.ACTIVE
+        if registry is not None:
+            registry.record_batch(stats)
         return BatchResult(list(results), stats)
 
     # -- internals ----------------------------------------------------------
 
     def _memoized_keys(self, query: Query) -> tuple[str, ScanSignature | None]:
         try:
-            keys = self._key_memo.get(query)
+            with self._state_lock:
+                keys = self._key_memo.get(query)
         except TypeError:  # unhashable literal somewhere in the AST
             return _query_keys(query)
         if keys is None:
-            keys = _query_keys(query)
-            self._key_memo[query] = keys
-            if len(self._key_memo) > 1024:
-                self._key_memo.popitem(last=False)
+            keys = _query_keys(query)  # computed outside the lock
+            with self._state_lock:
+                self._key_memo[query] = keys
+                if len(self._key_memo) > 1024:
+                    self._key_memo.popitem(last=False)
         return keys
 
     def _run_group(
@@ -440,6 +487,7 @@ class BatchExecutor:
                 signature, classes, results, stats, produced
             )
         if not shared:
+            tracer = _trace.ACTIVE
             for cls in classes:
                 # A solo class runs the caller's SQL verbatim, so it may
                 # go through the caller-facing engine (and its caches);
@@ -449,10 +497,15 @@ class BatchExecutor:
                     if len(cls.members) == 1
                     else self.engine
                 )
+                if tracer is not None:
+                    # Tag before delegating: a per-query cache hit
+                    # inside the fallback engine overrides with "cache".
+                    for item in cls.members:
+                        tracer.tag_query(item.sql, "shared_scan")
                 timed = target.execute_timed(cls.merged_query())
                 stats.base_scans += 1
                 self._distribute(cls, timed.result, timed.duration_ms, 0.0,
-                                 results, produced)
+                                 results, produced, tier=None)
         if self.group_cache is not None and produced:
             self.group_cache.store(
                 signature.table, signature.predicate_key, produced,
@@ -475,44 +528,58 @@ class BatchExecutor:
         """
         predicate = classes[0].members[0].query.where
         name = unique_temp_name(signature.table, signature.predicate_key)
-        start = time.perf_counter()
-        if not self.engine.materialize_filtered(
-            name, signature.table, predicate
-        ):
-            schema = self.engine.table_schema(signature.table)
-            if schema is None:
-                return False
-            fetch = Query(
-                select=(SelectItem(Star()),),
-                from_table=TableRef(signature.table),
-                where=predicate,
-            )
-            fetched = self.engine.execute(fetch)
-            self.engine.load_table(_materialize(name, schema, fetched))
-        scan_ms = (time.perf_counter() - start) * 1000.0
-        stats.base_scans += 1
-        stats.shared_scans += 1
+        tracer = _trace.ACTIVE
         member_count = sum(len(c.members) for c in classes)
-        fetch_share = scan_ms / member_count
-        try:
-            for cls in classes:
-                # Alias the temp back to the base name so queries with
-                # table-qualified columns (``events.q``) keep resolving.
-                rewritten = replace_query(
-                    cls.merged_query(),
-                    from_table=TableRef(name, alias=signature.table),
-                    where=None,
+        cm = (
+            _NULL
+            if tracer is None
+            else tracer.span(
+                "shared_scan",
+                table=signature.table,
+                classes=len(classes),
+                members=member_count,
+            )
+        )
+        with cm as span:
+            start = time.perf_counter()
+            if not self.engine.materialize_filtered(
+                name, signature.table, predicate
+            ):
+                schema = self.engine.table_schema(signature.table)
+                if schema is None:
+                    return False
+                fetch = Query(
+                    select=(SelectItem(Star()),),
+                    from_table=TableRef(signature.table),
+                    where=predicate,
                 )
-                timed = self.engine.execute_timed(rewritten)
-                self._distribute(
-                    cls, timed.result, timed.duration_ms, fetch_share,
-                    results, produced,
-                )
-        finally:
+                fetched = self.engine.execute(fetch)
+                self.engine.load_table(_materialize(name, schema, fetched))
+            scan_ms = (time.perf_counter() - start) * 1000.0
+            if span is not None:
+                span.attrs["scan_ms"] = round(scan_ms, 3)
+            stats.base_scans += 1
+            stats.shared_scans += 1
+            fetch_share = scan_ms / member_count
             try:
-                self.engine.unload_table(name)
-            except ExecutionError:
-                pass  # engine keeps the temp; next load replaces it
+                for cls in classes:
+                    # Alias the temp back to the base name so queries with
+                    # table-qualified columns (``events.q``) keep resolving.
+                    rewritten = replace_query(
+                        cls.merged_query(),
+                        from_table=TableRef(name, alias=signature.table),
+                        where=None,
+                    )
+                    timed = self.engine.execute_timed(rewritten)
+                    self._distribute(
+                        cls, timed.result, timed.duration_ms, fetch_share,
+                        results, produced,
+                    )
+            finally:
+                try:
+                    self.engine.unload_table(name)
+                except ExecutionError:
+                    pass  # engine keeps the temp; next load replaces it
         return True
 
     def _distribute(
@@ -523,10 +590,20 @@ class BatchExecutor:
         extra_share_ms: float,
         results: list[QueryResult | None],
         produced: dict[str, ResultSet],
+        tier: str | None = "shared_scan",
     ) -> None:
-        """Slice a class execution back into per-query timed results."""
+        """Slice a class execution back into per-query timed results.
+
+        ``tier`` is the explain attribution stamped on every member
+        (the single choke point each optimizer path routes through);
+        ``None`` means the caller already tagged — used where tagging
+        must happen *before* delegating to a possibly-caching engine.
+        """
+        tracer = _trace.ACTIVE
         share = duration_ms / len(cls.members)
         for position, item in enumerate(cls.members):
+            if tracer is not None and tier is not None:
+                tracer.tag_query(item.sql, tier)
             sliced = cls.slice_result(position, merged)
             # The group cache copies on store, and rows are immutable
             # tuples, so handing the same ResultSet to both is safe.
@@ -546,25 +623,38 @@ class BatchExecutor:
         stats: BatchStats,
     ) -> list[BatchItem]:
         """Answer members already in the scan-group cache; return the rest."""
-        cached = self.group_cache.lookup(
-            signature.table, signature.predicate_key
-        )
-        pending: list[BatchItem] = []
-        for item in members:
-            hit = cached.get(item.sql)
-            if hit is None:
-                pending.append(item)
-                continue
-            start = time.perf_counter()
-            copy = ResultSet(hit.columns, hit.rows)
-            duration_ms = (time.perf_counter() - start) * 1000.0
-            results[item.index] = QueryResult(
-                result=copy,
-                duration_ms=duration_ms,
-                engine=self.fallback_engine.name,
-                sql=item.sql,
+        tracer = _trace.ACTIVE
+        cm = (
+            _NULL
+            if tracer is None
+            else tracer.span(
+                "cache_lookup", table=signature.table, members=len(members)
             )
-            stats.cache_hits += 1
+        )
+        with cm as span:
+            cached = self.group_cache.lookup(
+                signature.table, signature.predicate_key
+            )
+            pending: list[BatchItem] = []
+            for item in members:
+                hit = cached.get(item.sql)
+                if hit is None:
+                    pending.append(item)
+                    continue
+                if tracer is not None:
+                    tracer.tag_query(item.sql, "cache")
+                start = time.perf_counter()
+                copy = ResultSet(hit.columns, hit.rows)
+                duration_ms = (time.perf_counter() - start) * 1000.0
+                results[item.index] = QueryResult(
+                    result=copy,
+                    duration_ms=duration_ms,
+                    engine=self.fallback_engine.name,
+                    sql=item.sql,
+                )
+                stats.cache_hits += 1
+            if span is not None:
+                span.attrs["hits"] = len(members) - len(pending)
         return pending
 
 

@@ -46,6 +46,8 @@ from repro.engine.table import Schema, Table
 from repro.errors import ConfigError
 from repro.sql.ast import Query
 from repro.sql.formatter import format_query
+from repro.telemetry import metrics as _metrics
+from repro.telemetry import trace as _trace
 
 
 class ScanGroupCache:
@@ -314,6 +316,7 @@ class CachedEngine(Engine):
             if cached is not None:
                 self._entries.move_to_end(key)
                 self.hits += 1
+                self._record_hit(key)
                 result, _ = cached
                 return ResultSet(result.columns, result.rows)
             epoch = self._epoch
@@ -323,6 +326,9 @@ class CachedEngine(Engine):
                 result = self._inner.execute(query)
             with self._lock:
                 self.misses += 1
+                registry = _metrics.ACTIVE
+                if registry is not None:
+                    registry.inc("cache.misses")
                 if self._epoch == epoch:
                     self._entries[key] = (
                         ResultSet(result.columns, result.rows),
@@ -342,7 +348,23 @@ class CachedEngine(Engine):
         # A follower rode the leader's computation: no inner work.
         with self._lock:
             self.hits += 1
+            self._record_hit(key)
         return ResultSet(result.columns, result.rows)
+
+    @staticmethod
+    def _record_hit(key: str) -> None:
+        """Publish one per-query cache hit (keeps the public counters).
+
+        Tagging here — *after* an outer layer pre-tagged its own tier —
+        is what lets EXPLAIN attribute the query to ``cache``: the
+        last tag wins, and a hit is always the innermost answer.
+        """
+        registry = _metrics.ACTIVE
+        if registry is not None:
+            registry.inc("cache.hits")
+        tracer = _trace.ACTIVE
+        if tracer is not None:
+            tracer.tag_query(key, "cache")
 
     def execute_batch(
         self,

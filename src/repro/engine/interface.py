@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 from repro.engine.table import Database, Schema, Table
 from repro.sql.ast import Query
+from repro.telemetry import metrics as _metrics
 
 
 class ResultSet:
@@ -222,12 +223,21 @@ class Engine(abc.ABC):
         """Execute a query and return its result."""
 
     def execute_timed(self, query: Query) -> QueryResult:
-        """Execute a query, measuring wall-clock duration in milliseconds."""
+        """Execute a query, measuring wall-clock duration in milliseconds.
+
+        The measurement is the single per-query timing authority: when
+        telemetry is installed it feeds the ``engine.query_ms``
+        histogram (labeled by engine), so no caller needs its own
+        ad-hoc stopwatch around engine calls.
+        """
         from repro.sql.formatter import format_query
 
         start = time.perf_counter()
         result = self.execute(query)
         duration_ms = (time.perf_counter() - start) * 1000.0
+        registry = _metrics.ACTIVE
+        if registry is not None:
+            registry.observe("engine.query_ms", duration_ms, engine=self.name)
         return QueryResult(
             result=result,
             duration_ms=duration_ms,

@@ -87,6 +87,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.engine.batch import (
+    _NULL,
     _substitute,
     concat_partials,
     decompose_aggregate,
@@ -105,6 +106,7 @@ from repro.sql.ast import (
     SelectItem,
     TableRef,
 )
+from repro.telemetry import trace as _trace
 
 #: Internal column-name stems of the combined partial relation. Group
 #: keys that are bare columns keep their own names (required for the
@@ -329,12 +331,12 @@ def serve_empty_group(
             stats.base_scans += 1
             executor._distribute(
                 cls, direct.result, direct.duration_ms, 0.0,
-                results, produced,
+                results, produced, tier="multiplan",
             )
         else:
             executor._distribute(
                 cls, merge.empty_result(), 0.0, fetch_share,
-                results, produced,
+                results, produced, tier="multiplan",
             )
 
 
@@ -371,36 +373,50 @@ def run_multiplan(executor, signature, classes, results, stats, produced):
     if plan is None:
         return classes
 
-    engine = executor.engine
-    timed = engine.execute_timed(plan.combined_query(signature.table))
-    stats.base_scans += 1
-    stats.multiplan_groups += 1
-    stats.multiplan_plans += len(eligible)
-    member_count = sum(len(cls.members) for cls in eligible)
-    fetch_share = timed.duration_ms / member_count
-    fine = timed.result
-
-    if not fine.rows and plan.combined_group_by:
-        serve_empty_group(
-            executor, eligible, plan.plans, fetch_share,
-            results, produced, stats,
+    tracer = _trace.ACTIVE
+    cm = (
+        _NULL
+        if tracer is None
+        else tracer.span(
+            "multiplan_pass",
+            table=signature.table,
+            classes=len(eligible),
+            members=sum(len(cls.members) for cls in eligible),
         )
-        return rest
+    )
+    with cm as span:
+        engine = executor.engine
+        timed = engine.execute_timed(plan.combined_query(signature.table))
+        stats.base_scans += 1
+        stats.multiplan_groups += 1
+        stats.multiplan_plans += len(eligible)
+        member_count = sum(len(cls.members) for cls in eligible)
+        fetch_share = timed.duration_ms / member_count
+        fine = timed.result
+        if span is not None:
+            span.attrs["combined_ms"] = round(timed.duration_ms, 3)
 
-    relation = unique_temp_name(signature.table, signature.predicate_key)
-    engine.load_table(plan.partial_table(relation, [fine]))
-    try:
-        for cls, merge in zip(eligible, plan.plans):
-            merged = engine.execute_timed(merge.merge_query(relation))
-            executor._distribute(
-                cls, merged.result, merged.duration_ms, fetch_share,
-                results, produced,
+        if not fine.rows and plan.combined_group_by:
+            serve_empty_group(
+                executor, eligible, plan.plans, fetch_share,
+                results, produced, stats,
             )
-    finally:
+            return rest
+
+        relation = unique_temp_name(signature.table, signature.predicate_key)
+        engine.load_table(plan.partial_table(relation, [fine]))
         try:
-            engine.unload_table(relation)
-        except ExecutionError:
-            pass  # engine keeps the temp; next load replaces it
+            for cls, merge in zip(eligible, plan.plans):
+                merged = engine.execute_timed(merge.merge_query(relation))
+                executor._distribute(
+                    cls, merged.result, merged.duration_ms, fetch_share,
+                    results, produced, tier="multiplan",
+                )
+        finally:
+            try:
+                engine.unload_table(relation)
+            except ExecutionError:
+                pass  # engine keeps the temp; next load replaces it
     return rest
 
 

@@ -24,6 +24,7 @@ every call.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 from repro.engine.interface import Engine, QueryResult
@@ -31,6 +32,9 @@ from repro.engine.registry import create_engine
 from repro.engine.table import Table
 from repro.errors import ConfigError
 from repro.execution import ExecutionPolicy, coerce_policy
+
+#: Shared no-op scope for sessions without a telemetry bundle.
+_NULL = nullcontext()
 
 
 @dataclass(frozen=True)
@@ -64,6 +68,7 @@ class Session:
         policy: ExecutionPolicy | str | None = None,
         *,
         cache: bool = False,
+        telemetry: "Telemetry | None" = None,
     ) -> None:
         if isinstance(engine, str):
             engine = create_engine(engine)
@@ -75,6 +80,10 @@ class Session:
         self.policy = (
             ExecutionPolicy() if policy is None else coerce_policy(policy)
         )
+        #: Optional :class:`~repro.telemetry.Telemetry` bundle, scoped
+        #: around every executing session operation; ``None`` (the
+        #: default) keeps the stack on its untraced path.
+        self.telemetry = telemetry
         self._tables: dict[str, Table] = {}
         #: Live dashboard states keyed by spec name, so interactions
         #: applied through the facade persist across refresh calls.
@@ -153,9 +162,10 @@ class Session:
         the session's.
         """
         state = self.dashboard(dashboard)
-        results = state.refresh(
-            self.engine, viz_ids=viz_ids, policy=self._effective(policy)
-        )
+        with self._scope():
+            results = state.refresh(
+                self.engine, viz_ids=viz_ids, policy=self._effective(policy)
+            )
         self._refreshes += 1
         self._queries += len(results)
         return results
@@ -163,12 +173,39 @@ class Session:
     def apply_and_refresh(self, dashboard, interaction, policy=None):
         """Apply an interaction to a state and refresh its fan-out."""
         state = self.dashboard(dashboard)
-        results = state.apply_and_refresh(
-            interaction, self.engine, policy=self._effective(policy)
-        )
+        with self._scope():
+            results = state.apply_and_refresh(
+                interaction, self.engine, policy=self._effective(policy)
+            )
         self._refreshes += 1
         self._queries += len(results)
         return results
+
+    def explain(self, dashboard, viz_ids=None, policy=None):
+        """Refresh a dashboard and report how each query was answered.
+
+        Runs the refresh under a private
+        :class:`~repro.telemetry.Telemetry` bundle (shadowing the
+        session's own, if any) and returns an
+        :class:`~repro.telemetry.ExplainReport`: every visualization's
+        query attributed to exactly one answering tier (``cache`` /
+        ``multiplan`` / ``sharded`` / ``shared_scan`` / ``fallback``)
+        with its cost, plus the refresh's span tree. The refresh is a
+        real one — results land in caches, counters advance — so
+        ``print(session.explain("customer_service"))`` answers "why
+        was that refresh slow" for the very next refresh.
+        """
+        from repro.telemetry import Telemetry, build_explain
+
+        state = self.dashboard(dashboard)
+        telemetry = Telemetry()
+        with telemetry.install():
+            results = state.refresh(
+                self.engine, viz_ids=viz_ids, policy=self._effective(policy)
+            )
+        self._refreshes += 1
+        self._queries += len(results)
+        return build_explain(results, telemetry.tracer)
 
     # -- logs ---------------------------------------------------------------
 
@@ -181,13 +218,14 @@ class Session:
         """
         from repro.logs.replay import replay_log
 
-        report = replay_log(
-            log,
-            self.engine,
-            check_cardinality=check_cardinality,
-            strict=strict,
-            policy=self._effective(policy),
-        )
+        with self._scope():
+            report = replay_log(
+                log,
+                self.engine,
+                check_cardinality=check_cardinality,
+                strict=strict,
+                policy=self._effective(policy),
+            )
         self._replays += 1
         self._queries += report.query_count
         return report
@@ -201,7 +239,8 @@ class Session:
 
         if not isinstance(query, Query):
             query = parse_query(query)
-        timed = self.engine.execute_timed(query)
+        with self._scope():
+            timed = self.engine.execute_timed(query)
         self._queries += 1
         return timed
 
@@ -213,7 +252,10 @@ class Session:
         parsed = [
             q if isinstance(q, Query) else parse_query(q) for q in queries
         ]
-        results = self.engine.execute_batch(parsed, self._effective(policy))
+        with self._scope():
+            results = self.engine.execute_batch(
+                parsed, self._effective(policy)
+            )
         self._queries += len(results)
         return results
 
@@ -237,6 +279,12 @@ class Session:
     def _effective(self, policy) -> ExecutionPolicy:
         return self.policy if policy is None else coerce_policy(policy)
 
+    def _scope(self):
+        """The session's telemetry scope (a shared no-op without one)."""
+        if self.telemetry is None:
+            return _NULL
+        return self.telemetry.install()
+
     def close(self) -> None:
         self.engine.close()
 
@@ -258,6 +306,7 @@ def connect(
     policy: ExecutionPolicy | str | None = None,
     *,
     cache: bool = False,
+    telemetry: "Telemetry | None" = None,
 ) -> Session:
     """Open a :class:`Session` on an engine under one execution policy.
 
@@ -265,10 +314,12 @@ def connect(
     or an already-constructed engine; ``policy`` an
     :class:`~repro.execution.ExecutionPolicy` or preset name (default:
     shared-scan batch execution on one worker); ``cache=True`` wraps
-    the engine in a :class:`~repro.engine.cache.CachedEngine`. The
-    session owns the engine — closing the session closes it.
+    the engine in a :class:`~repro.engine.cache.CachedEngine`;
+    ``telemetry`` (a :class:`~repro.telemetry.Telemetry` bundle) scopes
+    tracing + metrics around every session operation. The session owns
+    the engine — closing the session closes it.
     """
-    return Session(engine, policy, cache=cache)
+    return Session(engine, policy, cache=cache, telemetry=telemetry)
 
 
 __all__ = ["Session", "SessionStats", "connect"]

@@ -105,6 +105,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="write each session's log as JSONL into DIR "
         "(replayable with python -m repro.logs.cli)",
     )
+    parser.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="record the run's telemetry and write a Chrome trace-event "
+        "JSON file (loadable in Perfetto / chrome://tracing)",
+    )
     return parser
 
 
@@ -136,7 +141,20 @@ def main(argv: list[str] | None = None) -> int:
     if config.workers > 1:
         print(f"grid-cell overlap: {config.workers} workers")
     runner = BenchmarkRunner(config, log_directory=args.export_logs)
-    result = runner.run(progress=args.progress)
+    telemetry = None
+    if args.trace is not None:
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry().activate()
+    try:
+        result = runner.run(progress=args.progress)
+    finally:
+        if telemetry is not None:
+            from repro.telemetry import write_chrome_trace
+
+            telemetry.deactivate()
+            path = write_chrome_trace(telemetry.tracer, args.trace)
+            print(f"trace: {len(telemetry.tracer)} spans -> {path}")
 
     print("\nQuery-duration summary:")
     print(

@@ -109,6 +109,11 @@ def build_parser() -> argparse.ArgumentParser:
         "one combined pass during batched replay (needs batch mode; "
         "results are identical either way)",
     )
+    replay.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="record the replay's telemetry and write a Chrome "
+        "trace-event JSON file (loadable in Perfetto / chrome://tracing)",
+    )
 
     metrics = commands.add_parser(
         "metrics", help="print the §7 exploration metrics of a log"
@@ -195,9 +200,22 @@ def _replay(args) -> int:
     engine = create_engine(args.engine)
     table = generate_dataset(log.dashboard, args.rows, seed=args.seed)
     engine.load_table(table)
-    report = replay_log(
-        log, engine, check_cardinality=not args.no_check, policy=policy
-    )
+    telemetry = None
+    if args.trace is not None:
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry().activate()
+    try:
+        report = replay_log(
+            log, engine, check_cardinality=not args.no_check, policy=policy
+        )
+    finally:
+        if telemetry is not None:
+            from repro.telemetry import write_chrome_trace
+
+            telemetry.deactivate()
+            out = write_chrome_trace(telemetry.tracer, args.trace)
+            print(f"trace: {len(telemetry.tracer)} spans -> {out}")
     print(
         f"replayed {report.query_count} queries on {engine.name}: "
         f"mean {report.average_duration_ms():.3f} ms"

@@ -69,6 +69,8 @@ from repro.engine.batch import (
 from repro.engine.interface import QueryResult, ResultSet
 from repro.errors import ExecutionError
 from repro.sharding.partition import Partitioner, RowRange
+from repro.telemetry import metrics as _metrics
+from repro.telemetry import trace as _trace
 
 
 def _materialize_shard(engine, signature, predicate, row_range, shard) -> str:
@@ -130,6 +132,21 @@ class ShardedGroupRun:
             [0.0] * len(ranges) for _ in classes
         ]
         self._scan_ms: list[float] = [0.0] * len(ranges)
+        # The group span opens here, at plan time on the calling thread
+        # (under the refresh's context), and closes in merge() — its
+        # lifetime crosses threads, so shard tasks parent to it
+        # explicitly instead of through the context.
+        self._tracer = _trace.ACTIVE
+        self._span = None
+        if self._tracer is not None and classes:
+            self._span = self._tracer.begin(
+                "scan_group",
+                table=signature.table,
+                group_key=signature.predicate_key,
+                members=len(group.members),
+                shards=len(ranges),
+                sharded=True,
+            )
 
     def scan_tasks(self):
         """One callable per shard; each returns its stats delta.
@@ -149,26 +166,48 @@ class ShardedGroupRun:
         """Materialize one shard's rows and run every partial query."""
         stats = BatchStats()
         engine = self._executor.engine
-        start = time.perf_counter()
-        temp = _materialize_shard(
-            engine, self._signature, self._predicate,
-            self._ranges[shard], shard,
-        )
-        self._scan_ms[shard] = (time.perf_counter() - start) * 1000.0
-        stats.base_scans += 1
-        stats.shard_scans += 1
+        tracer = self._tracer
+        span = None
+        if tracer is not None:
+            row_range = self._ranges[shard]
+            span = tracer.begin(
+                f"shard[{shard}]",
+                parent=self._span,
+                shard=shard,
+                rows=f"{row_range.start}:{row_range.stop}",
+            )
         try:
-            for index, rollup in enumerate(self._rollups):
-                timed = engine.execute_timed(
-                    rollup.partial_query(temp, self._signature.table)
+            start = time.perf_counter()
+            temp = _materialize_shard(
+                engine, self._signature, self._predicate,
+                self._ranges[shard], shard,
+            )
+            self._scan_ms[shard] = (time.perf_counter() - start) * 1000.0
+            registry = _metrics.ACTIVE
+            if registry is not None:
+                registry.observe(
+                    "shard.scan_ms",
+                    self._scan_ms[shard],
+                    table=self._signature.table,
                 )
-                self._partials[index][shard] = timed.result
-                self._partial_ms[index][shard] = timed.duration_ms
-        finally:
+            stats.base_scans += 1
+            stats.shard_scans += 1
             try:
-                engine.unload_table(temp)
-            except ExecutionError:
-                pass  # engine keeps the temp; next load replaces it
+                for index, rollup in enumerate(self._rollups):
+                    timed = engine.execute_timed(
+                        rollup.partial_query(temp, self._signature.table)
+                    )
+                    self._partials[index][shard] = timed.result
+                    self._partial_ms[index][shard] = timed.duration_ms
+            finally:
+                try:
+                    engine.unload_table(temp)
+                except ExecutionError:
+                    pass  # engine keeps the temp; next load replaces it
+        finally:
+            if span is not None:
+                span.attrs["scan_ms"] = round(self._scan_ms[shard], 3)
+                tracer.finish(span)
         return stats
 
     def merge(self, results: list[QueryResult | None]) -> BatchStats:
@@ -180,44 +219,62 @@ class ShardedGroupRun:
         executor = self._executor
         engine = executor.engine
         signature = self._signature
-        produced: dict[str, ResultSet] = {}
-        member_count = sum(len(c.members) for c in self._classes)
-        fetch_share = sum(self._scan_ms) / member_count
-        for index, (cls, rollup) in enumerate(
-            zip(self._classes, self._rollups)
-        ):
-            partials = self._partials[index]
-            assert all(p is not None for p in partials)
-            duration_ms = sum(self._partial_ms[index])
-            if not any(p.rows for p in partials):
-                # A grouped aggregate over zero qualifying rows: no
-                # groups anywhere, so the merge relation would be empty
-                # — skip the engine round trip.
-                merged = rollup.empty_result()
-            else:
-                relation = unique_temp_name(
-                    signature.table, signature.predicate_key
-                )
-                engine.load_table(rollup.partial_table(relation, partials))
-                try:
-                    timed = engine.execute_timed(rollup.merge_query(relation))
-                finally:
+        tracer = self._tracer
+        merge_span = None
+        if tracer is not None:
+            merge_span = tracer.begin(
+                "rollup_merge",
+                parent=self._span,
+                table=signature.table,
+                classes=len(self._classes),
+            )
+        try:
+            produced: dict[str, ResultSet] = {}
+            member_count = sum(len(c.members) for c in self._classes)
+            fetch_share = sum(self._scan_ms) / member_count
+            for index, (cls, rollup) in enumerate(
+                zip(self._classes, self._rollups)
+            ):
+                partials = self._partials[index]
+                assert all(p is not None for p in partials)
+                duration_ms = sum(self._partial_ms[index])
+                if not any(p.rows for p in partials):
+                    # A grouped aggregate over zero qualifying rows: no
+                    # groups anywhere, so the merge relation would be empty
+                    # — skip the engine round trip.
+                    merged = rollup.empty_result()
+                else:
+                    relation = unique_temp_name(
+                        signature.table, signature.predicate_key
+                    )
+                    engine.load_table(rollup.partial_table(relation, partials))
                     try:
-                        engine.unload_table(relation)
-                    except ExecutionError:
-                        pass
-                merged = timed.result
-                duration_ms += timed.duration_ms
-            executor._distribute(
-                cls, merged, duration_ms, fetch_share, results, produced
-            )
-        if executor.group_cache is not None and produced:
-            executor.group_cache.store(
-                signature.table,
-                signature.predicate_key,
-                produced,
-                epoch=self._epoch,
-            )
+                        timed = engine.execute_timed(
+                            rollup.merge_query(relation)
+                        )
+                    finally:
+                        try:
+                            engine.unload_table(relation)
+                        except ExecutionError:
+                            pass
+                    merged = timed.result
+                    duration_ms += timed.duration_ms
+                executor._distribute(
+                    cls, merged, duration_ms, fetch_share, results, produced,
+                    tier="sharded",
+                )
+            if executor.group_cache is not None and produced:
+                executor.group_cache.store(
+                    signature.table,
+                    signature.predicate_key,
+                    produced,
+                    epoch=self._epoch,
+                )
+        finally:
+            if tracer is not None:
+                tracer.finish(merge_span)
+                if self._span is not None:
+                    tracer.finish(self._span)
         return stats
 
 
@@ -266,6 +323,20 @@ class MultiPlanShardedRun:
         # never write the same cell, so no locking is needed.
         self._partials: list[ResultSet | None] = [None] * len(ranges)
         self._scan_ms: list[float] = [0.0] * len(ranges)
+        # Cross-thread group span, as in ShardedGroupRun: opened at
+        # plan time on the caller, closed by merge().
+        self._tracer = _trace.ACTIVE
+        self._span = None
+        if self._tracer is not None:
+            self._span = self._tracer.begin(
+                "scan_group",
+                table=signature.table,
+                group_key=signature.predicate_key,
+                members=len(group.members),
+                shards=len(ranges),
+                sharded=True,
+                multiplan=True,
+            )
 
     def scan_tasks(self):
         """One callable per shard; each returns its stats delta.
@@ -283,29 +354,54 @@ class MultiPlanShardedRun:
         """Materialize one shard's rows, run the one combined query."""
         stats = BatchStats()
         engine = self._executor.engine
-        start = time.perf_counter()
-        temp = _materialize_shard(
-            engine, self._signature, self._predicate,
-            self._ranges[shard], shard,
-        )
-        stats.base_scans += 1
-        stats.shard_scans += 1
+        tracer = self._tracer
+        span = None
+        if tracer is not None:
+            row_range = self._ranges[shard]
+            span = tracer.begin(
+                f"shard[{shard}]",
+                parent=self._span,
+                shard=shard,
+                rows=f"{row_range.start}:{row_range.stop}",
+                multiplan=True,
+            )
         try:
-            timed = engine.execute_timed(
-                self._plan.combined_query(temp, alias=self._signature.table)
+            start = time.perf_counter()
+            temp = _materialize_shard(
+                engine, self._signature, self._predicate,
+                self._ranges[shard], shard,
             )
-            self._partials[shard] = timed.result
-            # One shared pass per shard: its cost pools with the scan
-            # (split evenly across members at merge time), mirroring
-            # how the unsharded shared scan charges its members.
-            self._scan_ms[shard] = (
-                (time.perf_counter() - start) * 1000.0
-            )
-        finally:
+            stats.base_scans += 1
+            stats.shard_scans += 1
             try:
-                engine.unload_table(temp)
-            except ExecutionError:
-                pass  # engine keeps the temp; next load replaces it
+                timed = engine.execute_timed(
+                    self._plan.combined_query(
+                        temp, alias=self._signature.table
+                    )
+                )
+                self._partials[shard] = timed.result
+                # One shared pass per shard: its cost pools with the scan
+                # (split evenly across members at merge time), mirroring
+                # how the unsharded shared scan charges its members.
+                self._scan_ms[shard] = (
+                    (time.perf_counter() - start) * 1000.0
+                )
+                registry = _metrics.ACTIVE
+                if registry is not None:
+                    registry.observe(
+                        "shard.scan_ms",
+                        self._scan_ms[shard],
+                        table=self._signature.table,
+                    )
+            finally:
+                try:
+                    engine.unload_table(temp)
+                except ExecutionError:
+                    pass  # engine keeps the temp; next load replaces it
+        finally:
+            if span is not None:
+                span.attrs["scan_ms"] = round(self._scan_ms[shard], 3)
+                tracer.finish(span)
         return stats
 
     def merge(self, results: list[QueryResult | None]) -> BatchStats:
@@ -320,45 +416,62 @@ class MultiPlanShardedRun:
         plan = self._plan
         partials = self._partials
         assert all(p is not None for p in partials)
-        produced: dict[str, ResultSet] = {}
-        member_count = sum(len(c.members) for c in self._classes)
-        fetch_share = sum(self._scan_ms) / member_count
-        if not any(p.rows for p in partials):
-            # Zero qualifying rows anywhere. (Unreachable when every
-            # plan is global: a keyless combined query always yields a
-            # row per shard.)
-            from repro.engine.multiplan import serve_empty_group
+        tracer = self._tracer
+        merge_span = None
+        if tracer is not None:
+            merge_span = tracer.begin(
+                "rollup_merge",
+                parent=self._span,
+                table=signature.table,
+                classes=len(self._classes),
+                multiplan=True,
+            )
+        try:
+            produced: dict[str, ResultSet] = {}
+            member_count = sum(len(c.members) for c in self._classes)
+            fetch_share = sum(self._scan_ms) / member_count
+            if not any(p.rows for p in partials):
+                # Zero qualifying rows anywhere. (Unreachable when every
+                # plan is global: a keyless combined query always yields a
+                # row per shard.)
+                from repro.engine.multiplan import serve_empty_group
 
-            serve_empty_group(
-                executor, self._classes, plan.plans, fetch_share,
-                results, produced, stats,
-            )
-        else:
-            relation = unique_temp_name(
-                signature.table, signature.predicate_key
-            )
-            engine.load_table(plan.partial_table(relation, partials))
-            try:
-                for cls, plan_merge in zip(self._classes, plan.plans):
-                    timed = engine.execute_timed(
-                        plan_merge.merge_query(relation)
-                    )
-                    executor._distribute(
-                        cls, timed.result, timed.duration_ms, fetch_share,
-                        results, produced,
-                    )
-            finally:
+                serve_empty_group(
+                    executor, self._classes, plan.plans, fetch_share,
+                    results, produced, stats,
+                )
+            else:
+                relation = unique_temp_name(
+                    signature.table, signature.predicate_key
+                )
+                engine.load_table(plan.partial_table(relation, partials))
                 try:
-                    engine.unload_table(relation)
-                except ExecutionError:
-                    pass
-        if executor.group_cache is not None and produced:
-            executor.group_cache.store(
-                signature.table,
-                signature.predicate_key,
-                produced,
-                epoch=self._epoch,
-            )
+                    for cls, plan_merge in zip(self._classes, plan.plans):
+                        timed = engine.execute_timed(
+                            plan_merge.merge_query(relation)
+                        )
+                        executor._distribute(
+                            cls, timed.result, timed.duration_ms,
+                            fetch_share, results, produced,
+                            tier="multiplan",
+                        )
+                finally:
+                    try:
+                        engine.unload_table(relation)
+                    except ExecutionError:
+                        pass
+            if executor.group_cache is not None and produced:
+                executor.group_cache.store(
+                    signature.table,
+                    signature.predicate_key,
+                    produced,
+                    epoch=self._epoch,
+                )
+        finally:
+            if tracer is not None:
+                tracer.finish(merge_span)
+                if self._span is not None:
+                    tracer.finish(self._span)
         return stats
 
 

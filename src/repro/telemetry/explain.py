@@ -1,0 +1,136 @@
+"""Per-query EXPLAIN: which tier answered each query, and what it cost.
+
+:meth:`repro.facade.Session.explain` refreshes a dashboard under a
+private :class:`~repro.telemetry.Telemetry` bundle and hands the timed
+results plus the tracer to :func:`build_explain`, which correlates the
+two: every visualization's query maps to exactly one answering tier —
+
+- ``cache``: served from the per-query LRU or the scan-group cache;
+- ``multiplan``: derived from a combined finest-grouping pass
+  (sharded or not);
+- ``sharded``: rolled up from per-shard partial aggregates;
+- ``shared_scan``: answered by the shared-scan batch layer (fused
+  execution over one materialized scan, or a per-class execution);
+- ``fallback``: executed unbatched (joins, ``batch=False`` policies).
+
+The report renders as a per-query table plus the refresh's span tree
+with per-span timings, so "why was this refresh slow" is one print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.telemetry.trace import Span, Tracer
+
+#: Every tier a query can be attributed to.
+TIERS = ("cache", "multiplan", "sharded", "shared_scan", "fallback")
+
+
+@dataclass(frozen=True)
+class ExplainEntry:
+    """One query's attribution: tier + cost, keyed by visualization."""
+
+    viz_id: str
+    sql: str
+    tier: str
+    duration_ms: float
+    rows: int
+
+
+class ExplainReport:
+    """Per-query tier attribution plus the refresh's span tree."""
+
+    def __init__(self, entries: list[ExplainEntry], spans: list[Span]):
+        self.entries = entries
+        self.spans = spans
+
+    @property
+    def tiers(self) -> dict[str, str]:
+        """Visualization id → answering tier."""
+        return {entry.viz_id: entry.tier for entry in self.entries}
+
+    def tier(self, viz_id: str) -> str:
+        for entry in self.entries:
+            if entry.viz_id == viz_id:
+                return entry.tier
+        raise KeyError(viz_id)
+
+    def span_tree(self) -> str:
+        """The span hierarchy, indented, with per-span timings."""
+        children: dict[int | None, list[Span]] = {}
+        for span in self.spans:
+            children.setdefault(span.parent_id, []).append(span)
+        lines: list[str] = []
+
+        def render(span: Span, depth: int) -> None:
+            duration = span.duration_ms
+            timing = "open" if duration is None else f"{duration:.3f} ms"
+            notes = ""
+            if span.attrs:
+                rendered = ", ".join(
+                    f"{k}={v}" for k, v in sorted(span.attrs.items())
+                )
+                notes = f" [{rendered}]"
+            lines.append(f"{'  ' * depth}{span.name} ({timing}){notes}")
+            for child in children.get(span.span_id, ()):
+                render(child, depth + 1)
+
+        for root in children.get(None, ()):
+            render(root, 0)
+        return "\n".join(lines)
+
+    def format(self) -> str:
+        """The full human-readable report."""
+        if not self.entries:
+            return "(no queries executed)"
+        width = max(len(e.viz_id) for e in self.entries)
+        tier_width = max(len(e.tier) for e in self.entries)
+        lines = [
+            f"{'viz':<{width}}  {'tier':<{tier_width}}  "
+            f"{'ms':>9}  {'rows':>6}  sql"
+        ]
+        for entry in self.entries:
+            sql = entry.sql if len(entry.sql) <= 72 else entry.sql[:69] + "..."
+            lines.append(
+                f"{entry.viz_id:<{width}}  {entry.tier:<{tier_width}}  "
+                f"{entry.duration_ms:>9.3f}  {entry.rows:>6}  {sql}"
+            )
+        tree = self.span_tree()
+        if tree:
+            lines += ["", "span tree:", tree]
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.format()
+
+    def __repr__(self) -> str:
+        return (
+            f"ExplainReport({len(self.entries)} queries, "
+            f"{len(self.spans)} spans)"
+        )
+
+
+def build_explain(results: dict, tracer: Tracer) -> ExplainReport:
+    """Correlate one refresh's timed results with its tracer.
+
+    ``results`` is the ``{viz_id: QueryResult}`` mapping a refresh
+    returns. Tier attribution comes from the tracer's query-tier side
+    channel; a query no tier tagged executed outside every optimizer
+    layer, which is by definition the ``fallback`` tier.
+    """
+    tiers = tracer.query_tiers
+    entries = [
+        ExplainEntry(
+            viz_id=viz_id,
+            sql=timed.sql,
+            tier=tiers.get(timed.sql, "fallback"),
+            duration_ms=timed.duration_ms,
+            rows=timed.rows_returned,
+        )
+        for viz_id, timed in sorted(results.items())
+    ]
+    return ExplainReport(entries, tracer.spans())
+
+
+__all__ = ["ExplainEntry", "ExplainReport", "TIERS", "build_explain"]

@@ -1,0 +1,432 @@
+"""Telemetry contract tests: identity, schema, overhead, explain.
+
+The load-bearing guarantees of the telemetry layer:
+
+1. **Byte identity.** Tracing is observational: the same walk produces
+   byte-identical results (columns, rows, row order) with telemetry
+   installed and without, on every engine under every policy.
+2. **Schema.** Recorded spans validate (closed, unique ids, acyclic
+   parentage), shard spans nest under their refresh across worker
+   threads, and the Chrome export is structurally sound.
+3. **Overhead.** Disabled telemetry records nothing and allocates
+   nothing from the telemetry modules on the hot path.
+4. **Explain.** Every refreshed query is attributed to exactly one
+   known tier, on all six library dashboards.
+
+Plus the satellite regressions: deterministic worker naming with task
+counts, metric percentiles, and bare-``BatchExecutor`` thread safety.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import tracemalloc
+
+import pytest
+
+import repro
+from repro.dashboard.library import DASHBOARD_NAMES, load_dashboard
+from repro.dashboard.state import DashboardState, InteractionKind
+from repro.concurrency.pool import WorkerPool
+from repro.engine.batch import BatchExecutor
+from repro.engine.registry import create_engine
+from repro.execution import ExecutionPolicy
+from repro.telemetry import (
+    MetricsRegistry,
+    Telemetry,
+    chrome_trace,
+    validate_chrome_trace,
+    validate_spans,
+    validate_trace_file,
+    write_chrome_trace,
+)
+from repro.telemetry import metrics as metrics_mod
+from repro.telemetry import trace as trace_mod
+from repro.telemetry.explain import TIERS
+from repro.telemetry.metrics import metric_key
+from repro.workload import generate_dataset
+
+ROWS = 1_200
+ENGINES = ("rowstore", "vectorstore", "matstore", "sqlite")
+
+#: serial and max_throughput are the stress-matrix policies; the pinned
+#: concurrent policy exists because max_throughput() degenerates to one
+#: worker and one shard on single-core hosts, which would leave the
+#: pooled and sharded paths untraced.
+POLICIES = {
+    "serial": ExecutionPolicy.serial(),
+    "max_throughput": ExecutionPolicy.max_throughput(),
+    "concurrent_sharded": ExecutionPolicy(workers=4, shards=3, multiplan=True),
+}
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_is_off():
+    """No test may leak an installed bundle into the next."""
+    yield
+    assert trace_mod.ACTIVE is None, "test leaked an active tracer"
+    assert metrics_mod.ACTIVE is None, "test leaked an active registry"
+
+
+@pytest.fixture(scope="module")
+def table():
+    return generate_dataset("customer_service", ROWS, seed=11)
+
+
+def _walk_results(engine_name, table, policy, steps=3, telemetry=None):
+    """One deterministic walk; returns comparable per-refresh payloads."""
+    engine = create_engine(engine_name)
+    engine.load_table(table)
+    state = DashboardState(load_dashboard("customer_service"), table)
+    rng = random.Random(7)
+    payloads = []
+
+    def record(results):
+        payloads.append(
+            {
+                viz_id: (tuple(t.result.columns), tuple(t.result.rows))
+                for viz_id, t in results.items()
+            }
+        )
+
+    scope = telemetry.install() if telemetry is not None else None
+    try:
+        if scope is not None:
+            scope.__enter__()
+        record(state.refresh(engine, policy=policy))
+        for _ in range(steps):
+            actions = state.available_interactions()
+            filtering = [
+                a
+                for a in actions
+                if a.kind
+                in (InteractionKind.WIDGET_TOGGLE, InteractionKind.WIDGET_SET)
+            ] or actions
+            record(
+                state.apply_and_refresh(
+                    rng.choice(filtering), engine, policy=policy
+                )
+            )
+    finally:
+        if scope is not None:
+            scope.__exit__(None, None, None)
+        engine.close()
+    return payloads
+
+
+# -- 1. byte identity --------------------------------------------------------
+
+
+@pytest.mark.parametrize("policy_name", sorted(POLICIES))
+@pytest.mark.parametrize("engine_name", ENGINES)
+def test_traced_walk_is_byte_identical(table, engine_name, policy_name):
+    policy = POLICIES[policy_name]
+    untraced = _walk_results(engine_name, table, policy)
+    telemetry = Telemetry()
+    traced = _walk_results(engine_name, table, policy, telemetry=telemetry)
+    assert traced == untraced, (
+        f"{engine_name}/{policy_name}: tracing changed results"
+    )
+    # And the bundle actually observed the traced walk. Tier tags come
+    # from the batch layers; serial (batch=False) executes outside all
+    # of them, which explain reports as the implicit fallback tier.
+    assert len(telemetry.tracer) > 0
+    if policy.batch:
+        assert telemetry.tracer.query_tiers
+    else:
+        assert not telemetry.tracer.query_tiers
+
+
+# -- 2. trace schema + nesting -----------------------------------------------
+
+
+def test_trace_schema_and_shard_nesting(table, tmp_path):
+    telemetry = Telemetry()
+    _walk_results(
+        "sqlite",
+        table,
+        ExecutionPolicy(workers=4, shards=3),
+        telemetry=telemetry,
+    )
+    spans = telemetry.tracer.spans()
+    assert validate_spans(spans) == []
+
+    by_id = {s.span_id: s for s in spans}
+    shard_spans = [s for s in spans if s.name.startswith("shard[")]
+    assert shard_spans, "sharded policy recorded no shard spans"
+    assert any(s.thread.startswith("repro-worker-") for s in shard_spans)
+    for span in shard_spans:
+        chain = []
+        cursor = span
+        while cursor.parent_id is not None:
+            cursor = by_id[cursor.parent_id]
+            chain.append(cursor.name)
+        assert "scan_group" in chain and chain[-1] == "refresh", chain
+
+    data = chrome_trace(telemetry.tracer)
+    assert validate_chrome_trace(data) == []
+    thread_names = {
+        e["args"]["name"] for e in data["traceEvents"] if e["ph"] == "M"
+    }
+    assert any(n.startswith("repro-worker-") for n in thread_names)
+
+    path = write_chrome_trace(telemetry.tracer, tmp_path / "trace.json")
+    assert validate_trace_file(path) == []
+    json.loads(path.read_text())  # plain-JSON loadable
+
+
+def test_validators_reject_broken_traces():
+    tracer = trace_mod.Tracer()
+    open_span = tracer.begin("refresh")
+    errors = validate_spans(tracer.spans())
+    assert any("never closed" in e for e in errors)
+    tracer.finish(open_span)
+    assert validate_spans(tracer.spans()) == []
+
+    orphan = trace_mod.Span(
+        span_id=99, parent_id=98, name="x", start_ms=0.0, end_ms=1.0
+    )
+    assert any(
+        "unknown parent" in e for e in validate_spans([orphan])
+    )
+    assert validate_chrome_trace({"nope": 1}) == [
+        "not a trace object with a traceEvents list"
+    ]
+
+
+# -- 3. disabled overhead ----------------------------------------------------
+
+
+def test_disabled_telemetry_records_and_allocates_nothing(table):
+    engine = create_engine("rowstore")
+    engine.load_table(table)
+    state = DashboardState(load_dashboard("customer_service"), table)
+    queries = state.initial_queries()
+    policy = ExecutionPolicy()
+
+    # An uninstalled bundle observes nothing.
+    idle = Telemetry()
+    engine.execute_batch(queries, policy)
+    assert len(idle.tracer) == 0
+    assert idle.registry.snapshot() == {
+        "counters": {},
+        "gauges": {},
+        "histograms": {},
+    }
+
+    # The hot path allocates nothing from the telemetry modules.
+    engine.execute_batch(queries, policy)  # warm every lazy cache first
+    tracemalloc.start()
+    try:
+        before = tracemalloc.take_snapshot()
+        for _ in range(3):
+            engine.execute_batch(queries, policy)
+        after = tracemalloc.take_snapshot()
+    finally:
+        tracemalloc.stop()
+    telemetry_stats = [
+        stat
+        for stat in after.compare_to(before, "filename")
+        if "telemetry" in stat.traceback[0].filename
+        and stat.size_diff > 0
+    ]
+    assert telemetry_stats == [], (
+        f"disabled telemetry allocated: {telemetry_stats}"
+    )
+    engine.close()
+
+
+# -- 4. metrics registry -----------------------------------------------------
+
+
+def test_metric_keys_and_percentiles():
+    assert metric_key("engine.query_ms", {}) == "engine.query_ms"
+    assert (
+        metric_key("engine.query_ms", {"b": 1, "a": 2})
+        == "engine.query_ms{a=2,b=1}"
+    )
+
+    registry = MetricsRegistry()
+    registry.inc("cache.hits")
+    registry.inc("cache.hits", 2)
+    assert registry.counter("cache.hits") == 3
+    registry.set_gauge("pool.worker_tasks", 4, worker="repro-worker-0")
+    assert registry.gauge("pool.worker_tasks", worker="repro-worker-0") == 4
+    assert registry.gauge("pool.worker_tasks", worker="repro-worker-9") is None
+
+    for value in range(1, 101):
+        registry.observe("shard.scan_ms", float(value), table="t")
+    summary = registry.histogram("shard.scan_ms", table="t")
+    assert summary.count == 100
+    assert summary.min == 1.0 and summary.max == 100.0
+    assert summary.mean == pytest.approx(50.5)
+    assert summary.p50 == 50.0
+    assert summary.p95 == 95.0
+    assert summary.p99 == 99.0
+    assert registry.histogram("shard.scan_ms", table="other") is None
+
+    snapshot = registry.snapshot()
+    assert snapshot["counters"] == {"cache.hits": 3}
+    assert snapshot["histograms"]["shard.scan_ms{table=t}"]["p95"] == 95.0
+
+
+def test_histogram_sample_bound_drops_oldest():
+    registry = MetricsRegistry(max_samples=10)
+    for value in range(100):
+        registry.observe("m", float(value))
+    summary = registry.histogram("m")
+    assert summary.count == 10
+    assert summary.min == 90.0 and summary.max == 99.0
+
+
+def test_engine_and_shard_timings_reach_the_registry(table):
+    telemetry = Telemetry()
+    _walk_results(
+        "sqlite",
+        table,
+        ExecutionPolicy(workers=2, shards=2),
+        telemetry=telemetry,
+    )
+    snapshot = telemetry.registry.snapshot()
+    assert snapshot["histograms"]["engine.query_ms{engine=sqlite}"]["count"] > 0
+    shard_series = [
+        k for k in snapshot["histograms"] if k.startswith("shard.scan_ms")
+    ]
+    assert shard_series, snapshot["histograms"]
+    assert snapshot["counters"]["batch.queries"] > 0
+    worker_gauges = [
+        k for k in snapshot["gauges"] if k.startswith("pool.worker_tasks")
+    ]
+    assert worker_gauges
+
+
+# -- 5. explain --------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", DASHBOARD_NAMES)
+def test_explain_attributes_every_query_to_one_tier(name):
+    with repro.connect("rowstore", policy=ExecutionPolicy()) as session:
+        session.load(generate_dataset(name, 600, seed=3))
+        report = session.explain(name)
+    spec = load_dashboard(name)
+    assert sorted(report.tiers) == sorted(
+        v.id for v in spec.interface.visualizations
+    )
+    for entry in report.entries:
+        assert entry.tier in TIERS, entry
+    rendered = str(report)
+    assert "span tree:" in rendered
+    assert "refresh" in rendered
+
+
+def test_explain_reports_cache_tier_when_warm():
+    with repro.connect("rowstore", cache=True) as session:
+        session.load(generate_dataset("customer_service", 600, seed=3))
+        session.refresh("customer_service")  # warm the cache
+        report = session.explain("customer_service")
+    assert set(report.tiers.values()) == {"cache"}
+
+
+def test_session_scoped_telemetry_and_explain_shadowing(table):
+    bundle = Telemetry()
+    with repro.connect("rowstore", telemetry=bundle) as session:
+        session.load(table)
+        session.refresh("customer_service")
+        spans_after_refresh = len(bundle.tracer)
+        assert spans_after_refresh > 0
+        histogram = bundle.registry.histogram(
+            "engine.query_ms", engine="rowstore"
+        )
+        assert histogram is not None and histogram.count > 0
+
+        # explain() runs under its own private bundle: the session-wide
+        # one must not absorb the explain refresh's spans.
+        report = session.explain("customer_service")
+        assert report.entries
+        assert len(bundle.tracer) == spans_after_refresh
+    assert not bundle.active
+
+
+# -- 6. workers + bare-executor thread safety --------------------------------
+
+
+def test_worker_threads_named_deterministically_with_task_counts():
+    with WorkerPool(workers=3) as pool:
+        futures = [
+            pool.submit(lambda: threading.current_thread().name)
+            for _ in range(24)
+        ]
+        names = {f.result() for f in futures}
+        counts = pool.task_counts
+    assert names <= {"repro-worker-0", "repro-worker-1", "repro-worker-2"}
+    assert set(counts) == names
+    assert sum(counts.values()) == 24
+
+
+def test_bare_batch_executor_is_thread_safe(table):
+    """Satellite regression: cumulative stats + key memo under threads."""
+    engine = create_engine("rowstore")
+    engine.load_table(table)
+    state = DashboardState(load_dashboard("customer_service"), table)
+    queries = state.initial_queries()
+    executor = BatchExecutor(engine)
+    runs_per_thread = 5
+    threads = 8
+    errors = []
+
+    def hammer():
+        try:
+            for _ in range(runs_per_thread):
+                batch = executor.run(queries)
+                assert len(batch.results) == len(queries)
+        except BaseException as exc:  # surfaced after join
+            errors.append(exc)
+
+    workers = [threading.Thread(target=hammer) for _ in range(threads)]
+    for t in workers:
+        t.start()
+    for t in workers:
+        t.join()
+    assert errors == []
+    expected = threads * runs_per_thread * len(queries)
+    assert executor.stats.queries == expected
+    engine.close()
+
+
+# -- 7. CLI + artifact schema ------------------------------------------------
+
+
+def test_harness_cli_trace_flag_writes_valid_trace(tmp_path, capsys):
+    from repro.harness.cli import main
+
+    trace_path = tmp_path / "bench.json"
+    exit_code = main(
+        [
+            "--dashboards", "customer_service",
+            "--engines", "rowstore",
+            "--rows", "600",
+            "--runs", "1",
+            "--policy", "concurrent",
+            "--trace", str(trace_path),
+        ]
+    )
+    assert exit_code == 0
+    assert validate_trace_file(trace_path) == []
+    assert "trace:" in capsys.readouterr().out
+    assert trace_mod.ACTIVE is None  # CLI deactivated its bundle
+
+
+def test_telemetry_snapshot_schema(table):
+    telemetry = Telemetry()
+    _walk_results("rowstore", table, ExecutionPolicy(), telemetry=telemetry)
+    block = telemetry.snapshot()
+    assert sorted(block) == ["metrics", "query_tiers", "spans"]
+    assert sorted(block["metrics"]) == ["counters", "gauges", "histograms"]
+    assert block["spans"]["total"] == sum(
+        block["spans"]["by_name"].values()
+    )
+    assert block["query_tiers"]
+    assert set(block["query_tiers"]) <= set(TIERS)
+    json.dumps(block)  # plain JSON, artifact-embeddable

@@ -36,6 +36,7 @@ EXAMPLE_FILES = [
     REPO / "examples" / "multiplan_render.py",
     REPO / "examples" / "policy_quickstart.py",
     REPO / "examples" / "generated_workload.py",
+    REPO / "examples" / "traced_refresh.py",
 ]
 
 #: Markdown inline links: [text](target). Reference-style links are
