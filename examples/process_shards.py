@@ -1,0 +1,130 @@
+"""Process-backed shard execution: shared-memory exports + worker pool.
+
+The thread backend overlaps scan groups only where the engine releases
+the GIL (SQLite); the pure-Python stores run their shard tasks as a
+serialized queue. ``ExecutionPolicy(backend="processes")`` ships each
+row-range shard to a *worker process* instead: the base table is
+exported once per generation into ``multiprocessing.shared_memory``,
+workers attach and slice zero-copy, run the shard's partial queries
+locally, and the parent merges the partials through the exact rollup
+algebra the thread path uses — so results stay byte-identical.
+
+This walkthrough shows:
+
+1. which engines can export, and how (the per-engine shard mode);
+2. a refresh under ``backend="threads"`` vs ``backend="processes"``,
+   with the shared-memory segments visible mid-run;
+3. the identity check, and the lifecycle check (no segments survive
+   pool shutdown).
+
+Run with::
+
+    PYTHONPATH=src python examples/process_shards.py
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.concurrency import ScanGroupExecutor, process_shard_engine
+from repro.concurrency.procpool import ProcessShardPool
+from repro.dashboard.library import load_dashboard
+from repro.dashboard.state import DashboardState
+from repro.engine.registry import create_engine
+from repro.execution import ExecutionPolicy
+from repro.workload.datasets import generate_dataset
+
+ROWS = int(os.environ.get("SIMBA_EXAMPLE_ROWS", "20000"))
+SHARDS = 4
+# Two workers keep the walkthrough quick even on a single-core host,
+# where each spawned worker pays a full interpreter + import start-up.
+WORKERS = 2
+
+
+def show_capabilities() -> None:
+    """Print each engine's process-shard export mode."""
+    print("Per-engine export modes (how a table crosses the boundary):")
+    for name in ("rowstore", "vectorstore", "matstore", "sqlite"):
+        engine = create_engine(name)
+        mode = getattr(engine, "process_shard_mode", None)
+        detail = {
+            "shm": "float64 column segments + pickled object columns",
+            "pickle": "whole column dict as one pickle blob (exact ints)",
+            "file": "snapshot file via the backup API (rowids preserved)",
+        }.get(mode, "cannot export; degrades to the thread backend")
+        print(f"  {name:<12} {str(mode):<8} {detail}")
+        engine.close()
+    print()
+
+
+def timed_refresh(queries, table, backend: str, pool=None):
+    """One refresh batch on a fresh vectorstore under ``backend``."""
+    engine = create_engine("vectorstore")
+    engine.load_table(table)
+    policy = ExecutionPolicy(
+        workers=WORKERS, shards=SHARDS, backend=backend
+    )
+    executor = ScanGroupExecutor(engine, policy, proc_pool=pool)
+    start = time.perf_counter()
+    batch = executor.run(list(queries))
+    elapsed_ms = (time.perf_counter() - start) * 1000.0
+    segments = pool.segment_names() if pool is not None else []
+    executor.close()
+    engine.close()
+    print(
+        f"  backend={backend}: {len(queries)} queries -> "
+        f"{batch.stats.groups} groups, "
+        f"{batch.stats.proc_shard_scans} shards in worker processes, "
+        f"{elapsed_ms:.1f} ms"
+        + (f", {len(segments)} shm segments live" if segments else "")
+    )
+    return batch
+
+
+def main() -> None:
+    show_capabilities()
+
+    spec = load_dashboard("customer_service")
+    table = generate_dataset("customer_service", ROWS, seed=7)
+    state = DashboardState(spec, table)
+    queries = [state.query_for(v) for v in sorted(state.visualizations)]
+    # The vectorstore advertises support (walked through any wrapper
+    # chain by process_shard_engine); a policy on an engine that does
+    # not is advisory — it degrades to threads instead of failing.
+    assert process_shard_engine(create_engine("vectorstore")) is not None
+
+    print(f"Refresh fan-out on vectorstore, {ROWS} rows:")
+    threaded = timed_refresh(queries, table, "threads")
+    pool = ProcessShardPool(workers=WORKERS)
+    processed = timed_refresh(queries, table, "processes", pool=pool)
+
+    identical = all(
+        a.result.columns == b.result.columns
+        and a.result.rows == b.result.rows
+        for a, b in zip(threaded.results, processed.results)
+    )
+    print(
+        f"  verified: thread and process results are "
+        f"{'byte-identical' if identical else 'DIFFERENT (bug!)'}"
+    )
+    assert identical
+
+    pool.shutdown()
+    assert pool.segment_names() == []
+    print("  verified: pool shutdown unlinked every shm segment")
+    print()
+    cpus = os.cpu_count() or 1
+    print(
+        f"This host has {cpus} CPU(s). Worker processes overlap the "
+        "shard *compute* the GIL serializes for threads — a win on "
+        "multi-core hosts, pure overhead on one core (the export, "
+        "pickling, and dispatch are not free). ExecutionPolicy.auto() "
+        "therefore picks backend='processes' only when the machine has "
+        "spare cores AND the engine can export; the same knob is "
+        "--backend on the harness and replay CLIs."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -54,8 +54,14 @@ from repro.concurrency.policy import (
     SlotGatedEngine,
     execution_slot,
     parallel_scans,
+    process_shard_engine,
     slot_gated,
     thread_safe,
+)
+from repro.concurrency.procpool import (
+    ProcessShardPool,
+    shared_process_pool,
+    shutdown_shared_pool,
 )
 from repro.concurrency.sessions import (
     RefreshJob,
@@ -66,6 +72,7 @@ from repro.concurrency.sessions import (
 from repro.concurrency.singleflight import SingleFlight
 
 __all__ = [
+    "ProcessShardPool",
     "RefreshJob",
     "ScanGroupExecutor",
     "SerialPool",
@@ -77,8 +84,11 @@ __all__ = [
     "execution_slot",
     "map_ordered",
     "parallel_scans",
+    "process_shard_engine",
     "refresh_many",
     "run_tasks",
+    "shared_process_pool",
+    "shutdown_shared_pool",
     "slot_gated",
     "thread_safe",
 ]

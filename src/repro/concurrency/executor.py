@@ -76,7 +76,11 @@ from repro.engine.batch import (
     ScanGroup,
 )
 from repro.engine.interface import Engine, QueryResult
-from repro.concurrency.policy import parallel_scans, slot_gated
+from repro.concurrency.policy import (
+    parallel_scans,
+    process_shard_engine,
+    slot_gated,
+)
 from repro.concurrency.pool import WorkerPool, map_ordered
 from repro.concurrency.singleflight import SingleFlight
 from repro.errors import ExecutionError
@@ -108,6 +112,7 @@ class ScanGroupExecutor(BatchExecutor):
         group_cache=None,
         fallback_engine: Engine | None = None,
         group_flight: SingleFlight | None = None,
+        proc_pool=None,
         workers: int | None = None,
         shards: int | None = None,
         multiplan: bool | None = None,
@@ -137,6 +142,11 @@ class ScanGroupExecutor(BatchExecutor):
         #: group cache (followers are served from what the leader
         #: stored there).
         self._group_flight = group_flight
+        #: Process pool override for ``backend="processes"``; ``None``
+        #: uses the long-lived module-shared pool (which this executor
+        #: does NOT own and never shuts down). Tests inject a fresh
+        #: pool here to isolate fault-injection blast radius.
+        self._proc_pool = proc_pool
         # BatchExecutor's cumulative stats and key memo are shared
         # mutable state; concurrent run() calls guard them here.
         self._shared_lock = threading.Lock()
@@ -207,6 +217,13 @@ class ScanGroupExecutor(BatchExecutor):
                 "batch=False policy belongs on Engine.execute_batch, "
                 "which routes it to per-query execution"
             )
+        if policy.backend == "processes":
+            exporter = process_shard_engine(self.engine)
+            if exporter is not None:
+                return self._run_proc_sharded(queries, policy, exporter)
+            # Nothing in the wrapper stack can export table snapshots —
+            # the backend knob is advisory, so degrade to the thread
+            # paths below rather than failing the batch.
         effective = policy.workers
         sharding = policy.shards
         combine = policy.multiplan
@@ -319,6 +336,122 @@ class ScanGroupExecutor(BatchExecutor):
         with self._shared_lock:
             self.stats.merge(stats)
         registry = _metrics.ACTIVE
+        if registry is not None:
+            registry.record_batch(stats)
+        return BatchResult(list(results), stats)
+
+    def _run_proc_sharded(
+        self, queries: list[Query], policy, exporter: Engine
+    ) -> BatchResult:
+        """Process-backed execution: shard jobs run in worker processes.
+
+        Each shardable group's row-range shards become
+        :class:`~repro.concurrency.procpool.ShardJob` units dispatched
+        to a :class:`~repro.concurrency.procpool.ProcessShardPool`;
+        partials come back as payloads and merge through the exact
+        rollup algebra the thread path uses, so byte-identity carries
+        over. Groups that cannot shard — and tables the engine cannot
+        export — run locally on the pre-existing thread paths,
+        overlapping with the in-flight worker processes.
+
+        Unlike the thread path, dispatch does **not** gate on
+        ``parallel_scans``: escaping the GIL for the pure-Python stores
+        is the entire point of this backend.
+
+        Collection is wait-all in submission order: every future
+        settles before the first error (if any) is raised, so no
+        worker output is abandoned mid-pipe and spans close cleanly.
+        """
+        from repro.concurrency.procpool import shared_process_pool
+        from repro.sharding import Partitioner
+        from repro.sharding.executor import plan_sharded_group
+
+        pool = self._proc_pool
+        if pool is None:
+            pool = shared_process_pool()
+        partitioner = Partitioner(max(policy.shards, 1))
+        stats = BatchStats(queries=len(queries))
+        results: list[QueryResult | None] = [None] * len(queries)
+        with self._shared_lock:  # the key memo is shared mutable state
+            groups = self._group(queries)
+        stats.groups = len(groups)
+        plan_stats = BatchStats()  # cache hits served at plan time
+        local_units: list[Callable[[], BatchStats]] = []
+        sharded_runs = []
+        remote = []  # (run, job, span, future) in submission order
+        for group in groups:
+            run = plan_sharded_group(
+                self, group, partitioner, results, plan_stats,
+                multiplan=policy.multiplan,
+            )
+            if run is None:
+                local_units.append(
+                    lambda g=group: self._execute_group(
+                        g, results, policy.multiplan
+                    )
+                )
+                continue
+            sharded_runs.append(run)
+            export = pool.export_table(exporter, run.table)
+            if export is None:
+                # Unknown generation (or unexportable storage): the
+                # run's shards execute locally instead.
+                local_units.extend(run.scan_tasks())
+                continue
+            for job in run.remote_jobs(export):
+                span = run.begin_remote(job.shard)
+                if span is not None:
+                    # Serialized span context: its presence tells the
+                    # worker to record re-anchorable span tuples.
+                    job.trace = {"span_id": span.span_id}
+                remote.append((run, job, span, pool.submit(export, job)))
+        # Local leftovers execute while the workers chew on the remote
+        # jobs; their own overlap keeps the thread path's gating.
+        if (
+            policy.workers > 1
+            and len(local_units) > 1
+            and parallel_scans(self.engine)
+        ):
+            wpool = self._pool_for(policy.workers)
+            tracer = _trace.ACTIVE
+            if tracer is not None:
+                local_units = [tracer.bind(unit) for unit in local_units]
+            unit_stats = map_ordered(wpool, lambda unit: unit(), local_units)
+        else:
+            unit_stats = [unit() for unit in local_units]
+        remote_stats = []
+        first_error: BaseException | None = None
+        proc_tasks: dict[int, int] = {}
+        for run, job, span, future in remote:
+            try:
+                payload = pool.collect(future, job)
+            except BaseException as exc:  # noqa: BLE001 — re-raised below
+                if first_error is None:
+                    first_error = exc
+                tracer = _trace.ACTIVE
+                if span is not None and tracer is not None:
+                    span.attrs["error"] = type(exc).__name__
+                    tracer.finish(span)
+                continue
+            proc_tasks[payload.pid] = proc_tasks.get(payload.pid, 0) + 1
+            remote_stats.append(run.accept_remote(job.shard, payload, span))
+        registry = _metrics.ACTIVE
+        if registry is not None:
+            for pid, count in proc_tasks.items():
+                registry.set_gauge(
+                    "pool.proc_tasks", count, worker=f"pid-{pid}"
+                )
+        if first_error is not None:
+            raise first_error
+        merge_stats = [run.merge(results) for run in sharded_runs]
+        for delta in (plan_stats, *unit_stats, *remote_stats, *merge_stats):
+            stats.merge(delta)
+        if any(r is None for r in results):
+            # Positional alignment is the API contract; a hole here
+            # must fail loudly, never compact silently.
+            raise ExecutionError("batch execution left a query unanswered")
+        with self._shared_lock:
+            self.stats.merge(stats)
         if registry is not None:
             registry.record_batch(stats)
         return BatchResult(list(results), stats)

@@ -57,6 +57,26 @@ def parallel_scans(engine: Engine) -> bool:
     return bool(getattr(engine, "parallel_scans", False))
 
 
+def process_shard_engine(engine: Engine) -> Engine | None:
+    """The innermost engine able to export process shards, or ``None``.
+
+    Walks the wrapper chain (slot gates, caches, instrumentation — any
+    object exposing ``.inner``) looking for ``supports_process_shards``.
+    The *unwrapped* engine is what the process pool exports from and
+    what parent-side merges run against; wrappers keep doing their job
+    on the parent because the executor only uses the returned engine
+    for the export itself.
+    """
+    seen: set[int] = set()
+    current: object = engine
+    while current is not None and id(current) not in seen:
+        seen.add(id(current))
+        if getattr(current, "supports_process_shards", False):
+            return current  # type: ignore[return-value]
+        current = getattr(current, "inner", None)
+    return None
+
+
 def serialization_lock(engine: Engine) -> threading.RLock:
     """The per-instance mutex backing this engine's serialized queue."""
     with _REGISTRY_LOCK:
@@ -126,6 +146,10 @@ class SlotGatedEngine(Engine):
         with execution_slot(self._inner):
             return self._inner.table_row_count(name)
 
+    def table_version(self, name: str) -> int | None:
+        with execution_slot(self._inner):
+            return self._inner.table_version(name)
+
     def materialize_filtered(
         self, name, source: str, predicate, row_range=None
     ) -> bool:
@@ -161,6 +185,7 @@ __all__ = [
     "SlotGatedEngine",
     "execution_slot",
     "parallel_scans",
+    "process_shard_engine",
     "serialization_lock",
     "slot_gated",
     "thread_safe",

@@ -198,6 +198,7 @@ class BatchStats:
     shard_scans: int = 0  # per-shard base-range materializations
     multiplan_groups: int = 0  # groups answered by one combined pass
     multiplan_plans: int = 0  # fusion classes folded into combined passes
+    proc_shard_scans: int = 0  # shard scans executed in worker processes
 
     @property
     def sequential_scans(self) -> int:
@@ -216,6 +217,7 @@ class BatchStats:
         self.shard_scans += other.shard_scans
         self.multiplan_groups += other.multiplan_groups
         self.multiplan_plans += other.multiplan_plans
+        self.proc_shard_scans += other.proc_shard_scans
 
 
 @dataclass

@@ -282,6 +282,9 @@ class CachedEngine(Engine):
     def table_row_count(self, name: str) -> int | None:
         return self._inner.table_row_count(name)
 
+    def table_version(self, name: str) -> int | None:
+        return self._inner.table_version(name)
+
     def materialize_filtered(
         self, name, source: str, predicate, row_range=None
     ) -> bool:

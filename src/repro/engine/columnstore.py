@@ -73,6 +73,11 @@ class VectorStoreEngine(DatabaseBackedEngine):
     """Pure-Python vectorized (batch-at-a-time) engine."""
 
     name = "vectorstore"
+    # Numeric columns already execute through float64 ``Table.array``
+    # views, so the shared-memory export's float64 round trip is
+    # execution-equivalent; object columns travel as pickle blobs.
+    supports_process_shards = True
+    process_shard_mode = "shm"
 
     def materialize_filtered(
         self, name, source: str, predicate, row_range=None

@@ -142,6 +142,20 @@ class Engine(abc.ABC):
     #: as a serialized queue.
     parallel_scans: bool = False
 
+    #: Whether the engine can export table snapshots for process-backed
+    #: shard execution (:mod:`repro.concurrency.procpool`). Engines
+    #: that advertise this must also implement :meth:`table_version`
+    #: and set :attr:`process_shard_mode`.
+    supports_process_shards: bool = False
+
+    #: How the engine's tables travel to worker processes: ``"shm"``
+    #: (column arrays in shared-memory segments, sliced zero-copy per
+    #: shard), ``"pickle"`` (whole-column pickle blob — the documented
+    #: slow path for engines whose execution depends on exact Python
+    #: object arithmetic), or ``"file"`` (a database snapshot file the
+    #: workers reopen). ``None`` when process shards are unsupported.
+    process_shard_mode: str | None = None
+
     @abc.abstractmethod
     def load_table(self, table: Table) -> None:
         """Register (or replace) a table in the engine."""
@@ -215,6 +229,28 @@ class Engine(abc.ABC):
         shared-scan materialization; engines that cannot answer return
         ``None`` and batch execution degrades gracefully to per-query
         scans.
+        """
+        return None
+
+    def table_version(self, name: str) -> int | None:
+        """Monotonic generation of a loaded table, or ``None``.
+
+        Process-backed execution exports a table to shared memory once
+        per generation and keys the export on this value; a table whose
+        version it cannot learn is never exported (the policy degrades
+        to the thread backend). The default — and what any wrapper that
+        does not delegate inherits — is ``None``: no generation, no
+        export, safe degradation.
+        """
+        return None
+
+    def table_object(self, name: str) -> Table | None:
+        """The in-memory :class:`Table` backing ``name``, or ``None``.
+
+        The process-shard exporter reads column storage directly when
+        building ``"shm"``/``"pickle"`` exports; engines that do not
+        keep an in-memory Table (or cannot share it) return ``None``
+        and only file-mode export remains available to them.
         """
         return None
 
@@ -302,7 +338,11 @@ class Engine(abc.ABC):
             return execute_all(self, list(queries), workers=policy.workers)
         from repro.engine.batch import BatchExecutor
 
-        if policy.workers > 1 or policy.shards > 1:
+        if (
+            policy.workers > 1
+            or policy.shards > 1
+            or policy.backend == "processes"
+        ):
             from repro.concurrency.executor import ScanGroupExecutor
 
             executor = ScanGroupExecutor(self, policy=policy)
@@ -349,3 +389,11 @@ class DatabaseBackedEngine(Engine):
         if name not in self._db:
             return None
         return self._db.table(name).num_rows
+
+    def table_version(self, name: str) -> int | None:
+        return self._db.version(name)
+
+    def table_object(self, name: str) -> Table | None:
+        if name not in self._db:
+            return None
+        return self._db.table(name)

@@ -52,6 +52,11 @@ class MatStoreEngine(DatabaseBackedEngine):
 
     name = "matstore"
     supports_indexes = True
+    # Same float64/pickle export shape as the vectorstore; worker-side
+    # shard engines simply have no secondary indexes (results are
+    # identical, indexes only change speed).
+    supports_process_shards = True
+    process_shard_mode = "shm"
 
     def __init__(self) -> None:
         super().__init__()

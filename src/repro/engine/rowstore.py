@@ -39,6 +39,12 @@ class RowStoreEngine(DatabaseBackedEngine):
 
     name = "rowstore"
     supports_indexes = True
+    # The rowstore's accumulators do exact Python-object arithmetic
+    # (ints beyond 2^53 stay exact), so its export is a whole-column
+    # pickle blob — the documented slow path — rather than a lossy
+    # float64 shared-memory view.
+    supports_process_shards = True
+    process_shard_mode = "pickle"
 
     def __init__(self) -> None:
         super().__init__()

@@ -74,6 +74,11 @@ class SQLiteEngine(Engine):
     supports_indexes = True
     thread_safe = True
     parallel_scans = True
+    # Worker processes reopen a snapshot *file* (the backup API writes
+    # one per generation); shared-memory column exports would bypass
+    # SQLite's own storage and typing.
+    supports_process_shards = True
+    process_shard_mode = "file"
 
     def __init__(self) -> None:
         # The primary holds the authoritative database. It is created
@@ -253,6 +258,57 @@ class SQLiteEngine(Engine):
             return None
         return table.schema
 
+    def table_version(self, name: str):
+        """The engine-wide generation, as this table's version.
+
+        The generation counter bumps on *every* base-table write, so it
+        is coarser than a per-table version — a process-shard export
+        may be rebuilt when an unrelated table changed — but never
+        stale: any change to ``name`` is guaranteed to move it.
+        """
+        if name.startswith(TEMP_PREFIX):
+            return None
+        with self._lock:
+            if name not in self._schemas:
+                return None
+            return self._generation
+
+    def snapshot_to(self, path) -> None:
+        """Write the primary database to ``path`` via the backup API.
+
+        The process-shard export calls this once per generation; worker
+        processes restore the file with :meth:`from_snapshot`. Runs
+        under the engine lock, so the file is a consistent snapshot
+        even with concurrent loads.
+        """
+        dest = sqlite3.connect(str(path))
+        try:
+            with self._lock:
+                self._primary.backup(dest)
+            dest.commit()
+        finally:
+            dest.close()
+
+    @classmethod
+    def from_snapshot(cls, path, table: str, schema, num_rows: int):
+        """A fresh engine restored from a :meth:`snapshot_to` file.
+
+        Worker-process side of ``process_shard_mode = "file"``: the
+        snapshot is copied into a new in-memory primary (UDFs and all),
+        and ``table`` is registered with just enough schema facts for
+        output conversion and row-range materialization — rowids were
+        preserved by the backup, so shard windows address the same rows
+        as on the parent.
+        """
+        engine = cls()
+        src = sqlite3.connect(str(path))
+        try:
+            src.backup(engine._primary)
+        finally:
+            src.close()
+        engine._schemas[table] = _TableFacts(table, schema, num_rows)
+        return engine
+
     def table_row_count(self, name: str):
         if name.startswith(TEMP_PREFIX):
             # Shared-scan temps register the *base* Table object under
@@ -331,6 +387,23 @@ class SQLiteEngine(Engine):
                     pass
             self._replicas.clear()
             self._primary.close()
+
+
+class _TableFacts:
+    """The slice of a :class:`Table` the SQLite wrapper actually reads.
+
+    ``_schemas`` values are consulted for ``.schema`` (output-type
+    restoration) and ``.num_rows`` (row counts); a worker restoring a
+    snapshot has those facts but not the column data, so it registers
+    this stand-in instead of a full table.
+    """
+
+    __slots__ = ("name", "schema", "num_rows")
+
+    def __init__(self, name: str, schema, num_rows: int) -> None:
+        self.name = name
+        self.schema = schema
+        self.num_rows = num_rows
 
 
 class _ThreadToken:

@@ -308,19 +308,45 @@ class Table:
 
 
 class Database:
-    """A named collection of tables, the unit an engine loads."""
+    """A named collection of tables, the unit an engine loads.
+
+    Every ``add``/``remove`` advances a per-database monotonic counter
+    and stamps the touched name with it, so :meth:`version` answers
+    "has this table changed since I looked?" — the generation handle
+    process-backed execution keys its shared-memory exports on
+    (:mod:`repro.concurrency.procpool`).
+    """
 
     def __init__(self, tables: list[Table] | None = None) -> None:
         self._tables: dict[str, Table] = {}
+        self._version_clock = 0
+        self._versions: dict[str, int] = {}
         for table in tables or []:
             self.add(table)
 
+    def _bump(self, name: str) -> None:
+        self._version_clock += 1
+        self._versions[name] = self._version_clock
+
     def add(self, table: Table) -> None:
         self._tables[table.name] = table
+        self._bump(table.name)
 
     def remove(self, name: str) -> None:
         """Drop a table; missing names are ignored (idempotent)."""
-        self._tables.pop(name, None)
+        if self._tables.pop(name, None) is not None:
+            self._bump(name)
+
+    def version(self, name: str) -> int | None:
+        """Monotonic version of a loaded table (``None`` when absent).
+
+        A re-added table gets a strictly larger version than any it had
+        before, so a cached export keyed on ``(name, version)`` can
+        never be served for reloaded data.
+        """
+        if name not in self._tables:
+            return None
+        return self._versions[name]
 
     def table(self, name: str) -> Table:
         try:

@@ -36,10 +36,20 @@ from repro.errors import ConfigError
 #: The knob fields, in threading order (and the legacy keyword names).
 POLICY_KNOBS = ("batch", "workers", "shards", "multiplan")
 
+#: Accepted ``backend`` values: in-process thread pools, or worker
+#: processes fed via shared memory (:mod:`repro.concurrency.procpool`).
+BACKENDS = ("threads", "processes")
+
 #: ``auto()`` never sizes the pool past this many workers — beyond it
 #: the GIL-bound stores stop scaling and SQLite replica snapshots cost
 #: more than the overlap buys at laptop scale.
 AUTO_MAX_WORKERS = 8
+
+#: ...and never below this many: threads overlap I/O and dispatch
+#: latency even on one core, and a concurrent preset that silently
+#: degenerates to one worker and one shard on a 1-CPU runner skips the
+#: very machinery (cross-thread spans, shard tasks) it was asked for.
+AUTO_MIN_WORKERS = 4
 
 #: ``auto()`` targets at least this many rows per shard; smaller tables
 #: are not worth the per-shard scan/merge overhead.
@@ -67,6 +77,13 @@ class ExecutionPolicy:
     - ``multiplan`` — evaluate each unfiltered group's fusion classes
       in one combined pass (:mod:`repro.engine.multiplan`). Batch-mode
       only.
+    - ``backend`` — where shard work runs: ``"threads"`` (the
+      in-process worker pool) or ``"processes"`` (worker processes fed
+      via shared-memory table exports,
+      :mod:`repro.concurrency.procpool`), which overlaps *compute* for
+      the GIL-bound pure-Python stores. Batch-mode only; engines that
+      do not advertise ``supports_process_shards`` degrade to the
+      thread backend.
 
     Future knobs (adaptive shard counts, cardinality-aware pass
     splitting, pipelined per-group merges — see ROADMAP.md) land here
@@ -77,6 +94,7 @@ class ExecutionPolicy:
     workers: int = 1
     shards: int = 1
     multiplan: bool = False
+    backend: str = "threads"
 
     def __post_init__(self) -> None:
         if not isinstance(self.workers, int) or isinstance(self.workers, bool):
@@ -99,6 +117,17 @@ class ExecutionPolicy:
                 "evaluate scan groups, and sequential mode has none "
                 "(pass batch=True, or multiplan=False)"
             )
+        if self.backend not in BACKENDS:
+            raise ConfigError(
+                f"unknown backend {self.backend!r}; "
+                f"choose from {', '.join(BACKENDS)}"
+            )
+        if not self.batch and self.backend == "processes":
+            raise ConfigError(
+                "backend='processes' requires batch execution: process "
+                "workers execute sharded scan groups, and sequential "
+                "mode has none (pass batch=True, or backend='threads')"
+            )
 
     # -- presets ------------------------------------------------------------
 
@@ -117,7 +146,8 @@ class ExecutionPolicy:
         """Shared scans with scan groups overlapped over a worker pool.
 
         ``workers=None`` sizes the pool from ``os.cpu_count()``
-        (clamped to :data:`AUTO_MAX_WORKERS`).
+        (clamped between :data:`AUTO_MIN_WORKERS` and
+        :data:`AUTO_MAX_WORKERS`).
         """
         if workers is None:
             workers = _auto_workers()
@@ -127,9 +157,13 @@ class ExecutionPolicy:
     def max_throughput(cls) -> "ExecutionPolicy":
         """Every optimization on, sized from ``os.cpu_count()``.
 
-        Shared scans, a cpu-sized worker pool, one shard per worker,
-        and combined multi-plan passes. Results are still byte-identical
-        to :meth:`serial` — only wall-clock and scan counts change.
+        Shared scans, a cpu-sized worker pool (floored at
+        :data:`AUTO_MIN_WORKERS`, so 1-CPU runners still exercise real
+        concurrency), one shard per worker, and combined multi-plan
+        passes. Results are still byte-identical to :meth:`serial` —
+        only wall-clock and scan counts change. The backend stays
+        ``"threads"``; :meth:`auto` is the preset that inspects the
+        engine and machine to pick processes.
         """
         workers = _auto_workers()
         return cls(workers=workers, shards=workers, multiplan=True)
@@ -138,11 +172,14 @@ class ExecutionPolicy:
     def auto(
         cls, engine=None, table: str | None = None
     ) -> "ExecutionPolicy":
-        """Size workers and shards from the machine and the data.
+        """Size workers, shards, and the backend from machine and data.
 
-        Workers come from ``os.cpu_count()`` (clamped to
-        :data:`AUTO_MAX_WORKERS`). With an ``engine`` and a ``table``
-        name, shards are sized from the engine's
+        Workers come from ``os.cpu_count()`` (clamped between
+        :data:`AUTO_MIN_WORKERS` and :data:`AUTO_MAX_WORKERS` — the
+        floor keeps 1-CPU runners on a real concurrent configuration
+        instead of silently degenerating to one worker and one shard).
+        With an ``engine`` and a ``table`` name, shards are sized from
+        the engine's
         :meth:`~repro.engine.interface.Engine.table_row_count` so each
         shard scans at least :data:`AUTO_ROWS_PER_SHARD` rows — small
         tables stay unsharded (the per-shard merge would cost more than
@@ -150,14 +187,34 @@ class ExecutionPolicy:
         count (extra shards would just queue). An engine that cannot
         report a row count (``table_row_count`` → ``None``) also stays
         unsharded, mirroring the sharded executor's own degradation.
+
+        With an ``engine``, the backend becomes ``"processes"`` when
+        the machine actually has more than one CPU *and* the engine
+        advertises process-shard support
+        (:func:`repro.concurrency.policy.process_shard_engine`) —
+        worker processes overlap compute where threads only overlap
+        I/O. Note the backend check uses the raw ``os.cpu_count()``,
+        not the floored worker count: extra threads still help on one
+        core, extra processes do not.
         """
         workers = _auto_workers()
         shards = 1
-        if engine is not None and table is not None:
-            rows = engine.table_row_count(table)
-            if rows:
-                shards = max(1, min(workers, rows // AUTO_ROWS_PER_SHARD))
-        return cls(workers=workers, shards=shards, multiplan=True)
+        backend = "threads"
+        if engine is not None:
+            if (os.cpu_count() or 1) > 1:
+                from repro.concurrency.policy import process_shard_engine
+
+                if process_shard_engine(engine) is not None:
+                    backend = "processes"
+            if table is not None:
+                rows = engine.table_row_count(table)
+                if rows:
+                    shards = max(
+                        1, min(workers, rows // AUTO_ROWS_PER_SHARD)
+                    )
+        return cls(
+            workers=workers, shards=shards, multiplan=True, backend=backend
+        )
 
     #: Preset names accepted by :meth:`preset` and the CLIs' ``--policy``.
     PRESETS = ("serial", "batch", "concurrent", "max-throughput", "auto")
@@ -199,6 +256,8 @@ class ExecutionPolicy:
             parts.append(f"{self.shards} row-range shards/group")
         if self.multiplan:
             parts.append("multiplan combined passes")
+        if self.backend == "processes":
+            parts.append("process-backed shards (shared memory)")
         return ", ".join(parts)
 
     def evolve(self, **changes: object) -> "ExecutionPolicy":
@@ -211,7 +270,9 @@ class ExecutionPolicy:
 
 
 def _auto_workers() -> int:
-    return max(1, min(os.cpu_count() or 1, AUTO_MAX_WORKERS))
+    return max(
+        AUTO_MIN_WORKERS, min(os.cpu_count() or 1, AUTO_MAX_WORKERS)
+    )
 
 
 def policy_from_knobs(
@@ -220,6 +281,7 @@ def policy_from_knobs(
     shards: int = 1,
     multiplan: bool = False,
     *,
+    backend: str = "threads",
     warn_ignored: bool = True,
     stacklevel: int = 2,
 ) -> ExecutionPolicy:
@@ -247,7 +309,11 @@ def policy_from_knobs(
             )
         shards, multiplan = 1, False
     return ExecutionPolicy(
-        batch=batch, workers=workers, shards=shards, multiplan=multiplan
+        batch=batch,
+        workers=workers,
+        shards=shards,
+        multiplan=multiplan,
+        backend=backend if batch else "threads",
     )
 
 
@@ -315,6 +381,7 @@ def compose_cli_policy(
     workers: int | None = None,
     shards: int | None = None,
     multiplan: bool | None = None,
+    backend: str | None = None,
 ) -> ExecutionPolicy | None:
     """Compose a CLI's ``--policy`` preset with explicit per-knob flags.
 
@@ -334,6 +401,7 @@ def compose_cli_policy(
             ("workers", workers),
             ("shards", shards),
             ("multiplan", multiplan),
+            ("backend", backend),
         )
         if v is not None
     }
@@ -404,16 +472,20 @@ def reconcile_config_policy(
                     f"policy"
                 )
         # Fields the caller set keep their written values; unset ones
-        # mirror the policy, so reads stay coherent either way.
-        merged = resolved.knobs()
+        # mirror the policy, so reads stay coherent either way. Only
+        # the caller's own knob keys come back — the configs mirror the
+        # legacy fields, not newer policy fields like ``backend``.
+        merged = {k: getattr(resolved, k) for k in knobs}
         merged.update(given)
         return resolved, merged
-    return resolved, resolved.knobs()
+    return resolved, {k: getattr(resolved, k) for k in knobs}
 
 
 __all__ = [
     "AUTO_MAX_WORKERS",
+    "AUTO_MIN_WORKERS",
     "AUTO_ROWS_PER_SHARD",
+    "BACKENDS",
     "ExecutionPolicy",
     "POLICY_KNOBS",
     "coerce_policy",

@@ -68,7 +68,8 @@ def build_parser() -> argparse.ArgumentParser:
         choices=ExecutionPolicy.PRESETS,
         help="execution-policy preset: "
         f"{', '.join(ExecutionPolicy.PRESETS)} (individual "
-        "--batch/--workers/--shards/--multiplan flags compose on top; "
+        "--batch/--workers/--shards/--multiplan/--backend flags compose "
+        "on top; "
         "default: serial, the paper's sequential setup)",
     )
     parser.add_argument(
@@ -98,6 +99,12 @@ def build_parser() -> argparse.ArgumentParser:
         "results are identical either way)",
     )
     parser.add_argument(
+        "--backend", default=None, choices=("threads", "processes"),
+        help="where batched shard work executes: threads (default) or "
+        "worker processes fed from shared-memory table exports (needs "
+        "batch mode; results are identical either way)",
+    )
+    parser.add_argument(
         "--progress", action="store_true", help="print per-run progress"
     )
     parser.add_argument(
@@ -124,6 +131,7 @@ def main(argv: list[str] | None = None) -> int:
             workers=args.workers,
             shards=args.shards,
             multiplan=args.multiplan,
+            backend=args.backend,
         )
         config = BenchmarkConfig(
             dashboards=tuple(args.dashboards),

@@ -115,7 +115,7 @@ class BenchmarkConfig:
             reconcile_config_policy,
         )
 
-        _, own = reconcile_config_policy(
+        resolved, own = reconcile_config_policy(
             self.policy,
             {k: getattr(self, k) for k in POLICY_KNOBS},
             defaults=self._KNOB_DEFAULTS,
@@ -123,8 +123,10 @@ class BenchmarkConfig:
         )
         # Merge the config's knobs into the session's, knob-wise: each
         # knob the session left at its default follows the config (the
-        # pre-policy mirroring semantics). ``workers`` additionally
-        # stays the runner's own cell concurrency.
+        # pre-policy mirroring semantics). ``backend`` has no legacy
+        # mirror field, so it rides on the resolved policies directly.
+        # ``workers`` additionally stays the runner's own cell
+        # concurrency.
         merged = {k: getattr(self.session, k) for k in POLICY_KNOBS}
         if own["batch"] and not merged["batch"]:
             merged["batch"] = True
@@ -134,13 +136,19 @@ class BenchmarkConfig:
             merged["shards"] = own["shards"]
         if own["multiplan"] and not merged["multiplan"]:
             merged["multiplan"] = True
-        if merged != {k: getattr(self.session, k) for k in POLICY_KNOBS}:
+        backend = self.session.policy.backend
+        if backend == "threads" and resolved.backend != "threads":
+            backend = resolved.backend
+        session_knobs = {k: getattr(self.session, k) for k in POLICY_KNOBS}
+        if merged != session_knobs or backend != self.session.policy.backend:
             object.__setattr__(
                 self,
                 "session",
                 replace(
                     self.session,
-                    policy=policy_from_knobs(warn_ignored=False, **merged),
+                    policy=policy_from_knobs(
+                        warn_ignored=False, backend=backend, **merged
+                    ),
                     **merged,
                 ),
             )

@@ -83,7 +83,8 @@ def build_parser() -> argparse.ArgumentParser:
         choices=ExecutionPolicy.PRESETS,
         help="execution-policy preset for the replay: "
         f"{', '.join(ExecutionPolicy.PRESETS)} (individual "
-        "--batch/--workers/--shards/--multiplan flags compose on top; "
+        "--batch/--workers/--shards/--multiplan/--backend flags compose "
+        "on top; "
         "default: serial, one engine call per logged query)",
     )
     replay.add_argument(
@@ -108,6 +109,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluate each unfiltered scan group's fusion classes in "
         "one combined pass during batched replay (needs batch mode; "
         "results are identical either way)",
+    )
+    replay.add_argument(
+        "--backend", default=None, choices=("threads", "processes"),
+        help="where batched shard work executes: threads (default) or "
+        "worker processes fed from shared-memory table exports (needs "
+        "batch mode; results are identical either way)",
     )
     replay.add_argument(
         "--trace", metavar="FILE", default=None,
@@ -187,6 +194,7 @@ def _replay(args) -> int:
             workers=args.workers,
             shards=args.shards,
             multiplan=args.multiplan,
+            backend=args.backend,
         ) or ExecutionPolicy.serial()
     except ConfigError as exc:
         print(

@@ -73,6 +73,22 @@ from repro.telemetry import metrics as _metrics
 from repro.telemetry import trace as _trace
 
 
+def _adopt_remote_spans(tracer, shard_span, payload) -> None:
+    """Re-anchor worker-recorded span tuples under the parent shard span.
+
+    Workers report ``(name, start_offset_ms, end_offset_ms, attrs)``
+    relative to their task start (their clock is not the parent's);
+    anchoring the offsets to the shard span's start keeps the tree
+    causally ordered in the parent's timeline. ``end_ms`` is set
+    directly — these spans were already closed remotely.
+    """
+    for name, start_offset, end_offset, attrs in payload.spans:
+        child = tracer.begin(name, parent=shard_span, **attrs)
+        child.start_ms = shard_span.start_ms + start_offset
+        child.end_ms = shard_span.start_ms + end_offset
+        child.thread = f"pid-{payload.pid}"
+
+
 def _materialize_shard(engine, signature, predicate, row_range, shard) -> str:
     """Materialize one shard's filtered row range; returns the temp name.
 
@@ -148,6 +164,10 @@ class ShardedGroupRun:
                 sharded=True,
             )
 
+    @property
+    def table(self) -> str:
+        return self._signature.table
+
     def scan_tasks(self):
         """One callable per shard; each returns its stats delta.
 
@@ -161,6 +181,77 @@ class ShardedGroupRun:
             (lambda shard=shard: self._scan(shard))
             for shard in range(len(self._ranges))
         ]
+
+    def remote_jobs(self, export):
+        """One :class:`ShardJob` per shard, for process-backed dispatch.
+
+        Empty exactly when :meth:`scan_tasks` is (fully cache-served).
+        The parent pre-builds the partial queries — temp names come
+        from its process-wide sequence, so worker-side relations can
+        never collide with parent-side ones.
+        """
+        if not self._classes:
+            return []
+        from repro.concurrency.procpool import ShardJob
+
+        signature = self._signature
+        jobs = []
+        for shard, row_range in enumerate(self._ranges):
+            temp = unique_temp_name(signature.table, signature.predicate_key)
+            jobs.append(
+                ShardJob(
+                    export_id=export.spec.export_id,
+                    version=export.spec.version,
+                    table=signature.table,
+                    shard=shard,
+                    start=row_range.start,
+                    stop=row_range.stop,
+                    temp=temp,
+                    queries=tuple(
+                        rollup.partial_query(temp, signature.table)
+                        for rollup in self._rollups
+                    ),
+                    predicate=self._predicate,
+                )
+            )
+        return jobs
+
+    def begin_remote(self, shard: int):
+        """Open the parent-side span for a process-dispatched shard."""
+        if self._tracer is None:
+            return None
+        row_range = self._ranges[shard]
+        return self._tracer.begin(
+            f"shard[{shard}]",
+            parent=self._span,
+            shard=shard,
+            rows=f"{row_range.start}:{row_range.stop}",
+            backend="processes",
+        )
+
+    def accept_remote(self, shard: int, payload, span) -> BatchStats:
+        """Install one worker payload into this run's partial matrix."""
+        stats = BatchStats()
+        for index in range(len(self._rollups)):
+            self._partials[index][shard] = payload.partials[index]
+            self._partial_ms[index][shard] = payload.partial_ms[index]
+        self._scan_ms[shard] = payload.scan_ms
+        registry = _metrics.ACTIVE
+        if registry is not None:
+            registry.observe(
+                "shard.scan_ms",
+                payload.scan_ms,
+                table=self._signature.table,
+            )
+        stats.base_scans += 1
+        stats.shard_scans += 1
+        stats.proc_shard_scans += 1
+        if span is not None:
+            span.attrs["scan_ms"] = round(payload.scan_ms, 3)
+            span.attrs["pid"] = payload.pid
+            _adopt_remote_spans(self._tracer, span, payload)
+            self._tracer.finish(span)
+        return stats
 
     def _scan(self, shard: int) -> BatchStats:
         """Materialize one shard's rows and run every partial query."""
@@ -338,6 +429,10 @@ class MultiPlanShardedRun:
                 multiplan=True,
             )
 
+    @property
+    def table(self) -> str:
+        return self._signature.table
+
     def scan_tasks(self):
         """One callable per shard; each returns its stats delta.
 
@@ -349,6 +444,71 @@ class MultiPlanShardedRun:
             (lambda shard=shard: self._scan(shard))
             for shard in range(len(self._ranges))
         ]
+
+    def remote_jobs(self, export):
+        """One :class:`ShardJob` per shard: the single combined query."""
+        from repro.concurrency.procpool import ShardJob
+
+        signature = self._signature
+        jobs = []
+        for shard, row_range in enumerate(self._ranges):
+            temp = unique_temp_name(signature.table, signature.predicate_key)
+            jobs.append(
+                ShardJob(
+                    export_id=export.spec.export_id,
+                    version=export.spec.version,
+                    table=signature.table,
+                    shard=shard,
+                    start=row_range.start,
+                    stop=row_range.stop,
+                    temp=temp,
+                    queries=(
+                        self._plan.combined_query(
+                            temp, alias=signature.table
+                        ),
+                    ),
+                    predicate=self._predicate,
+                )
+            )
+        return jobs
+
+    def begin_remote(self, shard: int):
+        """Open the parent-side span for a process-dispatched shard."""
+        if self._tracer is None:
+            return None
+        row_range = self._ranges[shard]
+        return self._tracer.begin(
+            f"shard[{shard}]",
+            parent=self._span,
+            shard=shard,
+            rows=f"{row_range.start}:{row_range.stop}",
+            backend="processes",
+            multiplan=True,
+        )
+
+    def accept_remote(self, shard: int, payload, span) -> BatchStats:
+        """Install one worker payload into this run's partial slots."""
+        stats = BatchStats()
+        self._partials[shard] = payload.partials[0]
+        # One shared pass per shard, as on the thread path: its query
+        # time pools with the scan for fetch-share accounting.
+        self._scan_ms[shard] = payload.scan_ms + payload.partial_ms[0]
+        registry = _metrics.ACTIVE
+        if registry is not None:
+            registry.observe(
+                "shard.scan_ms",
+                self._scan_ms[shard],
+                table=self._signature.table,
+            )
+        stats.base_scans += 1
+        stats.shard_scans += 1
+        stats.proc_shard_scans += 1
+        if span is not None:
+            span.attrs["scan_ms"] = round(self._scan_ms[shard], 3)
+            span.attrs["pid"] = payload.pid
+            _adopt_remote_spans(self._tracer, span, payload)
+            self._tracer.finish(span)
+        return stats
 
     def _scan(self, shard: int) -> BatchStats:
         """Materialize one shard's rows, run the one combined query."""

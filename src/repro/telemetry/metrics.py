@@ -46,6 +46,7 @@ _BATCH_FIELDS = (
     "shard_scans",
     "multiplan_groups",
     "multiplan_plans",
+    "proc_shard_scans",
 )
 
 

@@ -3,12 +3,29 @@
 from __future__ import annotations
 
 import datetime as dt
+import faulthandler
+import os
 
 import pytest
 
 from repro.engine import Table, create_engine
 from repro.engine.table import ColumnDef, Schema
 from repro.engine.types import DataType
+
+#: Per-test hang guard, seconds. A test that deadlocks (a worker pool
+#: that never drains, a child process waited on forever) would otherwise
+#: stall the whole suite silently; faulthandler dumps every thread's
+#: stack and exits instead, so CI logs show *where* it hung.
+_HANG_TIMEOUT = float(os.environ.get("REPRO_TEST_TIMEOUT", "300"))
+
+
+@pytest.fixture(autouse=True)
+def _hang_guard():
+    if _HANG_TIMEOUT > 0:
+        faulthandler.dump_traceback_later(_HANG_TIMEOUT, exit=True)
+    yield
+    if _HANG_TIMEOUT > 0:
+        faulthandler.cancel_dump_traceback_later()
 
 
 def make_calls_table(num_rows: int = 240) -> Table:

@@ -30,6 +30,7 @@ from repro.engine import create_engine
 from repro.errors import ConfigError
 from repro.execution import (
     AUTO_MAX_WORKERS,
+    AUTO_MIN_WORKERS,
     AUTO_ROWS_PER_SHARD,
     ExecutionPolicy,
     compose_cli_policy,
@@ -108,12 +109,58 @@ def test_preset_names_resolve_and_normalize():
 def test_auto_clamps_workers_to_cpu_count(monkeypatch):
     import repro.execution as execution
 
+    # Ceiling regime: big machines clamp to AUTO_MAX_WORKERS.
     monkeypatch.setattr(execution.os, "cpu_count", lambda: 64)
     assert ExecutionPolicy.auto().workers == AUTO_MAX_WORKERS
+    # Floor regime: small (or unknown-CPU) machines still get a real
+    # concurrent configuration — a 1-CPU CI runner used to degenerate
+    # to one worker and one shard, silently skipping the cross-thread
+    # machinery the concurrent presets exist to exercise.
     monkeypatch.setattr(execution.os, "cpu_count", lambda: 2)
-    assert ExecutionPolicy.auto().workers == 2
+    assert ExecutionPolicy.auto().workers == AUTO_MIN_WORKERS
     monkeypatch.setattr(execution.os, "cpu_count", lambda: None)
-    assert ExecutionPolicy.auto().workers == 1
+    assert ExecutionPolicy.auto().workers == AUTO_MIN_WORKERS
+    monkeypatch.setattr(execution.os, "cpu_count", lambda: 1)
+    top = ExecutionPolicy.max_throughput()
+    assert top.workers == AUTO_MIN_WORKERS
+    assert top.shards == AUTO_MIN_WORKERS
+
+
+def test_backend_validates_at_construction():
+    policy = ExecutionPolicy(backend="processes")
+    assert policy.backend == "processes"
+    assert "process-backed" in policy.describe()
+    with pytest.raises(ConfigError, match="unknown backend"):
+        ExecutionPolicy(backend="fibers")
+    with pytest.raises(ConfigError, match="requires batch"):
+        ExecutionPolicy(batch=False, backend="processes")
+    with pytest.raises(ConfigError, match="requires batch"):
+        ExecutionPolicy().evolve(batch=False, backend="processes")
+
+
+def test_auto_picks_processes_only_on_multicore_exporting_engines(
+    monkeypatch,
+):
+    import repro.execution as execution
+
+    engine = create_engine("vectorstore")
+    engine.load_table(make_calls_table())
+    try:
+        monkeypatch.setattr(execution.os, "cpu_count", lambda: 8)
+        assert ExecutionPolicy.auto(engine).backend == "processes"
+        # One CPU: worker processes only add serialization overhead.
+        monkeypatch.setattr(execution.os, "cpu_count", lambda: 1)
+        assert ExecutionPolicy.auto(engine).backend == "threads"
+        # No engine to inspect, or one that cannot export, stays on
+        # the thread backend even with spare cores.
+        monkeypatch.setattr(execution.os, "cpu_count", lambda: 8)
+        assert ExecutionPolicy.auto().backend == "threads"
+        assert (
+            ExecutionPolicy.auto(_FixedRowCountEngine(10)).backend
+            == "threads"
+        )
+    finally:
+        engine.close()
 
 
 class _FixedRowCountEngine:
@@ -459,6 +506,30 @@ def test_benchmark_config_accepts_policy_and_keeps_cell_overlap():
     assert config.batch is True and config.shards == 2
     preset = BenchmarkConfig(policy="serial")
     assert preset.session.policy == ExecutionPolicy.serial()
+
+
+def test_benchmark_config_propagates_backend_to_session():
+    from repro.harness.config import BenchmarkConfig
+    from repro.simulation.session import SessionConfig
+
+    # backend has no legacy knob mirror, so the knob-wise merge into
+    # the session must carry it on the policy itself (regression: it
+    # used to be rebuilt as "threads", silently ignoring --backend).
+    config = BenchmarkConfig(
+        policy=ExecutionPolicy(workers=4, shards=4, backend="processes")
+    )
+    assert config.session.policy.backend == "processes"
+    assert config.policy.backend == "processes"
+    assert "process-backed" in config.policy.describe()
+
+    # An explicitly configured session keeps its own backend choice.
+    session = SessionConfig(
+        policy=ExecutionPolicy(workers=2, backend="processes")
+    )
+    kept = BenchmarkConfig(
+        policy=ExecutionPolicy(workers=8), session=session
+    )
+    assert kept.session.policy.backend == "processes"
 
 
 def test_benchmark_config_explicit_session_policy_wins():

@@ -19,6 +19,7 @@ Two layers of guarantees over ``tests/data/generated/``:
 
 import hashlib
 import json
+import os
 from pathlib import Path
 
 import pytest
@@ -114,6 +115,13 @@ def corpus_runtime():
 @pytest.mark.parametrize("name", WORKLOAD_IDS)
 def test_stress_matrix_byte_identity(corpus_runtime, name):
     spec, table, session = corpus_runtime[name]
+    # CI's process-backed leg: SIMBA_STRESS_BACKEND=processes re-runs
+    # this same matrix with the fast policy's shard work dispatched to
+    # worker processes over shared-memory exports — the byte-identity
+    # contract must hold across the process boundary too.
+    fast_policy = ExecutionPolicy.max_throughput().evolve(
+        backend=os.environ.get("SIMBA_STRESS_BACKEND", "threads")
+    )
     cross_engine_reference = None
     for engine_name in ENGINES:
         engine = create_engine(engine_name)
@@ -122,7 +130,7 @@ def test_stress_matrix_byte_identity(corpus_runtime, name):
             spec, table, engine, policy=ExecutionPolicy.serial()
         )
         fast = session.replay(
-            spec, table, engine, policy=ExecutionPolicy.max_throughput()
+            spec, table, engine, policy=fast_policy
         )
         assert len(serial.records) == len(session.steps) + 1
         for s_rec, f_rec in zip(serial.records, fast.records):

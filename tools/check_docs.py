@@ -37,6 +37,7 @@ EXAMPLE_FILES = [
     REPO / "examples" / "policy_quickstart.py",
     REPO / "examples" / "generated_workload.py",
     REPO / "examples" / "traced_refresh.py",
+    REPO / "examples" / "process_shards.py",
 ]
 
 #: Markdown inline links: [text](target). Reference-style links are

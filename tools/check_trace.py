@@ -15,11 +15,6 @@ temp file, and validates the whole chain:
   the cross-thread parentage the tracer exists to preserve;
 - every replayed query is attributed to exactly one tier.
 
-The policy pins ``workers``/``shards`` explicitly rather than using
-``ExecutionPolicy.max_throughput()``: on single-core CI runners that
-preset degenerates to one worker and one shard, which would silently
-skip the cross-thread nesting this check exists to exercise.
-
 Run it the way CI does::
 
     PYTHONPATH=src python tools/check_trace.py
@@ -54,9 +49,12 @@ CORPUS_DIR = Path(__file__).resolve().parent.parent / "tests" / "data" / "genera
 #: carry the most members per span.
 WORKLOAD = "retail_sales__key_union_explosion"
 
-#: Explicit concurrency knobs (see module docstring for why not the
-#: max_throughput preset).
-POLICY = ExecutionPolicy(workers=4, shards=3, multiplan=False)
+#: max_throughput sizes workers with a floor of
+#: ``AUTO_MIN_WORKERS`` (and shards to match), so even single-core CI
+#: runners exercise the cross-thread span nesting this check exists
+#: to validate — the old explicit workers=4/shards=3 workaround is
+#: obsolete.
+POLICY = ExecutionPolicy.max_throughput()
 
 
 def _load_workload(name: str):
