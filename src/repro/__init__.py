@@ -57,13 +57,19 @@ from repro.simulation import (
     SessionSimulator,
     get_workflow,
 )
+from repro.serving import (
+    DashboardServer,
+    ServingApp,
+    ServingClient,
+    ServingConfig,
+)
 from repro.sql import parse_query
 from repro.study import run_user_study
 from repro.telemetry import ExplainReport, Telemetry
 from repro.workload import DATASET_NAMES, generate_dataset
 from repro.workload.normalize import DimensionSpec, normalize_star
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "BenchmarkConfig",
@@ -71,6 +77,7 @@ __all__ = [
     "CachedEngine",
     "DASHBOARD_NAMES",
     "DATASET_NAMES",
+    "DashboardServer",
     "DashboardSpec",
     "DashboardState",
     "DimensionSpec",
@@ -87,6 +94,9 @@ __all__ = [
     "RefreshJob",
     "ResultSet",
     "ScanGroupExecutor",
+    "ServingApp",
+    "ServingClient",
+    "ServingConfig",
     "Session",
     "SessionConfig",
     "SessionLog",

@@ -387,6 +387,24 @@ class ProcessShardPool:
         with self._lock:
             return sorted(self._live)
 
+    def release_engine(self, engine: Engine) -> int:
+        """Retire every export owned by ``engine``; returns the count.
+
+        Segments unlink immediately unless a dispatched task still
+        references them (the pending-task refcount defers the unlink to
+        task completion). An engine that never exported — no stamped
+        uid — is a no-op, so callers can release unconditionally on
+        close paths.
+        """
+        uid = getattr(engine, "_procpool_uid", None)
+        if uid is None:
+            return 0
+        with self._lock:
+            keys = [key for key in self._exports if key[0] == uid]
+            for key in keys:
+                self._retire_locked(self._exports.pop(key))
+        return len(keys)
+
     # -- dispatch ------------------------------------------------------------
 
     def submit(self, export: _Export, job: ShardJob) -> Future:
@@ -538,6 +556,29 @@ def shutdown_shared_pool() -> None:
         pool, _SHARED = _SHARED, None
     if pool is not None:
         pool.shutdown()
+
+
+def release_engine_exports(engine: Engine) -> int:
+    """Release the shared pool's exports for one engine's whole stack.
+
+    Walks the wrapper chain (``CachedEngine.inner`` and friends) so a
+    session closing a wrapped engine releases the exports stamped on
+    whichever layer actually supports process shards. The worker pool
+    itself stays warm — only this engine's ``/dev/shm`` segments and
+    snapshot files go. No-op when the shared pool was never created.
+    """
+    with _SHARED_LOCK:
+        pool = _SHARED
+    if pool is None:
+        return 0
+    released = 0
+    seen: set[int] = set()
+    obj: object = engine
+    while obj is not None and id(obj) not in seen:
+        seen.add(id(obj))
+        released += pool.release_engine(obj)  # type: ignore[arg-type]
+        obj = getattr(obj, "inner", None)
+    return released
 
 
 # -- worker side -------------------------------------------------------------
@@ -783,6 +824,7 @@ __all__ = [
     "ProcessShardPool",
     "ShardJob",
     "ShardPayload",
+    "release_engine_exports",
     "shared_process_pool",
     "shutdown_shared_pool",
 ]

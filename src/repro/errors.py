@@ -71,3 +71,28 @@ class EquivalenceError(SimbaError):
 
 class ConfigError(SimbaError):
     """Raised for invalid benchmark harness configurations."""
+
+
+class ServingError(SimbaError):
+    """Base class for serving-tier errors (:mod:`repro.serving`)."""
+
+
+class UnknownSessionError(ServingError):
+    """Raised when a request names a session that does not exist.
+
+    Covers both never-created ids and sessions the TTL sweep already
+    expired — the serving protocol treats them identically (HTTP 404),
+    so clients re-create rather than distinguishing the two.
+    """
+
+
+class AdmissionError(ServingError):
+    """Raised when admission control rejects a request (backpressure).
+
+    ``retry_after`` is the server's load-shedding hint in seconds; the
+    HTTP layer maps it onto a 429 response's ``Retry-After`` header.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after

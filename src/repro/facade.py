@@ -286,6 +286,19 @@ class Session:
         return self.telemetry.install()
 
     def close(self) -> None:
+        """Close the engine and release its pooled resources.
+
+        The session owns its engine, and the engine may have exported
+        tables into the shared :class:`~repro.concurrency.procpool.ProcessShardPool`
+        as ``/dev/shm`` segments and snapshot files. Those exports are
+        released here — the worker pool itself is a process-lifetime
+        singleton and stays warm for other sessions — so a
+        ``with repro.connect(...)`` block leaves no shared-memory
+        segments behind.
+        """
+        from repro.concurrency.procpool import release_engine_exports
+
+        release_engine_exports(self.engine)
         self.engine.close()
 
     def __enter__(self) -> "Session":

@@ -1,0 +1,151 @@
+"""Admission control: bounded in-flight refreshes, bounded queue, fairness.
+
+A refresh is the serving tier's unit of compute — potentially a whole
+``refresh_many`` fan-out of shards and processes — so the server bounds
+how many execute concurrently (``max_in_flight``) and how many may
+*wait* for a slot (``max_queue_depth``). Everything past that is
+rejected immediately with a ``Retry-After`` hint: on an overloaded
+server, an honest 429 in microseconds beats a 200 after a
+ten-second invisible queue (the tail-latency failure mode dashboards
+are notorious for).
+
+Fairness is computed at admission time, not with static partitions:
+each *active* tenant (one with requests in flight or waiting) may hold
+at most ``ceil(max_in_flight / active_tenants)`` slots. A lone tenant
+uses the whole server; the moment a second tenant shows up, the cap
+halves and the newcomer is admitted as slots drain — a chatty tenant
+cannot starve a quiet one.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+from repro.errors import AdmissionError
+from repro.serving.config import ServingConfig
+
+
+class AdmissionController:
+    """Grant refresh slots under the config's concurrency bounds.
+
+    Use as ``with admission.slot(tenant): ...``; the body runs with an
+    in-flight slot held. Raises :class:`~repro.errors.AdmissionError`
+    (with the config's ``retry_after``) when the wait queue is full or
+    the queue timeout expires.
+    """
+
+    def __init__(self, config: ServingConfig, clock=time.monotonic) -> None:
+        self.config = config
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._slots_free = threading.Condition(self._lock)
+        self._in_flight = 0
+        self._queued = 0
+        self._by_tenant: dict[str, int] = {}  # in-flight per tenant
+        self._waiting: dict[str, int] = {}  # queued per tenant
+        self._admitted = 0
+        self._rejected_queue_full = 0
+        self._rejected_timeout = 0
+
+    # -- the slot protocol ---------------------------------------------------
+
+    @contextmanager
+    def slot(self, tenant: str = "default"):
+        self._acquire(tenant)
+        try:
+            yield
+        finally:
+            self._release(tenant)
+
+    def _tenant_cap_locked(self, tenant: str) -> int:
+        """Fair per-tenant slot cap given who is active right now."""
+        active = set(self._by_tenant) | set(self._waiting) | {tenant}
+        count = len(active)
+        return max(1, -(-self.config.max_in_flight // count))  # ceil div
+
+    def _admissible_locked(self, tenant: str) -> bool:
+        return (
+            self._in_flight < self.config.max_in_flight
+            and self._by_tenant.get(tenant, 0)
+            < self._tenant_cap_locked(tenant)
+        )
+
+    def _acquire(self, tenant: str) -> None:
+        config = self.config
+        with self._slots_free:
+            if self._admissible_locked(tenant):
+                self._admit_locked(tenant)
+                return
+            if self._queued >= config.max_queue_depth:
+                self._rejected_queue_full += 1
+                raise AdmissionError(
+                    f"server saturated: {self._in_flight} refreshes in "
+                    f"flight, {self._queued} queued "
+                    f"(max_queue_depth={config.max_queue_depth})",
+                    retry_after=config.retry_after,
+                )
+            deadline = self.clock() + config.queue_timeout
+            self._queued += 1
+            self._waiting[tenant] = self._waiting.get(tenant, 0) + 1
+            try:
+                while not self._admissible_locked(tenant):
+                    remaining = deadline - self.clock()
+                    if remaining <= 0 or not self._slots_free.wait(
+                        timeout=remaining
+                    ):
+                        if not self._admissible_locked(tenant):
+                            self._rejected_timeout += 1
+                            raise AdmissionError(
+                                f"queued {config.queue_timeout:.1f}s "
+                                f"without an in-flight slot freeing",
+                                retry_after=config.retry_after,
+                            )
+                self._admit_locked(tenant)
+            finally:
+                self._queued -= 1
+                if self._waiting.get(tenant, 0) <= 1:
+                    self._waiting.pop(tenant, None)
+                else:
+                    self._waiting[tenant] -= 1
+
+    def _admit_locked(self, tenant: str) -> None:
+        self._in_flight += 1
+        self._by_tenant[tenant] = self._by_tenant.get(tenant, 0) + 1
+        self._admitted += 1
+
+    def _release(self, tenant: str) -> None:
+        with self._slots_free:
+            self._in_flight -= 1
+            if self._by_tenant.get(tenant, 0) <= 1:
+                self._by_tenant.pop(tenant, None)
+            else:
+                self._by_tenant[tenant] -= 1
+            self._slots_free.notify_all()
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._in_flight
+
+    @property
+    def queue_depth(self) -> int:
+        with self._lock:
+            return self._queued
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "in_flight": self._in_flight,
+                "queued": self._queued,
+                "admitted": self._admitted,
+                "rejected_queue_full": self._rejected_queue_full,
+                "rejected_timeout": self._rejected_timeout,
+                "by_tenant": dict(self._by_tenant),
+            }
+
+
+__all__ = ["AdmissionController"]

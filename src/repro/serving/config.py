@@ -1,0 +1,75 @@
+"""Serving-tier configuration: one frozen value, validated once.
+
+Mirrors the :class:`~repro.execution.ExecutionPolicy` design from PR 5:
+every serving knob lives on one frozen dataclass validated at
+construction, so an invalid deployment (a zero-capacity cache, a
+negative TTL) fails loudly at ``ServingApp(...)`` time instead of ten
+requests in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """How the dashboard server admits, executes, and expires work.
+
+    - ``session_ttl`` — seconds of idleness after which the TTL sweep
+      expires a session (releasing its engine-host reference).
+    - ``sweep_interval`` — how often the background sweeper runs; the
+      registry also sweeps opportunistically on session creation, so a
+      server under load expires sessions even without the thread.
+    - ``max_in_flight`` — refreshes executing concurrently across the
+      whole server; the hard compute bound on top of ``refresh_many``.
+    - ``max_queue_depth`` — requests allowed to *wait* for an in-flight
+      slot; one more is rejected with ``Retry-After`` instead of
+      queueing unboundedly (tail latency dies in invisible queues).
+    - ``queue_timeout`` — seconds a queued request waits before it too
+      is rejected; bounds worst-case latency under a stuck refresh.
+    - ``retry_after`` — the load-shedding hint (seconds) rejected
+      requests carry (HTTP 429 ``Retry-After``).
+    - ``max_sessions_per_tenant`` — per-tenant session-creation cap
+      (0 = unlimited); a runaway tenant cannot evict co-tenants by
+      exhausting the registry.
+    - ``cache_capacity`` — scan groups retained per engine host in the
+      cross-session result cache (the
+      :class:`~repro.engine.cache.ScanGroupCache` capacity).
+    """
+
+    session_ttl: float = 300.0
+    sweep_interval: float = 5.0
+    max_in_flight: int = 8
+    max_queue_depth: int = 64
+    queue_timeout: float = 30.0
+    retry_after: float = 1.0
+    max_sessions_per_tenant: int = 0
+    cache_capacity: int = 128
+
+    def __post_init__(self) -> None:
+        if self.session_ttl <= 0:
+            raise ConfigError("session_ttl must be positive")
+        if self.sweep_interval <= 0:
+            raise ConfigError("sweep_interval must be positive")
+        if self.max_in_flight < 1:
+            raise ConfigError("max_in_flight must be >= 1")
+        if self.max_queue_depth < 0:
+            raise ConfigError("max_queue_depth must be >= 0")
+        if self.queue_timeout <= 0:
+            raise ConfigError("queue_timeout must be positive")
+        if self.retry_after <= 0:
+            raise ConfigError("retry_after must be positive")
+        if self.max_sessions_per_tenant < 0:
+            raise ConfigError("max_sessions_per_tenant must be >= 0")
+        if self.cache_capacity < 1:
+            raise ConfigError("cache_capacity must be >= 1")
+
+    def evolve(self, **changes) -> "ServingConfig":
+        """A copy with ``changes`` applied (re-validated)."""
+        return replace(self, **changes)
+
+
+__all__ = ["ServingConfig"]

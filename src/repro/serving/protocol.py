@@ -1,0 +1,119 @@
+"""The serving wire protocol: JSON in, JSON out, byte-identical values.
+
+Everything the server accepts or returns is plain JSON built on the
+*same* tagged value codec the workload generator uses for recorded
+sessions (:func:`repro.workloadgen.sessions.encode_value`) — datetimes
+as ``{"@ts": iso}``, dates as ``{"@date": iso}``, tuples as
+``{"@seq": [...]}`` — so an interaction recorded by one layer always
+replays through the other, and result cells survive the HTTP hop
+byte-identically (Python's ``json`` round-trips floats exactly via
+``repr``).
+
+The headline byte-identity tests decode served payloads back into
+:class:`~repro.engine.interface.QueryResult` objects and compare them
+against a direct :class:`~repro.facade.Session` refresh with the same
+``identity_signature`` machinery the stress matrix uses.
+"""
+
+from __future__ import annotations
+
+from repro.dashboard.state import Interaction, InteractionKind
+from repro.engine.interface import QueryResult, ResultSet
+from repro.errors import ServingError
+from repro.workloadgen.sessions import decode_value, encode_value
+
+
+# -- interactions ------------------------------------------------------------
+
+
+def encode_interaction(interaction: Interaction) -> dict:
+    return {
+        "kind": interaction.kind.value,
+        "target": interaction.target,
+        "value": encode_value(interaction.value),
+    }
+
+
+def decode_interaction(payload: object) -> Interaction:
+    if isinstance(payload, Interaction):
+        return payload
+    if not isinstance(payload, dict) or "kind" not in payload:
+        raise ServingError(
+            f"interaction payload must be a dict with a 'kind', "
+            f"got {payload!r}"
+        )
+    try:
+        kind = InteractionKind(payload["kind"])
+    except ValueError as exc:
+        raise ServingError(str(exc)) from exc
+    return Interaction(
+        kind=kind,
+        target=payload.get("target"),
+        value=decode_value(payload.get("value")),
+    )
+
+
+# -- results -----------------------------------------------------------------
+
+
+def encode_results(results: dict[str, QueryResult]) -> dict:
+    """Timed refresh results as a JSON-safe dict keyed by viz id."""
+    return {
+        viz_id: {
+            "columns": list(timed.result.columns),
+            "rows": [
+                [encode_value(cell) for cell in row]
+                for row in timed.result.rows
+            ],
+            "duration_ms": timed.duration_ms,
+            "engine": timed.engine,
+            "sql": timed.sql,
+        }
+        for viz_id, timed in results.items()
+    }
+
+
+def decode_results(payload: dict) -> dict[str, QueryResult]:
+    """The inverse of :func:`encode_results` (client/test side)."""
+    return {
+        viz_id: QueryResult(
+            result=ResultSet(
+                entry["columns"],
+                [
+                    tuple(decode_value(cell) for cell in row)
+                    for row in entry["rows"]
+                ],
+            ),
+            duration_ms=entry["duration_ms"],
+            engine=entry["engine"],
+            sql=entry["sql"],
+        )
+        for viz_id, entry in payload.items()
+    }
+
+
+def results_signature(results: dict[str, QueryResult]) -> dict:
+    """Canonical ``{viz: (columns, sorted rows)}`` identity structure.
+
+    The per-refresh analogue of
+    :meth:`~repro.workloadgen.sessions.ReplayLog.identity_signature`:
+    two refreshes produced identical bytes iff their signatures compare
+    equal (rows sorted by ``repr`` — row order is not part of the
+    identity contract for unordered grouped queries).
+    """
+    return {
+        viz_id: (
+            tuple(timed.result.columns),
+            tuple(sorted(timed.result.rows, key=repr)),
+        )
+        for viz_id, timed in sorted(results.items())
+    }
+
+
+__all__ = [
+    "decode_interaction",
+    "decode_results",
+    "encode_interaction",
+    "encode_results",
+    "results_signature",
+]

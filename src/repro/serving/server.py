@@ -1,0 +1,321 @@
+"""HTTP transport for the serving tier: stdlib ``http.server`` only.
+
+A thin adapter — every route delegates to the transport-free
+:class:`~repro.serving.app.ServingApp`, so the HTTP layer adds exactly
+two things: JSON (de)serialization via :mod:`repro.serving.protocol`
+and status-code mapping for the error hierarchy:
+
+====================================  ======
+:class:`~repro.errors.UnknownSessionError`   404
+:class:`~repro.errors.AdmissionError`        429 + ``Retry-After``
+:class:`~repro.errors.InteractionError`,
+:class:`~repro.errors.ServingError`,
+:class:`~repro.errors.ConfigError`           400
+anything else                                500
+====================================  ======
+
+Routes::
+
+    POST   /sessions                       create (tenant, dashboard, …)
+    GET    /sessions/<id>                  attach / describe
+    DELETE /sessions/<id>                  close
+    POST   /sessions/<id>/refresh          refresh (optional viz_ids)
+    POST   /sessions/<id>/interact         apply + refresh fan-out
+    GET    /stats                          accounting roll-up
+    GET    /healthz                        liveness
+
+:class:`ServingClient` is the matching urllib client; the load
+generator and the CI soak drive the server through it.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.errors import (
+    AdmissionError,
+    ConfigError,
+    InteractionError,
+    ServingError,
+    UnknownSessionError,
+)
+from repro.serving.app import ServingApp
+from repro.serving.protocol import decode_results, encode_results
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One request; the app lives on the server object."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serving"
+
+    # The default handler writes every request to stderr; a 500-user
+    # soak would drown the terminal.
+    def log_message(self, format: str, *args: object) -> None:
+        pass
+
+    @property
+    def app(self) -> ServingApp:
+        return self.server.app  # type: ignore[attr-defined]
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if not length:
+            return {}
+        try:
+            payload = json.loads(self.rfile.read(length) or b"{}")
+        except ValueError as exc:
+            raise ServingError(f"request body is not JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ServingError("request body must be a JSON object")
+        return payload
+
+    def _reply(self, status: int, payload: dict, headers=()) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in headers:
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _dispatch(self, method: str) -> None:
+        try:
+            route = self._route(method)
+            if route is None:
+                self._reply(404, {"error": f"no route {method} {self.path}"})
+                return
+            status, payload, headers = route
+            self._reply(status, payload, headers)
+        except UnknownSessionError as exc:
+            self._reply(404, {"error": str(exc)})
+        except AdmissionError as exc:
+            self._reply(
+                429,
+                {"error": str(exc), "retry_after": exc.retry_after},
+                [("Retry-After", f"{exc.retry_after:g}")],
+            )
+        except (InteractionError, ServingError, ConfigError) as exc:
+            self._reply(400, {"error": str(exc)})
+        except Exception as exc:  # the soak asserts this stays at zero
+            self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def _route(self, method: str):
+        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        app = self.app
+        if method == "GET" and parts == ["healthz"]:
+            return 200, app.healthz(), ()
+        if method == "GET" and parts == ["stats"]:
+            return 200, app.stats(), ()
+        if parts[:1] != ["sessions"]:
+            return None
+        if method == "POST" and len(parts) == 1:
+            body = self._body()
+            if "tenant" not in body or "dashboard" not in body:
+                raise ServingError(
+                    "session creation needs 'tenant' and 'dashboard'"
+                )
+            return 201, app.create_session(
+                tenant=body["tenant"],
+                dashboard=body["dashboard"],
+                engine=body.get("engine"),
+                policy=body.get("policy"),
+            ), ()
+        if len(parts) < 2:
+            return None
+        session_id = parts[1]
+        if method == "GET" and len(parts) == 2:
+            return 200, app.describe_session(session_id), ()
+        if method == "DELETE" and len(parts) == 2:
+            return 200, app.close_session(session_id), ()
+        if method == "POST" and parts[2:] == ["refresh"]:
+            body = self._body()
+            results = app.refresh(session_id, body.get("viz_ids"))
+            return 200, {"results": encode_results(results)}, ()
+        if method == "POST" and parts[2:] == ["interact"]:
+            body = self._body()
+            if "interaction" not in body:
+                raise ServingError("interact needs an 'interaction'")
+            affected, results = app.interact(
+                session_id, body["interaction"]
+            )
+            return 200, {
+                "affected": affected,
+                "results": encode_results(results),
+            }, ()
+        return None
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._dispatch("DELETE")
+
+
+class _Server(ThreadingHTTPServer):
+    # The stdlib default listen backlog (5) resets connections when a
+    # load generator opens dozens of sockets at once; admission control
+    # is the serving tier's job, not the kernel accept queue's.
+    request_queue_size = 128
+
+
+class DashboardServer:
+    """A listening serving tier: one app behind ``ThreadingHTTPServer``.
+
+    Binds ``host:port`` (port 0 picks a free one) but only serves once
+    :meth:`start` runs. Use as a context manager::
+
+        app = ServingApp().load_table(table)
+        app.register_dashboard(spec)
+        with DashboardServer(app) as server:
+            client = ServingClient(server.url)
+            ...
+    """
+
+    def __init__(
+        self, app: ServingApp, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.app = app
+        self._httpd = _Server((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.app = app  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        host, port = self._httpd.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "DashboardServer":
+        self.app.start()
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="serving-http",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.app.close()
+
+    def __enter__(self) -> "DashboardServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class ServingClient:
+    """Minimal urllib client speaking the server's JSON protocol.
+
+    Raises :class:`ServerReply` for non-2xx responses so callers can
+    branch on ``status`` (429 → honor ``retry_after``, 404 →
+    re-create the session) without parsing exception text.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _call(self, method: str, path: str, body: dict | None = None) -> dict:
+        data = None if body is None else json.dumps(body).encode()
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return json.loads(response.read() or b"{}")
+        except urllib.error.HTTPError as exc:
+            try:
+                payload = json.loads(exc.read() or b"{}")
+            except ValueError:
+                payload = {}
+            raise ServerReply(
+                exc.code,
+                payload.get("error", str(exc)),
+                retry_after=float(
+                    payload.get("retry_after")
+                    or exc.headers.get("Retry-After")
+                    or 0.0
+                ),
+            ) from None
+
+    def create_session(
+        self, tenant: str, dashboard: str, engine=None, policy=None
+    ) -> dict:
+        body = {"tenant": tenant, "dashboard": dashboard}
+        if engine is not None:
+            body["engine"] = engine
+        if policy is not None:
+            body["policy"] = policy
+        return self._call("POST", "/sessions", body)
+
+    def describe_session(self, session_id: str) -> dict:
+        return self._call("GET", f"/sessions/{session_id}")
+
+    def close_session(self, session_id: str) -> dict:
+        return self._call("DELETE", f"/sessions/{session_id}")
+
+    def refresh(self, session_id: str, viz_ids=None) -> dict:
+        body = {} if viz_ids is None else {"viz_ids": list(viz_ids)}
+        reply = self._call("POST", f"/sessions/{session_id}/refresh", body)
+        return decode_results(reply["results"])
+
+    def interact(self, session_id: str, interaction: dict) -> tuple:
+        reply = self._call(
+            "POST",
+            f"/sessions/{session_id}/interact",
+            {"interaction": interaction},
+        )
+        return reply["affected"], decode_results(reply["results"])
+
+    def stats(self) -> dict:
+        return self._call("GET", "/stats")
+
+    def healthz(self) -> dict:
+        return self._call("GET", "/healthz")
+
+
+class ServerReply(ServingError):
+    """A non-2xx HTTP reply, surfaced with its status and hint."""
+
+    def __init__(
+        self, status: int, message: str, retry_after: float = 0.0
+    ) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.retry_after = retry_after
+
+
+__all__ = [
+    "DashboardServer",
+    "ServerReply",
+    "ServingClient",
+]

@@ -75,6 +75,14 @@ def _decode_value(value: object) -> object:
     return value
 
 
+#: Public aliases: the serving tier's JSON protocol
+#: (:mod:`repro.serving.protocol`) round-trips interaction values and
+#: result rows through the same codec generated sessions use, so a
+#: session recorded by one layer always replays through the other.
+encode_value = _encode_value
+decode_value = _decode_value
+
+
 # -- replay record types -----------------------------------------------------
 
 

@@ -1,0 +1,122 @@
+"""Property: interleavings never leave the cross-session cache stale.
+
+Mirrors the equivalence-property style of ``test_execution_policy.py``:
+Hypothesis drives arbitrary interleavings of the session registry's
+four lifecycle events — **attach** (create a session and render it),
+**refresh** (re-render an existing one, warming/riding the cache),
+**invalidate** (``load_table`` a different generation, racing whatever
+is cached), **expire** (advance the injected clock past the TTL and
+sweep) — and after every sequence a brand-new session's refresh must be
+byte-identical to a from-scratch direct
+:class:`repro.Session` over whatever table generation is current.
+
+Any epoch-accounting bug (a store surviving its invalidation, a
+follower served a pre-swap flight, an expired session pinning state)
+shows up as a signature mismatch on some interleaving.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.dashboard.library import load_dashboard
+from repro.errors import UnknownSessionError
+from repro.serving import ServingApp, ServingConfig, results_signature
+from repro.workload import generate_dataset
+
+DASHBOARD = "customer_service"
+ENGINE = "vectorstore"
+TTL = 20.0
+
+#: Three distinguishable table generations (different row counts, so
+#: every aggregate differs between them).
+TABLES = [
+    generate_dataset(DASHBOARD, rows, seed=13) for rows in (150, 210, 270)
+]
+SPEC = load_dashboard(DASHBOARD)
+
+#: Expected signatures per generation, computed once from a direct
+#: uncached session — the from-scratch ground truth.
+_EXPECTED: dict[int, dict] = {}
+
+
+def expected_signature(version: int) -> dict:
+    cached = _EXPECTED.get(version)
+    if cached is None:
+        with repro.connect(ENGINE) as direct:
+            direct.load(TABLES[version])
+            cached = results_signature(direct.refresh(DASHBOARD))
+        _EXPECTED[version] = cached
+    return cached
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+OPS = st.sampled_from(["attach", "refresh", "invalidate", "expire"])
+
+
+@settings(max_examples=25, deadline=None)
+@given(ops=st.lists(OPS, min_size=1, max_size=10))
+def test_any_interleaving_is_consistent_with_from_scratch_refresh(ops):
+    clock = FakeClock()
+    app = ServingApp(
+        ServingConfig(session_ttl=TTL, sweep_interval=3600.0),
+        clock=clock,
+    )
+    app.load_table(TABLES[0])
+    app.register_dashboard(SPEC)
+    version = 0
+    live: list[str] = []  # session ids we believe are alive
+    with app:
+        for op in ops:
+            clock.now += 1.0
+            if op == "attach":
+                descriptor = app.create_session(
+                    f"tenant-{len(live) % 3}", DASHBOARD, engine=ENGINE
+                )
+                live.append(descriptor["session_id"])
+                served = app.refresh(descriptor["session_id"])
+                assert results_signature(served) == expected_signature(
+                    version
+                )
+            elif op == "refresh" and live:
+                try:
+                    served = app.refresh(live[-1])
+                except UnknownSessionError:
+                    live.pop()  # expired under us; clients re-create
+                else:
+                    assert results_signature(
+                        served
+                    ) == expected_signature(version)
+            elif op == "invalidate":
+                version = (version + 1) % len(TABLES)
+                app.load_table(TABLES[version])
+            elif op == "expire":
+                clock.now += TTL + 1.0
+                app.sweep()
+                live.clear()
+
+        # The invariant: whatever happened, a fresh session refreshed
+        # from scratch serves exactly the current generation's bytes.
+        final = app.create_session("tenant-final", DASHBOARD, engine=ENGINE)
+        served = app.refresh(final["session_id"])
+        assert results_signature(served) == expected_signature(version)
+        assert app.error_count == 0
+
+        host = app.host_for(ENGINE)
+        stats = host.cache.stats
+        assert stats.refreshes >= 1
+        assert stats.hits + stats.misses >= stats.refreshes
+
+
+if __name__ == "__main__":  # pragma: no cover
+    pytest.main([__file__, "-q"])

@@ -38,6 +38,7 @@ EXAMPLE_FILES = [
     REPO / "examples" / "generated_workload.py",
     REPO / "examples" / "traced_refresh.py",
     REPO / "examples" / "process_shards.py",
+    REPO / "examples" / "serving_quickstart.py",
 ]
 
 #: Markdown inline links: [text](target). Reference-style links are
