@@ -1,0 +1,99 @@
+"""Static invariant suite over the tree — rule drift as an artifact.
+
+Not a performance benchmark: this runs ``repro.analysis`` over
+``src/repro`` exactly as the CI ``lint`` job does and writes the
+counts — findings per rule (must be zero on a merged tree), inline
+suppressions per rule, baselined findings, stale baseline entries,
+files scanned, wall-clock — into
+``benchmarks/results/BENCH_analysis.json``. Comparing the artifact
+across PRs makes rule drift visible the same way the perf artifacts
+make scan-count drift visible: a PR that adds five suppressions or
+starts leaning on the baseline shows up as a diff in bench-smoke even
+though CI stays green.
+
+Asserted: zero findings, zero stale baseline entries, and every
+inline suppression carries a reason (RA100 enforces this at lint
+time; the assert here keeps the artifact honest even if the rule set
+changes).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from _common import RESULTS_DIR, write_result
+
+from repro.analysis import (
+    ModuleInfo,
+    all_rules,
+    collect_suppressions,
+    iter_source_files,
+    load_baseline,
+    run_suite,
+)
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src" / "repro"
+BASELINE = REPO / "tools" / "invariants_baseline.json"
+
+
+def test_invariant_suite_artifact():
+    start = time.perf_counter()
+    result = run_suite(
+        [SRC], baseline=load_baseline(BASELINE), root=REPO
+    )
+    duration_ms = (time.perf_counter() - start) * 1000.0
+
+    assert result.clean, [f.render() for f in result.findings]
+    assert not result.stale_baseline, result.stale_baseline
+
+    suppression_reasons = 0
+    suppression_total = 0
+    per_code_suppressed: dict[str, int] = {}
+    for path in iter_source_files([SRC]):
+        module = ModuleInfo.parse(path, root=REPO)
+        for sup in collect_suppressions(module):
+            suppression_total += 1
+            if sup.reason:
+                suppression_reasons += 1
+            for code in sup.codes:
+                per_code_suppressed[code] = (
+                    per_code_suppressed.get(code, 0) + 1
+                )
+    assert suppression_reasons == suppression_total, (
+        "inline suppressions without reasons"
+    )
+
+    artifact = {
+        "benchmark": "analysis",
+        "files": result.files,
+        "duration_ms": round(duration_ms, 1),
+        "rules": [
+            {"code": rule.code, "name": rule.name}
+            for rule in all_rules()
+        ],
+        "findings_per_rule": result.counts(),  # empty == clean tree
+        "suppressed_per_rule": dict(sorted(per_code_suppressed.items())),
+        "suppressed_total": suppression_total,
+        "baselined": len(result.baselined),
+        "stale_baseline": len(result.stale_baseline),
+    }
+
+    lines = [
+        f"invariant suite: {result.files} files in "
+        f"{duration_ms:.0f} ms — 0 findings",
+        "suppressions by rule: " + (
+            ", ".join(
+                f"{code}={count}"
+                for code, count in sorted(per_code_suppressed.items())
+            ) or "none"
+        ),
+        f"baselined: {len(result.baselined)}  "
+        f"stale baseline entries: {len(result.stale_baseline)}",
+    ]
+    write_result("analysis", "\n".join(lines))
+    (RESULTS_DIR / "BENCH_analysis.json").write_text(
+        json.dumps(artifact, indent=2) + "\n"
+    )

@@ -1,0 +1,481 @@
+"""Core of the project-specific static-analysis suite.
+
+The concurrent stack built in PRs 2–9 rests on conventions the code
+states in prose — lock ordering, ``ACTIVE``-guarded telemetry, every
+``SharedMemory(create=True)`` paired with an unlink path, frozen
+execution policies, no bare threads outside the pool packages. This
+module is the enforcement half: a tiny rule framework over stdlib
+:mod:`ast` (the repo's zero-dependency rule applies to its linters
+too) that parses each source file once, hands the tree to every
+registered rule, and reconciles the findings against inline
+suppressions and a checked-in baseline.
+
+Vocabulary
+----------
+
+Finding
+    One violation: stable code (``RA101``…), file, line, message, and
+    the enclosing ``Class.method`` symbol. The *fingerprint* —
+    ``sha256(code|path|symbol|message)`` — deliberately excludes the
+    line number so baselines survive unrelated edits above a finding.
+
+Suppression
+    ``# repro: allow(RA106) — reason`` on the offending line, or on a
+    comment line directly above it. The reason is mandatory; a
+    suppression without one, with an unknown code, or matching no
+    finding is itself reported (``RA100``) so allows cannot rot.
+
+Baseline
+    A JSON file of fingerprints with reasons, for findings accepted
+    wholesale (e.g. when adopting a new rule on an old tree). Entries
+    that no longer match anything are *stale* and fail ``--strict``.
+
+Adding a rule is one file: subclass :class:`Rule`, decorate with
+:func:`register`, and import the module from
+``repro.analysis.rules.__init__`` — the registry does the rest (CLI,
+``--json`` counts, baseline, docs table).
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.errors import ConfigError
+
+#: Framework-level hygiene code: malformed / unknown / unused
+#: suppressions. Not a registered Rule — it polices the escape hatch.
+SUPPRESSION_CODE = "RA100"
+
+#: Comment form ``repro: allow(<code>) <dash> <reason>`` — accepts an
+#: em-dash, ``--``, ``-`` or ``:`` before the reason, and is matched
+#: anywhere in a comment token so it can trail code. (This very
+#: comment spells the syntax with placeholders precisely so the
+#: scanner does not read it as a live suppression.)
+_SUPPRESS = re.compile(
+    r"#\s*repro:\s*allow\(\s*([A-Za-z0-9_,\s]*?)\s*\)"
+    r"\s*(?:(?:—|--|-|:)\s*(\S.*?))?\s*$"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a concrete source location."""
+
+    path: str  # repo-relative posix path
+    line: int
+    code: str
+    message: str
+    symbol: str = ""  # enclosing ``Class.method`` (or module)
+
+    def fingerprint(self) -> str:
+        """Line-independent identity used by the baseline file."""
+        raw = f"{self.code}|{self.path}|{self.symbol}|{self.message}"
+        return hashlib.sha256(raw.encode("utf-8")).hexdigest()[:16]
+
+    def render(self) -> str:
+        where = f" [{self.symbol}]" if self.symbol else ""
+        return f"{self.path}:{self.line}: {self.code} {self.message}{where}"
+
+    def as_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "code": self.code,
+            "message": self.message,
+            "symbol": self.symbol,
+            "fingerprint": self.fingerprint(),
+        }
+
+
+@dataclass
+class Suppression:
+    """One parsed ``# repro: allow(...)`` comment."""
+
+    line: int  # line the comment sits on
+    target: int  # line it suppresses (itself, or the next code line)
+    codes: tuple[str, ...]
+    reason: str | None
+    used: bool = False
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file, shared by every rule."""
+
+    path: Path
+    relpath: str  # posix, relative to the scan root's parent
+    module: str  # dotted name, e.g. ``repro.engine.cache``
+    source: str
+    lines: list[str]
+    tree: ast.Module
+
+    @classmethod
+    def parse(cls, path: Path, root: Path | None = None) -> "ModuleInfo":
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            raise ConfigError(f"cannot parse {path}: {exc}") from exc
+        resolved = path.resolve()
+        if root is not None:
+            try:
+                relpath = resolved.relative_to(root.resolve()).as_posix()
+            except ValueError:
+                relpath = resolved.as_posix()
+        else:
+            relpath = resolved.as_posix()
+        return cls(
+            path=path,
+            relpath=relpath,
+            module=_dotted_module(resolved),
+            source=source,
+            lines=source.splitlines(),
+            tree=tree,
+        )
+
+
+def _dotted_module(path: Path) -> str:
+    """``repro.engine.cache`` for files under a ``repro`` package.
+
+    Files outside the package (test fixtures, tmp dirs) fall back to
+    their stem, so package-scoped rules treat them as in-scope — which
+    is exactly what fixture tests want.
+    """
+    parts = list(path.parts)
+    if "repro" in parts:
+        tail = parts[parts.index("repro"):]
+        tail[-1] = path.stem
+        return ".".join(tail)
+    return path.stem
+
+
+class Rule:
+    """Base class for one invariant checker.
+
+    Subclasses set ``code``/``name``/``summary`` and implement
+    :meth:`check`. :meth:`applies` scopes a rule to package subtrees;
+    modules whose dotted name does not start with ``repro.`` are
+    always in scope so fixture files exercise every rule.
+    """
+
+    code: str = "RA000"
+    name: str = "base"
+    summary: str = ""
+    #: Dotted-module prefixes the rule skips (the rule's own home).
+    exempt_prefixes: tuple[str, ...] = ()
+
+    def applies(self, module: ModuleInfo) -> bool:
+        if not module.module.startswith("repro."):
+            return True
+        return not module.module.startswith(self.exempt_prefixes)
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, module: ModuleInfo, node: ast.AST, message: str, symbol: str
+    ) -> Finding:
+        return Finding(
+            path=module.relpath,
+            line=getattr(node, "lineno", 0),
+            code=self.code,
+            message=message,
+            symbol=symbol,
+        )
+
+
+#: code -> rule instance. Populated by :func:`register` at import time
+#: of ``repro.analysis.rules``.
+REGISTRY: dict[str, Rule] = {}
+
+
+def register(rule_cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the suite registry."""
+    rule = rule_cls()
+    if rule.code in REGISTRY:
+        raise ConfigError(f"duplicate rule code {rule.code!r}")
+    REGISTRY[rule.code] = rule
+    return rule_cls
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, by code. Imports the bundled rule set."""
+    from repro.analysis import rules as _rules  # noqa: F401 - registration
+
+    return [REGISTRY[code] for code in sorted(REGISTRY)]
+
+
+# -- suppressions ------------------------------------------------------------
+
+
+def collect_suppressions(module: ModuleInfo) -> list[Suppression]:
+    """Parse every ``# repro: allow(...)`` comment in the file.
+
+    A comment-only line suppresses the next non-blank, non-comment
+    line; a trailing comment suppresses its own line. Real comment
+    tokens only — a docstring *describing* the syntax is not a
+    suppression.
+    """
+    found: list[Suppression] = []
+    try:
+        tokens = list(
+            tokenize.generate_tokens(io.StringIO(module.source).readline)
+        )
+    except tokenize.TokenError:
+        return found
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESS.search(token.string)
+        if match is None:
+            continue
+        codes = tuple(
+            c.strip() for c in match.group(1).split(",") if c.strip()
+        )
+        reason = match.group(2)
+        index = token.start[0]
+        target = index
+        if module.lines[index - 1].lstrip().startswith("#"):
+            target = _next_code_line(module.lines, index)
+        found.append(
+            Suppression(line=index, target=target, codes=codes, reason=reason)
+        )
+    return found
+
+
+def _next_code_line(lines: list[str], after: int) -> int:
+    for index in range(after, len(lines)):
+        stripped = lines[index].strip()
+        if stripped and not stripped.startswith("#"):
+            return index + 1
+    return after
+
+
+def _suppression_findings(
+    module: ModuleInfo, suppressions: list[Suppression], known: set[str]
+) -> list[Finding]:
+    """RA100 hygiene findings: no reason, unknown code, unused allow."""
+    findings = []
+    for sup in suppressions:
+        symbol = f"allow@{','.join(sup.codes) or '?'}"
+        if not sup.codes:
+            findings.append(Finding(
+                module.relpath, sup.line, SUPPRESSION_CODE,
+                "suppression lists no rule codes", symbol,
+            ))
+            continue
+        if not sup.reason:
+            findings.append(Finding(
+                module.relpath, sup.line, SUPPRESSION_CODE,
+                "suppression has no reason (write `# repro: "
+                "allow(CODE) — why`)", symbol,
+            ))
+        for code in sup.codes:
+            if code not in known and code != SUPPRESSION_CODE:
+                findings.append(Finding(
+                    module.relpath, sup.line, SUPPRESSION_CODE,
+                    f"suppression names unknown rule {code!r}", symbol,
+                ))
+        if not sup.used and all(c in known for c in sup.codes):
+            findings.append(Finding(
+                module.relpath, sup.line, SUPPRESSION_CODE,
+                "suppression matches no finding "
+                f"({', '.join(sup.codes)}) — delete it", symbol,
+            ))
+    return findings
+
+
+# -- baseline ----------------------------------------------------------------
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: Path) -> dict[str, dict]:
+    """fingerprint -> entry. Every entry must carry a reason."""
+    if not path.exists():
+        return {}
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if data.get("version") != BASELINE_VERSION:
+        raise ConfigError(
+            f"baseline {path} has version {data.get('version')!r}, "
+            f"expected {BASELINE_VERSION}"
+        )
+    entries = {}
+    for entry in data.get("entries", []):
+        fingerprint = entry.get("fingerprint")
+        if not fingerprint:
+            raise ConfigError(f"baseline {path}: entry missing fingerprint")
+        if not entry.get("reason"):
+            raise ConfigError(
+                f"baseline {path}: entry {fingerprint} has no reason — "
+                "baselined findings must say why they are accepted"
+            )
+        entries[fingerprint] = entry
+    return entries
+
+
+def save_baseline(path: Path, findings: Iterable[Finding],
+                  reason: str) -> None:
+    """Write every finding into a fresh baseline with one shared reason."""
+    entries = [
+        {
+            "fingerprint": f.fingerprint(),
+            "code": f.code,
+            "path": f.path,
+            "symbol": f.symbol,
+            "message": f.message,
+            "reason": reason,
+        }
+        for f in sorted(set(findings))
+    ]
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+# -- suite -------------------------------------------------------------------
+
+
+@dataclass
+class SuiteResult:
+    """Outcome of one run over a file set."""
+
+    findings: list[Finding] = field(default_factory=list)  # actionable
+    suppressed: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    stale_baseline: list[dict] = field(default_factory=list)
+    files: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.code] = counts.get(finding.code, 0) + 1
+        return counts
+
+    def as_dict(self) -> dict:
+        from repro.analysis import rules as _rules  # noqa: F401
+
+        return {
+            "version": BASELINE_VERSION,
+            "files": self.files,
+            "rules": [
+                {"code": r.code, "name": r.name, "summary": r.summary}
+                for r in all_rules()
+            ],
+            "counts": self.counts(),
+            "findings": [f.as_dict() for f in self.findings],
+            "suppressed": [f.as_dict() for f in self.suppressed],
+            "baselined": [f.as_dict() for f in self.baselined],
+            "stale_baseline": list(self.stale_baseline),
+        }
+
+
+def iter_source_files(paths: Iterable[Path]) -> Iterator[Path]:
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def run_suite(
+    paths: Iterable[Path],
+    rules: Iterable[Rule] | None = None,
+    baseline: dict[str, dict] | None = None,
+    root: Path | None = None,
+) -> SuiteResult:
+    """Run every rule over every file and reconcile the findings.
+
+    ``root`` anchors the repo-relative paths in output (defaults to the
+    common parent handed in); ``baseline`` maps accepted fingerprints
+    to their entries.
+    """
+    rule_list = list(rules) if rules is not None else all_rules()
+    known = {rule.code for rule in rule_list} | {SUPPRESSION_CODE}
+    baseline = dict(baseline or {})
+    result = SuiteResult()
+    matched: set[str] = set()
+
+    for path in iter_source_files(paths):
+        module = ModuleInfo.parse(path, root=root)
+        result.files += 1
+        suppressions = collect_suppressions(module)
+        raw: list[Finding] = []
+        for rule in rule_list:
+            if rule.applies(module):
+                raw.extend(rule.check(module))
+        for finding in sorted(set(raw)):
+            sup = _matching_suppression(suppressions, finding)
+            if sup is not None:
+                sup.used = True
+                result.suppressed.append(finding)
+            elif finding.fingerprint() in baseline:
+                matched.add(finding.fingerprint())
+                result.baselined.append(finding)
+            else:
+                result.findings.append(finding)
+        result.findings.extend(
+            _suppression_findings(module, suppressions, known)
+        )
+
+    result.stale_baseline = [
+        entry for fp, entry in sorted(baseline.items()) if fp not in matched
+    ]
+    result.findings.sort()
+    return result
+
+
+def _matching_suppression(
+    suppressions: list[Suppression], finding: Finding
+) -> Suppression | None:
+    for sup in suppressions:
+        if sup.target == finding.line and finding.code in sup.codes:
+            return sup
+    return None
+
+
+# -- small AST helpers shared by rules ---------------------------------------
+
+
+def dotted(node: ast.AST) -> str | None:
+    """``self._lock`` / ``_trace.ACTIVE`` as a string, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def enclosing_symbols(tree: ast.Module) -> dict[int, str]:
+    """Map every node id to its ``Class.method`` symbol string."""
+    symbols: dict[int, str] = {}
+
+    def walk(node: ast.AST, scope: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            name = getattr(child, "name", None)
+            if isinstance(
+                child,
+                (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef),
+            ) and name:
+                inner = f"{scope}.{name}" if scope else name
+            else:
+                inner = scope
+            symbols[id(child)] = inner
+            walk(child, inner)
+
+    walk(tree, "")
+    return symbols

@@ -1,0 +1,373 @@
+"""None-guard dataflow shared by guard-sensitive rules.
+
+The telemetry layer's purity contract (ARCHITECTURE §12) is that every
+tracer/metrics call site sits behind an ``ACTIVE``-is-bound check so
+the disabled path stays byte-identical to the pre-telemetry code. This
+module implements the small flow analysis that proves it: it tracks
+names *derived from* a watched source (``tracer = _trace.ACTIVE``,
+``span = tracer.begin(...)``, ``self._tracer = _trace.ACTIVE``) and
+walks each function recording where a ``X is not None`` guard — in an
+``if``, a ternary, an ``and`` chain, or an early ``if X is None:
+return`` — licenses uses of that name's *family*.
+
+Families, not single names: ``span = tracer.begin(...)`` can only bind
+a span when the tracer was bound, so a guard on either licenses both
+(``if span is not None: ... tracer.finish(span)`` is sound). Derivation
+edges are kept in a union-find; a guard licenses the family root.
+
+The analysis is deliberately lexical — no interprocedural flow. A use
+it cannot prove guarded (e.g. a tracer call licensed by a *parameter*
+the caller guarantees non-None) is a finding; genuinely-safe sites
+carry an inline ``# repro: allow(RA102) — why`` so the invariant stays
+visible in the code.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.core import dotted
+
+
+@dataclass
+class Use:
+    """One attribute access on a watched name outside any guard."""
+
+    node: ast.AST
+    name: str  # dotted name used, e.g. ``tracer`` / ``self._tracer``
+    source: str  # the watched source it derives from, e.g. ``ACTIVE``
+
+
+@dataclass
+class _Family:
+    parent: dict[str, str] = field(default_factory=dict)
+    source: dict[str, str] = field(default_factory=dict)
+
+    def find(self, name: str) -> str:
+        root = name
+        while self.parent.get(root, root) != root:
+            root = self.parent[root]
+        return root
+
+    def union(self, child: str, base: str) -> None:
+        base_root = self.find(base)
+        self.parent[self.find(child)] = base_root
+        self.source.setdefault(
+            base_root, self.source.get(base_root, "")
+        )
+
+    def copy(self) -> "_Family":
+        return _Family(dict(self.parent), dict(self.source))
+
+
+def _terminates(stmts: list[ast.stmt]) -> bool:
+    return bool(stmts) and isinstance(
+        stmts[-1], (ast.Return, ast.Raise, ast.Continue, ast.Break)
+    )
+
+
+class GuardAnalysis:
+    """Find unguarded uses of names derived from watched sources.
+
+    ``watched(expr)`` decides whether an assignment RHS creates a new
+    tracked root (returns a source label, else ``None``). Typical:
+    attribute loads ending in ``.ACTIVE``.
+    """
+
+    def __init__(self, watch_attr: str = "ACTIVE") -> None:
+        self.watch_attr = watch_attr
+        self.uses: list[Use] = []
+
+    # -- entry points --------------------------------------------------------
+
+    def analyze_class(self, node: ast.ClassDef) -> None:
+        """Track ``self.X`` roots class-wide, then check each method."""
+        family = _Family()
+        tracked: dict[str, str] = {}
+        for method in node.body:
+            if isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._collect_self_roots(method, tracked, family)
+        for method in node.body:
+            if isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._check_function(method, dict(tracked), family.copy())
+
+    def analyze_function(self, node: ast.FunctionDef) -> None:
+        self._check_function(node, {}, _Family())
+
+    # -- phase 1: class-wide self-attribute roots ---------------------------
+
+    def _collect_self_roots(
+        self,
+        method: ast.AST,
+        tracked: dict[str, str],
+        family: _Family,
+    ) -> None:
+        for node in ast.walk(method):
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = dotted(node.targets[0])
+            if target is None or not target.startswith("self."):
+                continue
+            label = self._watch_label(node.value)
+            if label is not None:
+                tracked[target] = label
+                family.source[family.find(target)] = label
+                continue
+            base = self._derivation_base(node.value, tracked)
+            if base is not None:
+                tracked[target] = tracked[base]
+                family.union(target, base)
+
+    # -- phase 2: per-function walk ------------------------------------------
+
+    def _check_function(
+        self,
+        func: ast.AST,
+        tracked: dict[str, str],
+        family: _Family,
+    ) -> None:
+        self._block(list(func.body), tracked, family, set())
+
+    def _block(
+        self,
+        stmts: list[ast.stmt],
+        tracked: dict[str, str],
+        family: _Family,
+        licensed: frozenset | set,
+    ) -> None:
+        licensed = set(licensed)
+        for stmt in stmts:
+            if isinstance(stmt, ast.If):
+                pos, neg = self._guard_names(stmt.test)
+                self._expr(stmt.test, tracked, family, licensed)
+                self._block(
+                    stmt.body, dict(tracked), family,
+                    licensed | self._roots(pos, tracked, family),
+                )
+                self._block(
+                    stmt.orelse, dict(tracked), family,
+                    licensed | self._roots(neg, tracked, family),
+                )
+                # ``if X is None: return`` licenses X for the rest of
+                # the block.
+                if not stmt.orelse and neg and _terminates(stmt.body):
+                    licensed |= self._roots(neg, tracked, family)
+                continue
+            if isinstance(stmt, ast.While):
+                pos, _ = self._guard_names(stmt.test)
+                self._expr(stmt.test, tracked, family, licensed)
+                self._block(
+                    stmt.body, dict(tracked), family,
+                    licensed | self._roots(pos, tracked, family),
+                )
+                self._block(stmt.orelse, dict(tracked), family, licensed)
+                continue
+            if isinstance(stmt, (ast.For, ast.AsyncFor)):
+                self._expr(stmt.iter, tracked, family, licensed)
+                self._block(stmt.body, dict(tracked), family, licensed)
+                self._block(stmt.orelse, dict(tracked), family, licensed)
+                continue
+            if isinstance(stmt, ast.Try):
+                self._block(stmt.body, dict(tracked), family, licensed)
+                for handler in stmt.handlers:
+                    self._block(
+                        handler.body, dict(tracked), family, licensed
+                    )
+                self._block(stmt.orelse, dict(tracked), family, licensed)
+                self._block(stmt.finalbody, dict(tracked), family, licensed)
+                continue
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    self._expr(
+                        item.context_expr, tracked, family, licensed
+                    )
+                    # ``with tracer.span(...) as span`` derives span.
+                    if item.optional_vars is not None:
+                        target = dotted(item.optional_vars)
+                        base = self._derivation_base(
+                            item.context_expr, tracked
+                        )
+                        if target and base:
+                            tracked[target] = tracked[base]
+                            family.union(target, base)
+                self._block(stmt.body, tracked, family, licensed)
+                continue
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # Nested function: fresh scope, class roots still apply.
+                self._check_function(
+                    stmt,
+                    {k: v for k, v in tracked.items()
+                     if k.startswith("self.")},
+                    family.copy(),
+                )
+                continue
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                self._assign(
+                    stmt.targets[0], stmt.value, tracked, family, licensed
+                )
+                continue
+            if isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                self._assign(
+                    stmt.target, stmt.value, tracked, family, licensed
+                )
+                continue
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._expr(child, tracked, family, licensed)
+                elif isinstance(child, ast.stmt):
+                    self._block([child], tracked, family, licensed)
+
+    def _assign(
+        self,
+        target_node: ast.expr,
+        value: ast.expr,
+        tracked: dict[str, str],
+        family: _Family,
+        licensed: set,
+    ) -> None:
+        self._expr(value, tracked, family, licensed)
+        target = dotted(target_node)
+        if target is None:
+            return
+        label = self._watch_label(value)
+        if label is not None:
+            tracked[target] = label
+            family.source[family.find(target)] = label
+            return
+        base = self._derivation_base(value, tracked)
+        if base is not None:
+            tracked[target] = tracked[base]
+            family.union(target, base)
+        elif target in tracked and not target.startswith("self."):
+            # Rebound to something unrelated: stop tracking the local.
+            del tracked[target]
+
+    # -- expression walk: flag unguarded attribute access --------------------
+
+    def _expr(
+        self,
+        node: ast.expr,
+        tracked: dict[str, str],
+        family: _Family,
+        licensed: set,
+    ) -> None:
+        if isinstance(node, ast.IfExp):
+            pos, neg = self._guard_names(node.test)
+            self._expr(node.test, tracked, family, licensed)
+            self._expr(
+                node.body, tracked, family,
+                licensed | self._roots(pos, tracked, family),
+            )
+            self._expr(
+                node.orelse, tracked, family,
+                licensed | self._roots(neg, tracked, family),
+            )
+            return
+        if isinstance(node, ast.BoolOp) and isinstance(node.op, ast.And):
+            # ``X is not None and X.y`` — later operands see earlier
+            # guards.
+            acc = set(licensed)
+            for operand in node.values:
+                self._expr(operand, tracked, family, acc)
+                pos, _ = self._guard_names(operand)
+                acc |= self._roots(pos, tracked, family)
+            return
+        if isinstance(node, ast.Attribute):
+            name = dotted(node.value)
+            if name is not None and name in tracked:
+                if family.find(name) not in licensed:
+                    self.uses.append(Use(node, name, tracked[name]))
+                return  # one report per chain; don't descend
+            self._expr(node.value, tracked, family, licensed)
+            return
+        # Direct ``_trace.ACTIVE.span(...)`` without binding first:
+        # always unguardable, flag via watch label on the value chain.
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                label = self._watch_label(func.value)
+                if label is not None:
+                    self.uses.append(
+                        Use(node, dotted(func.value) or label, label)
+                    )
+            self._expr(node.func, tracked, family, licensed)
+            for arg in node.args:
+                self._expr(arg, tracked, family, licensed)
+            for kw in node.keywords:
+                self._expr(kw.value, tracked, family, licensed)
+            return
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._expr(child, tracked, family, licensed)
+
+    # -- helpers -------------------------------------------------------------
+
+    def _watch_label(self, node: ast.expr) -> str | None:
+        """Is this expression a watched source (``*.ACTIVE``)?"""
+        if isinstance(node, ast.Attribute) and node.attr == self.watch_attr:
+            return dotted(node) or self.watch_attr
+        if isinstance(node, ast.Name) and node.id == self.watch_attr:
+            return node.id
+        return None
+
+    def _derivation_base(
+        self, node: ast.expr, tracked: dict[str, str]
+    ) -> str | None:
+        """Name of the tracked base when ``node`` is ``base.m(...)``."""
+        if isinstance(node, ast.Call) and isinstance(
+            node.func, ast.Attribute
+        ):
+            base = dotted(node.func.value)
+            if base is not None and base in tracked:
+                return base
+        return None
+
+    def _guard_names(
+        self, test: ast.expr
+    ) -> tuple[set[str], set[str]]:
+        """Names proven non-None when ``test`` is (true, false)."""
+        if isinstance(test, ast.Compare) and len(test.ops) == 1:
+            name = dotted(test.left)
+            is_none = (
+                isinstance(test.comparators[0], ast.Constant)
+                and test.comparators[0].value is None
+            )
+            if name is not None and is_none:
+                if isinstance(test.ops[0], ast.IsNot):
+                    return {name}, set()
+                if isinstance(test.ops[0], ast.Is):
+                    return set(), {name}
+            return set(), set()
+        if isinstance(test, ast.Name):
+            return {test.id}, set()
+        name = dotted(test)
+        if name is not None:
+            return {name}, set()
+        if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+            pos, neg = self._guard_names(test.operand)
+            return neg, pos
+        if isinstance(test, ast.BoolOp):
+            if isinstance(test.op, ast.And):
+                pos: set[str] = set()
+                for operand in test.values:
+                    p, _ = self._guard_names(operand)
+                    pos |= p
+                return pos, set()
+            # or: false => every operand false => all negs hold
+            neg = set()
+            for operand in test.values:
+                _, n = self._guard_names(operand)
+                neg |= n
+            return set(), neg
+        return set(), set()
+
+    def _roots(
+        self,
+        names: set[str],
+        tracked: dict[str, str],
+        family: _Family,
+    ) -> set[str]:
+        return {
+            family.find(name) for name in names if name in tracked
+        }

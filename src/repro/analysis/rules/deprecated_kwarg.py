@@ -1,0 +1,63 @@
+"""RA105 — internal code never calls the pre-PR-5 per-knob kwargs.
+
+``execute_batch(workers=…, shards=…)`` and friends survive only as a
+deprecation shim in ``execution.py`` that maps the old knobs onto an
+:class:`ExecutionPolicy` and warns. The pytest gate (``pytest.ini``
+turns repro-attributed ``DeprecationWarning`` into errors) catches
+internal callers *that a test happens to execute*; this rule catches
+them at lint time, including paths no test reaches.
+
+Flagged: any call to ``execute_batch`` / ``refresh`` /
+``apply_and_refresh`` / ``refresh_many`` / ``replay_log`` passing one
+of the legacy knob keywords (``batch`` / ``workers`` / ``shards`` /
+``multiplan``) anywhere outside ``repro/execution.py`` (the shim's
+home). Pass ``policy=ExecutionPolicy(...)`` instead.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import ModuleInfo, Rule, enclosing_symbols, \
+    register
+
+_METHODS = {
+    "execute_batch", "refresh", "apply_and_refresh", "refresh_many",
+    "replay_log",
+}
+_KNOBS = {"batch", "workers", "shards", "multiplan"}
+
+
+@register
+class DeprecatedKwargRule(Rule):
+    code = "RA105"
+    name = "deprecated-kwarg"
+    summary = (
+        "calls to execute_batch/refresh with pre-PR-5 per-knob "
+        "kwargs instead of policy="
+    )
+    exempt_prefixes = ("repro.execution", "repro.analysis")
+
+    def check(self, module: ModuleInfo):
+        symbols = enclosing_symbols(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else None
+            )
+            if name not in _METHODS:
+                continue
+            legacy = sorted(
+                kw.arg for kw in node.keywords
+                if kw.arg in _KNOBS
+            )
+            if legacy:
+                yield self.finding(
+                    module, node,
+                    f"{name}() called with deprecated per-knob "
+                    f"kwarg(s) {', '.join(legacy)} — pass "
+                    f"policy=ExecutionPolicy(...) instead",
+                    symbols.get(id(node), ""),
+                )

@@ -1,0 +1,117 @@
+"""RA104 — ``ExecutionPolicy`` is immutable outside its home module.
+
+The whole point of the PR-5 redesign is that one frozen value carries
+the execution knobs through every layer: caches key on it, executors
+capture it at construction, and ``evolve()`` is the only sanctioned
+way to get a different one. ``object.__setattr__`` (the frozen-
+dataclass backdoor ``execution.py`` itself uses in ``__post_init__``)
+or a ``setattr`` on a policy anywhere else silently changes behavior
+for every holder of the shared value — a cross-session heisenbug.
+
+Flagged, everywhere except ``repro/execution.py``:
+
+* ``object.__setattr__(p, ...)`` / ``setattr(p, ...)`` where ``p`` is
+  policy-shaped — named ``policy``/``*_policy``, a ``.policy``
+  attribute, or annotated ``ExecutionPolicy``;
+* direct field assignment ``p.workers = …`` on a policy-shaped target
+  (frozen dataclasses raise at runtime; the lint catches it before a
+  test has to).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import ModuleInfo, Rule, dotted, \
+    enclosing_symbols, register
+
+def _policy_shaped(node: ast.expr, annotations: dict) -> bool:
+    name = dotted(node)
+    if name is None:
+        return False
+    last = name.split(".")[-1]
+    if last == "policy" or last.endswith("_policy"):
+        return True
+    annotation = annotations.get(name)
+    return annotation is not None and "ExecutionPolicy" in annotation
+
+
+@register
+class FrozenPolicyRule(Rule):
+    code = "RA104"
+    name = "frozen-policy"
+    summary = (
+        "mutation of a (frozen) ExecutionPolicy outside execution.py"
+    )
+    exempt_prefixes = ("repro.execution", "repro.analysis")
+
+    def check(self, module: ModuleInfo):
+        symbols = enclosing_symbols(module.tree)
+        for func in ast.walk(module.tree):
+            scope = func if isinstance(
+                func, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ) else None
+            if scope is None:
+                continue
+            annotations = self._annotations(scope)
+            for node in ast.walk(scope):
+                yield from self._check_node(
+                    module, node, annotations, symbols
+                )
+
+    def _annotations(self, func) -> dict[str, str]:
+        annotations: dict[str, str] = {}
+        for arg in (
+            list(func.args.args)
+            + list(func.args.kwonlyargs)
+            + list(func.args.posonlyargs)
+        ):
+            if arg.annotation is not None:
+                annotations[arg.arg] = ast.unparse(arg.annotation)
+        for node in ast.walk(func):
+            if isinstance(node, ast.AnnAssign):
+                target = dotted(node.target)
+                if target is not None:
+                    annotations[target] = ast.unparse(node.annotation)
+        return annotations
+
+    def _check_node(self, module, node, annotations, symbols):
+        symbol = symbols.get(id(node), "")
+        if isinstance(node, ast.Call):
+            func_name = dotted(node.func)
+            if (
+                func_name in ("object.__setattr__", "setattr")
+                and node.args
+                and _policy_shaped(node.args[0], annotations)
+            ):
+                yield self.finding(
+                    module, node,
+                    f"{func_name} on policy value "
+                    f"{ast.unparse(node.args[0])!r} — ExecutionPolicy "
+                    f"is frozen; use policy.evolve(...) instead",
+                    symbol,
+                )
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if not isinstance(target, ast.Attribute):
+                    continue
+                base = target.value
+                if _policy_shaped(base, annotations):
+                    yield self.finding(
+                        module, node,
+                        f"assignment to "
+                        f"{ast.unparse(target)!r} mutates a frozen "
+                        f"ExecutionPolicy; use policy.evolve(...)",
+                        symbol,
+                    )
+        elif isinstance(node, ast.AugAssign) and isinstance(
+            node.target, ast.Attribute
+        ):
+            if _policy_shaped(node.target.value, annotations):
+                yield self.finding(
+                    module, node,
+                    f"augmented assignment to "
+                    f"{ast.unparse(node.target)!r} mutates a frozen "
+                    f"ExecutionPolicy",
+                    symbol,
+                )

@@ -1,0 +1,241 @@
+"""RA101 — lock ordering and no engine work under cache/registry locks.
+
+The concurrency stack's deadlock-freedom argument (ARCHITECTURE §6/§8)
+is a lock *hierarchy*: cache and registry locks are leaf-adjacent —
+they guard dict/LRU state only and are never held across engine work —
+and any method that takes two locks takes them in one global order.
+This rule rebuilds that argument from the AST:
+
+1. Per class, find every lock attribute (``self.X = threading.Lock()``
+   / ``RLock`` / ``Condition``) and every ``with self.X:`` block.
+2. Build the acquisition graph: an edge ``X -> Y`` whenever ``Y`` is
+   taken (directly, or one call deep through another method of the
+   same class) while ``X`` is held. A cycle is a finding — two call
+   paths disagree about the order, which is a deadlock under
+   contention.
+3. In classes whose name marks them as cache/registry state (``Cache``
+   / ``Registry`` / ``Host`` in the name), flag any
+   ``*engine*.execute…`` call — again directly or one call deep —
+   made while one of the class's locks is held. Engine work under a
+   cache lock serializes every other session behind one query and is
+   the single-flight protocol's job instead.
+
+The analysis is per class plus module-level functions; cross-class
+call chains are out of reach for a lexical pass and covered by the
+stress tests instead.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.analysis.core import (
+    Finding,
+    ModuleInfo,
+    Rule,
+    dotted,
+    enclosing_symbols,
+    register,
+)
+
+_LOCK_CTORS = {"Lock", "RLock", "Condition", "Semaphore",
+               "BoundedSemaphore"}
+_CACHEISH = re.compile(r"Cache|Registry|Host")
+
+
+def _is_lock_ctor(value: ast.expr) -> bool:
+    if not isinstance(value, ast.Call):
+        return False
+    func = value.func
+    if isinstance(func, ast.Attribute):
+        return func.attr in _LOCK_CTORS
+    return isinstance(func, ast.Name) and func.id in _LOCK_CTORS
+
+
+def _is_engine_execute(call: ast.Call) -> bool:
+    """``<...engine>.execute*(...)`` — receiver's last segment names an
+    engine (``self.engine``, ``fallback_engine``, bare ``engine``)."""
+    func = call.func
+    if not isinstance(func, ast.Attribute):
+        return False
+    if not func.attr.startswith("execute"):
+        return False
+    receiver = dotted(func.value)
+    if receiver is None:
+        return False
+    return "engine" in receiver.split(".")[-1].lower()
+
+
+def _self_call(call: ast.Call) -> str | None:
+    """Method name for ``self.m(...)``, else None."""
+    func = call.func
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "self"
+    ):
+        return func.attr
+    return None
+
+
+@register
+class LockOrderRule(Rule):
+    code = "RA101"
+    name = "lock-order"
+    summary = (
+        "lock-acquisition cycles, and engine execute calls while a "
+        "cache/registry lock is held"
+    )
+
+    def check(self, module: ModuleInfo):
+        symbols = enclosing_symbols(module.tree)
+        for node in module.tree.body:
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(module, node, symbols)
+
+    def _check_class(self, module, cls, symbols):
+        locks = self._lock_attrs(cls)
+        if not locks:
+            return
+        methods = {
+            m.name: m
+            for m in cls.body
+            if isinstance(m, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        acquires = {
+            name: self._locks_acquired(m, locks)
+            for name, m in methods.items()
+        }
+        engine_callers = {
+            name for name, m in methods.items()
+            if any(
+                isinstance(n, ast.Call) and _is_engine_execute(n)
+                for n in ast.walk(m)
+            )
+        }
+        cacheish = bool(_CACHEISH.search(cls.name))
+        edges: dict[tuple[str, str], ast.AST] = {}
+        for method in methods.values():
+            yield from self._walk(
+                module, cls, method, locks, acquires, engine_callers,
+                cacheish, edges, symbols,
+            )
+        yield from self._cycles(module, cls, edges, symbols)
+
+    def _lock_attrs(self, cls) -> set[str]:
+        found = set()
+        for node in ast.walk(cls):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = dotted(node.targets[0])
+                if (
+                    target
+                    and target.startswith("self.")
+                    and "." not in target[5:]
+                    and _is_lock_ctor(node.value)
+                ):
+                    found.add(target[5:])
+        return found
+
+    def _locks_acquired(self, method, locks) -> set[str]:
+        held = set()
+        for node in ast.walk(method):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    target = dotted(item.context_expr)
+                    if target and target.startswith("self.") and \
+                            target[5:] in locks:
+                        held.add(target[5:])
+        return held
+
+    def _walk(self, module, cls, method, locks, acquires, engine_callers,
+              cacheish, edges, symbols):
+        """Depth-first over one method, tracking the held-lock stack."""
+
+        def visit(node, held):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                newly = []
+                for item in node.items:
+                    target = dotted(item.context_expr)
+                    if target and target.startswith("self.") and \
+                            target[5:] in locks:
+                        lock = target[5:]
+                        for outer in held:
+                            if outer != lock:
+                                edges.setdefault(
+                                    (outer, lock), item.context_expr
+                                )
+                        newly.append(lock)
+                for child in node.body:
+                    yield from visit(child, held + newly)
+                return
+            if isinstance(node, ast.Call) and held:
+                if cacheish and _is_engine_execute(node):
+                    yield self.finding(
+                        module, node,
+                        f"engine execute call while holding "
+                        f"{cls.name}.{held[-1]} — cache/registry locks "
+                        f"must not be held across engine work",
+                        symbols.get(id(node), ""),
+                    )
+                callee = _self_call(node)
+                if callee is not None and callee in acquires:
+                    for lock in acquires[callee]:
+                        for outer in held:
+                            if outer != lock:
+                                edges.setdefault(
+                                    (outer, lock), node
+                                )
+                if (
+                    cacheish
+                    and callee in engine_callers
+                    and callee not in acquires
+                ):
+                    # One call deep: self.m() runs engine work while
+                    # our lock is held (m taking its own lock would
+                    # make the engine call *its* problem).
+                    yield self.finding(
+                        module, node,
+                        f"call to self.{callee}() runs engine work "
+                        f"while holding {cls.name}.{held[-1]}",
+                        symbols.get(id(node), ""),
+                    )
+            for child in ast.iter_child_nodes(node):
+                yield from visit(child, held)
+
+        for stmt in method.body:
+            yield from visit(stmt, [])
+
+    def _cycles(self, module, cls, edges, symbols):
+        graph: dict[str, set[str]] = {}
+        for (src, dst) in edges:
+            graph.setdefault(src, set()).add(dst)
+        reported = set()
+        for start in sorted(graph):
+            path: list[str] = []
+
+            def dfs(lock):
+                if lock in path:
+                    cycle = tuple(path[path.index(lock):] + [lock])
+                    key = frozenset(cycle)
+                    if key not in reported:
+                        reported.add(key)
+                        site = edges.get(
+                            (cycle[0], cycle[1]),
+                            next(iter(edges.values())),
+                        )
+                        chain = " -> ".join(
+                            f"{cls.name}.{l}" for l in cycle
+                        )
+                        yield self.finding(
+                            module, site,
+                            f"lock-order cycle: {chain}",
+                            symbols.get(id(site), ""),
+                        )
+                    return
+                path.append(lock)
+                for nxt in sorted(graph.get(lock, ())):
+                    yield from dfs(nxt)
+                path.pop()
+
+            yield from dfs(start)

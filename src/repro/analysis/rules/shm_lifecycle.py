@@ -1,0 +1,267 @@
+"""RA103 — shared-memory lifecycle and the plain-data process boundary.
+
+Two contracts from the process-backed execution layer (ARCHITECTURE
+§13):
+
+1. **Every segment gets an unlink path.** A class that calls
+   ``SharedMemory(create=True)`` must, in the same class, either call
+   ``.unlink()`` somewhere or register a ``weakref.finalize`` sweep —
+   otherwise a crashed parent leaks ``/dev/shm`` segments until
+   reboot. (The CI leak checks catch a *leak that happened*; this
+   catches the code shape that makes one possible.)
+
+2. **Only plain data crosses into worker processes.** Tasks submitted
+   to a ``ProcessPoolExecutor`` must be module-level functions applied
+   to ``ExportSpec`` / ``ShardJob`` / ``ShardPayload`` values (or
+   builtins) — never bound methods, lambdas, or live handles (a pool,
+   an engine, a segment). A bound method drags ``self`` — the whole
+   pool, with its locks and live segments — through pickle into the
+   spawn context; it either fails at runtime or, worse, ships a copy
+   whose cleanup fights the parent's.
+
+Receivers are recognized from ``ProcessPoolExecutor`` annotations and
+constructor calls; argument plainness from parameter annotations,
+attribute names (``.spec`` / ``.job`` / ``.payload``), and constants.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import ModuleInfo, Rule, dotted, \
+    enclosing_symbols, register
+
+#: Types allowed through the process boundary, plus builtin scalars.
+_PLAIN_TOKENS = (
+    "ExportSpec", "ShardJob", "ShardPayload",
+    "str", "int", "float", "bool", "bytes", "tuple", "list", "dict",
+)
+_PLAIN_ATTRS = {"spec", "job", "payload"}
+
+
+def _is_shm_create(call: ast.Call) -> bool:
+    func = call.func
+    name = func.attr if isinstance(func, ast.Attribute) else (
+        func.id if isinstance(func, ast.Name) else None
+    )
+    if name != "SharedMemory":
+        return False
+    return any(
+        kw.arg == "create"
+        and isinstance(kw.value, ast.Constant)
+        and kw.value.value is True
+        for kw in call.keywords
+    )
+
+
+def _has_release_path(scope: ast.AST) -> bool:
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in (
+                "unlink", "finalize"
+            ):
+                return True
+            if isinstance(func, ast.Name) and func.id == "finalize":
+                return True
+    return False
+
+
+def _annotation_mentions_plain(annotation: ast.expr | None) -> bool:
+    if annotation is None:
+        return False
+    text = ast.unparse(annotation)
+    return any(token in text for token in _PLAIN_TOKENS)
+
+
+@register
+class ShmLifecycleRule(Rule):
+    code = "RA103"
+    name = "shm-lifecycle"
+    summary = (
+        "SharedMemory(create=True) without an unlink/finalize path, "
+        "or non-plain-data arguments submitted to worker processes"
+    )
+
+    def check(self, module: ModuleInfo):
+        symbols = enclosing_symbols(module.tree)
+        yield from self._check_unlink_paths(module, symbols)
+        yield from self._check_submit_boundary(module, symbols)
+
+    # -- contract 1: create implies an unlink path ---------------------------
+
+    def _check_unlink_paths(self, module, symbols):
+        scopes = [
+            n for n in module.tree.body if isinstance(n, ast.ClassDef)
+        ]
+        module_level = [
+            n for n in module.tree.body
+            if not isinstance(n, ast.ClassDef)
+        ]
+        for scope, label in [(s, s.name) for s in scopes] + [
+            (ast.Module(body=module_level, type_ignores=[]), "module"),
+        ]:
+            creates = [
+                n for n in ast.walk(scope)
+                if isinstance(n, ast.Call) and _is_shm_create(n)
+            ]
+            if creates and not _has_release_path(scope):
+                for call in creates:
+                    yield self.finding(
+                        module, call,
+                        f"SharedMemory(create=True) in {label} with no "
+                        f"unlink()/weakref.finalize path in the same "
+                        f"scope — a crash here leaks /dev/shm segments",
+                        symbols.get(id(call), ""),
+                    )
+
+    # -- contract 2: plain data only across the process boundary ------------
+
+    def _check_submit_boundary(self, module, symbols):
+        receivers = self._process_executor_names(module.tree)
+        if not receivers:
+            return
+        module_funcs = {
+            n.name for n in module.tree.body
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        for func in ast.walk(module.tree):
+            if not isinstance(
+                func, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            annotations = {
+                arg.arg: arg.annotation
+                for arg in list(func.args.args)
+                + list(func.args.kwonlyargs)
+                + list(func.args.posonlyargs)
+            }
+            local_receivers = set(receivers) | \
+                self._local_executor_names(func, receivers, module.tree)
+            for node in ast.walk(func):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "submit"
+                ):
+                    continue
+                receiver = dotted(node.func.value)
+                if receiver not in local_receivers:
+                    continue
+                symbol = symbols.get(id(node), "")
+                if node.args:
+                    target = node.args[0]
+                    if isinstance(target, ast.Lambda):
+                        yield self.finding(
+                            module, node,
+                            "lambda submitted to a process pool — "
+                            "closures don't survive spawn pickling; "
+                            "use a module-level function",
+                            symbol,
+                        )
+                    elif isinstance(target, ast.Attribute):
+                        yield self.finding(
+                            module, node,
+                            f"bound method "
+                            f"{dotted(target) or target.attr!r} "
+                            f"submitted to a process pool — it pickles "
+                            f"its whole instance into the worker; use "
+                            f"a module-level function over plain data",
+                            symbol,
+                        )
+                    elif (
+                        isinstance(target, ast.Name)
+                        and module_funcs
+                        and target.id not in module_funcs
+                    ):
+                        yield self.finding(
+                            module, node,
+                            f"{target.id!r} submitted to a process "
+                            f"pool is not a module-level function of "
+                            f"this module",
+                            symbol,
+                        )
+                for arg in node.args[1:]:
+                    if not self._is_plain(arg, annotations):
+                        yield self.finding(
+                            module, node,
+                            f"argument {ast.unparse(arg)!r} crossing "
+                            f"the process boundary is not provably "
+                            f"plain data (ExportSpec/ShardJob/"
+                            f"ShardPayload or builtins)",
+                            symbol,
+                        )
+
+    def _process_executor_names(self, tree: ast.Module) -> set[str]:
+        """Dotted names statically typed/assigned ProcessPoolExecutor."""
+        names: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.AnnAssign):
+                target = dotted(node.target)
+                if target and _mentions_ppe(node.annotation):
+                    names.add(target)
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = dotted(node.targets[0])
+                if target and _ctor_is_ppe(node.value):
+                    names.add(target)
+        return names
+
+    def _local_executor_names(self, func, receivers, tree) -> set[str]:
+        """Locals bound from PPE attrs or PPE-returning methods."""
+        returns_ppe = {
+            n.name for n in ast.walk(tree)
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and _mentions_ppe(n.returns)
+        }
+        names: set[str] = set()
+        for node in ast.walk(func):
+            if not (
+                isinstance(node, ast.Assign) and len(node.targets) == 1
+            ):
+                continue
+            target = dotted(node.targets[0])
+            if target is None:
+                continue
+            value = node.value
+            if dotted(value) in receivers or _ctor_is_ppe(value):
+                names.add(target)
+            elif isinstance(value, ast.Call):
+                callee = value.func
+                method = (
+                    callee.attr if isinstance(callee, ast.Attribute)
+                    else callee.id if isinstance(callee, ast.Name)
+                    else None
+                )
+                if method in returns_ppe:
+                    names.add(target)
+        return names
+
+    def _is_plain(self, arg: ast.expr, annotations: dict) -> bool:
+        if isinstance(arg, ast.Constant):
+            return True
+        if isinstance(arg, (ast.Tuple, ast.List)):
+            return all(
+                self._is_plain(e, annotations) for e in arg.elts
+            )
+        if isinstance(arg, ast.Name):
+            return _annotation_mentions_plain(annotations.get(arg.id))
+        if isinstance(arg, ast.Attribute):
+            return arg.attr in _PLAIN_ATTRS
+        return False
+
+
+def _mentions_ppe(annotation: ast.expr | None) -> bool:
+    return (
+        annotation is not None
+        and "ProcessPoolExecutor" in ast.unparse(annotation)
+    )
+
+
+def _ctor_is_ppe(value: ast.expr) -> bool:
+    if not isinstance(value, ast.Call):
+        return False
+    func = value.func
+    name = func.attr if isinstance(func, ast.Attribute) else (
+        func.id if isinstance(func, ast.Name) else None
+    )
+    return name == "ProcessPoolExecutor"

@@ -1,0 +1,80 @@
+"""RA102 — telemetry call sites must sit behind an ``ACTIVE`` guard.
+
+Telemetry is off by default and the contract (ARCHITECTURE §12) is
+byte-purity: with no tracer installed, the query path executes the
+exact pre-telemetry code — one ``ACTIVE`` attribute load and a
+``None`` test, nothing else. That only holds if *every* use of a
+tracer/metrics handle derived from ``trace.ACTIVE`` /
+``metrics.ACTIVE`` is reachable only when the handle was proven
+non-None.
+
+The rule runs the :mod:`repro.analysis.guards` flow analysis over
+engine/concurrency/sharding/dashboard/serving modules: names assigned
+from ``*.ACTIVE`` (including ``self._tracer`` class attributes) and
+anything derived from them (``span = tracer.begin(...)``) form a
+family; an ``is not None`` check on any family member licenses the
+family in that branch (a bound span implies a bound tracer). Uses
+outside a licensed region — including direct
+``_trace.ACTIVE.span(...)`` chains — are findings.
+
+Sites whose guard lives in a caller (e.g. a span parameter the caller
+null-checked) are invisible to the lexical analysis and carry an
+inline ``# repro: allow(RA102) — why`` instead, keeping the
+cross-function argument written down next to the code.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import ModuleInfo, Rule, enclosing_symbols, register
+from repro.analysis.guards import GuardAnalysis
+
+#: Packages on the query path where the purity contract applies. The
+#: telemetry package itself and the CLIs (which construct their own
+#: bundles explicitly) are out of scope.
+_SCOPE = (
+    "repro.engine.",
+    "repro.concurrency.",
+    "repro.sharding.",
+    "repro.serving.",
+    "repro.dashboard.",
+    "repro.facade",
+)
+
+
+@register
+class TelemetryPurityRule(Rule):
+    code = "RA102"
+    name = "telemetry-purity"
+    summary = (
+        "tracer/metrics handles from ACTIVE used outside an "
+        "is-not-None guard on the query path"
+    )
+
+    def applies(self, module: ModuleInfo) -> bool:
+        if not module.module.startswith("repro."):
+            return True
+        return module.module.startswith(_SCOPE)
+
+    def check(self, module: ModuleInfo):
+        symbols = enclosing_symbols(module.tree)
+        analysis = GuardAnalysis("ACTIVE")
+        for node in module.tree.body:
+            if isinstance(node, ast.ClassDef):
+                analysis.analyze_class(node)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                analysis.analyze_function(node)
+        seen = set()
+        for use in analysis.uses:
+            key = (use.node.lineno, use.name)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield self.finding(
+                module, use.node,
+                f"use of {use.name!r} (from {use.source}) outside an "
+                f"`is not None` guard — the disabled-telemetry path "
+                f"must stay byte-identical",
+                symbols.get(id(use.node), ""),
+            )

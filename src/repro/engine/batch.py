@@ -376,6 +376,8 @@ class BatchExecutor:
         # across threads never merges lossily or corrupts the memo's
         # OrderedDict reordering. Leaf-granular: never held across an
         # engine call.
+        # repro: allow(RA106) — data-structure guard, not parallelism;
+        # the executor owns no threads (pools live in concurrency/).
         self._state_lock = threading.Lock()
         # Dashboard refreshes rebuild equal ASTs every time; Query is a
         # frozen dataclass, so a bounded per-executor memo lets the

@@ -75,6 +75,9 @@ class ScanGroupCache:
         if capacity <= 0:
             raise ConfigError("scan-group cache capacity must be positive")
         self._capacity = capacity
+        # repro: allow(RA106) — leaf lock guarding the LRU map only
+        # (ARCHITECTURE §8); never held across engine work, no threads
+        # are created here.
         self._lock = threading.RLock()
         self._groups: OrderedDict[
             tuple[str, str], dict[str, ResultSet]
@@ -174,6 +177,9 @@ class CachedEngine(Engine):
             raise ConfigError("cache capacity must be positive")
         self._inner = inner
         self._capacity = capacity
+        # repro: allow(RA106) — leaf lock over the per-query LRU and
+        # epoch counter; queries execute outside it via single-flight
+        # (RA101 checks that stays true).
         self._lock = threading.RLock()
         #: Global invalidation counter; a per-query result computed
         #: before any table mutation is never stored after it.

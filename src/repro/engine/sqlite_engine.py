@@ -87,6 +87,9 @@ class SQLiteEngine(Engine):
         # via the backup API; Python-side access is guarded by _lock.
         self._primary = sqlite3.connect(":memory:", check_same_thread=False)
         self._owner = threading.get_ident()
+        # repro: allow(RA106) — guards the primary connection and the
+        # per-thread replica registry; threads themselves come from the
+        # worker pool, never from this engine.
         self._lock = threading.RLock()
         #: Bumped on every base-table change; replicas older than this
         #: re-snapshot before their next use.

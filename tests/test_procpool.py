@@ -51,6 +51,10 @@ from repro.sql.parser import parse_query
 
 from tests.conftest import make_calls_table
 
+#: Spawn-context worker processes make this the suite's slowest file;
+#: ``-m "not slow"`` gives a quick inner loop without it.
+pytestmark = pytest.mark.slow
+
 ROOT = Path(__file__).resolve().parent.parent
 SRC = ROOT / "src"
 

@@ -50,6 +50,10 @@ from repro.serving import (
 )
 from repro.workload import generate_dataset
 
+#: Multi-tenant hammers and HTTP soaks: worth skipping in a quick
+#: inner loop via ``-m "not slow"``.
+pytestmark = pytest.mark.slow
+
 ENGINES = ("rowstore", "vectorstore", "matstore", "sqlite")
 
 POLICIES = {
